@@ -1,0 +1,101 @@
+package feww
+
+import (
+	"fmt"
+	"testing"
+
+	"feww/internal/experiments"
+	"feww/internal/workload"
+	"feww/internal/xrand"
+)
+
+// One benchmark per experiment table (DESIGN.md §3).  Each iteration
+// regenerates the full artefact; the quick configuration is used so the
+// whole suite stays benchable (use cmd/fewwbench -full for the
+// EXPERIMENTS.md-sized runs).
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Run(id, experiments.Config{Seed: uint64(i + 1), Quick: true})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s: empty table", id)
+		}
+	}
+}
+
+func BenchmarkE1DegResSampling(b *testing.B)   { benchExperiment(b, "E1") }
+func BenchmarkE2InsertOnly(b *testing.B)       { benchExperiment(b, "E2") }
+func BenchmarkE3SpaceVsThreshold(b *testing.B) { benchExperiment(b, "E3") }
+func BenchmarkE4SetDisjointness(b *testing.B)  { benchExperiment(b, "E4") }
+func BenchmarkE5BitVectorLearning(b *testing.B) {
+	benchExperiment(b, "E5")
+}
+func BenchmarkE6InsertDelete(b *testing.B)   { benchExperiment(b, "E6") }
+func BenchmarkE7MatrixRowIndex(b *testing.B) { benchExperiment(b, "E7") }
+func BenchmarkE8StarDetection(b *testing.B)  { benchExperiment(b, "E8") }
+func BenchmarkE9L0Sampler(b *testing.B)      { benchExperiment(b, "E9") }
+func BenchmarkE10Ablations(b *testing.B)     { benchExperiment(b, "E10") }
+func BenchmarkF1Figure1(b *testing.B)        { benchExperiment(b, "F1") }
+func BenchmarkF2Figure2(b *testing.B)        { benchExperiment(b, "F2") }
+func BenchmarkF3Figure3(b *testing.B)        { benchExperiment(b, "F3") }
+
+// Throughput benchmarks for the public API on realistic streams.
+
+func BenchmarkInsertOnlyProcessEdge(b *testing.B) {
+	for _, alpha := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("alpha=%d", alpha), func(b *testing.B) {
+			const n = 1 << 16
+			algo, err := NewInsertOnly(Config{N: n, D: 1000, Alpha: alpha, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := xrand.New(2)
+			zipf := xrand.NewZipf(rng, 1.2, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				algo.ProcessEdge(int64(zipf.Next()), int64(i))
+			}
+		})
+	}
+}
+
+func BenchmarkInsertDeleteUpdate(b *testing.B) {
+	for _, scale := range []float64{0.01, 0.05} {
+		b.Run(fmt.Sprintf("scale=%g", scale), func(b *testing.B) {
+			const n, m = 256, 1024
+			algo, err := NewInsertDelete(TurnstileConfig{
+				N: n, M: m, D: 32, Alpha: 2, Seed: 1, ScaleFactor: scale,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := xrand.New(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				algo.Insert(rng.Int64n(n), rng.Int64n(m))
+			}
+		})
+	}
+}
+
+func BenchmarkStarDetectorSocial(b *testing.B) {
+	ups := workload.SocialGraph(3, 4000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sd, err := NewStarDetector(StarConfig{N: 4000, Alpha: 2, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, u := range ups {
+			if err := sd.ProcessEdge(u.A, u.B); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := sd.Result(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command fewwbench regenerates the paper's evaluation artefacts.
+//
+// Each experiment id (E1-E10, F1-F3; see DESIGN.md §3) validates the shape
+// of one theorem or reproduces one worked figure, printing a table of
+// measured values against the paper's claim.
+//
+// Usage:
+//
+//	fewwbench                      # run everything, quick sizes
+//	fewwbench -full                # full sizes (minutes, the EXPERIMENTS.md setting)
+//	fewwbench -experiment E2,E6    # a subset
+//	fewwbench -seed 7 -list        # enumerate ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"feww/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("experiment", "", "comma-separated experiment ids (default: all)")
+		seed     = flag.Uint64("seed", 1, "random seed; a fixed seed reproduces a run exactly")
+		full     = flag.Bool("full", false, "full instance sizes (the EXPERIMENTS.md setting; minutes instead of seconds)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		showTime = flag.Bool("time", false, "print wall-clock time per experiment")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *expFlag != "" {
+		ids = nil
+		for _, id := range strings.Split(*expFlag, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: !*full}
+	exit := 0
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fewwbench: %s: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		if err := tab.Format(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "fewwbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *showTime {
+			fmt.Printf("(%s in %v)\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+	os.Exit(exit)
+}

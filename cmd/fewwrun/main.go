@@ -1,0 +1,141 @@
+// Command fewwrun executes a FEwW algorithm over a stream file produced by
+// fewwgen (or any writer of the internal/stream binary format) and reports
+// the frequent element it found together with its witnesses.  The file is
+// replayed incrementally, so arbitrarily large streams run in the
+// algorithm's (sublinear) memory — the point of a streaming algorithm.
+//
+// Usage:
+//
+//	fewwrun -d 500 -alpha 2 stream.feww
+//	fewwrun -model turnstile -d 50 -alpha 2 -scale 0.02 turnstile.feww
+//	fewwrun -model star -alpha 2 friends.feww
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"feww"
+	"feww/internal/stream"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "insert", "algorithm: insert | turnstile | star")
+		d       = flag.Int64("d", 0, "degree threshold (required for insert/turnstile)")
+		alpha   = flag.Int("alpha", 2, "approximation factor")
+		scale   = flag.Float64("scale", 0, "sampler scale factor (turnstile; 0 = paper constants)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		maxWits = flag.Int("print", 16, "max witnesses to print")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fewwrun [flags] <stream file>  (see -help)")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	sc, err := stream.NewScanner(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("stream: n=%d m=%d updates=%d\n", sc.N(), sc.M(), sc.Total())
+
+	nb, space, err := run(*model, *d, *alpha, *scale, *seed, sc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("result: vertex %d with %d witnesses (space: %d words)\n", nb.A, nb.Size(), space)
+	wits := nb.Witnesses
+	if len(wits) > *maxWits {
+		wits = wits[:*maxWits]
+	}
+	fmt.Printf("witnesses: %v", wits)
+	if nb.Size() > *maxWits {
+		fmt.Printf(" ... (%d more)", nb.Size()-*maxWits)
+	}
+	fmt.Println()
+}
+
+// run replays the scanned stream through the selected algorithm.
+func run(model string, d int64, alpha int, scale float64, seed uint64, sc *stream.Scanner) (feww.Neighbourhood, int, error) {
+	var zero feww.Neighbourhood
+	switch model {
+	case "insert":
+		if d < 1 {
+			return zero, 0, fmt.Errorf("insert model requires -d >= 1")
+		}
+		algo, err := feww.NewInsertOnly(feww.Config{N: sc.N(), D: d, Alpha: alpha, Seed: seed})
+		if err != nil {
+			return zero, 0, err
+		}
+		for sc.Scan() {
+			u := sc.Update()
+			if u.Op == stream.Delete {
+				return zero, 0, fmt.Errorf("stream contains deletions; use -model turnstile")
+			}
+			algo.ProcessEdge(u.A, u.B)
+		}
+		if err := sc.Err(); err != nil {
+			return zero, 0, err
+		}
+		nb, err := algo.Result()
+		return nb, algo.SpaceWords(), err
+	case "turnstile":
+		if d < 1 {
+			return zero, 0, fmt.Errorf("turnstile model requires -d >= 1")
+		}
+		algo, err := feww.NewInsertDelete(feww.TurnstileConfig{
+			N: sc.N(), M: sc.M(), D: d, Alpha: alpha, Seed: seed, ScaleFactor: scale,
+		})
+		if err != nil {
+			return zero, 0, err
+		}
+		for sc.Scan() {
+			u := sc.Update()
+			if u.Op == stream.Delete {
+				algo.Delete(u.A, u.B)
+			} else {
+				algo.Insert(u.A, u.B)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return zero, 0, err
+		}
+		nb, err := algo.Result()
+		return nb, algo.SpaceWords(), err
+	case "star":
+		sd, err := feww.NewStarDetector(feww.StarConfig{N: sc.N(), Alpha: alpha, Seed: seed})
+		if err != nil {
+			return zero, 0, err
+		}
+		for sc.Scan() {
+			u := sc.Update()
+			if u.Op == stream.Delete {
+				return zero, 0, fmt.Errorf("star model is insertion-only; deletions need a turnstile detector")
+			}
+			// One call per undirected edge; the detector mirrors it into
+			// both orientations internally.
+			if err := sd.ProcessEdge(u.A, u.B); err != nil {
+				return zero, 0, err
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return zero, 0, err
+		}
+		nb, err := sd.Result()
+		return nb, sd.SpaceWords(), err
+	default:
+		return zero, 0, fmt.Errorf("unknown model %q", model)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fewwrun: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Package feww is a Go implementation of the algorithms from
+//
+//	Christian Konrad, "Frequent Elements with Witnesses in Data Streams",
+//	PODS 2021 (arXiv:1911.08832).
+//
+// # The problem
+//
+// Classical frequent-elements (heavy hitters) algorithms report which items
+// are frequent, but nothing about the occurrences themselves: a router can
+// learn which destination IP is being hammered, but not when the packets
+// arrived or from where.  FEwW(n, d) fixes that.  The input is a bipartite
+// graph G = (A, B, E): A-vertices are items (|A| = n), B-vertices are the
+// satellite data that arrives with each occurrence (timestamps, source IPs,
+// users, followers), and each occurrence is an edge.  Given the promise
+// that some item has degree at least d, the algorithm outputs an item
+// together with at least ceil(d/alpha) of its incident edges — witnesses
+// that prove the item's frequency — for an approximation factor alpha >= 1.
+//
+// # Algorithms
+//
+// InsertOnly implements the paper's Algorithm 2 for insertion-only streams:
+// alpha parallel degree-triggered reservoir samplers, using space
+// O(n log n + n^(1/alpha) d log^2 n) and succeeding with probability at
+// least 1 - 1/n (Theorem 3.2), which is optimal up to polylog factors
+// (Theorems 4.1 and 4.8).
+//
+// InsertDelete implements Algorithm 3 for insertion-deletion (turnstile)
+// streams: a vertex-sampling strategy for dense inputs and an edge-sampling
+// strategy for sparse inputs, both built on L0 samplers, using space
+// ~O(d n / alpha^2) for alpha <= sqrt(n) (Theorem 5.4), again optimal up
+// to polylog factors (Theorem 6.4).
+//
+// StarDetector and TurnstileStarDetector lift the two algorithms to the
+// Star Detection problem on general graphs — find a vertex of
+// (approximately) maximum degree together with its neighbourhood — via a
+// (1+eps) guess ladder (Lemma 3.3, Corollaries 3.4 and 5.5).
+//
+// InsertOnly additionally supports reporting every frequent element found
+// (Results) and full binary checkpointing (Snapshot / RestoreInsertOnly):
+// a restored instance continues the exact same random stream, and the
+// snapshot bytes are precisely the "message" of the paper's communication
+// protocols (see examples/partitioned).
+//
+// # Quick start
+//
+//	algo, err := feww.NewInsertOnly(feww.Config{N: 100000, D: 500, Alpha: 2})
+//	if err != nil { ... }
+//	for _, occ := range occurrences {
+//	    algo.ProcessEdge(occ.Item, occ.Witness)
+//	}
+//	nb, err := algo.Result()
+//	if err == nil {
+//	    fmt.Println("frequent item", nb.A, "witnesses", nb.Witnesses)
+//	}
+//
+// See examples/ for runnable programs covering the paper's three motivating
+// applications (database logs, social networks, DoS detection), DESIGN.md
+// for the system inventory, and EXPERIMENTS.md for the reproduction of the
+// paper's claims.
+package feww

@@ -1,0 +1,86 @@
+package feww_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"feww"
+)
+
+// The basic loop: feed (item, witness) occurrences, read back a frequent
+// item with proof.
+func ExampleInsertOnly() {
+	algo, err := feww.NewInsertOnly(feww.Config{N: 1000, D: 6, Alpha: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	// Item 7 appears six times, with witnesses 100..105 (e.g. timestamps).
+	for t := int64(100); t < 106; t++ {
+		algo.ProcessEdge(7, t)
+	}
+	algo.ProcessEdge(3, 200) // background noise
+
+	nb, err := algo.Result()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("item:", nb.A, "witnesses:", len(nb.Witnesses))
+	// Output:
+	// item: 7 witnesses: 3
+}
+
+// Deletions are first-class in the turnstile algorithm: an item whose
+// occurrences are all retracted cannot be reported.
+func ExampleInsertDelete() {
+	algo, err := feww.NewInsertDelete(feww.TurnstileConfig{
+		N: 50, M: 200, D: 8, Alpha: 2, Seed: 1, ScaleFactor: 0.1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for b := int64(0); b < 8; b++ {
+		algo.Insert(5, b) // item 5: eight live occurrences
+		algo.Insert(9, b+100)
+	}
+	for b := int64(0); b < 8; b++ {
+		algo.Delete(9, b+100) // item 9 fully retracted
+	}
+	nb, err := algo.Result()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("item:", nb.A)
+	// Output:
+	// item: 5
+}
+
+// Snapshot/Restore moves a running computation between processes — or
+// between the "parties" of the paper's communication protocols.
+func ExampleInsertOnly_Snapshot() {
+	first, err := feww.NewInsertOnly(feww.Config{N: 100, D: 4, Alpha: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	first.ProcessEdge(42, 1)
+	first.ProcessEdge(42, 2)
+
+	var message bytes.Buffer
+	if err := first.Snapshot(&message); err != nil {
+		panic(err)
+	}
+
+	second, err := feww.RestoreInsertOnly(&message)
+	if err != nil {
+		panic(err)
+	}
+	second.ProcessEdge(42, 3)
+	second.ProcessEdge(42, 4)
+
+	nb, err := second.Result()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("item:", nb.A, "witnesses:", len(nb.Witnesses))
+	// Output:
+	// item: 42 witnesses: 2
+}

@@ -1,0 +1,83 @@
+// Distinct heavy hitters over a raw (duplicated) log: the paper's DoS
+// motivation [22] in its full form.
+//
+// An attack is a target requested by many *distinct* sources — raw request
+// counts mislead, because one chatty benign client can outnumber a botnet.
+// FEwW assumes a simple graph (each (target, source) edge once), but raw
+// logs repeat.  This example deduplicates the multigraph log with a
+// space-bounded Bloom filter before the FEwW algorithm, so every witness is
+// a distinct attacking source, and uses a KMV sketch to confirm the scale
+// of the distinct traffic.
+//
+// Run with: go run ./examples/distinctsources
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"feww"
+	"feww/internal/distinct"
+	"feww/internal/xrand"
+)
+
+func main() {
+	const (
+		targets  = 2000
+		sources  = 5000
+		nVictims = 1 // one machine under attack
+		botnet   = 800
+	)
+	rng := xrand.New(42)
+
+	// Raw log: a botnet of `botnet` distinct sources hits victim 77, each
+	// source retrying ~5 times (duplicates!); meanwhile one benign client
+	// polls target 12 thousands of times (a raw-count heavy hitter that
+	// must NOT be reported), plus uniform background noise.
+	type req struct{ target, source int64 }
+	var raw []req
+	for s := 0; s < botnet; s++ {
+		for r := 0; r < 5; r++ {
+			raw = append(raw, req{77, int64(s)})
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		raw = append(raw, req{12, 999}) // one source, hammering
+	}
+	for i := 0; i < 30000; i++ {
+		raw = append(raw, req{rng.Int64n(targets), rng.Int64n(sources)})
+	}
+	rng.Shuffle(len(raw), func(i, j int) { raw[i], raw[j] = raw[j], raw[i] })
+	fmt.Printf("raw log: %d requests (with duplicates)\n", len(raw))
+
+	// Dedup + detect + estimate, one pass.
+	filter := distinct.NewBloomFilter(rng.Split(), sources, 60000, 0.01)
+	algo, err := feww.NewInsertOnly(feww.Config{
+		N: targets, D: botnet, Alpha: 2, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f0 := distinct.NewKMV(rng.Split(), 256)
+	kept := 0
+	for _, r := range raw {
+		key := uint64(r.target)*sources + uint64(r.source)
+		f0.Add(key)
+		if !filter.Distinct(r.target, r.source) {
+			continue // duplicate (target, source) pair — not a new witness
+		}
+		kept++
+		algo.ProcessEdge(r.target, r.source)
+	}
+	fmt.Printf("after dedup: %d distinct (target, source) pairs (KMV estimate %.0f)\n",
+		kept, f0.Estimate())
+
+	nb, err := algo.Result()
+	if err != nil {
+		log.Fatalf("no distinct-heavy target found: %v", err)
+	}
+	fmt.Printf("\nALERT: target %d contacted by %d distinct sources\n", nb.A, nb.Size())
+	fmt.Printf("first attacking sources: %v ...\n", nb.Witnesses[:8])
+	fmt.Printf("note: target 12 received 5000 requests but from one source — correctly ignored\n")
+	fmt.Printf("space: filter %d + algorithm %d words\n", filter.SpaceWords(), algo.SpaceWords())
+}

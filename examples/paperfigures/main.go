@@ -1,0 +1,28 @@
+// Paper figures: reproduce the worked examples of Figures 1, 2 and 3 as
+// executable constructions (experiments F1-F3), printing the same instances
+// the paper draws and verifying every property its captions state.
+//
+// Run with: go run ./examples/paperfigures
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"feww/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.Config{Seed: 1, Quick: true}
+	for _, id := range []string{"F1", "F2", "F3"} {
+		tab, err := experiments.Run(id, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		if err := tab.Format(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: find a frequent element together with proof of its frequency.
+//
+// A classical heavy-hitters sketch would tell you *that* item 7 is hot; the
+// witness version also hands you d/alpha of the actual occurrences.  Here
+// the witness attached to each occurrence is its timestamp, so the output
+// is "item X is frequent, and here are times it appeared".
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"feww"
+	"feww/internal/xrand"
+)
+
+func main() {
+	const (
+		n     = 100000 // item universe
+		d     = 400    // frequency threshold
+		alpha = 2      // approximation: report >= d/alpha = 200 witnesses
+	)
+
+	algo, err := feww.NewInsertOnly(feww.Config{N: n, D: d, Alpha: alpha, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthesise a stream: uniform background traffic (no item repeats more
+	// than a handful of times) plus one genuinely hot item, id 4242,
+	// appearing d times.
+	rng := xrand.New(7)
+	timestamp := int64(0)
+	emit := func(item int64) {
+		algo.ProcessEdge(item, timestamp)
+		timestamp++
+	}
+	for i := 0; i < 50000; i++ {
+		emit(rng.Int64n(n))
+		if i%125 == 0 {
+			emit(4242)
+		}
+	}
+
+	nb, err := algo.Result()
+	if err != nil {
+		log.Fatalf("no frequent element found: %v", err)
+	}
+	fmt.Printf("frequent item: %d\n", nb.A)
+	fmt.Printf("witnesses (timestamps of occurrences): %d collected, target %d\n",
+		nb.Size(), algo.WitnessTarget())
+	fmt.Printf("first occurrences: %v ...\n", nb.Witnesses[:8])
+	fmt.Printf("space used: %d words (stream length %d)\n", algo.SpaceWords(), timestamp)
+}

@@ -1,0 +1,260 @@
+package feww
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"feww/internal/stream"
+	"feww/internal/workload"
+)
+
+func TestInsertOnlyEndToEnd(t *testing.T) {
+	const n, d = 4096, 120
+	inst, err := workload.NewPlanted(workload.PlantedConfig{
+		N: n, M: 4 * n, Heavy: 1, HeavyDeg: d,
+		NoiseEdges: 2 * n, Order: workload.Shuffled, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, err := NewInsertOnly(Config{N: n, D: d, Alpha: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range inst.Updates {
+		algo.ProcessEdge(u.A, u.B)
+	}
+	nb, err := algo.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(nb.Size()) < algo.WitnessTarget() {
+		t.Fatalf("got %d witnesses, want >= %d", nb.Size(), algo.WitnessTarget())
+	}
+	if err := inst.Verify(nb.A, nb.Witnesses); err != nil {
+		t.Fatal(err)
+	}
+	if algo.SpaceWords() <= 0 {
+		t.Fatal("SpaceWords not positive")
+	}
+}
+
+func TestInsertOnlyNoPromiseReturnsErrNoWitness(t *testing.T) {
+	algo, err := NewInsertOnly(Config{N: 100, D: 50, Alpha: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every vertex has degree 1 — far below the promise.
+	for i := int64(0); i < 100; i++ {
+		algo.ProcessEdge(i, i)
+	}
+	if _, err := algo.Result(); !errors.Is(err, ErrNoWitness) {
+		t.Fatalf("got %v, want ErrNoWitness", err)
+	}
+	// Best still reports the largest partial neighbourhood if any run
+	// admitted a vertex.
+	if nb, found := algo.Best(); found && nb.Size() < 1 {
+		t.Fatal("Best returned an empty neighbourhood with found = true")
+	}
+}
+
+func TestInsertOnlyRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{N: 0, D: 1, Alpha: 1},
+		{N: 1, D: 0, Alpha: 1},
+		{N: 1, D: 1, Alpha: 0},
+		{N: 1, D: 1, Alpha: 1, ScaleFactor: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewInsertOnly(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestInsertDeleteEndToEnd(t *testing.T) {
+	const n, m, d = 64, 256, 24
+	inst, err := workload.NewChurn(workload.ChurnConfig{
+		Planted: workload.PlantedConfig{
+			N: n, M: m, Heavy: 1, HeavyDeg: d,
+			NoiseEdges: n, Order: workload.Shuffled, Seed: 4,
+		},
+		ChurnEdges: 2 * n,
+		Seed:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, err := NewInsertDelete(TurnstileConfig{
+		N: n, M: m, D: d, Alpha: 2, Seed: 2, ScaleFactor: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range inst.Updates {
+		if u.Op == stream.Delete {
+			algo.Delete(u.A, u.B)
+		} else {
+			algo.Insert(u.A, u.B)
+		}
+	}
+	nb, err := algo.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(nb.Size()) < algo.WitnessTarget() {
+		t.Fatalf("got %d witnesses, want >= %d", nb.Size(), algo.WitnessTarget())
+	}
+	if err := inst.Verify(nb.A, nb.Witnesses); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDeleteRejectsOversizedAllocation(t *testing.T) {
+	_, err := NewInsertDelete(TurnstileConfig{
+		N: 1 << 20, M: 1 << 20, D: 1 << 16, Alpha: 2, MaxSamplers: 100,
+	})
+	if err == nil {
+		t.Fatal("oversized sampler allocation accepted")
+	}
+}
+
+func TestStarDetectorEndToEnd(t *testing.T) {
+	const vertices = 1000
+	ups := workload.SocialGraph(7, vertices, 4)
+	sd, err := NewStarDetector(StarConfig{N: vertices, Alpha: 2, Eps: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := make(map[int64]map[int64]bool)
+	addEdge := func(u, v int64) {
+		if adj[u] == nil {
+			adj[u] = make(map[int64]bool)
+		}
+		adj[u][v] = true
+	}
+	for _, u := range ups {
+		if err := sd.ProcessEdge(u.A, u.B); err != nil {
+			t.Fatal(err)
+		}
+		addEdge(u.A, u.B)
+		addEdge(u.B, u.A)
+	}
+	nb, err := sd.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every reported neighbour must be a genuine neighbour.
+	for _, w := range nb.Witnesses {
+		if !adj[nb.A][w] {
+			t.Fatalf("fabricated neighbour %d for vertex %d", w, nb.A)
+		}
+	}
+	// The (1+eps)*alpha guarantee against the true max degree.
+	var maxDeg int
+	for _, nbs := range adj {
+		if len(nbs) > maxDeg {
+			maxDeg = len(nbs)
+		}
+	}
+	if float64(nb.Size()) < float64(maxDeg)/(1.5*2)-1 {
+		t.Fatalf("star size %d below guarantee Delta/((1+eps)*alpha) = %.1f", nb.Size(), float64(maxDeg)/3)
+	}
+}
+
+// TestStarDetectorWitnessesDistinct guards against double-feeding: the
+// detector mirrors each undirected edge internally, so a caller feeding
+// each edge once must never see a duplicated neighbour in the output.
+func TestStarDetectorWitnessesDistinct(t *testing.T) {
+	ups := workload.SocialGraph(13, 500, 4)
+	sd, err := NewStarDetector(StarConfig{N: 500, Alpha: 2, Eps: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range ups {
+		if err := sd.ProcessEdge(u.A, u.B); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nb, err := sd.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool, nb.Size())
+	for _, w := range nb.Witnesses {
+		if seen[w] {
+			t.Fatalf("duplicate witness %d in star output", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestStarDetectorDefaults(t *testing.T) {
+	sd, err := NewStarDetector(StarConfig{N: 10}) // zero Alpha/Eps use defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.ProcessEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	nb, err := sd.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Size() < 1 {
+		t.Fatalf("single-edge graph gave star size %d", nb.Size())
+	}
+}
+
+// TestNoFabricatedWitnessesProperty: for random small instances (any seed,
+// any order), a reported witness is always a genuine edge and never
+// duplicated — the core soundness invariant.
+func TestNoFabricatedWitnessesProperty(t *testing.T) {
+	check := func(seed uint64, orderPick uint8, alphaPick uint8) bool {
+		alpha := int(alphaPick%3) + 1
+		order := workload.Order(orderPick % 4)
+		const n, d = 256, 24
+		inst, err := workload.NewPlanted(workload.PlantedConfig{
+			N: n, M: 4 * n, Heavy: 1, HeavyDeg: d,
+			NoiseEdges: n, Order: order, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		algo, err := NewInsertOnly(Config{N: n, D: d, Alpha: alpha, Seed: seed ^ 0xabc})
+		if err != nil {
+			return false
+		}
+		for _, u := range inst.Updates {
+			algo.ProcessEdge(u.A, u.B)
+		}
+		nb, err := algo.Result()
+		if err != nil {
+			return true // failing to find is allowed; lying is not
+		}
+		return inst.Verify(nb.A, nb.Witnesses) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWitnessTargetRounding(t *testing.T) {
+	cases := []struct {
+		d      int64
+		alpha  int
+		target int64
+	}{
+		{10, 2, 5}, {10, 3, 4}, {1, 1, 1}, {7, 7, 1}, {7, 2, 4},
+	}
+	for _, c := range cases {
+		algo, err := NewInsertOnly(Config{N: 100, D: c.d, Alpha: c.alpha, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := algo.WitnessTarget(); got != c.target {
+			t.Errorf("d=%d alpha=%d: target %d, want %d", c.d, c.alpha, got, c.target)
+		}
+	}
+}

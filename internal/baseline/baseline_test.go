@@ -1,0 +1,303 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"feww/internal/stream"
+	"feww/internal/xrand"
+)
+
+// zipfStream draws `total` items Zipf(skew) over [0, n) and returns them
+// with their exact frequencies.
+func zipfStream(seed uint64, n, total int, skew float64) ([]int64, map[int64]int64) {
+	rng := xrand.New(seed)
+	z := xrand.NewZipf(rng, skew, n)
+	items := make([]int64, total)
+	freq := make(map[int64]int64)
+	for i := range items {
+		items[i] = int64(z.Next())
+		freq[items[i]]++
+	}
+	return items, freq
+}
+
+func TestMisraGriesGuarantee(t *testing.T) {
+	// Property: for every item, freq - total/(k+1) <= estimate <= freq.
+	items, freq := zipfStream(1, 100, 20000, 1.3)
+	const k = 20
+	mg := NewMisraGries(k)
+	for _, it := range items {
+		mg.Process(it)
+	}
+	bound := mg.ErrorBound()
+	for it, f := range freq {
+		est := mg.Estimate(it)
+		if est > f {
+			t.Fatalf("item %d overestimated: est %d > freq %d", it, est, f)
+		}
+		if est < f-bound {
+			t.Fatalf("item %d underestimated beyond bound: est %d, freq %d, bound %d", it, est, f, bound)
+		}
+	}
+}
+
+func TestMisraGriesFindsHeavyItems(t *testing.T) {
+	items, freq := zipfStream(2, 1000, 50000, 1.5)
+	const k = 100
+	mg := NewMisraGries(k)
+	for _, it := range items {
+		mg.Process(it)
+	}
+	// Every item with freq > total/(k+1) must survive.
+	threshold := mg.Total() / int64(k+1)
+	surviving := make(map[int64]bool)
+	for _, c := range mg.Candidates() {
+		surviving[c] = true
+	}
+	for it, f := range freq {
+		if f > threshold && !surviving[it] {
+			t.Fatalf("heavy item %d (freq %d > %d) evicted", it, f, threshold)
+		}
+	}
+}
+
+func TestMisraGriesSpaceBound(t *testing.T) {
+	mg := NewMisraGries(10)
+	for i := int64(0); i < 10000; i++ {
+		mg.Process(i % 997)
+	}
+	if mg.SpaceWords() > 2*10 {
+		t.Fatalf("space %d exceeds 2k", mg.SpaceWords())
+	}
+}
+
+func TestMisraGriesQuick(t *testing.T) {
+	// Property over random small streams: estimates never exceed truth.
+	f := func(itemsRaw []uint8, kRaw uint8) bool {
+		if len(itemsRaw) == 0 {
+			return true
+		}
+		k := int(kRaw%10) + 1
+		mg := NewMisraGries(k)
+		freq := make(map[int64]int64)
+		for _, raw := range itemsRaw {
+			it := int64(raw % 16)
+			mg.Process(it)
+			freq[it]++
+		}
+		for it, f0 := range freq {
+			if mg.Estimate(it) > f0 {
+				return false
+			}
+			if mg.Estimate(it) < f0-mg.ErrorBound() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceSavingGuarantee(t *testing.T) {
+	items, freq := zipfStream(3, 100, 20000, 1.3)
+	const k = 25
+	ss := NewSpaceSaving(k)
+	for _, it := range items {
+		ss.Process(it)
+	}
+	// Estimates never undercount, and guaranteed counts never overcount.
+	for it, f := range freq {
+		if est := ss.Estimate(it); est != 0 && est < f {
+			t.Fatalf("item %d undercounted: est %d < freq %d", it, est, f)
+		}
+		if g := ss.GuaranteedCount(it); g > f {
+			t.Fatalf("item %d guaranteed %d > freq %d", it, g, f)
+		}
+	}
+	// Every item with freq > total/k is monitored.
+	for it, f := range freq {
+		if f > ss.Total()/int64(k) && ss.Estimate(it) == 0 {
+			t.Fatalf("heavy item %d (freq %d) unmonitored", it, f)
+		}
+	}
+}
+
+func TestSpaceSavingCapacity(t *testing.T) {
+	ss := NewSpaceSaving(5)
+	for i := int64(0); i < 1000; i++ {
+		ss.Process(i)
+	}
+	if got := len(ss.Candidates()); got > 5 {
+		t.Fatalf("monitoring %d items, cap 5", got)
+	}
+}
+
+func TestCountMinNeverUndercounts(t *testing.T) {
+	items, freq := zipfStream(4, 500, 20000, 1.2)
+	cm := NewCountMin(xrand.New(5), 4, 256)
+	for _, it := range items {
+		cm.Process(it)
+	}
+	for it, f := range freq {
+		if est := cm.Estimate(it); est < f {
+			t.Fatalf("CountMin undercounted item %d: %d < %d", it, est, f)
+		}
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	items, freq := zipfStream(6, 500, 20000, 1.2)
+	const width = 512
+	cm := NewCountMin(xrand.New(7), 5, width)
+	for _, it := range items {
+		cm.Process(it)
+	}
+	// Expected error e*total/width; check a loose 10x envelope.
+	budget := 10 * cm.Total() / int64(width)
+	bad := 0
+	for it, f := range freq {
+		if cm.Estimate(it)-f > budget {
+			bad++
+		}
+	}
+	if bad > len(freq)/20 {
+		t.Fatalf("%d/%d items exceed the CountMin error envelope", bad, len(freq))
+	}
+}
+
+func TestCountMinTurnstile(t *testing.T) {
+	cm := NewCountMin(xrand.New(8), 4, 64)
+	cm.Update(7, 5)
+	cm.Update(7, -3)
+	if est := cm.Estimate(7); est < 2 {
+		t.Fatalf("turnstile estimate %d < 2", est)
+	}
+	if cm.Total() != 2 {
+		t.Fatalf("total %d != 2", cm.Total())
+	}
+}
+
+func TestCountSketchAccuracy(t *testing.T) {
+	items, freq := zipfStream(9, 500, 30000, 1.4)
+	cs := NewCountSketch(xrand.New(10), 5, 512)
+	for _, it := range items {
+		cs.Process(it)
+	}
+	// The heaviest items should be estimated within a small relative error.
+	var heavy int64
+	var heavyF int64
+	for it, f := range freq {
+		if f > heavyF {
+			heavy, heavyF = it, f
+		}
+	}
+	est := cs.Estimate(heavy)
+	if est < heavyF*8/10 || est > heavyF*12/10 {
+		t.Fatalf("CountSketch estimate %d for frequency %d (item %d)", est, heavyF, heavy)
+	}
+}
+
+func TestCountSketchTurnstileCancel(t *testing.T) {
+	cs := NewCountSketch(xrand.New(11), 5, 64)
+	for i := int64(0); i < 50; i++ {
+		cs.Update(i, 3)
+	}
+	for i := int64(0); i < 50; i++ {
+		cs.Update(i, -3)
+	}
+	for i := int64(0); i < 50; i++ {
+		if est := cs.Estimate(i); est != 0 {
+			t.Fatalf("cancelled item %d estimates %d", i, est)
+		}
+	}
+}
+
+func TestExactBaseline(t *testing.T) {
+	e := NewExact()
+	e.Process(1, 100)
+	e.Process(1, 101)
+	e.Process(2, 200)
+	if e.Count(1) != 2 || e.Count(2) != 1 || e.Count(3) != 0 {
+		t.Fatal("wrong counts")
+	}
+	if got := e.Witnesses(1); len(got) != 2 || got[0] != 100 || got[1] != 101 {
+		t.Fatalf("witnesses = %v", got)
+	}
+	if it, c := e.Heaviest(); it != 1 || c != 2 {
+		t.Fatalf("heaviest = (%d, %d)", it, c)
+	}
+	if got := e.ItemsAtLeast(1); len(got) != 2 {
+		t.Fatalf("ItemsAtLeast(1) = %v", got)
+	}
+	if got := e.ItemsAtLeast(2); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("ItemsAtLeast(2) = %v", got)
+	}
+	if e.SpaceWords() < 5 {
+		t.Fatalf("space %d implausibly small", e.SpaceWords())
+	}
+}
+
+func TestExactHeaviestEmpty(t *testing.T) {
+	e := NewExact()
+	if it, c := e.Heaviest(); it != -1 || c != 0 {
+		t.Fatalf("empty heaviest = (%d, %d)", it, c)
+	}
+}
+
+func TestTwoPassCollectsWitnesses(t *testing.T) {
+	var ups []stream.Update
+	for i := int64(0); i < 50; i++ {
+		ups = append(ups, stream.Ins(7, 1000+i)) // heavy item 7
+	}
+	for i := int64(0); i < 200; i++ {
+		ups = append(ups, stream.Ins(i%40, i))
+	}
+	tp := NewTwoPass(50, 25, 30)
+	tp.Pass1(ups)
+	tp.Pass2(ups)
+	item, witnesses, err := tp.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item != 7 {
+		t.Fatalf("item = %d, want 7", item)
+	}
+	if len(witnesses) != 25 {
+		t.Fatalf("witnesses = %d, want 25", len(witnesses))
+	}
+}
+
+func TestTwoPassNoCandidate(t *testing.T) {
+	var ups []stream.Update
+	for i := int64(0); i < 100; i++ {
+		ups = append(ups, stream.Ins(i, i))
+	}
+	tp := NewTwoPass(50, 25, 10)
+	tp.Pass1(ups)
+	tp.Pass2(ups)
+	if _, _, err := tp.Result(); !errors.Is(err, ErrNoCandidate) {
+		t.Fatalf("got %v, want ErrNoCandidate", err)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"MisraGries(0)":       func() { NewMisraGries(0) },
+		"SpaceSaving(0)":      func() { NewSpaceSaving(0) },
+		"CountMin depth 0":    func() { NewCountMin(xrand.New(1), 0, 4) },
+		"CountSketch width 0": func() { NewCountSketch(xrand.New(1), 4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

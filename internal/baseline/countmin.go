@@ -1,0 +1,69 @@
+package baseline
+
+import (
+	"feww/internal/hashing"
+	"feww/internal/xrand"
+)
+
+// CountMin is the Count-Min sketch of Cormode and Muthukrishnan [17]:
+// depth x width counters, estimate = min over rows, one-sided error
+// <= e * total / width with probability 1 - e^-depth per query.  It
+// supports turnstile updates (deletions), unlike Misra-Gries/SpaceSaving.
+type CountMin struct {
+	depth, width int
+	rows         [][]int64
+	hash         []*hashing.Poly
+	total        int64
+}
+
+// NewCountMin returns a depth x width sketch.
+func NewCountMin(rng *xrand.RNG, depth, width int) *CountMin {
+	if depth < 1 || width < 1 {
+		panic("baseline: NewCountMin with depth < 1 or width < 1")
+	}
+	cm := &CountMin{depth: depth, width: width}
+	cm.rows = make([][]int64, depth)
+	cm.hash = make([]*hashing.Poly, depth)
+	for r := 0; r < depth; r++ {
+		cm.rows[r] = make([]int64, width)
+		cm.hash[r] = hashing.NewPoly(rng, 2)
+	}
+	return cm
+}
+
+// Update applies count[item] += delta.
+func (cm *CountMin) Update(item int64, delta int64) {
+	cm.total += delta
+	for r := 0; r < cm.depth; r++ {
+		c := cm.hash[r].HashRange(uint64(item), uint64(cm.width))
+		cm.rows[r][c] += delta
+	}
+}
+
+// Process consumes one stream item (delta = 1).
+func (cm *CountMin) Process(item int64) { cm.Update(item, 1) }
+
+// Estimate returns the min-over-rows frequency estimate (never an
+// undercount for insertion-only streams).
+func (cm *CountMin) Estimate(item int64) int64 {
+	est := int64(1)<<62 - 1
+	for r := 0; r < cm.depth; r++ {
+		c := cm.hash[r].HashRange(uint64(item), uint64(cm.width))
+		if cm.rows[r][c] < est {
+			est = cm.rows[r][c]
+		}
+	}
+	return est
+}
+
+// Total returns the net stream weight consumed.
+func (cm *CountMin) Total() int64 { return cm.total }
+
+// SpaceWords counts the counter array plus hash coefficients.
+func (cm *CountMin) SpaceWords() int {
+	words := cm.depth * cm.width
+	for _, h := range cm.hash {
+		words += h.SpaceWords()
+	}
+	return words
+}

@@ -1,0 +1,71 @@
+package baseline
+
+import (
+	"sort"
+
+	"feww/internal/hashing"
+	"feww/internal/xrand"
+)
+
+// CountSketch is the sketch of Charikar, Chen and Farach-Colton [15]:
+// depth x width counters with 4-wise independent bucket and sign hashes;
+// the estimate is the median over rows of sign * counter, giving two-sided
+// error O(sqrt(F2 / width)) per row.
+type CountSketch struct {
+	depth, width int
+	rows         [][]int64
+	bucket       []*hashing.Poly
+	sign         []*hashing.Poly
+	scratch      []int64
+}
+
+// NewCountSketch returns a depth x width sketch.
+func NewCountSketch(rng *xrand.RNG, depth, width int) *CountSketch {
+	if depth < 1 || width < 1 {
+		panic("baseline: NewCountSketch with depth < 1 or width < 1")
+	}
+	cs := &CountSketch{depth: depth, width: width, scratch: make([]int64, depth)}
+	cs.rows = make([][]int64, depth)
+	cs.bucket = make([]*hashing.Poly, depth)
+	cs.sign = make([]*hashing.Poly, depth)
+	for r := 0; r < depth; r++ {
+		cs.rows[r] = make([]int64, width)
+		cs.bucket[r] = hashing.NewPoly(rng, 4)
+		cs.sign[r] = hashing.NewPoly(rng, 4)
+	}
+	return cs
+}
+
+// Update applies count[item] += delta (turnstile supported).
+func (cs *CountSketch) Update(item int64, delta int64) {
+	for r := 0; r < cs.depth; r++ {
+		c := cs.bucket[r].HashRange(uint64(item), uint64(cs.width))
+		cs.rows[r][c] += cs.sign[r].Sign(uint64(item)) * delta
+	}
+}
+
+// Process consumes one stream item (delta = 1).
+func (cs *CountSketch) Process(item int64) { cs.Update(item, 1) }
+
+// Estimate returns the median-over-rows frequency estimate.
+func (cs *CountSketch) Estimate(item int64) int64 {
+	for r := 0; r < cs.depth; r++ {
+		c := cs.bucket[r].HashRange(uint64(item), uint64(cs.width))
+		cs.scratch[r] = cs.sign[r].Sign(uint64(item)) * cs.rows[r][c]
+	}
+	sort.Slice(cs.scratch, func(i, j int) bool { return cs.scratch[i] < cs.scratch[j] })
+	mid := cs.depth / 2
+	if cs.depth%2 == 1 {
+		return cs.scratch[mid]
+	}
+	return (cs.scratch[mid-1] + cs.scratch[mid]) / 2
+}
+
+// SpaceWords counts the counter array plus hash coefficients.
+func (cs *CountSketch) SpaceWords() int {
+	words := cs.depth * cs.width
+	for r := 0; r < cs.depth; r++ {
+		words += cs.bucket[r].SpaceWords() + cs.sign[r].SpaceWords()
+	}
+	return words
+}

@@ -1,0 +1,67 @@
+package baseline
+
+import "sort"
+
+// Exact is the trivial store-everything baseline: exact per-item counters
+// plus the full witness list for every item.  It answers FEwW perfectly at
+// Theta(stream length) space and anchors the space comparisons in
+// experiment E3.
+type Exact struct {
+	counts    map[int64]int64
+	witnesses map[int64][]int64
+	total     int64
+}
+
+// NewExact returns an empty exact counter.
+func NewExact() *Exact {
+	return &Exact{counts: make(map[int64]int64), witnesses: make(map[int64][]int64)}
+}
+
+// Process consumes one (item, witness) pair.
+func (e *Exact) Process(item, witness int64) {
+	e.total++
+	e.counts[item]++
+	e.witnesses[item] = append(e.witnesses[item], witness)
+}
+
+// Count returns item's exact frequency.
+func (e *Exact) Count(item int64) int64 { return e.counts[item] }
+
+// Witnesses returns all witnesses recorded for item.
+func (e *Exact) Witnesses(item int64) []int64 { return e.witnesses[item] }
+
+// Heaviest returns the item of maximum frequency (smallest id on ties) and
+// that frequency; (-1, 0) on an empty stream.
+func (e *Exact) Heaviest() (int64, int64) {
+	best, bestC := int64(-1), int64(0)
+	for it, c := range e.counts {
+		if c > bestC || (c == bestC && best != -1 && it < best) {
+			best, bestC = it, c
+		}
+	}
+	return best, bestC
+}
+
+// ItemsAtLeast returns all items with frequency >= d, sorted by id.
+func (e *Exact) ItemsAtLeast(d int64) []int64 {
+	var out []int64
+	for it, c := range e.counts {
+		if c >= d {
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Total returns the stream length consumed.
+func (e *Exact) Total() int64 { return e.total }
+
+// SpaceWords counts counters plus all stored witnesses.
+func (e *Exact) SpaceWords() int {
+	words := 2 * len(e.counts)
+	for _, w := range e.witnesses {
+		words += 1 + len(w)
+	}
+	return words
+}

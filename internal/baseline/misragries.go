@@ -1,0 +1,80 @@
+// Package baseline implements the classic frequent-elements (heavy
+// hitters) algorithms the paper positions FEwW against (§1.3): Misra-Gries
+// [37], SpaceSaving [35/36], CountMin [17], CountSketch [15], an exact
+// counter, and a two-pass FE-then-witness-replay scheme.
+//
+// None of the one-pass baselines can report witnesses — that is the paper's
+// point — and their space behaves *inversely* in the threshold d: detecting
+// items of frequency >= d = eps*m takes O(m/d) counters, whereas FEwW is
+// trivially Omega(d/alpha) because the witnesses themselves must be output.
+// Experiment E3 exhibits this inversion.
+package baseline
+
+import "sort"
+
+// MisraGries is the deterministic frequent-elements summary of Misra and
+// Gries (1982) with k counters: after a stream of length total, every item
+// of true frequency f has estimate in [f - total/(k+1), f], so every item
+// with frequency > total/(k+1) survives as a candidate.
+type MisraGries struct {
+	k        int
+	counters map[int64]int64
+	total    int64
+}
+
+// NewMisraGries returns a summary with k counters (k >= 1).
+func NewMisraGries(k int) *MisraGries {
+	if k < 1 {
+		panic("baseline: NewMisraGries with k < 1")
+	}
+	return &MisraGries{k: k, counters: make(map[int64]int64, k+1)}
+}
+
+// Process consumes one stream item.
+func (mg *MisraGries) Process(item int64) {
+	mg.total++
+	if _, ok := mg.counters[item]; ok {
+		mg.counters[item]++
+		return
+	}
+	if len(mg.counters) < mg.k {
+		mg.counters[item] = 1
+		return
+	}
+	// Decrement-all step: every counter drops by one; zeros are evicted.
+	for it, c := range mg.counters {
+		if c == 1 {
+			delete(mg.counters, it)
+		} else {
+			mg.counters[it] = c - 1
+		}
+	}
+}
+
+// Estimate returns the (under-)estimate of item's frequency.
+func (mg *MisraGries) Estimate(item int64) int64 { return mg.counters[item] }
+
+// Candidates returns the surviving items sorted by decreasing estimate.
+func (mg *MisraGries) Candidates() []int64 {
+	out := make([]int64, 0, len(mg.counters))
+	for it := range mg.counters {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := mg.counters[out[i]], mg.counters[out[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Total returns the stream length consumed so far.
+func (mg *MisraGries) Total() int64 { return mg.total }
+
+// ErrorBound returns the maximum possible undercount, total/(k+1).
+func (mg *MisraGries) ErrorBound() int64 { return mg.total / int64(mg.k+1) }
+
+// SpaceWords counts two words (item, counter) per live counter.
+func (mg *MisraGries) SpaceWords() int { return 2 * len(mg.counters) }

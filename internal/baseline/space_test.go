@@ -1,0 +1,67 @@
+package baseline
+
+import (
+	"testing"
+
+	"feww/internal/stream"
+	"feww/internal/xrand"
+)
+
+// TestSpaceWordsAccounting checks every baseline reports plausible live
+// state, and that counter-based structures really are bounded by their k
+// while the exact counter grows with the input.
+func TestSpaceWordsAccounting(t *testing.T) {
+	rng := xrand.New(1)
+	const k = 16
+	mg := NewMisraGries(k)
+	ss := NewSpaceSaving(k)
+	cm := NewCountMin(rng.Split(), 4, 64)
+	cs := NewCountSketch(rng.Split(), 4, 64)
+	ex := NewExact()
+	zipf := xrand.NewZipf(rng, 1.2, 4096)
+	for i := 0; i < 20000; i++ {
+		item := int64(zipf.Next())
+		mg.Process(item)
+		ss.Process(item)
+		cm.Process(item)
+		cs.Process(item)
+		ex.Process(item, int64(i))
+	}
+	if w := mg.SpaceWords(); w <= 0 || w > 2*k {
+		t.Fatalf("MisraGries space %d, want in (0, %d]", w, 2*k)
+	}
+	if w := ss.SpaceWords(); w <= 0 || w > 5*k {
+		t.Fatalf("SpaceSaving space %d, want in (0, %d]", w, 5*k)
+	}
+	// Sketches are input-independent: depth*width plus hash state.
+	if w := cm.SpaceWords(); w < 4*64 {
+		t.Fatalf("CountMin space %d, want >= %d", w, 4*64)
+	}
+	if w := cs.SpaceWords(); w < 4*64 {
+		t.Fatalf("CountSketch space %d, want >= %d", w, 4*64)
+	}
+	// Exact stores everything: far bigger than the summaries.
+	if ex.SpaceWords() < 10*mg.SpaceWords() {
+		t.Fatalf("Exact space %d not dominating MG's %d", ex.SpaceWords(), mg.SpaceWords())
+	}
+	if ex.Total() != 20000 {
+		t.Fatalf("Exact.Total = %d, want 20000", ex.Total())
+	}
+}
+
+func TestTwoPassSpaceWords(t *testing.T) {
+	ups := []stream.Update{stream.Ins(1, 10), stream.Ins(1, 11), stream.Ins(2, 12)}
+	tp := NewTwoPass(2, 2, 4)
+	tp.Pass1(ups)
+	tp.Pass2(ups)
+	if tp.SpaceWords() <= 0 {
+		t.Fatal("TwoPass SpaceWords not positive")
+	}
+	item, wits, err := tp.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item != 1 || len(wits) < 2 {
+		t.Fatalf("TwoPass found item %d with %d witnesses", item, len(wits))
+	}
+}

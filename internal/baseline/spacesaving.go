@@ -1,0 +1,119 @@
+package baseline
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// SpaceSaving is the stream-summary algorithm of Metwally, Agrawal and El
+// Abbadi (ICDT 2005): k counters; an unmonitored item replaces the minimum
+// counter, inheriting its count plus one.  Every item's estimate
+// overcounts by at most its recorded error, and every item with frequency
+// > total/k is guaranteed to be monitored.
+type SpaceSaving struct {
+	k     int
+	total int64
+	h     ssHeap
+}
+
+type ssEntry struct {
+	item  int64
+	count int64
+	err   int64 // overestimate bound inherited at takeover
+}
+
+// ssHeap is a min-heap on count that keeps a position index up to date
+// through Swap, so updates are O(log k).
+type ssHeap struct {
+	entries []ssEntry
+	pos     map[int64]int // item -> index in entries
+}
+
+func (h *ssHeap) Len() int           { return len(h.entries) }
+func (h *ssHeap) Less(i, j int) bool { return h.entries[i].count < h.entries[j].count }
+func (h *ssHeap) Swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.pos[h.entries[i].item] = i
+	h.pos[h.entries[j].item] = j
+}
+func (h *ssHeap) Push(x interface{}) {
+	e := x.(ssEntry)
+	h.pos[e.item] = len(h.entries)
+	h.entries = append(h.entries, e)
+}
+func (h *ssHeap) Pop() interface{} {
+	n := len(h.entries)
+	e := h.entries[n-1]
+	delete(h.pos, e.item)
+	h.entries = h.entries[:n-1]
+	return e
+}
+
+// NewSpaceSaving returns a summary with k counters (k >= 1).
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k < 1 {
+		panic("baseline: NewSpaceSaving with k < 1")
+	}
+	return &SpaceSaving{k: k, h: ssHeap{pos: make(map[int64]int, k)}}
+}
+
+// Process consumes one stream item.
+func (ss *SpaceSaving) Process(item int64) {
+	ss.total++
+	if i, ok := ss.h.pos[item]; ok {
+		ss.h.entries[i].count++
+		heap.Fix(&ss.h, i)
+		return
+	}
+	if len(ss.h.entries) < ss.k {
+		heap.Push(&ss.h, ssEntry{item: item, count: 1})
+		return
+	}
+	// Replace the minimum counter.
+	minE := ss.h.entries[0]
+	delete(ss.h.pos, minE.item)
+	ss.h.entries[0] = ssEntry{item: item, count: minE.count + 1, err: minE.count}
+	ss.h.pos[item] = 0
+	heap.Fix(&ss.h, 0)
+}
+
+// Estimate returns the (over-)estimate of item's frequency, 0 if
+// unmonitored.
+func (ss *SpaceSaving) Estimate(item int64) int64 {
+	if i, ok := ss.h.pos[item]; ok {
+		return ss.h.entries[i].count
+	}
+	return 0
+}
+
+// GuaranteedCount returns a lower bound on item's true frequency
+// (estimate minus inherited error).
+func (ss *SpaceSaving) GuaranteedCount(item int64) int64 {
+	if i, ok := ss.h.pos[item]; ok {
+		return ss.h.entries[i].count - ss.h.entries[i].err
+	}
+	return 0
+}
+
+// Candidates returns monitored items by decreasing estimate.
+func (ss *SpaceSaving) Candidates() []int64 {
+	entries := make([]ssEntry, len(ss.h.entries))
+	copy(entries, ss.h.entries)
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].count != entries[j].count {
+			return entries[i].count > entries[j].count
+		}
+		return entries[i].item < entries[j].item
+	})
+	out := make([]int64, len(entries))
+	for i, e := range entries {
+		out[i] = e.item
+	}
+	return out
+}
+
+// Total returns the stream length consumed so far.
+func (ss *SpaceSaving) Total() int64 { return ss.total }
+
+// SpaceWords counts three words per counter plus the index map.
+func (ss *SpaceSaving) SpaceWords() int { return 3*len(ss.h.entries) + 2*len(ss.h.pos) }

@@ -1,0 +1,129 @@
+package baseline
+
+import (
+	"container/heap"
+	"sort"
+
+	"feww/internal/xrand"
+)
+
+// TopK tracks the (approximately) k most frequent items of a turnstile
+// item stream using a CountSketch for frequency estimates and a min-heap
+// of candidates — the classical sketch+heap heavy-hitters construction
+// [15].  Unlike Misra-Gries or SpaceSaving it survives deletions, but like
+// every classical FE structure it reports items only, no witnesses — the
+// contrast experiment E3 quantifies.
+type TopK struct {
+	k      int
+	sketch *CountSketch
+	h      topkHeap
+	pos    map[int64]int // item -> heap index
+}
+
+// NewTopK returns a tracker for the k most frequent items, backed by a
+// CountSketch of the given dimensions.
+func NewTopK(rng *xrand.RNG, k, depth, width int) *TopK {
+	if k < 1 {
+		panic("baseline: NewTopK with k < 1")
+	}
+	return &TopK{
+		k:      k,
+		sketch: NewCountSketch(rng, depth, width),
+		pos:    make(map[int64]int, k),
+	}
+}
+
+// Update processes a signed occurrence of item.
+func (t *TopK) Update(item int64, delta int64) {
+	t.sketch.Update(item, delta)
+	est := t.sketch.Estimate(item)
+
+	if i, ok := t.pos[item]; ok {
+		t.h.entries[i].est = est
+		heap.Fix(&t.h, i)
+		if est <= 0 { // deleted below zero: drop from candidates
+			heap.Remove(&t.h, t.pos[item])
+			delete(t.pos, item)
+		}
+		return
+	}
+	if est <= 0 {
+		return
+	}
+	if t.h.Len() < t.k {
+		heap.Push(&t.h, topkEntry{item: item, est: est})
+		t.pos[item] = t.h.Len() - 1
+		t.fixPositions()
+		return
+	}
+	if est > t.h.entries[0].est {
+		evicted := t.h.entries[0].item
+		t.h.entries[0] = topkEntry{item: item, est: est}
+		delete(t.pos, evicted)
+		t.pos[item] = 0
+		heap.Fix(&t.h, 0)
+		t.fixPositions()
+	}
+}
+
+// Process is shorthand for a single insertion.
+func (t *TopK) Process(item int64) { t.Update(item, 1) }
+
+// fixPositions rebuilds the item -> index map after heap movement.
+func (t *TopK) fixPositions() {
+	for i, e := range t.h.entries {
+		t.pos[e.item] = i
+	}
+}
+
+// Item is one tracked candidate with its estimated frequency.
+type Item struct {
+	ID  int64
+	Est int64
+}
+
+// Top returns the tracked candidates, most frequent first.
+func (t *TopK) Top() []Item {
+	out := make([]Item, 0, t.h.Len())
+	for _, e := range t.h.entries {
+		out = append(out, Item{ID: e.item, Est: t.sketch.Estimate(e.item)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Est != out[j].Est {
+			return out[i].Est > out[j].Est
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Estimate returns the sketch's frequency estimate for item.
+func (t *TopK) Estimate(item int64) int64 { return t.sketch.Estimate(item) }
+
+// SpaceWords reports sketch plus heap state.
+func (t *TopK) SpaceWords() int {
+	return t.sketch.SpaceWords() + 2*t.h.Len() + 2*len(t.pos)
+}
+
+type topkEntry struct {
+	item int64
+	est  int64
+}
+
+// topkHeap is a min-heap on estimated frequency, so the root is the
+// eviction candidate.
+type topkHeap struct {
+	entries []topkEntry
+}
+
+func (h *topkHeap) Len() int           { return len(h.entries) }
+func (h *topkHeap) Less(i, j int) bool { return h.entries[i].est < h.entries[j].est }
+func (h *topkHeap) Swap(i, j int)      { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *topkHeap) Push(x interface{}) { h.entries = append(h.entries, x.(topkEntry)) }
+func (h *topkHeap) Pop() interface{} {
+	old := h.entries
+	n := len(old)
+	x := old[n-1]
+	h.entries = old[:n-1]
+	return x
+}

@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"testing"
+
+	"feww/internal/xrand"
+)
+
+func TestTopKFindsHeavyItems(t *testing.T) {
+	rng := xrand.New(1)
+	tk := NewTopK(rng.Split(), 5, 5, 512)
+	// Items 0..4 appear 100+10*i times; 1000 background items once each.
+	for i := int64(0); i < 5; i++ {
+		for c := int64(0); c < 100+10*i; c++ {
+			tk.Process(i)
+		}
+	}
+	for i := int64(100); i < 1100; i++ {
+		tk.Process(i)
+	}
+	top := tk.Top()
+	if len(top) != 5 {
+		t.Fatalf("got %d candidates, want 5", len(top))
+	}
+	want := map[int64]bool{0: true, 1: true, 2: true, 3: true, 4: true}
+	for _, it := range top {
+		if !want[it.ID] {
+			t.Fatalf("background item %d in top-5: %v", it.ID, top)
+		}
+	}
+	// Most frequent first: item 4 (140 occurrences) leads.
+	if top[0].ID != 4 {
+		t.Fatalf("top item = %d, want 4 (order: %v)", top[0].ID, top)
+	}
+}
+
+func TestTopKSurvivesDeletions(t *testing.T) {
+	rng := xrand.New(2)
+	tk := NewTopK(rng.Split(), 3, 5, 256)
+	// Item 7 inserted 50 times then fully deleted; item 9 stays at 30.
+	for i := 0; i < 50; i++ {
+		tk.Update(7, 1)
+	}
+	for i := 0; i < 30; i++ {
+		tk.Update(9, 1)
+	}
+	for i := 0; i < 50; i++ {
+		tk.Update(7, -1)
+	}
+	for _, it := range tk.Top() {
+		if it.ID == 7 && it.Est > 5 {
+			t.Fatalf("fully-deleted item 7 still ranked with est %d", it.Est)
+		}
+	}
+	if est := tk.Estimate(9); est < 25 || est > 35 {
+		t.Fatalf("Estimate(9) = %d, want ~30", est)
+	}
+}
+
+func TestTopKHeapConsistency(t *testing.T) {
+	rng := xrand.New(3)
+	tk := NewTopK(rng.Split(), 4, 4, 128)
+	zipf := xrand.NewZipf(rng, 1.3, 500)
+	for i := 0; i < 5000; i++ {
+		tk.Process(int64(zipf.Next()))
+	}
+	// pos map and heap must agree.
+	for item, idx := range tk.pos {
+		if idx < 0 || idx >= tk.h.Len() || tk.h.entries[idx].item != item {
+			t.Fatalf("pos[%d] = %d inconsistent with heap %v", item, idx, tk.h.entries)
+		}
+	}
+	if tk.h.Len() > 4 {
+		t.Fatalf("heap grew past k: %d", tk.h.Len())
+	}
+	if tk.SpaceWords() <= 0 {
+		t.Fatal("SpaceWords not positive")
+	}
+}
+
+func TestTopKPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTopK(xrand.New(1), 0, 4, 128)
+}
+
+func BenchmarkTopKProcess(b *testing.B) {
+	rng := xrand.New(1)
+	tk := NewTopK(rng.Split(), 100, 5, 1024)
+	zipf := xrand.NewZipf(rng, 1.2, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.Process(int64(zipf.Next()))
+	}
+}

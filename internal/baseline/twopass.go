@@ -1,0 +1,75 @@
+package baseline
+
+import (
+	"errors"
+
+	"feww/internal/stream"
+)
+
+// ErrNoCandidate is returned by TwoPass when the first pass surfaces no
+// candidate of the requested frequency.
+var ErrNoCandidate = errors.New("baseline: no frequent candidate found in pass 1")
+
+// TwoPass is the witness-reporting scheme that becomes possible when the
+// stream can be read twice: pass 1 runs Misra-Gries to find candidate
+// frequent items; pass 2 replays the stream collecting witnesses only for
+// the candidates.  The paper's setting is strictly one-pass, so this
+// baseline marks what the single-pass lower bounds rule out rather than a
+// competitor — its pass-2 space is the same Theta(d/alpha) witness store,
+// but it cheats by seeing the input twice.
+type TwoPass struct {
+	d       int64
+	target  int64
+	mg      *MisraGries
+	collect map[int64][]int64
+}
+
+// NewTwoPass prepares a two-pass run for threshold d collecting target
+// witnesses per candidate, with k Misra-Gries counters for pass 1.
+func NewTwoPass(d, target int64, k int) *TwoPass {
+	return &TwoPass{d: d, target: target, mg: NewMisraGries(k)}
+}
+
+// Pass1 consumes the stream once, building candidates.
+func (tp *TwoPass) Pass1(ups []stream.Update) {
+	for _, u := range ups {
+		tp.mg.Process(u.A)
+	}
+}
+
+// Pass2 replays the stream, collecting up to target witnesses for every
+// pass-1 candidate whose Misra-Gries estimate is consistent with
+// frequency >= d.
+func (tp *TwoPass) Pass2(ups []stream.Update) {
+	tp.collect = make(map[int64][]int64)
+	bound := tp.mg.ErrorBound()
+	for _, c := range tp.mg.Candidates() {
+		if tp.mg.Estimate(c)+bound >= tp.d {
+			tp.collect[c] = make([]int64, 0, tp.target)
+		}
+	}
+	for _, u := range ups {
+		if w, ok := tp.collect[u.A]; ok && int64(len(w)) < tp.target {
+			tp.collect[u.A] = append(w, u.B)
+		}
+	}
+}
+
+// Result returns any candidate that accumulated target witnesses.
+func (tp *TwoPass) Result() (item int64, witnesses []int64, err error) {
+	for it, w := range tp.collect {
+		if int64(len(w)) >= tp.target {
+			return it, w, nil
+		}
+	}
+	return -1, nil, ErrNoCandidate
+}
+
+// SpaceWords counts the pass-1 summary plus the pass-2 witness store.
+func (tp *TwoPass) SpaceWords() int {
+	words := tp.mg.SpaceWords()
+	for _, w := range tp.collect {
+		words += 1 + len(w)
+	}
+	return words
+}

@@ -1,0 +1,232 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+
+	"feww/internal/core"
+	"feww/internal/xrand"
+)
+
+// AugmentedMatrixRowIndex is an instance of the two-party
+// Augmented-Matrix-Row-Index(n, m, k) problem (Problem 5): Alice holds a
+// uniform binary n x m matrix X; Bob holds a uniform row index J and, for
+// every other row i, a uniform set of m-k positions of row i together with
+// X's values there.  Bob must output the entire row X_J.
+type AugmentedMatrixRowIndex struct {
+	N, M, K int
+	X       [][]byte // the matrix, X[i][j] in {0, 1}
+	J       int      // Bob's row index
+	Known   [][]int  // Known[i] = sorted positions of row i Bob knows; nil for i = J
+}
+
+// NewAMRI generates a uniform instance.
+func NewAMRI(rng *xrand.RNG, n, m, k int) (*AugmentedMatrixRowIndex, error) {
+	if n < 2 || m < 1 || k < 0 || k > m {
+		return nil, fmt.Errorf("comm: amri: bad parameters n=%d m=%d k=%d", n, m, k)
+	}
+	inst := &AugmentedMatrixRowIndex{N: n, M: m, K: k, J: rng.Intn(n)}
+	inst.X = make([][]byte, n)
+	inst.Known = make([][]int, n)
+	for i := 0; i < n; i++ {
+		inst.X[i] = make([]byte, m)
+		for j := range inst.X[i] {
+			inst.X[i][j] = byte(rng.Uint64() & 1)
+		}
+		if i != inst.J {
+			inst.Known[i] = rng.Subset(m, m-k)
+		}
+	}
+	return inst, nil
+}
+
+// Figure3Instance constructs the exact Augmented-Matrix-Row-Index(4, 6, 2)
+// instance of Figure 3: Bob must output row 3 (0-based row 2) and knows 4
+// random positions in every other row.
+func Figure3Instance() *AugmentedMatrixRowIndex {
+	parseRow := func(s string) []byte {
+		out := make([]byte, len(s))
+		for i := range s {
+			out[i] = s[i] - '0'
+		}
+		return out
+	}
+	return &AugmentedMatrixRowIndex{
+		N: 4, M: 6, K: 2,
+		X: [][]byte{
+			parseRow("011100"),
+			parseRow("110010"),
+			parseRow("000010"),
+			parseRow("101010"),
+		},
+		J: 2,
+		Known: [][]int{
+			// Bob's visible entries in Figure 3: rows 1, 2 and 4 (0-based
+			// 0, 1, 3) each reveal four positions.
+			{0, 1, 2, 4},
+			{0, 1, 3, 5},
+			nil,
+			{1, 2, 3, 4},
+		},
+	}
+}
+
+// AMRIResult is the outcome of the Lemma 6.3 protocol simulation.
+type AMRIResult struct {
+	Row       []byte // Bob's reconstruction of X_J
+	Correct   bool
+	OnesFound int // distinct 1-positions learned from the direct runs
+	ZerosFnd  int // distinct 0-positions learned from the inverted runs
+	Stats     ProtocolStats
+}
+
+// SolveAMRI runs the Lemma 6.3 protocol for Augmented-Matrix-Row-Index
+// (n, 2d, d/alpha - 1) instances using an insertion-deletion FEwW(n, d)
+// algorithm with approximation alpha:
+//
+// For each of reps = ceil(c * alpha * ln n) repetitions, Alice and Bob use
+// public randomness to permute the columns of every row independently;
+// Alice streams an edge for every permuted 1 of X, then Bob deletes the
+// edges at his known 1-positions.  After deletions, every row except J has
+// at most k = d/alpha - 1 live edges, so any reported neighbourhood is
+// rooted at J, and each repetition reveals ceil(d/alpha) uniformly-spread
+// 1-positions of row J.  A simultaneous inverted run reveals 0-positions.
+// Decision rule (paper, end of Lemma 6.3): if the direct runs surfaced at
+// least d distinct 1s, row J is 1 exactly at those positions; otherwise the
+// inverted runs w.h.p. surfaced every 0, and row J is 0 exactly there.
+//
+// idScale scales the insertion-deletion algorithm's sampler counts (see
+// core.InsertDeleteConfig.ScaleFactor); repScale scales the repetition
+// count c.
+func SolveAMRI(inst *AugmentedMatrixRowIndex, alpha int, seed uint64, idScale, repScale float64) (*AMRIResult, error) {
+	if inst.M%2 != 0 {
+		return nil, fmt.Errorf("comm: amri: m = %d must be 2d", inst.M)
+	}
+	d := int64(inst.M / 2)
+	wantK := int(d)/alpha - 1
+	if inst.K != wantK {
+		return nil, fmt.Errorf("comm: amri: k = %d, want d/alpha - 1 = %d", inst.K, wantK)
+	}
+	if repScale <= 0 {
+		repScale = 1
+	}
+	reps := int(math.Ceil(2 * repScale * float64(alpha) * math.Log(float64(inst.N)+2)))
+	if reps < 1 {
+		reps = 1
+	}
+	rng := xrand.New(seed)
+
+	res := &AMRIResult{Stats: ProtocolStats{Parties: 2}}
+	ones := make(map[int]bool)
+	zeros := make(map[int]bool)
+
+	for rep := 0; rep < reps; rep++ {
+		// Public randomness: a fresh permutation per row, shared by both
+		// runs of this repetition.
+		perms := make([][]int, inst.N)
+		for i := range perms {
+			perms[i] = rng.Perm(inst.M)
+		}
+		for _, inverted := range []bool{false, true} {
+			found, words, edges, err := amriRound(inst, alpha, d, perms, inverted, rng.Uint64(), idScale)
+			if err != nil {
+				return nil, err
+			}
+			res.Stats.TotalEdges += edges
+			if words > res.Stats.MaxMsgWords {
+				res.Stats.MaxMsgWords = words
+			}
+			for pos := range found {
+				if inverted {
+					zeros[pos] = true
+				} else {
+					ones[pos] = true
+				}
+			}
+		}
+	}
+
+	res.OnesFound, res.ZerosFnd = len(ones), len(zeros)
+	res.Row = make([]byte, inst.M)
+	if len(ones) >= int(d) {
+		for pos := range ones {
+			res.Row[pos] = 1
+		}
+	} else {
+		for j := range res.Row {
+			res.Row[j] = 1
+		}
+		for pos := range zeros {
+			res.Row[pos] = 0
+		}
+	}
+	res.Correct = true
+	for j := range res.Row {
+		if res.Row[j] != inst.X[inst.J][j] {
+			res.Correct = false
+			break
+		}
+	}
+	res.Stats.Correct = res.Correct
+	res.Stats.OutputDetail = fmt.Sprintf("ones=%d zeros=%d reps=%d", res.OnesFound, res.ZerosFnd, reps)
+	return res, nil
+}
+
+// amriRound executes one (direct or bit-inverted) repetition: Alice's
+// insertions, Bob's deletions, and the decode of the resulting
+// neighbourhood back through the row-J permutation.  It returns the set of
+// row-J positions learned (positions where the matrix bit equals 1 in the
+// direct run, 0 in the inverted run).
+func amriRound(inst *AugmentedMatrixRowIndex, alpha int, d int64, perms [][]int, inverted bool, seed uint64, idScale float64) (map[int]bool, int, int, error) {
+	bit := func(i, j int) byte {
+		b := inst.X[i][j]
+		if inverted {
+			return 1 - b
+		}
+		return b
+	}
+	algo, err := core.NewInsertDelete(core.InsertDeleteConfig{
+		N:           int64(inst.N),
+		M:           int64(inst.M),
+		D:           d,
+		Alpha:       alpha,
+		Seed:        seed,
+		ScaleFactor: idScale,
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	edges := 0
+	// Alice: insert an edge (i, perm_i(j)) for every (permuted) 1.
+	for i := 0; i < inst.N; i++ {
+		for j := 0; j < inst.M; j++ {
+			if bit(i, j) == 1 {
+				algo.Update(int64(i), int64(perms[i][j]), +1)
+				edges++
+			}
+		}
+	}
+	aliceWords := algo.SpaceWords() // the message Alice hands to Bob
+	// Bob: delete the edges at his known 1-positions (of the possibly
+	// inverted matrix).
+	for i := 0; i < inst.N; i++ {
+		for _, j := range inst.Known[i] {
+			if bit(i, j) == 1 {
+				algo.Update(int64(i), int64(perms[i][j]), -1)
+				edges++
+			}
+		}
+	}
+	found := make(map[int]bool)
+	nb, resErr := algo.Result()
+	if resErr == nil && nb.A == int64(inst.J) {
+		inv := make([]int, inst.M)
+		for j, pj := range perms[inst.J] {
+			inv[pj] = j
+		}
+		for _, col := range nb.Witnesses {
+			found[inv[col]] = true
+		}
+	}
+	return found, aliceWords, edges, nil
+}

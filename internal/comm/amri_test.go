@@ -1,0 +1,160 @@
+package comm
+
+import (
+	"testing"
+
+	"feww/internal/xrand"
+)
+
+func TestFigure3Instance(t *testing.T) {
+	inst := Figure3Instance()
+	if inst.N != 4 || inst.M != 6 || inst.K != 2 {
+		t.Fatalf("dimensions = (%d, %d, %d)", inst.N, inst.M, inst.K)
+	}
+	if inst.J != 2 {
+		t.Fatalf("J = %d, want row 3 (0-based 2)", inst.J)
+	}
+	if inst.Known[inst.J] != nil {
+		t.Fatal("Bob knows positions in his own row")
+	}
+	for i, known := range inst.Known {
+		if i == inst.J {
+			continue
+		}
+		if len(known) != inst.M-inst.K {
+			t.Fatalf("row %d: Bob knows %d positions, want %d", i, len(known), inst.M-inst.K)
+		}
+	}
+	// Row 3 of the figure (0-based row 2) is 000010.
+	want := []byte{0, 0, 0, 0, 1, 0}
+	for j, b := range want {
+		if inst.X[2][j] != b {
+			t.Fatalf("X[2] = %v, want %v", inst.X[2], want)
+		}
+	}
+}
+
+func TestNewAMRIShape(t *testing.T) {
+	rng := xrand.New(1)
+	inst, err := NewAMRI(rng, 10, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.J < 0 || inst.J >= 10 {
+		t.Fatalf("J = %d", inst.J)
+	}
+	for i := 0; i < 10; i++ {
+		if i == inst.J {
+			if inst.Known[i] != nil {
+				t.Fatal("row J has known positions")
+			}
+			continue
+		}
+		if len(inst.Known[i]) != 5 {
+			t.Fatalf("row %d: %d known positions, want 5", i, len(inst.Known[i]))
+		}
+		for _, pos := range inst.Known[i] {
+			if pos < 0 || pos >= 8 {
+				t.Fatalf("position %d out of range", pos)
+			}
+		}
+	}
+}
+
+func TestSolveAMRI(t *testing.T) {
+	// AMRI(n, 2d, d/alpha - 1) with n = 12, d = 8, alpha = 2 => m = 16,
+	// k = 3.  The Lemma 6.3 protocol must reconstruct row J exactly.
+	rng := xrand.New(2)
+	const trials = 4
+	wrong := 0
+	for trial := 0; trial < trials; trial++ {
+		inst, err := NewAMRI(rng, 12, 16, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SolveAMRI(inst, 2, 500+uint64(trial), 0.05, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Correct {
+			wrong++
+			t.Logf("trial %d: got  %v", trial, res.Row)
+			t.Logf("trial %d: want %v (ones=%d zeros=%d)", trial, inst.X[inst.J], res.OnesFound, res.ZerosFnd)
+		}
+		if res.Stats.MaxMsgWords <= 0 {
+			t.Fatal("no message size recorded")
+		}
+	}
+	if wrong > 1 {
+		t.Fatalf("row reconstruction failed %d/%d trials", wrong, trials)
+	}
+}
+
+func TestSolveAMRIValidation(t *testing.T) {
+	rng := xrand.New(3)
+	inst, err := NewAMRI(rng, 8, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m = 10 => d = 5; alpha = 2 => want k = d/alpha - 1 = 1, not 2.
+	if _, err := SolveAMRI(inst, 2, 1, 0.05, 1); err == nil {
+		t.Fatal("mismatched k accepted")
+	}
+	odd, err := NewAMRI(rng, 8, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveAMRI(odd, 2, 1, 0.05, 1); err == nil {
+		t.Fatal("odd m accepted")
+	}
+}
+
+func TestBaranyaiSmallCases(t *testing.T) {
+	cases := [][2]int{{4, 2}, {6, 2}, {8, 2}, {6, 3}, {4, 4}, {5, 1}, {8, 4}, {6, 1}}
+	for _, c := range cases {
+		n, k := c[0], c[1]
+		classes, err := Factorise(n, k)
+		if err != nil {
+			t.Fatalf("Factorise(%d, %d): %v", n, k, err)
+		}
+		if err := VerifyFactorisation(n, k, classes); err != nil {
+			t.Fatalf("Factorise(%d, %d) invalid: %v", n, k, err)
+		}
+	}
+}
+
+func TestBaranyaiNineChooseThree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("backtracking case skipped in -short mode")
+	}
+	classes, err := Factorise(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFactorisation(9, 3, classes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaranyaiRejectsNonDivisor(t *testing.T) {
+	if _, err := Factorise(7, 2); err == nil {
+		t.Fatal("k=2 does not divide n=7 but was accepted")
+	}
+	if _, err := Factorise(0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := Factorise(4, 5); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := map[[2]int]int{
+		{4, 2}: 6, {6, 3}: 20, {8, 4}: 70, {9, 3}: 84, {5, 0}: 1, {5, 5}: 1,
+	}
+	for in, want := range cases {
+		if got := Binomial(in[0], in[1]); got != want {
+			t.Errorf("Binomial(%d, %d) = %d, want %d", in[0], in[1], got, want)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package comm
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"feww/internal/maxflow"
+)
+
+// Baranyai's theorem (Theorem 4.4 in the paper, [7]): for k | n, the set of
+// all k-subsets of [n] can be partitioned into C(n,k)*k/n classes, each of
+// which is itself a partition of [n] into n/k blocks (a "1-factor" of the
+// complete k-uniform hypergraph).  The paper uses this purely inside the
+// Bit-Vector-Learning information bound, to split the conditional mutual
+// information across factors; here it is made executable so the gadget can
+// be inspected and tested.
+//
+// Factorise uses the round-robin circle method for k = 2 (the classic
+// 1-factorisation of K_n) and, for the general case, the constructive form
+// of Baranyai's own proof: elements of [n] are added one at a time, and an
+// integral maximum flow rounds the fractional assignment of the new element
+// to the partial blocks of each class.  The flow step is guaranteed to
+// saturate by the theorem itself, so the construction never backtracks.
+
+// Binomial returns C(n, k).  It panics if the value overflows int64.
+func Binomial(n, k int) int {
+	v := new(big.Int).Binomial(int64(n), int64(k))
+	if !v.IsInt64() {
+		panic("comm: Binomial overflow")
+	}
+	return int(v.Int64())
+}
+
+// Factorise returns a Baranyai 1-factorisation of the complete k-uniform
+// hypergraph on [0, n): a slice of C(n,k)*k/n classes, each class a slice
+// of n/k pairwise-disjoint k-subsets covering [0, n).  Requires k | n.
+func Factorise(n, k int) ([][][]int, error) {
+	if n < 1 || k < 1 || k > n {
+		return nil, fmt.Errorf("comm: baranyai: bad parameters n=%d k=%d", n, k)
+	}
+	if n%k != 0 {
+		return nil, fmt.Errorf("comm: baranyai: k=%d does not divide n=%d", k, n)
+	}
+	switch {
+	case k == n:
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return [][][]int{{all}}, nil
+	case k == 1:
+		class := make([][]int, n)
+		for i := range class {
+			class[i] = []int{i}
+		}
+		return [][][]int{class}, nil
+	case k == 2:
+		return roundRobin(n), nil
+	default:
+		return flowFactorise(n, k)
+	}
+}
+
+// roundRobin is the circle method: fix vertex n-1 and rotate the rest,
+// producing the n-1 perfect matchings of K_n (n even).
+func roundRobin(n int) [][][]int {
+	rounds := make([][][]int, 0, n-1)
+	ring := make([]int, n-1)
+	for i := range ring {
+		ring[i] = i
+	}
+	for r := 0; r < n-1; r++ {
+		match := [][]int{{ring[0], n - 1}}
+		for i := 1; i <= (n-2)/2; i++ {
+			a, b := ring[i], ring[len(ring)-i]
+			if a > b {
+				a, b = b, a
+			}
+			match = append(match, []int{a, b})
+		}
+		rounds = append(rounds, match)
+		last := ring[len(ring)-1]
+		copy(ring[1:], ring[:len(ring)-1])
+		ring[0] = last
+	}
+	return rounds
+}
+
+// flowFactorise is the constructive proof of Baranyai's theorem.
+//
+// Invariant after processing elements 0..i-1: each of the M = C(n,k)*k/n
+// classes holds n/k "partial blocks" (disjoint subsets of the processed
+// prefix, some possibly empty) that partition {0, ..., i-1}, and every
+// nonempty subset A of the prefix with |A| <= k occurs as a partial block
+// in exactly C(n-i, k-|A|) classes — the number of k-subsets of [n] whose
+// intersection with the prefix is exactly A.
+//
+// To add element i, each class must place i into exactly one of its blocks
+// of size < k.  A bipartite flow network — classes on the left (supply 1),
+// distinct block contents A on the right (demand C(n-i-1, k-|A|-1), the
+// required multiplicity of A ∪ {i} at the next stage) — has a fractional
+// feasible solution (send (k-|A|)/(n-i) along each class-block pair, per
+// the proof), so an integral one exists and the Dinic solve saturates.
+func flowFactorise(n, k int) ([][][]int, error) {
+	numClasses := Binomial(n, k) * k / n
+	blocksPerClass := n / k
+
+	// classes[c] holds blocksPerClass partial blocks.
+	classes := make([][][]int, numClasses)
+	for c := range classes {
+		classes[c] = make([][]int, blocksPerClass)
+		for b := range classes[c] {
+			classes[c][b] = []int{}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		// Collect the distinct extendable block contents across all classes.
+		type rightNode struct {
+			node   int
+			demand int64
+		}
+		right := make(map[string]*rightNode)
+		keys := make([]string, 0)
+
+		g := maxflow.New()
+		s := g.AddNode()
+		classNode := g.AddNodes(numClasses)
+
+		// Per class, one arc to each distinct extendable content.
+		type classArc struct {
+			class int
+			key   string
+			arcID int
+		}
+		var classArcs []classArc
+		for c := range classes {
+			seen := make(map[string]bool)
+			for _, blk := range classes[c] {
+				if len(blk) >= k {
+					continue
+				}
+				key := blockKey(blk)
+				if seen[key] {
+					continue // identical empty slots: capacity 1 suffices
+				}
+				seen[key] = true
+				rn, ok := right[key]
+				if !ok {
+					rn = &rightNode{
+						node:   g.AddNode(),
+						demand: int64(Binomial(n-i-1, k-len(blk)-1)),
+					}
+					right[key] = rn
+					keys = append(keys, key)
+				}
+				id := g.AddArc(classNode+c, rn.node, 1)
+				classArcs = append(classArcs, classArc{class: c, key: key, arcID: id})
+			}
+		}
+		t := g.AddNode()
+		for c := 0; c < numClasses; c++ {
+			g.AddArc(s, classNode+c, 1)
+		}
+		for _, key := range keys {
+			rn := right[key]
+			g.AddArc(rn.node, t, rn.demand)
+		}
+
+		if got := g.Solve(s, t); got != int64(numClasses) {
+			// Cannot happen when the invariant holds; guard against bugs.
+			return nil, fmt.Errorf("comm: baranyai: flow %d < %d classes at element %d (n=%d k=%d)", got, numClasses, i, n, k)
+		}
+
+		// Apply the integral assignment: element i joins the chosen block.
+		for _, ca := range classArcs {
+			if g.Flow(ca.arcID) != 1 {
+				continue
+			}
+			placed := false
+			for b, blk := range classes[ca.class] {
+				if len(blk) < k && blockKey(blk) == ca.key {
+					classes[ca.class][b] = append(blk, i)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return nil, fmt.Errorf("comm: baranyai: internal error placing element %d", i)
+			}
+		}
+	}
+	return classes, nil
+}
+
+// blockKey canonicalises a partial block's contents (blocks are built in
+// increasing element order, so no sort is needed, but sort defensively).
+func blockKey(blk []int) string {
+	if !sort.IntsAreSorted(blk) {
+		blk = append([]int(nil), blk...)
+		sort.Ints(blk)
+	}
+	buf := make([]byte, 0, 3*len(blk))
+	for _, e := range blk {
+		buf = append(buf, byte(e), byte(e>>8), ',')
+	}
+	return string(buf)
+}
+
+func enumerateSubsets(n, k int) [][]int {
+	var out [][]int
+	cur := make([]int, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for v := start; v <= n-(k-len(cur)); v++ {
+			cur = append(cur, v)
+			rec(v + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func maskOf(s []int) uint64 {
+	var m uint64
+	for _, e := range s {
+		m |= 1 << uint(e)
+	}
+	return m
+}
+
+// VerifyFactorisation checks the Theorem 4.4 properties: the class count
+// is C(n,k)*k/n, every class is a partition of [0, n) into n/k blocks of
+// size k, and every k-subset appears exactly once overall.
+func VerifyFactorisation(n, k int, classes [][][]int) error {
+	if n%k != 0 {
+		return fmt.Errorf("k does not divide n")
+	}
+	wantClasses := Binomial(n, k) * k / n
+	if len(classes) != wantClasses {
+		return fmt.Errorf("got %d classes, want %d", len(classes), wantClasses)
+	}
+	seen := make(map[uint64]bool)
+	for ci, class := range classes {
+		if len(class) != n/k {
+			return fmt.Errorf("class %d has %d blocks, want %d", ci, len(class), n/k)
+		}
+		var cover uint64
+		for _, block := range class {
+			if len(block) != k {
+				return fmt.Errorf("class %d has a block of size %d, want %d", ci, len(block), k)
+			}
+			m := maskOf(block)
+			if cover&m != 0 {
+				return fmt.Errorf("class %d has overlapping blocks", ci)
+			}
+			cover |= m
+			if seen[m] {
+				return fmt.Errorf("block %v appears twice", block)
+			}
+			seen[m] = true
+		}
+		if cover != (uint64(1)<<uint(n))-1 {
+			return fmt.Errorf("class %d does not cover [0, %d)", ci, n)
+		}
+	}
+	if len(seen) != Binomial(n, k) {
+		return fmt.Errorf("got %d distinct blocks, want %d", len(seen), Binomial(n, k))
+	}
+	return nil
+}

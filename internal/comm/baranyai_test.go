@@ -1,0 +1,95 @@
+package comm
+
+import (
+	"testing"
+)
+
+// TestBaranyaiFlowLargerCases exercises the flow-based construction on
+// parameters far beyond what backtracking search could handle: C(12,3) =
+// 220 triples into 55 classes, C(10,5) = 252 blocks into 126 classes,
+// C(12,4) = 495 blocks into 165 classes.
+func TestBaranyaiFlowLargerCases(t *testing.T) {
+	cases := [][2]int{{12, 3}, {10, 5}, {12, 4}, {15, 3}, {12, 6}}
+	for _, c := range cases {
+		n, k := c[0], c[1]
+		classes, err := Factorise(n, k)
+		if err != nil {
+			t.Fatalf("Factorise(%d, %d): %v", n, k, err)
+		}
+		if err := VerifyFactorisation(n, k, classes); err != nil {
+			t.Fatalf("Factorise(%d, %d) invalid: %v", n, k, err)
+		}
+	}
+}
+
+// TestBaranyaiFlowMatchesRoundRobin checks that the general flow
+// construction also solves the k = 2 case the circle method handles (the
+// factorisations need not be equal, only both valid).
+func TestBaranyaiFlowMatchesRoundRobin(t *testing.T) {
+	for _, n := range []int{4, 6, 8, 10} {
+		viaFlow, err := flowFactorise(n, 2)
+		if err != nil {
+			t.Fatalf("flowFactorise(%d, 2): %v", n, err)
+		}
+		if err := VerifyFactorisation(n, 2, viaFlow); err != nil {
+			t.Fatalf("flowFactorise(%d, 2) invalid: %v", n, err)
+		}
+		viaRR := roundRobin(n)
+		if err := VerifyFactorisation(n, 2, viaRR); err != nil {
+			t.Fatalf("roundRobin(%d) invalid: %v", n, err)
+		}
+		if len(viaFlow) != len(viaRR) {
+			t.Fatalf("n=%d: flow gives %d classes, round-robin %d", n, len(viaFlow), len(viaRR))
+		}
+	}
+}
+
+// TestBaranyaiBlocksSorted checks the construction emits blocks with
+// elements in increasing order (elements are added 0..n-1), which callers
+// rely on for deterministic output.
+func TestBaranyaiBlocksSorted(t *testing.T) {
+	classes, err := Factorise(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range classes {
+		for _, blk := range class {
+			for i := 1; i < len(blk); i++ {
+				if blk[i-1] >= blk[i] {
+					t.Fatalf("block %v not strictly increasing", blk)
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerateSubsets(t *testing.T) {
+	subs := enumerateSubsets(5, 3)
+	if len(subs) != Binomial(5, 3) {
+		t.Fatalf("got %d subsets, want %d", len(subs), Binomial(5, 3))
+	}
+	seen := make(map[uint64]bool)
+	for _, s := range subs {
+		m := maskOf(s)
+		if seen[m] {
+			t.Fatalf("duplicate subset %v", s)
+		}
+		seen[m] = true
+	}
+}
+
+func BenchmarkBaranyai9x3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Factorise(9, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaranyai12x4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Factorise(12, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

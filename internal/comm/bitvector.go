@@ -1,0 +1,214 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+
+	"feww/internal/core"
+	"feww/internal/xrand"
+)
+
+// BitVectorLearning is an instance of the p-party Bit-Vector-Learning
+// problem (Problem 4): nested index sets X_1 = [n] ⊇ X_2 ⊇ ... ⊇ X_p with
+// |X_i| = n^{1-(i-1)/(p-1)}, and for every level i and index j in X_i a
+// uniform k-bit string Y_i^j.  Z_j is the concatenation of j's strings over
+// the levels containing j; party p must output an index I and at least
+// ceil(1.01k) correct bits of Z_I.
+type BitVectorLearning struct {
+	P, N, K int
+	X       [][]int    // X[i] = level-(i+1) index set, ascending
+	Y       [][][]byte // Y[i][j] = k bits of Y_{i+1}^j, nil if j not in X[i]
+}
+
+// Level returns the number of levels index j participates in (the sets are
+// nested, so participation is a prefix of levels).
+func (b *BitVectorLearning) Level(j int) int {
+	lv := 0
+	for i := 0; i < b.P; i++ {
+		if b.Y[i][j] != nil {
+			lv = i + 1
+		}
+	}
+	return lv
+}
+
+// Z returns the concatenated string Z_j.
+func (b *BitVectorLearning) Z(j int) []byte {
+	var out []byte
+	for i := 0; i < b.P; i++ {
+		out = append(out, b.Y[i][j]...)
+	}
+	return out
+}
+
+// RequiredBits returns ceil(1.01 k), the number of bits party p must emit.
+func (b *BitVectorLearning) RequiredBits() int {
+	return int(math.Ceil(1.01 * float64(b.K)))
+}
+
+// NewBitVectorLearning generates a uniform instance.  n must satisfy
+// n^{1/(p-1)} integral (the paper's simplifying divisibility condition);
+// pass n = r^(p-1) for an integer ratio r >= 2.
+func NewBitVectorLearning(rng *xrand.RNG, p, n, k int) (*BitVectorLearning, error) {
+	if p < 2 || n < 2 || k < 1 {
+		return nil, fmt.Errorf("comm: bvl: bad parameters p=%d n=%d k=%d", p, n, k)
+	}
+	r := int(math.Round(math.Pow(float64(n), 1/float64(p-1))))
+	if pow(r, p-1) != n {
+		return nil, fmt.Errorf("comm: bvl: n = %d is not a perfect (p-1)=%d power", n, p-1)
+	}
+	inst := &BitVectorLearning{P: p, N: n, K: k}
+	inst.X = make([][]int, p)
+	inst.Y = make([][][]byte, p)
+	cur := make([]int, n)
+	for j := range cur {
+		cur[j] = j
+	}
+	size := n
+	for i := 0; i < p; i++ {
+		inst.X[i] = append([]int(nil), cur...)
+		inst.Y[i] = make([][]byte, n)
+		for _, j := range cur {
+			bits := make([]byte, k)
+			for t := range bits {
+				bits[t] = byte(rng.Uint64() & 1)
+			}
+			inst.Y[i][j] = bits
+		}
+		if i == p-1 {
+			break
+		}
+		// X_{i+1} is a uniform subset of X_i of size size/r.
+		size /= r
+		pick := rng.Subset(len(cur), size)
+		next := make([]int, size)
+		for t, idx := range pick {
+			next[t] = cur[idx]
+		}
+		cur = next
+	}
+	return inst, nil
+}
+
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+// Figure1Instance constructs the exact Bit-Vector-Learning(3, 4, 5)
+// instance of Figure 1 (Alice, Bob, Charlie), using 0-based indices:
+// paper index j corresponds to slot j-1.
+func Figure1Instance() *BitVectorLearning {
+	parse := func(s string) []byte {
+		out := make([]byte, len(s))
+		for i := range s {
+			out[i] = s[i] - '0'
+		}
+		return out
+	}
+	inst := &BitVectorLearning{P: 3, N: 4, K: 5}
+	inst.X = [][]int{{0, 1, 2, 3}, {0, 3}, {3}}
+	inst.Y = [][][]byte{
+		{parse("10010"), parse("01000"), parse("01011"), parse("01111")}, // Alice
+		{parse("11011"), nil, nil, parse("01010")},                       // Bob
+		{nil, nil, nil, parse("00011")},                                  // Charlie
+	}
+	return inst
+}
+
+// PartyEdges returns party i's edge set (0-based party index) under the
+// Theorem 4.8 reduction: for each index ℓ in X_i and bit position j in
+// [0, k), the edge (ℓ, 2k*i + 2*j + Y_i^ℓ[j]).  B-vertex ids live in
+// [0, 2kp); reading the chosen B-slots of a vertex left-to-right spells its
+// bit string, exactly as Figure 2 illustrates.
+func (b *BitVectorLearning) PartyEdges(i int) [][2]int64 {
+	var edges [][2]int64
+	for _, l := range b.X[i] {
+		bits := b.Y[i][l]
+		for j := 0; j < b.K; j++ {
+			col := int64(2*b.K*i + 2*j + int(bits[j]))
+			edges = append(edges, [2]int64{int64(l), col})
+		}
+	}
+	return edges
+}
+
+// DecodeWitness maps a B-vertex id back to (level, bitPos, bitValue) —
+// the inverse of the PartyEdges encoding.
+func (b *BitVectorLearning) DecodeWitness(col int64) (level, bitPos int, bit byte) {
+	level = int(col) / (2 * b.K)
+	rem := int(col) % (2 * b.K)
+	return level, rem / 2, byte(rem % 2)
+}
+
+// BVLResult is the outcome of the Theorem 4.8 protocol simulation.
+type BVLResult struct {
+	Index        int           // the index I output by party p
+	LearnedBits  map[int]byte  // position in Z_I -> learned bit value
+	AllCorrect   bool          // every learned bit matches Z_I
+	EnoughBits   bool          // at least ceil(1.01 k) bits learned
+	Stats        ProtocolStats //
+	RunSucceeded []bool        // per-Deg-Res-run success, for diagnostics
+	_            [0]func()     // prevent unkeyed literals
+}
+
+// SolveBitVectorLearning runs the Theorem 4.8 reduction: the p parties
+// stream their reduction edges through one FEwW(n, d = k*p) algorithm with
+// alpha = p-1 (so the output has ceil(kp/(p-1)) >= 1.01k witnesses for
+// p <= 100) and party p decodes the returned neighbourhood into bits of
+// Z_I.  Every A-vertex in X_p has degree exactly k*p, satisfying the
+// promise.
+func SolveBitVectorLearning(inst *BitVectorLearning, seed uint64) (*BVLResult, error) {
+	p := inst.P
+	if p < 2 || p > 100 {
+		return nil, fmt.Errorf("comm: bvl reduction supports 2 <= p <= 100, got %d", p)
+	}
+	alpha := p - 1
+	d := int64(inst.K * p)
+	algo, err := core.NewInsertOnly(core.InsertOnlyConfig{
+		N:     int64(inst.N),
+		D:     d,
+		Alpha: alpha,
+		Seed:  seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &BVLResult{LearnedBits: make(map[int]byte)}
+	res.Stats.Parties = p
+	for i := 0; i < p; i++ {
+		for _, e := range inst.PartyEdges(i) {
+			algo.ProcessEdge(e[0], e[1])
+			res.Stats.TotalEdges++
+		}
+		if w := algo.SpaceWords(); w > res.Stats.MaxMsgWords {
+			res.Stats.MaxMsgWords = w
+		}
+		if b := algo.SnapshotSize(); b > res.Stats.MaxMsgBytes {
+			res.Stats.MaxMsgBytes = b
+		}
+	}
+	res.RunSucceeded = algo.RunSucceeded()
+	nb, resErr := algo.Result()
+	if resErr != nil {
+		return res, nil // protocol failed this time; caller counts it
+	}
+	res.Index = int(nb.A)
+	truth := inst.Z(res.Index)
+	res.AllCorrect = true
+	for _, col := range nb.Witnesses {
+		level, bitPos, bit := inst.DecodeWitness(col)
+		pos := level*inst.K + bitPos // position within Z_I (levels are nested prefixes)
+		res.LearnedBits[pos] = bit
+		if pos >= len(truth) || truth[pos] != bit {
+			res.AllCorrect = false
+		}
+	}
+	res.EnoughBits = len(res.LearnedBits) >= inst.RequiredBits()
+	res.Stats.Correct = res.AllCorrect && res.EnoughBits
+	res.Stats.OutputDetail = fmt.Sprintf("index=%d learned=%d/%d", res.Index, len(res.LearnedBits), inst.RequiredBits())
+	return res, nil
+}

@@ -1,0 +1,33 @@
+// Package comm implements the one-way communication problems that drive
+// the paper's lower bounds, together with the reductions that turn a FEwW
+// streaming algorithm into a protocol for each problem:
+//
+//   - Set-Disjointness_p (Problem 3) and the reduction of Theorem 4.1
+//     (insertion-only, the Omega(n/alpha^2) bound);
+//   - Bit-Vector-Learning(p, n, k) (Problem 4) and the reduction of
+//     Theorem 4.8 (insertion-only, the Omega(d n^{1/(p-1)} / alpha^2)
+//     bound), including the exact worked instances of Figures 1 and 2;
+//   - Augmented-Matrix-Row-Index(n, m, k) (Problem 5) and the protocol of
+//     Lemma 6.3 (insertion-deletion, the Omega~(d n / alpha^2) bound),
+//     including the exact worked instance of Figure 3;
+//   - Baranyai's theorem (Theorem 4.4), the hypergraph 1-factorisation used
+//     in the Bit-Vector-Learning information bound, as an executable
+//     construction.
+//
+// The "parties" are simulated in-process: each party runs the streaming
+// algorithm over its own edge set and hands the live memory state to the
+// next party, exactly as in the paper's reductions.  Message size is
+// measured as the algorithm's accounted space in words — the quantity the
+// lower bounds constrain.
+package comm
+
+// ProtocolStats records what a simulated protocol did, for the experiment
+// tables.
+type ProtocolStats struct {
+	Parties      int
+	MaxMsgWords  int // maximum memory-state size handed between parties, in words
+	MaxMsgBytes  int // the same message as serialised bytes (core.Snapshot), 0 if unsupported
+	TotalEdges   int // edges streamed across all parties
+	Correct      bool
+	OutputDetail string
+}

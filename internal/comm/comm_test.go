@@ -1,0 +1,215 @@
+package comm
+
+import (
+	"testing"
+
+	"feww/internal/xrand"
+)
+
+func TestSetDisjointnessGeneration(t *testing.T) {
+	rng := xrand.New(1)
+	for _, intersect := range []bool{false, true} {
+		inst, err := NewSetDisjointness(rng, 4, 200, 20, intersect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(inst.Sets) != 4 {
+			t.Fatalf("parties = %d", len(inst.Sets))
+		}
+		// Count pairwise intersections.
+		counts := make(map[int]int)
+		for _, set := range inst.Sets {
+			seen := make(map[int]bool)
+			for _, e := range set {
+				if e < 0 || e >= 200 {
+					t.Fatalf("element %d out of universe", e)
+				}
+				if seen[e] {
+					t.Fatalf("duplicate element %d within a set", e)
+				}
+				seen[e] = true
+				counts[e]++
+			}
+		}
+		inAll := 0
+		for _, c := range counts {
+			if c > 1 && c < 4 {
+				t.Fatalf("element shared by %d < p parties: promise violated", c)
+			}
+			if c == 4 {
+				inAll++
+			}
+		}
+		if intersect && inAll != 1 {
+			t.Fatalf("intersecting instance has %d common elements, want 1", inAll)
+		}
+		if !intersect && inAll != 0 {
+			t.Fatalf("disjoint instance has %d common elements", inAll)
+		}
+	}
+}
+
+func TestSolveSetDisjointness(t *testing.T) {
+	rng := xrand.New(2)
+	const trials = 10
+	for _, intersect := range []bool{false, true} {
+		wrong := 0
+		for trial := 0; trial < trials; trial++ {
+			inst, err := NewSetDisjointness(rng, 3, 150, 15, intersect)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ans, stats, err := SolveSetDisjointness(inst, 4, uint64(trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ans != intersect {
+				wrong++
+			}
+			if stats.MaxMsgWords <= 0 {
+				t.Fatal("no message size recorded")
+			}
+		}
+		if wrong > 1 {
+			t.Fatalf("intersect=%v: %d/%d wrong answers", intersect, wrong, trials)
+		}
+	}
+}
+
+func TestBVLFigure1Instance(t *testing.T) {
+	inst := Figure1Instance()
+	// The concatenated strings quoted in the Figure 1 caption.
+	want := map[int]string{
+		0: "1001011011",
+		1: "01000",
+		2: "01011",
+		3: "011110101000011",
+	}
+	for j, w := range want {
+		got := ""
+		for _, b := range inst.Z(j) {
+			got += string('0' + b)
+		}
+		if got != w {
+			t.Fatalf("Z_%d = %s, want %s", j+1, got, w)
+		}
+	}
+	if inst.RequiredBits() != 6 {
+		t.Fatalf("RequiredBits = %d; the caption requires at least 6 positions", inst.RequiredBits())
+	}
+	if lv := inst.Level(3); lv != 3 {
+		t.Fatalf("index 4 participates in %d levels, want 3", lv)
+	}
+	if lv := inst.Level(1); lv != 1 {
+		t.Fatalf("index 2 participates in %d levels, want 1", lv)
+	}
+}
+
+func TestBVLFigure2Encoding(t *testing.T) {
+	// Figure 2: reading the B_1-slots Alice connects a4 to, left-to-right,
+	// spells Y^4_1 = 01111.
+	inst := Figure1Instance()
+	edges := inst.PartyEdges(0) // Alice
+	var bits []byte
+	for _, e := range edges {
+		if e[0] == 3 { // vertex a4
+			_, pos, bit := inst.DecodeWitness(e[1])
+			for len(bits) <= pos {
+				bits = append(bits, 0)
+			}
+			bits[pos] = bit
+		}
+	}
+	got := ""
+	for _, b := range bits {
+		got += string('0' + b)
+	}
+	if got != "01111" {
+		t.Fatalf("decoded a4 bits = %s, want 01111", got)
+	}
+	// Alice's slots all live in the first 2k B-columns.
+	for _, e := range edges {
+		if e[1] < 0 || e[1] >= int64(2*inst.K) {
+			t.Fatalf("Alice edge column %d outside [0, 2k)", e[1])
+		}
+	}
+}
+
+func TestBVLGeneratedInstanceShape(t *testing.T) {
+	rng := xrand.New(3)
+	inst, err := NewBitVectorLearning(rng, 3, 25, 8) // r = 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.X[0]) != 25 || len(inst.X[1]) != 5 || len(inst.X[2]) != 1 {
+		t.Fatalf("level sizes = %d/%d/%d, want 25/5/1", len(inst.X[0]), len(inst.X[1]), len(inst.X[2]))
+	}
+	// Nesting.
+	in := func(xs []int, v int) bool {
+		for _, x := range xs {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 1; i < 3; i++ {
+		for _, v := range inst.X[i] {
+			if !in(inst.X[i-1], v) {
+				t.Fatalf("X_%d element %d not in X_%d", i+1, v, i)
+			}
+		}
+	}
+	// Z-length = k * level count.
+	deep := inst.X[2][0]
+	if got := len(inst.Z(deep)); got != 3*8 {
+		t.Fatalf("deep Z length = %d, want 24", got)
+	}
+}
+
+func TestBVLRejectsNonPower(t *testing.T) {
+	rng := xrand.New(4)
+	if _, err := NewBitVectorLearning(rng, 3, 24, 8); err == nil {
+		t.Fatal("n=24 accepted for p=3 (not a perfect square)")
+	}
+}
+
+func TestSolveBitVectorLearning(t *testing.T) {
+	rng := xrand.New(5)
+	const trials = 10
+	good := 0
+	for trial := 0; trial < trials; trial++ {
+		inst, err := NewBitVectorLearning(rng, 3, 49, 10) // r = 7
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SolveBitVectorLearning(inst, 100+uint64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AllCorrect && res.EnoughBits {
+			good++
+		} else if len(res.LearnedBits) > 0 && !res.AllCorrect {
+			t.Fatalf("trial %d: learned an incorrect bit — witnesses must be genuine", trial)
+		}
+	}
+	if good < trials-2 {
+		t.Fatalf("protocol succeeded only %d/%d times", good, trials)
+	}
+}
+
+func TestSolveBVLFigure1(t *testing.T) {
+	// The figure's instance is tiny; run the full reduction end to end.
+	inst := Figure1Instance()
+	succeeded := false
+	for seed := uint64(0); seed < 5 && !succeeded; seed++ {
+		res, err := SolveBitVectorLearning(inst, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		succeeded = res.AllCorrect && res.EnoughBits
+	}
+	if !succeeded {
+		t.Fatal("reduction failed on the Figure 1 instance across 5 seeds")
+	}
+}

@@ -1,0 +1,48 @@
+package comm
+
+import (
+	"testing"
+
+	"feww/internal/xrand"
+)
+
+// TestMessageBytesRecorded: the protocol simulations built on InsertOnly
+// report the serialised message size alongside the word count — the
+// concrete bit-string the lower bounds constrain.  Bytes must be positive
+// and at least as large as the semantic word count would suggest is
+// plausible (a word is 8 bytes, but the snapshot also carries headers and
+// RNG state, so we only check consistency bounds).
+func TestMessageBytesRecorded(t *testing.T) {
+	rng := xrand.New(1)
+	inst, err := NewSetDisjointness(rng, 3, 600, 80, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := SolveSetDisjointness(inst, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxMsgBytes <= 0 {
+		t.Fatal("MaxMsgBytes not recorded")
+	}
+	if stats.MaxMsgWords <= 0 {
+		t.Fatal("MaxMsgWords not recorded")
+	}
+	// A snapshot serialises at least the degree table the word count
+	// includes, so bytes cannot be tiny relative to words.
+	if stats.MaxMsgBytes < stats.MaxMsgWords {
+		t.Fatalf("bytes %d below words %d — snapshot incomplete?", stats.MaxMsgBytes, stats.MaxMsgWords)
+	}
+
+	bvl, err := NewBitVectorLearning(xrand.New(2), 3, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveBitVectorLearning(bvl, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MaxMsgBytes <= 0 {
+		t.Fatal("BVL MaxMsgBytes not recorded")
+	}
+}

@@ -1,0 +1,96 @@
+package comm
+
+import (
+	"fmt"
+
+	"feww/internal/core"
+	"feww/internal/xrand"
+)
+
+// SetDisjointness is an instance of the p-party one-way Set-Disjointness
+// problem (Problem 3): p subsets of a universe of size n that are either
+// pairwise disjoint or uniquely intersecting.
+type SetDisjointness struct {
+	N          int
+	Sets       [][]int // Sets[i] = party i's subset of [0, N)
+	Intersects bool    // ground truth
+}
+
+// NewSetDisjointness generates an instance with p parties over [0, n),
+// giving each party setSize elements.  If intersect, all sets share exactly
+// one common element; otherwise they are pairwise disjoint.  Requires
+// p*setSize <= n (disjoint support must fit).
+func NewSetDisjointness(rng *xrand.RNG, p, n, setSize int, intersect bool) (*SetDisjointness, error) {
+	if p < 2 {
+		return nil, fmt.Errorf("comm: setdisj: p = %d, want >= 2", p)
+	}
+	if p*setSize+1 > n {
+		return nil, fmt.Errorf("comm: setdisj: p*setSize+1 = %d exceeds n = %d", p*setSize+1, n)
+	}
+	// Draw p*setSize distinct elements to deal out, plus one spare that
+	// becomes the unique common element in the intersecting case.
+	pool := rng.Subset(n, p*setSize+1)
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	common := pool[p*setSize]
+	inst := &SetDisjointness{N: n, Intersects: intersect}
+	inst.Sets = make([][]int, p)
+	for i := 0; i < p; i++ {
+		inst.Sets[i] = append([]int(nil), pool[i*setSize:(i+1)*setSize]...)
+		if intersect {
+			inst.Sets[i][rng.Intn(setSize)] = common
+		}
+	}
+	return inst, nil
+}
+
+// SolveSetDisjointness runs the Theorem 4.1 reduction: for block size k,
+// set d = k*p, and translate party i's set S_i into the edges
+// {(u, b) : u in S_i, b in [(i-1)*k, i*k)}.  If the sets are pairwise
+// disjoint every A-vertex has degree exactly k; if they uniquely intersect
+// the common element has degree d = k*p.  An algorithm with approximation
+// alpha = p-1 (< p/1.01 for p <= 100) outputs ceil(kp/(p-1)) >= k+1
+// witnesses exactly when the sets intersect — witnesses are genuine edges,
+// so a disjoint instance can never produce more than k.
+//
+// The parties share one algorithm instance sequentially, mirroring the
+// memory-state handoff; MaxMsgWords records the largest state handed over.
+func SolveSetDisjointness(inst *SetDisjointness, k int, seed uint64) (answerIntersects bool, stats ProtocolStats, err error) {
+	p := len(inst.Sets)
+	if p > 100 {
+		return false, stats, fmt.Errorf("comm: setdisj reduction supports p <= 100, got %d", p)
+	}
+	alpha := p - 1
+	if alpha < 1 {
+		alpha = 1
+	}
+	d := int64(k * p)
+	algo, err := core.NewInsertOnly(core.InsertOnlyConfig{
+		N:     int64(inst.N),
+		D:     d,
+		Alpha: alpha,
+		Seed:  seed,
+	})
+	if err != nil {
+		return false, stats, err
+	}
+	stats.Parties = p
+	for i, set := range inst.Sets {
+		for _, u := range set {
+			for b := i * k; b < (i+1)*k; b++ {
+				algo.ProcessEdge(int64(u), int64(b))
+				stats.TotalEdges++
+			}
+		}
+		if w := algo.SpaceWords(); w > stats.MaxMsgWords {
+			stats.MaxMsgWords = w
+		}
+		if b := algo.SnapshotSize(); b > stats.MaxMsgBytes {
+			stats.MaxMsgBytes = b
+		}
+	}
+	nb, resErr := algo.Result()
+	answerIntersects = resErr == nil && nb.Size() >= k+1
+	stats.Correct = answerIntersects == inst.Intersects
+	stats.OutputDetail = fmt.Sprintf("witnesses=%d threshold=%d", nb.Size(), k+1)
+	return answerIntersects, stats, nil
+}

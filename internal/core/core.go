@@ -1,0 +1,71 @@
+// Package core implements the paper's primary contribution: streaming
+// algorithms for Frequent Elements with Witnesses, FEwW(n, d) (Problem 1).
+//
+// Input is a bipartite graph G = (A, B, E), |A| = n, |B| = m = poly(n),
+// streamed as edge insertions (insertion-only model) or insertions and
+// deletions (insertion-deletion model), with the promise that at least one
+// A-vertex has degree >= d.  The output is a neighbourhood (a, S): an
+// A-vertex a together with S, a set of at least ceil(d/alpha) of its
+// B-neighbours ("witnesses"), for an approximation factor alpha >= 1.
+//
+// Three algorithms are provided:
+//
+//   - DegRes — Algorithm 1, Deg-Res-Sampling(d1, d2, s): a degree-triggered
+//     reservoir sampler over the A-vertices of degree >= d1 that collects up
+//     to d2 witnesses per sampled vertex (Lemma 3.1).
+//   - InsertOnly — Algorithm 2: alpha parallel Deg-Res-Sampling runs with
+//     staggered thresholds i*d/alpha, reservoir size s = ceil(ln n *
+//     n^(1/alpha)); space O(n log n + n^(1/alpha) d log^2 n), success
+//     probability >= 1 - 1/n (Theorem 3.2).
+//   - InsertDelete — Algorithm 3: a vertex-sampling strategy (succeeds on
+//     dense inputs, Lemma 5.2) combined with an edge-sampling strategy
+//     (succeeds on sparse inputs, Lemma 5.3), both built on L0 samplers;
+//     space ~O(d n / alpha^2) for alpha <= sqrt(n) (Theorem 5.4).
+//
+// StarDetector lifts any FEwW algorithm to the Star Detection problem
+// (Problem 2) on general graphs via a (1+eps) guess ladder on the maximum
+// degree (Lemma 3.3).
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Neighbourhood is the output of a FEwW algorithm: an A-vertex together
+// with a set of distinct witnesses (B-neighbours) proving its degree.
+type Neighbourhood struct {
+	A         int64   // the reported frequent element / high-degree vertex
+	Witnesses []int64 // distinct B-vertices adjacent to A
+}
+
+// Size returns |(a, S)| = |S|, the neighbourhood size as defined in §2.
+func (nb Neighbourhood) Size() int { return len(nb.Witnesses) }
+
+func (nb Neighbourhood) String() string {
+	return fmt.Sprintf("vertex %d with %d witnesses", nb.A, len(nb.Witnesses))
+}
+
+// ErrNoWitness is returned when an algorithm cannot produce a neighbourhood
+// of the required size — either the input violated the degree-d promise or
+// the algorithm's random choices failed (probability <= 1/n under the
+// promise).
+var ErrNoWitness = errors.New("core: no neighbourhood of the required size found")
+
+// SpaceReporter is implemented by every streaming structure in this
+// repository: SpaceWords returns the number of machine words of live state,
+// the unit in which the paper's bounds and the communication lower bounds
+// are stated.  It deliberately counts semantic state (counters, stored
+// edges, hash coefficients) rather than Go allocator overhead.
+type SpaceReporter interface {
+	SpaceWords() int
+}
+
+// witnessTarget returns d2 = ceil(d/alpha), the number of witnesses the
+// algorithms must output.
+func witnessTarget(d int64, alpha int) int64 {
+	return (d + int64(alpha) - 1) / int64(alpha)
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int64) int64 { return (a + b - 1) / b }

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"feww/internal/reservoir"
+	"feww/internal/xrand"
+)
+
+// DegreeTracker maintains the degree of every A-vertex seen so far.  In
+// Algorithm 2 a single tracker is shared by all alpha parallel
+// Deg-Res-Sampling runs, so its O(n log n) bits are paid once (as in the
+// space accounting of Theorem 3.2).
+type DegreeTracker struct {
+	deg map[int64]int64
+}
+
+// NewDegreeTracker returns an empty tracker.
+func NewDegreeTracker() *DegreeTracker {
+	return &DegreeTracker{deg: make(map[int64]int64)}
+}
+
+// Inc increments the degree of a and returns the new degree.
+func (t *DegreeTracker) Inc(a int64) int64 {
+	t.deg[a]++
+	return t.deg[a]
+}
+
+// Degree returns the current degree of a.
+func (t *DegreeTracker) Degree(a int64) int64 { return t.deg[a] }
+
+// SpaceWords counts two words (key, counter) per tracked vertex.
+func (t *DegreeTracker) SpaceWords() int { return 2 * len(t.deg) }
+
+// candidate is a reservoir occupant: a sampled A-vertex and the witnesses
+// collected for it since it entered the reservoir.
+type candidate struct {
+	a         int64
+	witnesses []int64
+}
+
+// DegRes is Deg-Res-Sampling(d1, d2, s) — Algorithm 1.  It maintains a
+// uniform random sample of size s of the A-vertices whose current degree is
+// at least d1 (vertices become sample candidates the moment their degree
+// reaches d1), and collects up to d2 incident edges for each sampled
+// vertex.  The run succeeds if some sampled vertex accumulates d2
+// witnesses, which by Lemma 3.1 happens with probability at least
+// 1 - exp(-s*n2/n1) when n1 vertices have degree >= d1 and n2 of them have
+// degree >= d1 + d2 - 1.
+type DegRes struct {
+	d1, d2 int64
+	res    *reservoir.Reservoir[*candidate]
+	pos    map[int64]*candidate // vertex -> its live reservoir entry
+}
+
+// NewDegRes returns a Deg-Res-Sampling run with thresholds d1, d2 and
+// reservoir size s.  Randomness is drawn from rng.
+func NewDegRes(rng *xrand.RNG, d1, d2 int64, s int) *DegRes {
+	if d1 < 1 || d2 < 1 {
+		panic("core: NewDegRes with d1 < 1 or d2 < 1")
+	}
+	if s < 1 {
+		panic("core: NewDegRes with s < 1")
+	}
+	return &DegRes{
+		d1:  d1,
+		d2:  d2,
+		res: reservoir.New[*candidate](rng, s),
+		pos: make(map[int64]*candidate, s),
+	}
+}
+
+// Process handles the stream edge (a, b).  degA must be a's degree
+// including this edge, as maintained by the caller's shared DegreeTracker.
+//
+// This is the body of Algorithm 1's while-loop: when degA reaches d1 the
+// vertex is offered to the reservoir (admitted with probability s/x, where
+// x counts candidates so far; an admitted vertex may evict a uniformly
+// random occupant, whose collected witnesses are discarded).  Afterwards,
+// if a currently occupies the reservoir and has fewer than d2 witnesses,
+// the edge is collected — including the triggering edge itself, so a vertex
+// of final degree deg collects min(d2, deg - d1 + 1) witnesses.
+func (dr *DegRes) Process(a, b int64, degA int64) {
+	if degA == dr.d1 {
+		cand := &candidate{a: a}
+		admitted, evicted, didEvict := dr.res.Offer(cand)
+		if didEvict {
+			delete(dr.pos, evicted.a)
+		}
+		if admitted {
+			dr.pos[a] = cand
+		}
+	}
+	if cand, ok := dr.pos[a]; ok && int64(len(cand.witnesses)) < dr.d2 {
+		cand.witnesses = append(cand.witnesses, b)
+	}
+}
+
+// Result returns an arbitrary stored neighbourhood of size d2, per line 15
+// of Algorithm 1, or ok = false if the run failed.
+func (dr *DegRes) Result() (Neighbourhood, bool) {
+	for _, cand := range dr.res.Items() {
+		if int64(len(cand.witnesses)) >= dr.d2 {
+			return Neighbourhood{A: cand.a, Witnesses: cand.witnesses[:dr.d2]}, true
+		}
+	}
+	return Neighbourhood{}, false
+}
+
+// Results returns every stored neighbourhood of size d2 — all successes of
+// this run, not just an arbitrary one.
+func (dr *DegRes) Results() []Neighbourhood {
+	var out []Neighbourhood
+	for _, cand := range dr.res.Items() {
+		if int64(len(cand.witnesses)) >= dr.d2 {
+			out = append(out, Neighbourhood{A: cand.a, Witnesses: cand.witnesses[:dr.d2]})
+		}
+	}
+	return out
+}
+
+// Best returns the largest stored neighbourhood (possibly smaller than d2),
+// used for diagnostics and by the Star Detection ladder.
+func (dr *DegRes) Best() (Neighbourhood, bool) {
+	var best *candidate
+	for _, cand := range dr.res.Items() {
+		if best == nil || len(cand.witnesses) > len(best.witnesses) {
+			best = cand
+		}
+	}
+	if best == nil {
+		return Neighbourhood{}, false
+	}
+	return Neighbourhood{A: best.a, Witnesses: best.witnesses}, true
+}
+
+// Thresholds returns (d1, d2) for reporting.
+func (dr *DegRes) Thresholds() (int64, int64) { return dr.d1, dr.d2 }
+
+// SpaceWords counts the reservoir entries, collected witnesses, and the
+// position index (vertex degrees are accounted by the shared tracker).
+func (dr *DegRes) SpaceWords() int {
+	words := 0
+	for _, cand := range dr.res.Items() {
+		words += 2 + len(cand.witnesses) // vertex id + slice header word + edges
+	}
+	words += 2 * len(dr.pos)
+	return words
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"feww/internal/stream"
+	"feww/internal/xrand"
+)
+
+// feedDegRes replays updates into a single Deg-Res-Sampling run with its
+// own degree tracker.
+func feedDegRes(dr *DegRes, ups []stream.Update) {
+	tracker := NewDegreeTracker()
+	for _, u := range ups {
+		if u.Op != stream.Insert {
+			panic("DegRes is insertion-only")
+		}
+		dr.Process(u.A, u.B, tracker.Inc(u.A))
+	}
+}
+
+// star returns d distinct edges rooted at vertex a.
+func star(a int64, d int64) []stream.Update {
+	ups := make([]stream.Update, d)
+	for i := int64(0); i < d; i++ {
+		ups[i] = stream.Ins(a, i)
+	}
+	return ups
+}
+
+func TestDegResAllStorePath(t *testing.T) {
+	// Lemma 3.1's first case: when the number of candidates never exceeds
+	// s, every vertex of degree >= d1 is stored, so success is certain.
+	rng := xrand.New(1)
+	dr := NewDegRes(rng, 3, 4, 100)
+	var ups []stream.Update
+	for v := int64(0); v < 10; v++ {
+		ups = append(ups, star(v, 6)...)
+	}
+	feedDegRes(dr, ups)
+	nb, ok := dr.Result()
+	if !ok {
+		t.Fatal("all-store path failed")
+	}
+	if len(nb.Witnesses) != 4 {
+		t.Fatalf("got %d witnesses, want 4", len(nb.Witnesses))
+	}
+}
+
+func TestDegResWitnessesAreRealEdges(t *testing.T) {
+	rng := xrand.New(2)
+	dr := NewDegRes(rng, 2, 3, 10)
+	ups := star(5, 8)
+	feedDegRes(dr, ups)
+	nb, ok := dr.Result()
+	if !ok {
+		t.Fatal("single-star instance failed")
+	}
+	if nb.A != 5 {
+		t.Fatalf("reported vertex %d, want 5", nb.A)
+	}
+	truth := stream.Materialize(ups)
+	seen := make(map[int64]bool)
+	for _, b := range nb.Witnesses {
+		if seen[b] {
+			t.Fatalf("duplicate witness %d", b)
+		}
+		seen[b] = true
+		if _, ok := truth[stream.Edge{A: 5, B: b}]; !ok {
+			t.Fatalf("fabricated witness %d", b)
+		}
+	}
+}
+
+func TestDegResCollectsTriggeringEdge(t *testing.T) {
+	// A vertex of degree exactly d1 + d2 - 1 must be able to supply d2
+	// witnesses (edges number d1 .. d1+d2-1), per min(d2, deg - d1 + 1).
+	rng := xrand.New(3)
+	d1, d2 := int64(4), int64(3)
+	dr := NewDegRes(rng, d1, d2, 10)
+	feedDegRes(dr, star(0, d1+d2-1))
+	if _, ok := dr.Result(); !ok {
+		t.Fatalf("vertex of degree d1+d2-1 = %d did not yield d2 = %d witnesses", d1+d2-1, d2)
+	}
+}
+
+func TestDegResFailsBelowThreshold(t *testing.T) {
+	// A vertex of degree d1 + d2 - 2 collects only d2 - 1 witnesses.
+	rng := xrand.New(4)
+	d1, d2 := int64(4), int64(3)
+	dr := NewDegRes(rng, d1, d2, 10)
+	feedDegRes(dr, star(0, d1+d2-2))
+	if _, ok := dr.Result(); ok {
+		t.Fatal("run succeeded although no vertex reaches d1+d2-1")
+	}
+	nb, ok := dr.Best()
+	if !ok || int64(len(nb.Witnesses)) != d2-1 {
+		t.Fatalf("Best = %v, want %d witnesses", nb, d2-1)
+	}
+}
+
+func TestDegResEmptyStream(t *testing.T) {
+	rng := xrand.New(5)
+	dr := NewDegRes(rng, 1, 1, 5)
+	if _, ok := dr.Result(); ok {
+		t.Fatal("empty stream produced a result")
+	}
+	if _, ok := dr.Best(); ok {
+		t.Fatal("empty stream produced a Best")
+	}
+}
+
+// TestDegResSuccessProbability measures the empirical success rate on the
+// Lemma 3.1 regime (n1 candidates, n2 full-degree vertices) against the
+// bound 1 - (1 - s/n1)^n2.
+func TestDegResSuccessProbability(t *testing.T) {
+	const n1, n2, s = 100, 10, 20
+	d1, d2 := int64(2), int64(3)
+	const trials = 400
+	rng := xrand.New(6)
+	successes := 0
+	for trial := 0; trial < trials; trial++ {
+		trialRNG := rng.Split()
+		dr := NewDegRes(trialRNG, d1, d2, s)
+		var ups []stream.Update
+		for v := int64(0); v < n1; v++ {
+			deg := d1 // a candidate but not full
+			if v < n2 {
+				deg = d1 + d2 - 1 // full
+			}
+			ups = append(ups, star(v, deg)...)
+		}
+		// Shuffle to exercise arbitrary arrival order.
+		trialRNG.Shuffle(len(ups), func(i, j int) { ups[i], ups[j] = ups[j], ups[i] })
+		feedDegRes(dr, ups)
+		if _, ok := dr.Result(); ok {
+			successes++
+		}
+	}
+	rate := float64(successes) / trials
+	bound := 1 - math.Pow(1-float64(s)/n1, n2) // ~0.89 for these parameters
+	// The bound is a lower bound on success; allow statistical slack.
+	if rate < bound-0.08 {
+		t.Fatalf("success rate %.3f below Lemma 3.1 bound %.3f", rate, bound)
+	}
+}
+
+func TestDegResSpaceBounded(t *testing.T) {
+	// Space must stay O(s * d2): at most s candidates, each with <= d2
+	// witnesses.
+	rng := xrand.New(7)
+	const s = 8
+	d2 := int64(5)
+	dr := NewDegRes(rng, 2, d2, s)
+	var ups []stream.Update
+	for v := int64(0); v < 500; v++ {
+		ups = append(ups, star(v, 30)...)
+	}
+	feedDegRes(dr, ups)
+	limit := s * (2 + int(d2) + 2) // per-candidate words + pos map entries
+	if got := dr.SpaceWords(); got > limit {
+		t.Fatalf("SpaceWords = %d, want <= %d", got, limit)
+	}
+}
+
+func TestDegResPanicsOnBadParams(t *testing.T) {
+	rng := xrand.New(8)
+	for name, f := range map[string]func(){
+		"d1=0": func() { NewDegRes(rng, 0, 1, 1) },
+		"d2=0": func() { NewDegRes(rng, 1, 0, 1) },
+		"s=0":  func() { NewDegRes(rng, 1, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDegreeTracker(t *testing.T) {
+	tr := NewDegreeTracker()
+	if tr.Degree(5) != 0 {
+		t.Fatal("fresh tracker has non-zero degree")
+	}
+	for i := 1; i <= 4; i++ {
+		if got := tr.Inc(5); got != int64(i) {
+			t.Fatalf("Inc #%d = %d", i, got)
+		}
+	}
+	if tr.SpaceWords() != 2 {
+		t.Fatalf("SpaceWords = %d, want 2", tr.SpaceWords())
+	}
+}

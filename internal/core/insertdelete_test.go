@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"feww/internal/stream"
+	"feww/internal/workload"
+)
+
+// idConfig returns a laptop-sized insertion-deletion config; ScaleFactor
+// keeps the sampler count tractable while preserving the algorithm's
+// structure (see DESIGN.md substitutions).
+func idConfig(n, m, d int64, alpha int, seed uint64) InsertDeleteConfig {
+	return InsertDeleteConfig{
+		N: n, M: m, D: d, Alpha: alpha, Seed: seed,
+		ScaleFactor: 0.02,
+	}
+}
+
+func runInsertDelete(t *testing.T, cfg InsertDeleteConfig, ups []stream.Update) (*InsertDelete, Neighbourhood, Strategy, error) {
+	t.Helper()
+	algo, err := NewInsertDelete(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range ups {
+		algo.Update(u.A, u.B, int(u.Op))
+	}
+	nb, strat, resErr := algo.ResultWithStrategy()
+	return algo, nb, strat, resErr
+}
+
+func TestInsertDeletePlainInsertions(t *testing.T) {
+	p, err := workload.NewPlanted(workload.PlantedConfig{
+		N: 60, M: 200, Heavy: 1, HeavyDeg: 30,
+		NoiseEdges: 100, Order: workload.Shuffled, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, nb, _, resErr := runInsertDelete(t, idConfig(60, 200, 30, 2, 8), p.Updates)
+	if resErr != nil {
+		t.Fatalf("failed: %v", resErr)
+	}
+	if int64(nb.Size()) < algo.WitnessTarget() {
+		t.Fatalf("%d witnesses, want >= %d", nb.Size(), algo.WitnessTarget())
+	}
+	if err := p.Verify(nb.A, nb.Witnesses); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDeleteWithChurn(t *testing.T) {
+	// Insert noise then delete it: the final graph keeps only the planted
+	// star, and reported witnesses must be live edges of the final graph.
+	p, err := workload.NewChurn(workload.ChurnConfig{
+		Planted: workload.PlantedConfig{
+			N: 50, M: 150, Heavy: 1, HeavyDeg: 24,
+			NoiseEdges: 40, Order: workload.Shuffled, Seed: 5,
+		},
+		ChurnEdges: 400,
+		Seed:       6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, nb, _, resErr := runInsertDelete(t, idConfig(50, 150, 24, 2, 9), p.Updates)
+	if resErr != nil {
+		t.Fatalf("failed under churn: %v", resErr)
+	}
+	if int64(nb.Size()) < algo.WitnessTarget() {
+		t.Fatalf("%d witnesses, want >= %d", nb.Size(), algo.WitnessTarget())
+	}
+	if err := p.Verify(nb.A, nb.Witnesses); err != nil {
+		t.Fatalf("witness not in final graph: %v", err)
+	}
+}
+
+func TestInsertDeleteEmptyAfterChurn(t *testing.T) {
+	// Everything inserted is deleted: the algorithm must fail cleanly.
+	ups := workload.EmptyAfterChurn(7, 40, 100, 300)
+	_, _, _, resErr := runInsertDelete(t, idConfig(40, 100, 10, 2, 10), ups)
+	if !errors.Is(resErr, ErrNoWitness) {
+		t.Fatalf("got %v, want ErrNoWitness on an empty final graph", resErr)
+	}
+}
+
+func TestInsertDeleteDenseRegimeUsesVertexSampling(t *testing.T) {
+	// Lemma 5.2's regime: many vertices of degree >= d/alpha.  With every
+	// vertex heavy, the fixed vertex sample must contain one, so vertex
+	// sampling succeeds.
+	p, err := workload.NewDense(workload.DenseConfig{
+		N: 40, M: 120, Dense: 40, Deg: 20, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, nb, strat, resErr := runInsertDelete(t, idConfig(40, 120, 20, 2, 12), p.Updates)
+	if resErr != nil {
+		t.Fatalf("dense regime failed: %v", resErr)
+	}
+	if strat != StrategyVertex {
+		t.Fatalf("dense regime solved by %v, want vertex sampling", strat)
+	}
+	if int64(nb.Size()) < algo.WitnessTarget() {
+		t.Fatalf("%d witnesses, want >= %d", nb.Size(), algo.WitnessTarget())
+	}
+	if err := p.Verify(nb.A, nb.Witnesses); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDeleteSamplerBudget(t *testing.T) {
+	// Default constants on a non-trivial instance must exceed any small
+	// sampler cap and be reported as a config error, not an OOM.
+	cfg := InsertDeleteConfig{N: 1000, M: 10000, D: 100, Alpha: 2, MaxSamplers: 1000}
+	if _, err := NewInsertDelete(cfg); err == nil {
+		t.Fatal("sampler budget violation not reported")
+	}
+}
+
+func TestInsertDeleteConfigValidation(t *testing.T) {
+	bad := []InsertDeleteConfig{
+		{N: 0, M: 1, D: 1, Alpha: 1},
+		{N: 1, M: 0, D: 1, Alpha: 1},
+		{N: 1, M: 1, D: 0, Alpha: 1},
+		{N: 1, M: 1, D: 1, Alpha: 0},
+		{N: 1, M: 1, D: 1, Alpha: 1, ScaleFactor: -0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewInsertDelete(cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestInsertDeleteUpdatePanicsOnBadDelta(t *testing.T) {
+	algo, err := NewInsertDelete(idConfig(10, 10, 2, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Update with delta=2 did not panic")
+		}
+	}()
+	algo.Update(0, 0, 2)
+}
+
+func TestInsertDeleteProcessUpdateInterface(t *testing.T) {
+	algo, err := NewInsertDelete(idConfig(10, 10, 2, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := algo.ProcessUpdate(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := algo.ProcessUpdate(0, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := algo.ProcessUpdate(0, 0, 3); err == nil {
+		t.Fatal("bad delta accepted")
+	}
+	if algo.UpdatesProcessed() != 2 {
+		t.Fatalf("UpdatesProcessed = %d, want 2", algo.UpdatesProcessed())
+	}
+}
+
+func TestInsertDeleteSizingMonotone(t *testing.T) {
+	// More aggressive alpha shrinks the per-vertex battery and the edge
+	// battery (the d/alpha and 1/alpha^2 factors of Theorem 5.4).
+	small := InsertDeleteConfig{N: 400, M: 400, D: 80, Alpha: 8, ScaleFactor: 1}
+	big := InsertDeleteConfig{N: 400, M: 400, D: 80, Alpha: 2, ScaleFactor: 1}
+	if small.Sizing().TotalSamplers() >= big.Sizing().TotalSamplers() {
+		t.Fatalf("sampler count did not shrink with alpha: alpha=8 %d, alpha=2 %d",
+			small.Sizing().TotalSamplers(), big.Sizing().TotalSamplers())
+	}
+}
+
+func TestInsertDeleteSpaceWordsPositive(t *testing.T) {
+	algo, err := NewInsertDelete(idConfig(10, 10, 2, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo.SpaceWords() <= 0 {
+		t.Fatal("SpaceWords not positive")
+	}
+	if algo.SizingInfo().TotalSamplers() < 1 {
+		t.Fatal("no samplers allocated")
+	}
+}

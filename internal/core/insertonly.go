@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"feww/internal/xrand"
+)
+
+// InsertOnlyConfig parameterises the insertion-only algorithm.
+type InsertOnlyConfig struct {
+	N     int64 // |A|: the item universe size n
+	D     int64 // the degree/frequency threshold d, 1 <= D
+	Alpha int   // the approximation factor alpha >= 1 (integral, per Thm 3.2)
+	Seed  uint64
+
+	// ScaleFactor multiplies the theoretical reservoir size
+	// s = ceil(ln n * n^(1/alpha)).  1.0 (the default when 0) reproduces the
+	// paper's constants; the ablation experiment E10 sweeps it downward to
+	// locate where the w.h.p. guarantee starts to erode.
+	ScaleFactor float64
+}
+
+func (c *InsertOnlyConfig) validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("core: InsertOnly config: N = %d, want >= 1", c.N)
+	}
+	if c.D < 1 {
+		return fmt.Errorf("core: InsertOnly config: D = %d, want >= 1", c.D)
+	}
+	if c.Alpha < 1 {
+		return fmt.Errorf("core: InsertOnly config: Alpha = %d, want >= 1", c.Alpha)
+	}
+	if c.ScaleFactor < 0 {
+		return fmt.Errorf("core: InsertOnly config: ScaleFactor = %f, want >= 0", c.ScaleFactor)
+	}
+	return nil
+}
+
+// ReservoirSize returns s = ceil(ln n * n^(1/alpha) * scale), the reservoir
+// size Algorithm 2 passes to every Deg-Res-Sampling run (at least 1).
+func (c *InsertOnlyConfig) ReservoirSize() int {
+	scale := c.ScaleFactor
+	if scale == 0 {
+		scale = 1
+	}
+	n := float64(c.N)
+	s := math.Ceil(math.Log(math.Max(n, 2)) * math.Pow(n, 1/float64(c.Alpha)) * scale)
+	if s < 1 {
+		return 1
+	}
+	return int(s)
+}
+
+// InsertOnly is Algorithm 2: the alpha-approximation streaming algorithm
+// for FEwW in insertion-only streams.  It runs alpha Deg-Res-Sampling
+// instances in parallel with thresholds d1 = max(1, floor(i*d/alpha)) for
+// i = 0..alpha-1, fixed witness target d2 = ceil(d/alpha), and shared
+// degree tracking.  By Theorem 3.2, if some A-vertex has degree >= d then
+// at least one run succeeds with probability >= 1 - 1/n, and the total
+// space is O(n log n + n^(1/alpha) d log^2 n) bits.
+type InsertOnly struct {
+	cfg     InsertOnlyConfig
+	d2      int64
+	tracker *DegreeTracker
+	runs    []*DegRes
+	edges   int64
+}
+
+// NewInsertOnly constructs the algorithm.  The zero ScaleFactor means 1.0.
+func NewInsertOnly(cfg InsertOnlyConfig) (*InsertOnly, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := xrand.New(cfg.Seed)
+	s := cfg.ReservoirSize()
+	d2 := witnessTarget(cfg.D, cfg.Alpha)
+	algo := &InsertOnly{
+		cfg:     cfg,
+		d2:      d2,
+		tracker: NewDegreeTracker(),
+		runs:    make([]*DegRes, cfg.Alpha),
+	}
+	for i := 0; i < cfg.Alpha; i++ {
+		d1 := int64(i) * cfg.D / int64(cfg.Alpha)
+		if d1 < 1 {
+			d1 = 1
+		}
+		algo.runs[i] = NewDegRes(rng.Split(), d1, d2, s)
+	}
+	return algo, nil
+}
+
+// ProcessEdge feeds one inserted edge (a, b) to all parallel runs.
+func (io *InsertOnly) ProcessEdge(a, b int64) {
+	io.edges++
+	deg := io.tracker.Inc(a)
+	for _, run := range io.runs {
+		run.Process(a, b, deg)
+	}
+}
+
+// Result returns any neighbourhood of size ceil(d/alpha) found by a
+// successful run, or ErrNoWitness if every run failed.
+func (io *InsertOnly) Result() (Neighbourhood, error) {
+	for _, run := range io.runs {
+		if nb, ok := run.Result(); ok {
+			return nb, nil
+		}
+	}
+	return Neighbourhood{}, ErrNoWitness
+}
+
+// Results returns every distinct frequent element found, each with a full
+// ceil(d/alpha)-witness neighbourhood, across all parallel runs.  When the
+// input contains several vertices of degree >= d (e.g. several machines
+// under attack at once), one call reports all that were sampled.  The
+// returned slice is sorted by vertex id; it is empty when Result would
+// return ErrNoWitness.
+func (io *InsertOnly) Results() []Neighbourhood {
+	byVertex := make(map[int64]Neighbourhood)
+	for _, run := range io.runs {
+		for _, nb := range run.Results() {
+			if _, dup := byVertex[nb.A]; !dup {
+				byVertex[nb.A] = nb
+			}
+		}
+	}
+	out := make([]Neighbourhood, 0, len(byVertex))
+	for _, nb := range byVertex {
+		out = append(out, nb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].A < out[j].A })
+	return out
+}
+
+// Best returns the largest neighbourhood stored by any run even if no run
+// reached the d2 target; used by the Star Detection ladder and diagnostics.
+func (io *InsertOnly) Best() (Neighbourhood, bool) {
+	var best Neighbourhood
+	found := false
+	for _, run := range io.runs {
+		if nb, ok := run.Best(); ok && (!found || nb.Size() > best.Size()) {
+			best, found = nb, true
+		}
+	}
+	return best, found
+}
+
+// RunSucceeded reports per-run success, exposing the geometric n_i/n_{i+1}
+// argument in the proof of Theorem 3.2 to the ablation experiments.
+func (io *InsertOnly) RunSucceeded() []bool {
+	out := make([]bool, len(io.runs))
+	for i, run := range io.runs {
+		_, out[i] = run.Result()
+	}
+	return out
+}
+
+// WitnessTarget returns d2 = ceil(d/alpha).
+func (io *InsertOnly) WitnessTarget() int64 { return io.d2 }
+
+// EdgesProcessed returns the number of stream edges consumed so far.
+func (io *InsertOnly) EdgesProcessed() int64 { return io.edges }
+
+// DegreeTableWords reports the degree-tracker share of SpaceWords — the
+// O(n log n) term of Theorem 3.2 that is paid independently of d and alpha.
+// Experiment E3 subtracts it to expose the d-dependent witness storage.
+func (io *InsertOnly) DegreeTableWords() int { return io.tracker.SpaceWords() }
+
+// SpaceWords reports the live state: the shared degree tracker plus every
+// run's reservoir and collected witnesses.
+func (io *InsertOnly) SpaceWords() int {
+	words := io.tracker.SpaceWords()
+	for _, run := range io.runs {
+		words += run.SpaceWords()
+	}
+	return words
+}
+
+// ProcessUpdate implements the Algorithm interface used by StarDetector.
+// Insertion-only algorithms reject deletions.
+func (io *InsertOnly) ProcessUpdate(a, b int64, delta int) error {
+	if delta != 1 {
+		return fmt.Errorf("core: InsertOnly received a deletion; use InsertDelete for turnstile streams")
+	}
+	io.ProcessEdge(a, b)
+	return nil
+}

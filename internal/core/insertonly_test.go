@@ -1,0 +1,220 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"feww/internal/stream"
+	"feww/internal/workload"
+)
+
+func runInsertOnly(t *testing.T, cfg InsertOnlyConfig, ups []stream.Update) (*InsertOnly, Neighbourhood, error) {
+	t.Helper()
+	algo, err := NewInsertOnly(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range ups {
+		if u.Op != stream.Insert {
+			t.Fatal("insertion-only test fed a deletion")
+		}
+		algo.ProcessEdge(u.A, u.B)
+	}
+	nb, resErr := algo.Result()
+	return algo, nb, resErr
+}
+
+func plantedInstance(t *testing.T, order workload.Order, seed uint64) *workload.Planted {
+	t.Helper()
+	p, err := workload.NewPlanted(workload.PlantedConfig{
+		N: 500, M: 2000, Heavy: 1, HeavyDeg: 60,
+		NoiseEdges: 3000, Order: order, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestInsertOnlyAllOrders(t *testing.T) {
+	for _, order := range []workload.Order{workload.Shuffled, workload.HeavyFirst, workload.HeavyLast, workload.Interleaved} {
+		t.Run(order.String(), func(t *testing.T) {
+			p := plantedInstance(t, order, 100+uint64(order))
+			_, nb, err := runInsertOnly(t, InsertOnlyConfig{N: 500, D: 60, Alpha: 2, Seed: 7}, p.Updates)
+			if err != nil {
+				t.Fatalf("algorithm failed: %v", err)
+			}
+			if int64(nb.Size()) < 30 {
+				t.Fatalf("got %d witnesses, want >= ceil(60/2) = 30", nb.Size())
+			}
+			if err := p.Verify(nb.A, nb.Witnesses); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestInsertOnlyAlphaSweep(t *testing.T) {
+	p := plantedInstance(t, workload.Shuffled, 42)
+	for _, alpha := range []int{1, 2, 3, 4, 5} {
+		t.Run(string(rune('0'+alpha)), func(t *testing.T) {
+			algo, nb, err := runInsertOnly(t, InsertOnlyConfig{N: 500, D: 60, Alpha: alpha, Seed: 9}, p.Updates)
+			if err != nil {
+				t.Fatalf("alpha=%d failed: %v", alpha, err)
+			}
+			want := algo.WitnessTarget()
+			if int64(nb.Size()) < want {
+				t.Fatalf("alpha=%d: %d witnesses, want >= %d", alpha, nb.Size(), want)
+			}
+			if err := p.Verify(nb.A, nb.Witnesses); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestInsertOnlyAlphaOneIsExact(t *testing.T) {
+	// With alpha = 1 the reservoir size is >= n, so the single run stores
+	// every vertex and must find the full d witnesses deterministically.
+	p := plantedInstance(t, workload.Shuffled, 77)
+	for trial := uint64(0); trial < 5; trial++ {
+		_, nb, err := runInsertOnly(t, InsertOnlyConfig{N: 500, D: 60, Alpha: 1, Seed: trial}, p.Updates)
+		if err != nil {
+			t.Fatalf("alpha=1 trial %d failed: %v", trial, err)
+		}
+		if nb.Size() != 60 {
+			t.Fatalf("alpha=1: got %d witnesses, want 60", nb.Size())
+		}
+		if nb.A != p.HeavyA[0] {
+			t.Fatalf("alpha=1 reported %d, want planted %d", nb.A, p.HeavyA[0])
+		}
+	}
+}
+
+func TestInsertOnlyPromiseViolated(t *testing.T) {
+	// No vertex reaches degree d: the algorithm must fail cleanly, never
+	// fabricate.
+	p := plantedInstance(t, workload.Shuffled, 5)
+	_, _, err := runInsertOnly(t, InsertOnlyConfig{N: 500, D: 2000, Alpha: 2, Seed: 3}, p.Updates)
+	if !errors.Is(err, ErrNoWitness) {
+		t.Fatalf("got %v, want ErrNoWitness", err)
+	}
+}
+
+func TestInsertOnlyEmptyStream(t *testing.T) {
+	_, _, err := runInsertOnly(t, InsertOnlyConfig{N: 10, D: 1, Alpha: 1, Seed: 1}, nil)
+	if !errors.Is(err, ErrNoWitness) {
+		t.Fatalf("empty stream: got %v", err)
+	}
+}
+
+func TestInsertOnlySuccessRate(t *testing.T) {
+	// Theorem 3.2 promises success w.p. >= 1 - 1/n.  Measure over trials;
+	// tolerate a generous margin to keep the test deterministic-ish.
+	const trials = 30
+	failures := 0
+	for trial := 0; trial < trials; trial++ {
+		p, err := workload.NewPlanted(workload.PlantedConfig{
+			N: 300, M: 1000, Heavy: 1, HeavyDeg: 40,
+			NoiseEdges: 1500, Order: workload.Shuffled, Seed: 1000 + uint64(trial),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		algo, err := NewInsertOnly(InsertOnlyConfig{N: 300, D: 40, Alpha: 3, Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range p.Updates {
+			algo.ProcessEdge(u.A, u.B)
+		}
+		if _, err := algo.Result(); err != nil {
+			failures++
+		}
+	}
+	if failures > 2 {
+		t.Fatalf("failed %d/%d trials; Theorem 3.2 promises ~1/n failure rate", failures, trials)
+	}
+}
+
+func TestInsertOnlySmallScaleDegrades(t *testing.T) {
+	// Sanity for the ScaleFactor knob: a tiny reservoir must lower the
+	// reservoir size.
+	cfg := InsertOnlyConfig{N: 1000, D: 50, Alpha: 2, ScaleFactor: 0.01}
+	full := InsertOnlyConfig{N: 1000, D: 50, Alpha: 2}
+	if cfg.ReservoirSize() >= full.ReservoirSize() {
+		t.Fatalf("ScaleFactor did not shrink the reservoir: %d vs %d", cfg.ReservoirSize(), full.ReservoirSize())
+	}
+}
+
+func TestInsertOnlyConfigValidation(t *testing.T) {
+	bad := []InsertOnlyConfig{
+		{N: 0, D: 1, Alpha: 1},
+		{N: 1, D: 0, Alpha: 1},
+		{N: 1, D: 1, Alpha: 0},
+		{N: 1, D: 1, Alpha: 1, ScaleFactor: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewInsertOnly(cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestInsertOnlyRejectsDeletionViaInterface(t *testing.T) {
+	algo, err := NewInsertOnly(InsertOnlyConfig{N: 10, D: 2, Alpha: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := algo.ProcessUpdate(1, 1, -1); err == nil {
+		t.Fatal("deletion accepted by insertion-only algorithm")
+	}
+	if err := algo.ProcessUpdate(1, 1, 1); err != nil {
+		t.Fatalf("insertion rejected: %v", err)
+	}
+}
+
+func TestInsertOnlySpaceScalesWithAlpha(t *testing.T) {
+	// Larger alpha => smaller reservoirs (n^{1/alpha}) => less space on the
+	// same stream, despite more parallel runs.  This is the headline space
+	// behaviour of Theorem 3.2, checked end-to-end.
+	p, err := workload.NewPlanted(workload.PlantedConfig{
+		N: 2000, M: 5000, Heavy: 1, HeavyDeg: 100,
+		NoiseEdges: 8000, Order: workload.Shuffled, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := func(alpha int) int {
+		algo, err := NewInsertOnly(InsertOnlyConfig{N: 2000, D: 100, Alpha: alpha, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range p.Updates {
+			algo.ProcessEdge(u.A, u.B)
+		}
+		return algo.SpaceWords()
+	}
+	s1, s4 := space(1), space(4)
+	if s4 >= s1 {
+		t.Fatalf("space did not shrink with alpha: alpha=1 %d words, alpha=4 %d words", s1, s4)
+	}
+}
+
+func TestInsertOnlyBestNeverExceedsResult(t *testing.T) {
+	p := plantedInstance(t, workload.Shuffled, 21)
+	algo, nb, err := runInsertOnly(t, InsertOnlyConfig{N: 500, D: 60, Alpha: 2, Seed: 5}, p.Updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := algo.Best()
+	if !ok {
+		t.Fatal("Best empty after success")
+	}
+	if best.Size() < nb.Size() {
+		t.Fatalf("Best (%d) smaller than Result (%d)", best.Size(), nb.Size())
+	}
+	if err := p.Verify(best.A, best.Witnesses); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"feww/internal/workload"
+)
+
+// TestResultsFindsMultipleHeavyVertices plants several vertices at the
+// promise threshold and checks Results reports (a subset of) them, each
+// with a full verified witness set and no vertex repeated.
+func TestResultsFindsMultipleHeavyVertices(t *testing.T) {
+	const n, d, heavy = 2048, 60, 5
+	inst, err := workload.NewPlanted(workload.PlantedConfig{
+		N: n, M: 4 * n, Heavy: heavy, HeavyDeg: d,
+		NoiseEdges: n, Order: workload.Shuffled, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, err := NewInsertOnly(InsertOnlyConfig{N: n, D: d, Alpha: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range inst.Updates {
+		algo.ProcessEdge(u.A, u.B)
+	}
+	results := algo.Results()
+	if len(results) == 0 {
+		t.Fatal("no results despite 5 planted heavy vertices")
+	}
+	if !sort.SliceIsSorted(results, func(i, j int) bool { return results[i].A < results[j].A }) {
+		t.Fatal("Results not sorted by vertex id")
+	}
+	heavySet := make(map[int64]bool, heavy)
+	for _, a := range inst.HeavyA {
+		heavySet[a] = true
+	}
+	seen := make(map[int64]bool)
+	for _, nb := range results {
+		if seen[nb.A] {
+			t.Fatalf("vertex %d reported twice", nb.A)
+		}
+		seen[nb.A] = true
+		if int64(nb.Size()) < algo.WitnessTarget() {
+			t.Fatalf("vertex %d has %d witnesses, want >= %d", nb.A, nb.Size(), algo.WitnessTarget())
+		}
+		if err := inst.Verify(nb.A, nb.Witnesses); err != nil {
+			t.Fatal(err)
+		}
+		// With MaxNoise = d/2 < d/alpha... not guaranteed; but with the
+		// alpha = 2 target d/2 = 30 and noise capped at d/2 - ... noise
+		// vertices below the cap cannot assemble 30 witnesses unless at
+		// the cap. Only assert heavy vertices dominate:
+		if !heavySet[nb.A] && int64(nb.Size()) < algo.WitnessTarget() {
+			t.Fatalf("non-heavy vertex %d reported with too few witnesses", nb.A)
+		}
+	}
+	// Result (singular) agrees with Results (plural): its vertex appears.
+	nb, err := algo.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seen[nb.A] {
+		t.Fatalf("Result vertex %d missing from Results", nb.A)
+	}
+}
+
+func TestResultsEmptyWithoutPromise(t *testing.T) {
+	algo, err := NewInsertOnly(InsertOnlyConfig{N: 64, D: 32, Alpha: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 64; i++ {
+		algo.ProcessEdge(i, i)
+	}
+	if got := algo.Results(); len(got) != 0 {
+		t.Fatalf("Results = %v on promise-violating input", got)
+	}
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"feww/internal/reservoir"
+	"feww/internal/xrand"
+)
+
+// Snapshot / RestoreInsertOnly serialise the full state of the
+// insertion-only algorithm: degree table, every run's reservoir (sampled
+// vertices with their collected witnesses, the candidate counter) and the
+// exact RNG states, so the restored instance continues the *same* random
+// stream.  Two uses:
+//
+//   - checkpointing a long-running stream processor;
+//   - the paper's communication protocols, where party i literally sends
+//     its memory state to party i+1 — Snapshot is that message, and its
+//     byte length is the quantity the lower bounds constrain (up to the
+//     word/bit conversion).
+//
+// The format is a versioned little-endian binary encoding.  It is
+// deterministic: two snapshots of identical states are byte-identical
+// (maps are emitted in sorted key order).
+
+var snapMagic = [8]byte{'F', 'E', 'W', 'W', 'S', 'N', 'P', '1'}
+
+// ErrBadSnapshot is returned when restoring from corrupt or incompatible
+// bytes.
+var ErrBadSnapshot = errors.New("core: bad snapshot")
+
+// Snapshot writes the algorithm's complete state to w.
+func (io_ *InsertOnly) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := &encoder{w: bw}
+	enc.bytes(snapMagic[:])
+	enc.i64(io_.cfg.N)
+	enc.i64(io_.cfg.D)
+	enc.i64(int64(io_.cfg.Alpha))
+	enc.u64(io_.cfg.Seed)
+	enc.u64(math.Float64bits(io_.cfg.ScaleFactor))
+	enc.i64(io_.d2)
+	enc.i64(io_.edges)
+
+	// Degree table, sorted for deterministic output.
+	keys := make([]int64, 0, len(io_.tracker.deg))
+	for k := range io_.tracker.deg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	enc.i64(int64(len(keys)))
+	for _, k := range keys {
+		enc.i64(k)
+		enc.i64(io_.tracker.deg[k])
+	}
+
+	enc.i64(int64(len(io_.runs)))
+	for _, run := range io_.runs {
+		enc.i64(run.d1)
+		enc.i64(run.d2)
+		enc.i64(int64(run.res.Cap()))
+		enc.i64(run.res.Seen())
+		for _, s := range run.res.RNG().State() {
+			enc.u64(s)
+		}
+		items := run.res.Items()
+		enc.i64(int64(len(items)))
+		for _, cand := range items {
+			enc.i64(cand.a)
+			enc.i64(int64(len(cand.witnesses)))
+			for _, b := range cand.witnesses {
+				enc.i64(b)
+			}
+		}
+	}
+	if enc.err != nil {
+		return enc.err
+	}
+	return bw.Flush()
+}
+
+// RestoreInsertOnly reads a snapshot written by Snapshot and returns an
+// algorithm that continues exactly where the snapshotted one stopped:
+// feeding both the same suffix of a stream produces identical outputs.
+func RestoreInsertOnly(r io.Reader) (*InsertOnly, error) {
+	dec := &decoder{r: bufio.NewReader(r)}
+	var magic [8]byte
+	dec.bytes(magic[:])
+	if dec.err == nil && magic != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, magic[:])
+	}
+	cfg := InsertOnlyConfig{
+		N:     dec.i64(),
+		D:     dec.i64(),
+		Alpha: int(dec.i64()),
+		Seed:  dec.u64(),
+	}
+	cfg.ScaleFactor = math.Float64frombits(dec.u64())
+	d2 := dec.i64()
+	edges := dec.i64()
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+
+	algo := &InsertOnly{
+		cfg:     cfg,
+		d2:      d2,
+		tracker: NewDegreeTracker(),
+		edges:   edges,
+	}
+
+	nDeg := dec.i64()
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	if nDeg < 0 || nDeg > cfg.N {
+		return nil, fmt.Errorf("%w: %d tracked degrees with N = %d", ErrBadSnapshot, nDeg, cfg.N)
+	}
+	for i := int64(0); i < nDeg; i++ {
+		k, v := dec.i64(), dec.i64()
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("%w: degree %d for vertex %d", ErrBadSnapshot, v, k)
+		}
+		algo.tracker.deg[k] = v
+	}
+
+	nRuns := dec.i64()
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	if nRuns != int64(cfg.Alpha) {
+		return nil, fmt.Errorf("%w: %d runs with alpha = %d", ErrBadSnapshot, nRuns, cfg.Alpha)
+	}
+	algo.runs = make([]*DegRes, nRuns)
+	for ri := range algo.runs {
+		d1 := dec.i64()
+		runD2 := dec.i64()
+		capS := dec.i64()
+		seen := dec.i64()
+		var state [4]uint64
+		for i := range state {
+			state[i] = dec.u64()
+		}
+		nItems := dec.i64()
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if d1 < 1 || runD2 < 1 || capS < 1 || nItems < 0 || nItems > capS || seen < nItems {
+			return nil, fmt.Errorf("%w: run %d has d1=%d d2=%d s=%d seen=%d items=%d",
+				ErrBadSnapshot, ri, d1, runD2, capS, seen, nItems)
+		}
+		items := make([]*candidate, nItems)
+		pos := make(map[int64]*candidate, nItems)
+		for i := range items {
+			a := dec.i64()
+			nw := dec.i64()
+			if dec.err != nil {
+				return nil, dec.err
+			}
+			if nw < 0 || nw > runD2 {
+				return nil, fmt.Errorf("%w: %d witnesses with d2 = %d", ErrBadSnapshot, nw, runD2)
+			}
+			cand := &candidate{a: a, witnesses: make([]int64, nw)}
+			for j := range cand.witnesses {
+				cand.witnesses[j] = dec.i64()
+			}
+			if _, dup := pos[a]; dup {
+				return nil, fmt.Errorf("%w: vertex %d sampled twice in run %d", ErrBadSnapshot, a, ri)
+			}
+			items[i] = cand
+			pos[a] = cand
+		}
+		rng := xrand.New(0)
+		rng.SetState(state)
+		algo.runs[ri] = &DegRes{
+			d1:  d1,
+			d2:  runD2,
+			res: reservoir.Restore(rng, int(capS), items, seen),
+			pos: pos,
+		}
+	}
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	return algo, nil
+}
+
+// SnapshotSize returns the exact byte length Snapshot would write — the
+// "message size" of the communication protocols, without allocating the
+// buffer.
+func (io_ *InsertOnly) SnapshotSize() int {
+	size := 8 + 7*8 // magic + fixed header fields
+	size += 8 + 16*len(io_.tracker.deg)
+	size += 8
+	for _, run := range io_.runs {
+		size += 8 * (4 + 4) // d1, d2, cap, seen + rng state
+		size += 8
+		for _, cand := range run.res.Items() {
+			size += 16 + 8*len(cand.witnesses)
+		}
+	}
+	return size
+}
+
+// encoder writes fixed-width little-endian values with a sticky error.
+type encoder struct {
+	w   io.Writer
+	buf [8]byte
+	err error
+}
+
+func (e *encoder) bytes(p []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(p)
+}
+
+func (e *encoder) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:], v)
+	e.bytes(e.buf[:])
+}
+
+func (e *encoder) i64(v int64) { e.u64(uint64(v)) }
+
+// decoder reads fixed-width little-endian values with a sticky error.
+type decoder struct {
+	r   io.Reader
+	buf [8]byte
+	err error
+}
+
+func (d *decoder) bytes(p []byte) {
+	if d.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(d.r, p); err != nil {
+		d.err = fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+}
+
+func (d *decoder) u64() uint64 {
+	d.bytes(d.buf[:])
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(d.buf[:])
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }

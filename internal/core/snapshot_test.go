@@ -1,0 +1,258 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"feww/internal/workload"
+)
+
+func snapCfg() InsertOnlyConfig {
+	return InsertOnlyConfig{N: 512, D: 40, Alpha: 2, Seed: 7}
+}
+
+func feedPlanted(t testing.TB, algo *InsertOnly, seed uint64, upTo int) *workload.Planted {
+	t.Helper()
+	inst, err := workload.NewPlanted(workload.PlantedConfig{
+		N: 512, M: 2048, Heavy: 1, HeavyDeg: 40,
+		NoiseEdges: 512, Order: workload.Shuffled, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := inst.Updates
+	if upTo > len(ups) {
+		upTo = len(ups)
+	}
+	for _, u := range ups[:upTo] {
+		algo.ProcessEdge(u.A, u.B)
+	}
+	return inst
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	algo, err := NewInsertOnly(snapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedPlanted(t, algo, 3, 400)
+
+	var buf bytes.Buffer
+	if err := algo.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreInsertOnly(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.EdgesProcessed() != algo.EdgesProcessed() {
+		t.Fatalf("edges %d, want %d", restored.EdgesProcessed(), algo.EdgesProcessed())
+	}
+	if restored.SpaceWords() != algo.SpaceWords() {
+		t.Fatalf("space %d, want %d", restored.SpaceWords(), algo.SpaceWords())
+	}
+	// Both must produce byte-identical snapshots (deterministic encoding).
+	var buf2 bytes.Buffer
+	if err := restored.Snapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("snapshot of restored state differs from original snapshot")
+	}
+}
+
+// TestSnapshotContinuation is the crucial property: restoring mid-stream
+// and feeding the identical suffix yields the exact same final state as the
+// uninterrupted run (the RNG streams must line up).
+func TestSnapshotContinuation(t *testing.T) {
+	full, err := NewInsertOnly(snapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := feedPlanted(t, full, 3, 1<<30) // full stream
+
+	half, err := NewInsertOnly(snapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(inst.Updates) / 2
+	for _, u := range inst.Updates[:cut] {
+		half.ProcessEdge(u.A, u.B)
+	}
+	var buf bytes.Buffer
+	if err := half.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := RestoreInsertOnly(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range inst.Updates[cut:] {
+		resumed.ProcessEdge(u.A, u.B)
+	}
+
+	var a, b bytes.Buffer
+	if err := full.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("resumed run diverged from uninterrupted run")
+	}
+	// And the resumed algorithm still solves the instance.
+	nb, err := resumed.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(nb.A, nb.Witnesses); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotSizeExact(t *testing.T) {
+	algo, err := NewInsertOnly(snapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedPlanted(t, algo, 5, 300)
+	var buf bytes.Buffer
+	if err := algo.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := algo.SnapshotSize(), buf.Len(); got != want {
+		t.Fatalf("SnapshotSize = %d, actual = %d", got, want)
+	}
+}
+
+func TestSnapshotEmptyAlgorithm(t *testing.T) {
+	algo, err := NewInsertOnly(snapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := algo.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreInsertOnly(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.EdgesProcessed() != 0 {
+		t.Fatalf("restored empty algorithm has %d edges", restored.EdgesProcessed())
+	}
+	if _, err := restored.Result(); !errors.Is(err, ErrNoWitness) {
+		t.Fatalf("got %v, want ErrNoWitness", err)
+	}
+}
+
+func TestRestoreRejectsCorruption(t *testing.T) {
+	algo, err := NewInsertOnly(snapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedPlanted(t, algo, 9, 200)
+	var buf bytes.Buffer
+	if err := algo.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := RestoreInsertOnly(bytes.NewReader(nil)); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] ^= 0xff
+		if _, err := RestoreInsertOnly(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, frac := range []int{2, 3, 10} {
+			if _, err := RestoreInsertOnly(bytes.NewReader(good[:len(good)/frac])); err == nil {
+				t.Fatalf("truncation to 1/%d accepted", frac)
+			}
+		}
+	})
+	t.Run("zeroed header field", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		for i := 8; i < 16; i++ { // N = 0 is an invalid config
+			bad[i] = 0
+		}
+		if _, err := RestoreInsertOnly(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("got %v", err)
+		}
+	})
+}
+
+// TestSnapshotPropertyRoundTrip: round-tripping at a random cut point of a
+// random instance always reproduces the remaining run exactly.
+func TestSnapshotPropertyRoundTrip(t *testing.T) {
+	check := func(seed uint64, cutPct uint8) bool {
+		cfg := InsertOnlyConfig{N: 128, D: 16, Alpha: 2, Seed: seed}
+		inst, err := workload.NewPlanted(workload.PlantedConfig{
+			N: 128, M: 512, Heavy: 1, HeavyDeg: 16,
+			NoiseEdges: 128, Order: workload.Shuffled, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		full, err := NewInsertOnly(cfg)
+		if err != nil {
+			return false
+		}
+		for _, u := range inst.Updates {
+			full.ProcessEdge(u.A, u.B)
+		}
+
+		part, err := NewInsertOnly(cfg)
+		if err != nil {
+			return false
+		}
+		cut := len(inst.Updates) * int(cutPct%101) / 100
+		for _, u := range inst.Updates[:cut] {
+			part.ProcessEdge(u.A, u.B)
+		}
+		var buf bytes.Buffer
+		if err := part.Snapshot(&buf); err != nil {
+			return false
+		}
+		resumed, err := RestoreInsertOnly(&buf)
+		if err != nil {
+			return false
+		}
+		for _, u := range inst.Updates[cut:] {
+			resumed.ProcessEdge(u.A, u.B)
+		}
+		var a, b bytes.Buffer
+		if full.Snapshot(&a) != nil || resumed.Snapshot(&b) != nil {
+			return false
+		}
+		return bytes.Equal(a.Bytes(), b.Bytes())
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	algo, err := NewInsertOnly(InsertOnlyConfig{N: 1 << 14, D: 200, Alpha: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	feedPlanted(b, algo, 3, 1<<30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := algo.Snapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Algorithm is the streaming interface shared by InsertOnly and
+// InsertDelete, letting StarDetector lift either to general graphs.
+type Algorithm interface {
+	// ProcessUpdate consumes one edge update; delta is +1 or -1.
+	ProcessUpdate(a, b int64, delta int) error
+	// Result returns a neighbourhood of the target size or ErrNoWitness.
+	Result() (Neighbourhood, error)
+	SpaceReporter
+}
+
+// AlgorithmFactory builds a FEwW algorithm instance for threshold d over a
+// bipartite universe with |A| = |B| = n (the doubled general graph).
+type AlgorithmFactory func(d int64) (Algorithm, error)
+
+// StarDetector solves the Star Detection problem (Problem 2): given a
+// general graph G = (V, E) with maximum degree Delta, output a vertex
+// together with at least Delta / ((1+eps) * alpha) of its neighbours.
+//
+// Per Lemma 3.3, it runs O(log_{1+eps} n) guesses Delta' in {1, (1+eps),
+// (1+eps)^2, ...} in parallel; guess Delta' runs a FEwW algorithm with
+// threshold d = Delta' on the bipartite double cover (each undirected edge
+// uv is fed as both (u, v) and (v, u)).  The run with the largest
+// Delta' <= Delta finds a neighbourhood of size >= Delta'/alpha >=
+// Delta/((1+eps) alpha).
+type StarDetector struct {
+	n       int64
+	guesses []int64
+	runs    []Algorithm
+}
+
+// NewStarDetector builds the guess ladder for an n-vertex general graph.
+// eps > 0 controls the ladder density (and the extra (1+eps) approximation
+// loss); factory builds the per-guess FEwW algorithm.
+func NewStarDetector(n int64, eps float64, factory AlgorithmFactory) (*StarDetector, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: NewStarDetector with n = %d", n)
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("core: NewStarDetector with eps = %f, want > 0", eps)
+	}
+	sd := &StarDetector{n: n}
+	prev := int64(0)
+	for g := 1.0; ; g *= 1 + eps {
+		guess := int64(math.Ceil(g))
+		if guess <= prev {
+			continue
+		}
+		if guess > n {
+			break
+		}
+		algo, err := factory(guess)
+		if err != nil {
+			return nil, fmt.Errorf("core: StarDetector guess %d: %w", guess, err)
+		}
+		sd.guesses = append(sd.guesses, guess)
+		sd.runs = append(sd.runs, algo)
+		prev = guess
+	}
+	return sd, nil
+}
+
+// ProcessUpdate consumes one undirected edge update {u, v}: both
+// orientations are fed to every guess's algorithm (the bipartite double
+// cover of Lemma 3.3).
+func (sd *StarDetector) ProcessUpdate(u, v int64, delta int) error {
+	for _, run := range sd.runs {
+		if err := run.ProcessUpdate(u, v, delta); err != nil {
+			return err
+		}
+		if err := run.ProcessUpdate(v, u, delta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProcessEdge inserts the undirected edge {u, v}.
+func (sd *StarDetector) ProcessEdge(u, v int64) error { return sd.ProcessUpdate(u, v, 1) }
+
+// Result returns the best star found: scanning guesses from the largest
+// down, the first successful run's neighbourhood is the Lemma 3.3 output.
+func (sd *StarDetector) Result() (Neighbourhood, error) {
+	for i := len(sd.runs) - 1; i >= 0; i-- {
+		if nb, err := sd.runs[i].Result(); err == nil {
+			return nb, nil
+		}
+	}
+	return Neighbourhood{}, ErrNoWitness
+}
+
+// Guesses returns the Delta' ladder, for reporting.
+func (sd *StarDetector) Guesses() []int64 { return sd.guesses }
+
+// SpaceWords sums the space of all ladder runs.
+func (sd *StarDetector) SpaceWords() int {
+	words := 0
+	for _, run := range sd.runs {
+		words += run.SpaceWords()
+	}
+	return words
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"feww/internal/stream"
+	"feww/internal/workload"
+)
+
+func insertOnlyFactory(n int64, seed uint64) AlgorithmFactory {
+	return func(d int64) (Algorithm, error) {
+		seed++
+		return NewInsertOnly(InsertOnlyConfig{N: n, D: d, Alpha: 2, Seed: seed})
+	}
+}
+
+func TestStarDetectionOnSocialGraph(t *testing.T) {
+	const n = 300
+	ups := workload.SocialGraph(31, n, 3)
+	trueMax, trueDeg := generalMaxDegree(ups)
+
+	sd, err := NewStarDetector(n, 0.5, insertOnlyFactory(n, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range ups {
+		if err := sd.ProcessEdge(u.A, u.B); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nb, err := sd.Result()
+	if err != nil {
+		t.Fatalf("star detection failed (true max degree %d at %d): %v", trueDeg, trueMax, err)
+	}
+	// Approximation guarantee: >= Delta / ((1+eps) * alpha) witnesses.
+	want := float64(trueDeg) / (1.5 * 2)
+	if float64(nb.Size()) < want {
+		t.Fatalf("star of size %d, want >= %.1f (Delta = %d)", nb.Size(), want, trueDeg)
+	}
+	// Witnesses must be genuine neighbours of the reported vertex.
+	adj := adjacency(ups)
+	for _, w := range nb.Witnesses {
+		if !adj[stream.Edge{A: nb.A, B: w}] {
+			t.Fatalf("fabricated neighbour %d of %d", w, nb.A)
+		}
+	}
+}
+
+func TestStarDetectionTinyGraph(t *testing.T) {
+	// A single triangle: every vertex has degree 2.
+	ups := []stream.Update{stream.Ins(0, 1), stream.Ins(1, 2), stream.Ins(0, 2)}
+	sd, err := NewStarDetector(3, 0.5, insertOnlyFactory(3, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range ups {
+		if err := sd.ProcessEdge(u.A, u.B); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nb, err := sd.Result()
+	if err != nil {
+		t.Fatalf("failed on triangle: %v", err)
+	}
+	if nb.Size() < 1 {
+		t.Fatalf("star of size %d on a triangle", nb.Size())
+	}
+}
+
+func TestStarDetectorGuessLadder(t *testing.T) {
+	sd, err := NewStarDetector(1000, 0.5, insertOnlyFactory(1000, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	guesses := sd.Guesses()
+	if len(guesses) == 0 {
+		t.Fatal("empty guess ladder")
+	}
+	if guesses[0] != 1 {
+		t.Fatalf("ladder starts at %d, want 1", guesses[0])
+	}
+	for i := 1; i < len(guesses); i++ {
+		if guesses[i] <= guesses[i-1] {
+			t.Fatalf("ladder not increasing: %v", guesses)
+		}
+		if guesses[i] > 1000 {
+			t.Fatalf("guess %d exceeds n", guesses[i])
+		}
+	}
+	// Ladder must be logarithmic, not linear.
+	if len(guesses) > 30 {
+		t.Fatalf("ladder too dense: %d guesses", len(guesses))
+	}
+}
+
+func TestStarDetectorValidation(t *testing.T) {
+	if _, err := NewStarDetector(0, 0.5, insertOnlyFactory(1, 1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewStarDetector(10, 0, insertOnlyFactory(10, 1)); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+func TestStarDetectorEmptyGraph(t *testing.T) {
+	sd, err := NewStarDetector(10, 0.5, insertOnlyFactory(10, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sd.Result(); err == nil {
+		t.Fatal("empty graph produced a star")
+	}
+}
+
+// generalMaxDegree computes the max degree treating updates as undirected
+// edges.
+func generalMaxDegree(ups []stream.Update) (int64, int64) {
+	deg := make(map[int64]int64)
+	for _, u := range ups {
+		deg[u.A] += int64(u.Op)
+		deg[u.B] += int64(u.Op)
+	}
+	v, best := int64(-1), int64(0)
+	for k, d := range deg {
+		if d > best {
+			v, best = k, d
+		}
+	}
+	return v, best
+}
+
+// adjacency returns the undirected live-edge set in both orientations.
+func adjacency(ups []stream.Update) map[stream.Edge]bool {
+	adj := make(map[stream.Edge]bool)
+	for _, u := range ups {
+		on := u.Op == stream.Insert
+		adj[stream.Edge{A: u.A, B: u.B}] = on
+		adj[stream.Edge{A: u.B, B: u.A}] = on
+	}
+	return adj
+}

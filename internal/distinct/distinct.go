@@ -1,0 +1,240 @@
+// Package distinct provides duplicate suppression and distinct-count
+// estimation for edge streams.
+//
+// The paper's FEwW model assumes a *simple* bipartite graph: every edge
+// (item, witness) arrives at most once, so witness counts are distinct
+// counts.  Real logs repeat — the same source hits the same target twice —
+// and the paper's DoS motivation [22] explicitly asks for *distinct*
+// frequent elements.  This package bridges the gap:
+//
+//   - Filter deduplicates an edge stream (exactly, or space-bounded via a
+//     Bloom filter, per the multi-stage Bloom filter line of work the
+//     paper cites [11]) so the FEwW algorithms see each edge once;
+//   - KMV estimates the number of distinct elements (F0) of a stream,
+//     useful for choosing the threshold d before a second pass.
+package distinct
+
+import (
+	"fmt"
+	"math"
+
+	"feww/internal/hashing"
+	"feww/internal/xrand"
+)
+
+// Bloom is a classic Bloom filter over uint64 keys with k independent
+// polynomial hash functions.
+type Bloom struct {
+	bits []uint64
+	m    uint64 // number of bits
+	hs   []*hashing.Poly
+	n    int64 // keys added
+}
+
+// NewBloom returns a filter with m bits (rounded up to a multiple of 64)
+// and k hash functions.  For a target false-positive rate p at n keys, use
+// m ~= -n ln p / (ln 2)^2 and k ~= (m/n) ln 2.
+func NewBloom(rng *xrand.RNG, m uint64, k int) *Bloom {
+	if m < 64 {
+		m = 64
+	}
+	if k < 1 {
+		k = 1
+	}
+	words := (m + 63) / 64
+	b := &Bloom{bits: make([]uint64, words), m: words * 64}
+	for i := 0; i < k; i++ {
+		b.hs = append(b.hs, hashing.NewPoly(rng.Split(), 3))
+	}
+	return b
+}
+
+// BloomSizing returns (bits, hashes) for a target false-positive rate p at
+// capacity n keys.
+func BloomSizing(n int64, p float64) (m uint64, k int) {
+	if n < 1 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	ln2 := math.Ln2
+	mf := -float64(n) * math.Log(p) / (ln2 * ln2)
+	kf := mf / float64(n) * ln2
+	m = uint64(math.Ceil(mf))
+	k = int(math.Round(kf))
+	if k < 1 {
+		k = 1
+	}
+	return m, k
+}
+
+// Add inserts a key.
+func (b *Bloom) Add(key uint64) {
+	b.n++
+	for _, h := range b.hs {
+		i := h.HashRange(key, b.m)
+		b.bits[i/64] |= 1 << (i % 64)
+	}
+}
+
+// MayContain reports whether key was possibly added.  False negatives never
+// occur; false positives occur at the designed rate.
+func (b *Bloom) MayContain(key uint64) bool {
+	for _, h := range b.hs {
+		i := h.HashRange(key, b.m)
+		if b.bits[i/64]&(1<<(i%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AddIfNew inserts the key and reports whether it was (probably) new —
+// the test-and-set used for stream deduplication.
+func (b *Bloom) AddIfNew(key uint64) bool {
+	fresh := false
+	for _, h := range b.hs {
+		i := h.HashRange(key, b.m)
+		if b.bits[i/64]&(1<<(i%64)) == 0 {
+			fresh = true
+		}
+		b.bits[i/64] |= 1 << (i % 64)
+	}
+	if fresh {
+		b.n++
+	}
+	return fresh
+}
+
+// EstimatedFPRate returns the filter's current theoretical false-positive
+// rate (1 - e^{-kn/m})^k given the keys added so far.
+func (b *Bloom) EstimatedFPRate() float64 {
+	k := float64(len(b.hs))
+	return math.Pow(1-math.Exp(-k*float64(b.n)/float64(b.m)), k)
+}
+
+// Added returns the number of (distinct) keys added.
+func (b *Bloom) Added() int64 { return b.n }
+
+// SpaceWords reports the bit array plus hash coefficients.
+func (b *Bloom) SpaceWords() int {
+	words := len(b.bits)
+	for _, h := range b.hs {
+		words += h.SpaceWords()
+	}
+	return words
+}
+
+// Filter deduplicates an edge stream so a downstream FEwW algorithm sees a
+// simple graph.  Mode is chosen at construction: exact (a hash set, O(E)
+// space, zero error) or bloom (space-bounded; a false positive silently
+// drops a first occurrence, trading a small witness undercount for space —
+// acceptable because FEwW's guarantee is itself approximate).
+type Filter struct {
+	exact map[uint64]struct{}
+	bloom *Bloom
+	m     int64 // B-universe width for edge keying
+}
+
+// NewExactFilter returns a zero-error deduplicator for edges over
+// [0,n) x [0,m).
+func NewExactFilter(m int64) *Filter {
+	return &Filter{exact: make(map[uint64]struct{}), m: m}
+}
+
+// NewBloomFilter returns a space-bounded deduplicator sized for capacity
+// distinct edges at the given false-positive rate.
+func NewBloomFilter(rng *xrand.RNG, m int64, capacity int64, fpRate float64) *Filter {
+	bits, k := BloomSizing(capacity, fpRate)
+	return &Filter{bloom: NewBloom(rng, bits, k), m: m}
+}
+
+// Distinct reports whether edge (a, b) is new, recording it.  With a Bloom
+// filter backing, a false positive makes a genuinely new edge report
+// false (rate EstimatedFPRate); true is always correct.
+func (f *Filter) Distinct(a, b int64) bool {
+	key := uint64(a)*uint64(f.m) + uint64(b)
+	if f.exact != nil {
+		if _, dup := f.exact[key]; dup {
+			return false
+		}
+		f.exact[key] = struct{}{}
+		return true
+	}
+	return f.bloom.AddIfNew(key)
+}
+
+// SpaceWords reports the live state of the filter.
+func (f *Filter) SpaceWords() int {
+	if f.exact != nil {
+		return 2 * len(f.exact)
+	}
+	return f.bloom.SpaceWords()
+}
+
+// KMV is the k-minimum-values distinct-count (F0) estimator: it keeps the
+// k smallest hash values seen; with the k-th smallest at fraction v of the
+// hash range, the estimate is (k-1)/v.  Standard error ~ 1/sqrt(k-2).
+type KMV struct {
+	k    int
+	h    *hashing.Poly
+	mins []uint64 // max-heap-free: kept sorted ascending, len <= k
+	seen map[uint64]struct{}
+}
+
+// NewKMV returns an estimator keeping k minima (k >= 3 for finite
+// variance).
+func NewKMV(rng *xrand.RNG, k int) *KMV {
+	if k < 3 {
+		panic(fmt.Sprintf("distinct: NewKMV with k = %d, want >= 3", k))
+	}
+	return &KMV{
+		k:    k,
+		h:    hashing.NewPoly(rng.Split(), 2),
+		seen: make(map[uint64]struct{}, k),
+	}
+}
+
+// Add observes a key (duplicates are free).
+func (s *KMV) Add(key uint64) {
+	hv := s.h.Hash(key)
+	if len(s.mins) == s.k && hv >= s.mins[s.k-1] {
+		return
+	}
+	if _, dup := s.seen[hv]; dup {
+		return
+	}
+	// Insert hv into the sorted minima.
+	pos := len(s.mins)
+	for pos > 0 && s.mins[pos-1] > hv {
+		pos--
+	}
+	s.mins = append(s.mins, 0)
+	copy(s.mins[pos+1:], s.mins[pos:])
+	s.mins[pos] = hv
+	s.seen[hv] = struct{}{}
+	if len(s.mins) > s.k {
+		evicted := s.mins[s.k]
+		s.mins = s.mins[:s.k]
+		delete(s.seen, evicted)
+	}
+}
+
+// Estimate returns the estimated number of distinct keys added.
+func (s *KMV) Estimate() float64 {
+	if len(s.mins) < s.k {
+		return float64(len(s.mins)) // exact below capacity
+	}
+	// Hash range is [0, 2^61-1) (Mersenne-prime field).
+	v := float64(s.mins[s.k-1]) / float64(hashing.MersennePrime61)
+	if v == 0 {
+		return float64(s.k)
+	}
+	return float64(s.k-1) / v
+}
+
+// SpaceWords reports the minima plus hash coefficients.
+func (s *KMV) SpaceWords() int {
+	return len(s.mins) + 2*len(s.seen) + s.h.SpaceWords()
+}

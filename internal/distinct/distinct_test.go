@@ -1,0 +1,218 @@
+package distinct
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"feww/internal/xrand"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	rng := xrand.New(1)
+	m, k := BloomSizing(1000, 0.01)
+	b := NewBloom(rng, m, k)
+	for i := uint64(0); i < 1000; i++ {
+		b.Add(i * 2654435761)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !b.MayContain(i * 2654435761) {
+			t.Fatalf("false negative for key %d", i)
+		}
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	rng := xrand.New(2)
+	const n = 5000
+	m, k := BloomSizing(n, 0.01)
+	b := NewBloom(rng, m, k)
+	for i := uint64(0); i < n; i++ {
+		b.Add(i)
+	}
+	fp := 0
+	const probes = 20000
+	for i := uint64(n); i < n+probes; i++ {
+		if b.MayContain(i) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 { // designed 1%, allow 3x
+		t.Fatalf("false-positive rate %.4f, designed 0.01", rate)
+	}
+	if est := b.EstimatedFPRate(); est > 0.02 {
+		t.Fatalf("EstimatedFPRate = %.4f, want ~0.01", est)
+	}
+}
+
+func TestBloomAddIfNew(t *testing.T) {
+	rng := xrand.New(3)
+	b := NewBloom(rng, 1<<14, 4)
+	if !b.AddIfNew(42) {
+		t.Fatal("first insertion reported as duplicate")
+	}
+	if b.AddIfNew(42) {
+		t.Fatal("second insertion reported as new")
+	}
+	if b.Added() != 1 {
+		t.Fatalf("Added = %d, want 1", b.Added())
+	}
+}
+
+func TestBloomSizing(t *testing.T) {
+	m, k := BloomSizing(1000, 0.01)
+	// Textbook: m ~ 9.59 bits/key, k ~ 7.
+	if m < 9000 || m > 11000 {
+		t.Fatalf("m = %d, want ~9600", m)
+	}
+	if k < 6 || k > 8 {
+		t.Fatalf("k = %d, want ~7", k)
+	}
+	// Degenerate inputs fall back to sane defaults.
+	if m, k = BloomSizing(0, -1); m == 0 || k < 1 {
+		t.Fatalf("degenerate sizing m=%d k=%d", m, k)
+	}
+}
+
+func TestExactFilter(t *testing.T) {
+	f := NewExactFilter(100)
+	if !f.Distinct(1, 2) {
+		t.Fatal("first edge not distinct")
+	}
+	if f.Distinct(1, 2) {
+		t.Fatal("duplicate edge reported distinct")
+	}
+	if !f.Distinct(2, 1) {
+		t.Fatal("(2,1) confused with (1,2)")
+	}
+	if f.SpaceWords() != 4 {
+		t.Fatalf("SpaceWords = %d, want 4", f.SpaceWords())
+	}
+}
+
+// TestBloomFilterDedup: over a random multigraph stream, the Bloom-backed
+// filter never passes a duplicate, and drops only a small fraction of
+// first occurrences (false positives).
+func TestBloomFilterDedup(t *testing.T) {
+	rng := xrand.New(5)
+	f := NewBloomFilter(rng, 1000, 5000, 0.01)
+	type edge struct{ a, b int64 }
+	passed := make(map[edge]bool)
+	firsts, dropped := 0, 0
+	seen := make(map[edge]bool)
+	for i := 0; i < 20000; i++ {
+		e := edge{rng.Int64n(200), rng.Int64n(25)} // dense: many duplicates
+		isFirst := !seen[e]
+		seen[e] = true
+		if f.Distinct(e.a, e.b) {
+			if passed[e] {
+				t.Fatalf("duplicate edge %v passed the filter", e)
+			}
+			passed[e] = true
+		} else if isFirst {
+			dropped++
+		}
+		if isFirst {
+			firsts++
+		}
+	}
+	if rate := float64(dropped) / float64(firsts); rate > 0.05 {
+		t.Fatalf("dropped %.2f%% of first occurrences, want < 5%%", 100*rate)
+	}
+}
+
+func TestKMVExactBelowCapacity(t *testing.T) {
+	rng := xrand.New(7)
+	s := NewKMV(rng, 64)
+	for i := uint64(0); i < 40; i++ {
+		s.Add(i)
+		s.Add(i) // duplicates are free
+	}
+	if got := s.Estimate(); got != 40 {
+		t.Fatalf("Estimate = %v, want exactly 40 below capacity", got)
+	}
+}
+
+func TestKMVAccuracy(t *testing.T) {
+	rng := xrand.New(8)
+	const k, truth = 256, 50000
+	s := NewKMV(rng, k)
+	for i := uint64(0); i < truth; i++ {
+		s.Add(i)
+		if i%3 == 0 {
+			s.Add(i) // sprinkle duplicates
+		}
+	}
+	got := s.Estimate()
+	relErr := math.Abs(got-truth) / truth
+	// Standard error ~ 1/sqrt(k-2) ~ 6.3%; allow 4 sigma.
+	if relErr > 0.25 {
+		t.Fatalf("Estimate = %.0f for %d distinct (rel err %.2f)", got, truth, relErr)
+	}
+}
+
+func TestKMVPanicsOnTinyK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKMV(xrand.New(1), 2)
+}
+
+// TestKMVOrderInvariance: the estimate depends only on the key set, not
+// the arrival order or duplicate pattern.
+func TestKMVOrderInvariance(t *testing.T) {
+	check := func(seed uint64) bool {
+		keys := make([]uint64, 500)
+		for i := range keys {
+			keys[i] = uint64(i) * 11400714819323198485
+		}
+		a := NewKMV(xrand.New(9), 32)
+		for _, k := range keys {
+			a.Add(k)
+		}
+		b := NewKMV(xrand.New(9), 32) // same hash (same seed)
+		rng := xrand.New(seed)
+		perm := rng.Perm(len(keys))
+		for _, i := range perm {
+			b.Add(keys[i])
+			b.Add(keys[perm[0]]) // extra duplicates
+		}
+		return a.Estimate() == b.Estimate()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceWordsPositive(t *testing.T) {
+	rng := xrand.New(11)
+	b := NewBloom(rng, 1<<10, 3)
+	if b.SpaceWords() <= 0 {
+		t.Fatal("bloom SpaceWords not positive")
+	}
+	s := NewKMV(rng, 8)
+	s.Add(1)
+	if s.SpaceWords() <= 0 {
+		t.Fatal("kmv SpaceWords not positive")
+	}
+}
+
+func BenchmarkBloomAddIfNew(b *testing.B) {
+	rng := xrand.New(1)
+	f := NewBloom(rng, 1<<20, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.AddIfNew(uint64(i))
+	}
+}
+
+func BenchmarkKMVAdd(b *testing.B) {
+	s := NewKMV(xrand.New(1), 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i))
+	}
+}

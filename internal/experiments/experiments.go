@@ -1,0 +1,205 @@
+// Package experiments regenerates every artefact of the paper's
+// evaluation.  The paper is pure theory — its "evaluation" is a set of
+// theorems plus three worked figures — so each experiment here validates
+// the *shape* of one theorem empirically (success probabilities, space
+// scaling exponents, crossovers, model separations) or reproduces one
+// figure as an executable construction.
+//
+// The experiment IDs E1-E10 and F1-F3 are indexed in DESIGN.md §3; the
+// measured outcomes are recorded against the paper's claims in
+// EXPERIMENTS.md.  Every experiment is deterministic in Config.Seed.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Config controls every experiment run.
+type Config struct {
+	// Seed drives all randomness; a fixed seed reproduces a run exactly.
+	Seed uint64
+	// Quick shrinks instance sizes and trial counts so the full suite runs
+	// in seconds (used by tests and -short benchmarks).  The recorded
+	// EXPERIMENTS.md numbers use Quick = false.
+	Quick bool
+}
+
+// trials returns the number of repetitions to average over.
+func (c Config) trials(quick, full int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// pick returns size parameters for quick vs full runs.
+func (c Config) pick(quick, full int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Table is one regenerated artefact: a titled grid of rows mirroring what
+// the paper's evaluation would report.
+type Table struct {
+	ID      string // experiment id, e.g. "E2"
+	Title   string // one-line description
+	Claim   string // the paper claim being validated (theorem/figure ref)
+	Columns []string
+	Rows    [][]string
+	Notes   []string // free-form observations appended below the grid
+}
+
+// AddRow appends a row; values are rendered with %v.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = trimFloat(x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a formatted observation below the table.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// trimFloat renders floats compactly: integers without a decimal point,
+// others with up to 4 significant decimals.
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) && x < 1e15 && x > -1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	s := fmt.Sprintf("%.4f", x)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// Format writes the table as aligned text.
+func (t *Table) Format(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "   paper: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(widths) - 1
+	if total < 0 {
+		total = 0
+	}
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table (for error messages and logs).
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Format(&b)
+	return b.String()
+}
+
+// Runner is one experiment.
+type Runner func(cfg Config) (*Table, error)
+
+// registry maps experiment ids to runners; populated by init functions in
+// the per-experiment files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// IDs returns all registered experiment ids in order (E1..E10, F1..F3).
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i][0], out[j][0]
+		if pi != pj {
+			return pi < pj // E before F
+		}
+		var ni, nj int
+		fmt.Sscanf(out[i][1:], "%d", &ni)
+		fmt.Sscanf(out[j][1:], "%d", &nj)
+		return ni < nj
+	})
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, cfg Config) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return r(cfg)
+}
+
+// RunAll executes every experiment in order, stopping at the first error.
+func RunAll(cfg Config) ([]*Table, error) {
+	var out []*Table
+	for _, id := range IDs() {
+		t, err := Run(id, cfg)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ratio formats a/b as a percentage string.
+func ratio(a, b int) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(a)/float64(b))
+}

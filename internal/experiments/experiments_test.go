@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+const testSeed = 42
+
+func quickCfg() Config { return Config{Seed: testSeed, Quick: true} }
+
+func TestIDsOrdered(t *testing.T) {
+	ids := IDs()
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "F1", "F2", "F3"}
+	if len(ids) != len(want) {
+		t.Fatalf("got %d ids %v, want %d", len(ids), ids, len(want))
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids[%d] = %s, want %s (all: %v)", i, ids[i], want[i], ids)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("E99", quickCfg()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestEveryExperimentRuns executes the whole quick suite; each experiment
+// validates its own invariants internally (verified witnesses, exact figure
+// reproduction) and returns an error on violation.
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			tab, err := Run(id, quickCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.ID != id {
+				t.Fatalf("table id %s, want %s", tab.ID, id)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("row %v has %d cells, want %d", row, len(row), len(tab.Columns))
+				}
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run("E1", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("E1", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed gave different tables:\n%s\nvs\n%s", a, b)
+	}
+	c, err := Run("E1", Config{Seed: testSeed + 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Log("different seeds gave identical E1 tables (possible but unlikely)")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := &Table{
+		ID:      "T0",
+		Title:   "demo",
+		Claim:   "none",
+		Columns: []string{"a", "long column"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("wide cell value", 0.333333333)
+	tab.AddNote("a note with %d arg", 7)
+	out := tab.String()
+	for _, want := range []string{"== T0: demo", "paper: none", "a note with 7 arg", "wide cell value", "2.5", "0.3333"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 {
+		t.Errorf("got %d lines, want 7:\n%s", len(lines), out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:       "1",
+		2.5:     "2.5",
+		0.33333: "0.3333",
+		-4:      "-4",
+		1000000: "1000000",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := ratio(1, 2); got != "50%" {
+		t.Errorf("ratio(1,2) = %s", got)
+	}
+	if got := ratio(3, 0); got != "n/a" {
+		t.Errorf("ratio(3,0) = %s", got)
+	}
+}
+
+func TestChiSquare95(t *testing.T) {
+	// Reference values (k, 95th percentile): 7 -> 14.07, 31 -> 44.99.
+	for _, c := range []struct {
+		k    int
+		want float64
+	}{{7, 14.07}, {31, 44.99}} {
+		got := chiSquare95(c.k)
+		if got < c.want*0.95 || got > c.want*1.05 {
+			t.Errorf("chiSquare95(%d) = %.2f, want ~%.2f", c.k, got, c.want)
+		}
+	}
+}
+
+func TestLadderGuesses(t *testing.T) {
+	gs := ladderGuesses(100, 1.0) // powers of two up to 100
+	want := []int64{1, 2, 4, 8, 16, 32, 64}
+	if len(gs) != len(want) {
+		t.Fatalf("got %v, want %v", gs, want)
+	}
+	for i := range want {
+		if gs[i] != want[i] {
+			t.Fatalf("got %v, want %v", gs, want)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TestEveryExperimentRuns covers the suite; RunAll re-runs it")
+	}
+	tabs, err := RunAll(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != len(IDs()) {
+		t.Fatalf("got %d tables, want %d", len(tabs), len(IDs()))
+	}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"feww/internal/stream"
+)
+
+func TestTwoTierGraphShape(t *testing.T) {
+	const n1, n2 = 50, 5
+	const d1, d2 = 4, 6
+	ups := twoTierGraph(1, n1, n2, d1, d2)
+	deg := stream.Degrees(ups)
+	if len(deg) != n1 {
+		t.Fatalf("%d vertices with edges, want %d", len(deg), n1)
+	}
+	upgraded, base := 0, 0
+	for _, d := range deg {
+		switch d {
+		case d1:
+			base++
+		case d1 + d2 - 1:
+			upgraded++
+		default:
+			t.Fatalf("unexpected degree %d", d)
+		}
+	}
+	if upgraded != n2 || base != n1-n2 {
+		t.Fatalf("upgraded=%d base=%d, want %d and %d", upgraded, base, n2, n1-n2)
+	}
+}
+
+func TestE6InstanceRegimes(t *testing.T) {
+	sparse, err := e6Instance("sparse", 96, 24, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sparse.HeavyA) != 1 {
+		t.Fatalf("sparse regime planted %d heavy vertices, want 1", len(sparse.HeavyA))
+	}
+	dense, err := e6Instance("dense", 96, 24, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dense.HeavyA) <= 1 {
+		t.Fatalf("dense regime planted %d heavy vertices, want > 1", len(dense.HeavyA))
+	}
+	// Churn must cancel: final live edges far below stream length.
+	st := stream.Summarize(dense.Updates)
+	if st.Deletes == 0 {
+		t.Fatal("churn instance has no deletions")
+	}
+	if st.LiveEdges >= st.Updates {
+		t.Fatalf("live %d of %d updates: churn did not cancel", st.LiveEdges, st.Updates)
+	}
+}
+
+func TestMaxDegreeUndirected(t *testing.T) {
+	ups := []stream.Update{
+		stream.Ins(1, 2), stream.Ins(1, 3), stream.Ins(1, 4), stream.Ins(2, 3),
+	}
+	v, d := maxDegreeUndirected(ups)
+	if v != 1 || d != 3 {
+		t.Fatalf("got vertex %d degree %d, want 1 and 3", v, d)
+	}
+}
+
+func TestBitString(t *testing.T) {
+	if got := bitString([]byte{1, 0, 1, 1}); got != "1011" {
+		t.Fatalf("bitString = %q", got)
+	}
+	if got := bitString(nil); got != "" {
+		t.Fatalf("bitString(nil) = %q", got)
+	}
+}
+
+func TestPartyName(t *testing.T) {
+	names := []string{partyName(0), partyName(1), partyName(2), partyName(3)}
+	want := []string{"Alice", "Bob", "Charlie", "party 4"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("partyName(%d) = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestPerRunString(t *testing.T) {
+	if got := perRunString([]int{5, 10}, 10); got != "50%/100%" {
+		t.Fatalf("perRunString = %q", got)
+	}
+}
+
+func TestIpow(t *testing.T) {
+	cases := map[[2]int]int{{2, 10}: 1024, {3, 0}: 1, {5, 3}: 125}
+	for in, want := range cases {
+		if got := ipow(in[0], in[1]); got != want {
+			t.Fatalf("ipow(%d, %d) = %d, want %d", in[0], in[1], got, want)
+		}
+	}
+}
+
+// Semantic assertions on quick-mode outputs: these parse the tables the
+// suite prints and check the claims that must hold at ANY scale.
+func TestE4DisjointNeverMisclassified(t *testing.T) {
+	tab, err := Run("E4", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := indexOf(tab.Columns, "acc disjoint")
+	for _, row := range tab.Rows {
+		if row[col] != "100%" {
+			t.Fatalf("disjoint accuracy %s in row %v — a fabricated witness slipped through", row[col], row)
+		}
+	}
+}
+
+func TestE2AlwaysSucceeds(t *testing.T) {
+	tab, err := Run("E2", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := indexOf(tab.Columns, "success")
+	for _, row := range tab.Rows {
+		if !strings.HasSuffix(row[col], "%") {
+			t.Fatalf("bad success cell %q", row[col])
+		}
+		if row[col] < "90%" && row[col] != "100%" { // lexical compare is fine for NN%
+			t.Fatalf("success %s below 90%% in row %v", row[col], row)
+		}
+	}
+}
+
+func TestF1HasFourRows(t *testing.T) {
+	tab, err := Run("F1", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Figure 1 table has %d rows, want 4 (Z_1..Z_4)", len(tab.Rows))
+	}
+}
+
+func indexOf(cols []string, name string) int {
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}

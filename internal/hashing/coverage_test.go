@@ -1,0 +1,105 @@
+package hashing
+
+import (
+	"testing"
+
+	"feww/internal/xrand"
+)
+
+func TestFingerprintClone(t *testing.T) {
+	rng := xrand.New(1)
+	f := NewFingerprint(rng)
+	f.Update(5, 3)
+	cp := f.Clone()
+	if !cp.Matches(5, 3) {
+		t.Fatal("clone lost state")
+	}
+	// Mutating the clone must not affect the original (peeling decoders
+	// rely on this).
+	cp.Update(5, -3)
+	if !cp.Zero() {
+		t.Fatal("clone did not cancel to zero")
+	}
+	if !f.Matches(5, 3) {
+		t.Fatal("original mutated through clone")
+	}
+}
+
+func TestSpaceWordsAccessors(t *testing.T) {
+	rng := xrand.New(2)
+	if got := NewFingerprint(rng).SpaceWords(); got != 2 {
+		t.Fatalf("Fingerprint.SpaceWords = %d, want 2", got)
+	}
+	if got := NewPoly(rng, 5).SpaceWords(); got != 5 {
+		t.Fatalf("Poly.SpaceWords = %d, want 5", got)
+	}
+}
+
+func TestHashRangePowerOfTwoFastPath(t *testing.T) {
+	rng := xrand.New(3)
+	h := NewPoly(rng, 2)
+	for _, m := range []uint64{1, 2, 64, 1 << 20, 3, 1000} {
+		for x := uint64(0); x < 200; x++ {
+			if v := h.HashRange(x, m); v >= m {
+				t.Fatalf("HashRange(%d, %d) = %d out of range", x, m, v)
+			}
+		}
+	}
+}
+
+func TestNewMultiplyShiftPanics(t *testing.T) {
+	for _, bits := range []uint{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rangeBits %d accepted", bits)
+				}
+			}()
+			NewMultiplyShift(xrand.New(1), bits)
+		}()
+	}
+}
+
+func TestMultiplyShiftBucketSpread(t *testing.T) {
+	ms := NewMultiplyShift(xrand.New(4), 10)
+	seen := make(map[uint64]bool)
+	for x := uint64(0); x < 4096; x++ {
+		v := ms.Hash(x)
+		if v >= 1<<10 {
+			t.Fatalf("Hash(%d) = %d out of 2^10 range", x, v)
+		}
+		seen[v] = true
+	}
+	// A decent multiplier spreads 4096 keys over most of the 1024 buckets.
+	if len(seen) < 512 {
+		t.Fatalf("only %d of 1024 buckets hit", len(seen))
+	}
+}
+
+func TestNewPolyPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k = 0 accepted")
+		}
+	}()
+	NewPoly(xrand.New(1), 0)
+}
+
+func TestModArithmeticIdentities(t *testing.T) {
+	// (p-1) + 1 == 0, 0 - x == p - x, inverse round trips.
+	p := MersennePrime61
+	if AddMod61(p-1, 1) != 0 {
+		t.Fatal("AddMod61 wrap failed")
+	}
+	if SubMod61(0, 5) != p-5 {
+		t.Fatal("SubMod61 wrap failed")
+	}
+	for _, x := range []uint64{1, 2, 12345, p - 1} {
+		if MulMod61(x, InvMod61(x)) != 1 {
+			t.Fatalf("InvMod61(%d) not an inverse", x)
+		}
+	}
+	if PowMod61(3, 0) != 1 || PowMod61(3, 1) != 3 || PowMod61(3, 4) != 81 {
+		t.Fatal("PowMod61 small cases failed")
+	}
+}

@@ -1,0 +1,201 @@
+// Package hashing provides the k-wise independent hash families and
+// polynomial fingerprints that the L0 samplers (paper §5, Jowhari et al.
+// [26]) and the sketch baselines (CountMin, CountSketch) are built on.
+//
+// All arithmetic is over the Mersenne prime field F_p with p = 2^61 - 1,
+// which admits fast modular reduction without division.
+package hashing
+
+import (
+	"math/bits"
+
+	"feww/internal/xrand"
+)
+
+// MersennePrime61 is the field modulus p = 2^61 - 1.
+const MersennePrime61 uint64 = (1 << 61) - 1
+
+// reduce61 reduces a 128-bit product (hi, lo) modulo 2^61 - 1.
+func reduce61(hi, lo uint64) uint64 {
+	// x = hi*2^64 + lo.  2^64 ≡ 2^3 (mod 2^61-1), so fold three times to be
+	// safe, then do a final conditional subtraction.
+	r := (lo & MersennePrime61) + (lo >> 61) + (hi << 3 & MersennePrime61) + (hi >> 58)
+	r = (r & MersennePrime61) + (r >> 61)
+	if r >= MersennePrime61 {
+		r -= MersennePrime61
+	}
+	return r
+}
+
+// MulMod61 returns a*b mod 2^61-1 for a, b < 2^61-1.
+func MulMod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return reduce61(hi, lo)
+}
+
+// AddMod61 returns a+b mod 2^61-1 for a, b < 2^61-1.
+func AddMod61(a, b uint64) uint64 {
+	s := a + b
+	if s >= MersennePrime61 {
+		s -= MersennePrime61
+	}
+	return s
+}
+
+// SubMod61 returns a-b mod 2^61-1 for a, b < 2^61-1.
+func SubMod61(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + MersennePrime61 - b
+}
+
+// PowMod61 returns base^exp mod 2^61-1 by square-and-multiply.
+func PowMod61(base, exp uint64) uint64 {
+	result := uint64(1)
+	base %= MersennePrime61
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = MulMod61(result, base)
+		}
+		base = MulMod61(base, base)
+		exp >>= 1
+	}
+	return result
+}
+
+// InvMod61 returns the multiplicative inverse of a mod 2^61-1 (a != 0).
+// p is prime, so a^(p-2) = a^{-1}.
+func InvMod61(a uint64) uint64 {
+	return PowMod61(a, MersennePrime61-2)
+}
+
+// Poly is a degree-(k-1) polynomial over F_p, giving a k-wise independent
+// hash family: h(x) = c_{k-1} x^{k-1} + ... + c_1 x + c_0 mod p.
+type Poly struct {
+	coeffs []uint64
+}
+
+// NewPoly draws a uniform member of the k-wise independent family.
+// k must be >= 1; k = 2 gives the pairwise-independent family used by the
+// L0 sampler's level assignment.
+func NewPoly(rng *xrand.RNG, k int) *Poly {
+	if k < 1 {
+		panic("hashing: NewPoly with k < 1")
+	}
+	c := make([]uint64, k)
+	for i := range c {
+		c[i] = rng.Uint64n(MersennePrime61)
+	}
+	// Guarantee the polynomial is non-constant when k >= 2 so the family
+	// retains full pairwise independence over distinct points.
+	if k >= 2 && c[k-1] == 0 {
+		c[k-1] = 1
+	}
+	return &Poly{coeffs: c}
+}
+
+// Hash evaluates the polynomial at x (Horner's rule), returning a value in
+// [0, p).
+func (h *Poly) Hash(x uint64) uint64 {
+	x %= MersennePrime61
+	acc := uint64(0)
+	for i := len(h.coeffs) - 1; i >= 0; i-- {
+		acc = AddMod61(MulMod61(acc, x), h.coeffs[i])
+	}
+	return acc
+}
+
+// HashRange maps x into [0, m) by multiply-high on the field hash, which
+// avoids the modulo bias of h(x) % m for m far below p.
+func (h *Poly) HashRange(x, m uint64) uint64 {
+	if m == 0 {
+		panic("hashing: HashRange with m == 0")
+	}
+	hi, _ := bits.Mul64(h.Hash(x)<<3, m) // spread the 61-bit hash over 64 bits
+	return hi
+}
+
+// Sign returns ±1 from one hash bit — the 4-wise independent sign hash used
+// by CountSketch.
+func (h *Poly) Sign(x uint64) int64 {
+	if h.Hash(x)&1 == 1 {
+		return 1
+	}
+	return -1
+}
+
+// SpaceWords reports the words of state held by the hash function.
+func (h *Poly) SpaceWords() int { return len(h.coeffs) }
+
+// Fingerprint maintains the polynomial fingerprint F = sum_i c_i * r^i mod p
+// of an integer vector c under turnstile updates.  It is the third component
+// of the 1-sparse recovery test in the L0 sampler: a claimed singleton
+// (index i, count c) is accepted only if F == c * r^i mod p, which fails for
+// non-singletons with probability <= universe/p.
+type Fingerprint struct {
+	r   uint64
+	acc uint64
+}
+
+// NewFingerprint draws a random evaluation point r in [1, p).
+func NewFingerprint(rng *xrand.RNG) *Fingerprint {
+	return &Fingerprint{r: 1 + rng.Uint64n(MersennePrime61-1)}
+}
+
+// Update applies c_i += delta for index i >= 0.
+func (f *Fingerprint) Update(i uint64, delta int64) {
+	term := MulMod61(modDelta(delta), PowMod61(f.r, i))
+	f.acc = AddMod61(f.acc, term)
+}
+
+// Matches reports whether the fingerprint is consistent with the vector
+// being exactly {i: count} (a single non-zero coordinate).
+func (f *Fingerprint) Matches(i uint64, count int64) bool {
+	want := MulMod61(modDelta(count), PowMod61(f.r, i))
+	return f.acc == want
+}
+
+// Zero reports whether the fingerprint is consistent with the zero vector.
+func (f *Fingerprint) Zero() bool { return f.acc == 0 }
+
+// Clone returns an independent copy (same evaluation point and state),
+// used by peeling decoders that subtract recovered coordinates from a
+// scratch copy.
+func (f *Fingerprint) Clone() *Fingerprint {
+	cp := *f
+	return &cp
+}
+
+// SpaceWords reports the words of state held by the fingerprint.
+func (f *Fingerprint) SpaceWords() int { return 2 }
+
+// modDelta maps a signed delta into F_p.
+func modDelta(d int64) uint64 {
+	if d >= 0 {
+		return uint64(d) % MersennePrime61
+	}
+	return SubMod61(0, uint64(-d)%MersennePrime61)
+}
+
+// MultiplyShift is the classic 2-approximately-universal multiply-shift
+// hash into [0, 2^bits).  It is faster than Poly and used where speed
+// matters more than full pairwise independence (bucket spreading in
+// benchmarks).
+type MultiplyShift struct {
+	a    uint64
+	bits uint
+}
+
+// NewMultiplyShift draws a random odd multiplier for a 2^bits range.
+func NewMultiplyShift(rng *xrand.RNG, rangeBits uint) MultiplyShift {
+	if rangeBits == 0 || rangeBits > 64 {
+		panic("hashing: NewMultiplyShift with rangeBits out of (0, 64]")
+	}
+	return MultiplyShift{a: rng.Uint64() | 1, bits: rangeBits}
+}
+
+// Hash maps x into [0, 2^bits).
+func (m MultiplyShift) Hash(x uint64) uint64 {
+	return (m.a * x) >> (64 - m.bits)
+}

@@ -1,0 +1,76 @@
+// Package l0 implements L0 sampling for turnstile (insertion-deletion)
+// streams in the style of Jowhari, Sağlam and Tardos [26], the substrate of
+// the paper's insertion-deletion algorithm (§5): an L0 sampler processes a
+// stream of coordinate updates to a vector x and, at query time, outputs a
+// (near-)uniform sample from the non-zero coordinates of x.
+//
+// The construction is the classic three-layer one:
+//
+//  1. OneSparse — exact recovery of a vector with at most one non-zero
+//     coordinate via (count, index-weighted sum, polynomial fingerprint);
+//  2. SSparse — recovery of vectors with at most s non-zero coordinates by
+//     hashing coordinates into O(s) OneSparse cells across O(log 1/δ) rows;
+//  3. Sampler — geometric subsampling levels; level ℓ sketches the
+//     coordinates whose pairwise-independent hash falls below 2^61/2^ℓ, and
+//     the query returns the minimum-hash coordinate of the deepest
+//     recoverable level.
+package l0
+
+import (
+	"feww/internal/hashing"
+	"feww/internal/xrand"
+)
+
+// OneSparse exactly recovers a turnstile vector that has at most one
+// non-zero coordinate, and detects (with high probability) when it has
+// more.  Coordinates are uint64 indices; counts are signed.
+type OneSparse struct {
+	count int64 // sum of deltas (ℓ in the literature)
+	sum   int64 // sum of delta * index — safe for index*|count| < 2^63
+	fp    *hashing.Fingerprint
+}
+
+// NewOneSparse returns an empty 1-sparse recoverer.
+func NewOneSparse(rng *xrand.RNG) *OneSparse {
+	return &OneSparse{fp: hashing.NewFingerprint(rng)}
+}
+
+// Update applies x[index] += delta.
+func (o *OneSparse) Update(index uint64, delta int64) {
+	o.count += delta
+	o.sum += delta * int64(index)
+	o.fp.Update(index, delta)
+}
+
+// Recover attempts to decode the sketched vector as a single non-zero
+// coordinate.  ok is true only when the vector is exactly {index: count}
+// (up to the fingerprint's false-positive probability <= U/p).
+func (o *OneSparse) Recover() (index uint64, count int64, ok bool) {
+	if o.count == 0 {
+		return 0, 0, false
+	}
+	if o.sum%o.count != 0 {
+		return 0, 0, false
+	}
+	idx := o.sum / o.count
+	if idx < 0 {
+		return 0, 0, false
+	}
+	if !o.fp.Matches(uint64(idx), o.count) {
+		return 0, 0, false
+	}
+	return uint64(idx), o.count, true
+}
+
+// Zero reports whether the sketch is consistent with the all-zero vector.
+func (o *OneSparse) Zero() bool {
+	return o.count == 0 && o.sum == 0 && o.fp.Zero()
+}
+
+// Clone returns an independent copy, used by the SSparse peeling decoder.
+func (o *OneSparse) Clone() *OneSparse {
+	return &OneSparse{count: o.count, sum: o.sum, fp: o.fp.Clone()}
+}
+
+// SpaceWords reports the words of state held by the recoverer.
+func (o *OneSparse) SpaceWords() int { return 2 + o.fp.SpaceWords() }

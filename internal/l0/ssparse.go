@@ -1,0 +1,101 @@
+package l0
+
+import (
+	"feww/internal/hashing"
+	"feww/internal/xrand"
+)
+
+// SSparse recovers a turnstile vector with at most s non-zero coordinates.
+// Coordinates are hashed into 2s OneSparse cells per row, over rows
+// independent rows; a coordinate is recovered if it lands alone in some
+// cell of some row, which for an s-sparse vector happens for every
+// coordinate with probability >= 1 - 2^-rows.
+type SSparse struct {
+	s     int
+	rows  int
+	cells [][]*OneSparse
+	hash  []*hashing.Poly
+}
+
+// NewSSparse returns an s-sparse recoverer with the given number of rows.
+// rows controls the failure probability (roughly 2^-rows per coordinate).
+func NewSSparse(rng *xrand.RNG, s, rows int) *SSparse {
+	if s < 1 || rows < 1 {
+		panic("l0: NewSSparse with s < 1 or rows < 1")
+	}
+	ss := &SSparse{s: s, rows: rows}
+	width := 2 * s
+	ss.cells = make([][]*OneSparse, rows)
+	ss.hash = make([]*hashing.Poly, rows)
+	for r := 0; r < rows; r++ {
+		ss.cells[r] = make([]*OneSparse, width)
+		for c := range ss.cells[r] {
+			ss.cells[r][c] = NewOneSparse(rng)
+		}
+		ss.hash[r] = hashing.NewPoly(rng, 2)
+	}
+	return ss
+}
+
+// Update applies x[index] += delta.
+func (ss *SSparse) Update(index uint64, delta int64) {
+	for r := 0; r < ss.rows; r++ {
+		c := ss.hash[r].HashRange(index, uint64(len(ss.cells[r])))
+		ss.cells[r][c].Update(index, delta)
+	}
+}
+
+// Recover returns the set of recoverable non-zero coordinates with their
+// counts using a peeling decoder: singleton cells are decoded, the
+// recovered coordinate is subtracted from a scratch copy of every row
+// (turning colliding cells into new singletons), and the process repeats
+// until no cell decodes.  For an s-sparse vector every coordinate is
+// recovered with high probability; spurious decodes are filtered by the
+// per-cell fingerprint, so returned entries are correct w.h.p.
+func (ss *SSparse) Recover() map[uint64]int64 {
+	scratch := make([][]*OneSparse, ss.rows)
+	for r := range scratch {
+		scratch[r] = make([]*OneSparse, len(ss.cells[r]))
+		for c, cell := range ss.cells[r] {
+			scratch[r][c] = cell.Clone()
+		}
+	}
+	out := make(map[uint64]int64)
+	for {
+		progressed := false
+		for r := 0; r < ss.rows; r++ {
+			for _, cell := range scratch[r] {
+				idx, cnt, ok := cell.Recover()
+				if !ok {
+					continue
+				}
+				if _, seen := out[idx]; seen {
+					continue // already peeled via another row
+				}
+				out[idx] = cnt
+				// Subtract the coordinate everywhere so collided cells can
+				// become singletons in later passes.
+				for r2 := 0; r2 < ss.rows; r2++ {
+					c2 := ss.hash[r2].HashRange(idx, uint64(len(scratch[r2])))
+					scratch[r2][c2].Update(idx, -cnt)
+				}
+				progressed = true
+			}
+		}
+		if !progressed {
+			return out
+		}
+	}
+}
+
+// SpaceWords reports the words of state held by the recoverer.
+func (ss *SSparse) SpaceWords() int {
+	words := 0
+	for r := 0; r < ss.rows; r++ {
+		for _, cell := range ss.cells[r] {
+			words += cell.SpaceWords()
+		}
+		words += ss.hash[r].SpaceWords()
+	}
+	return words
+}

@@ -1,0 +1,151 @@
+// Package maxflow provides a small integral maximum-flow solver (Dinic's
+// algorithm).  It exists to make Baranyai's theorem executable: the
+// constructive proof of the theorem adds one vertex of [n] at a time and
+// uses the integrality of maximum flow to round a fractional assignment of
+// that vertex to partial hyperedges.  The graphs involved are tiny
+// (hundreds of nodes), but the solver is a general-purpose one.
+package maxflow
+
+// Graph is a flow network under construction.  Nodes are dense integers
+// allocated by AddNode; arcs carry integral capacities.
+type Graph struct {
+	// arcs is the arena of directed arcs; arc i and its reverse arc i^1 are
+	// stored adjacently, so the reverse of arcs[i] is arcs[i^1].
+	arcs []arc
+	adj  [][]int32 // adj[v] = indices into arcs leaving v
+	// scratch for Dinic
+	level []int32
+	iter  []int32
+}
+
+type arc struct {
+	to  int32
+	cap int64
+}
+
+// New returns an empty network.
+func New() *Graph {
+	return &Graph{}
+}
+
+// AddNode allocates and returns a new node id.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddNodes allocates k nodes and returns the id of the first.
+func (g *Graph) AddNodes(k int) int {
+	first := len(g.adj)
+	for i := 0; i < k; i++ {
+		g.adj = append(g.adj, nil)
+	}
+	return first
+}
+
+// NumNodes returns the number of allocated nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// AddArc adds a directed arc from -> to with the given capacity and returns
+// its id, usable with Flow after solving.
+func (g *Graph) AddArc(from, to int, capacity int64) int {
+	if from < 0 || from >= len(g.adj) || to < 0 || to >= len(g.adj) {
+		panic("maxflow: AddArc with unallocated node")
+	}
+	if capacity < 0 {
+		panic("maxflow: negative capacity")
+	}
+	id := len(g.arcs)
+	g.arcs = append(g.arcs, arc{to: int32(to), cap: capacity})
+	g.arcs = append(g.arcs, arc{to: int32(from), cap: 0})
+	g.adj[from] = append(g.adj[from], int32(id))
+	g.adj[to] = append(g.adj[to], int32(id+1))
+	return id
+}
+
+// Flow returns the flow pushed through arc id (its residual reverse
+// capacity).  Only meaningful after Solve.
+func (g *Graph) Flow(id int) int64 {
+	return g.arcs[id^1].cap
+}
+
+// Solve runs Dinic's algorithm and returns the maximum flow from s to t.
+// The graph may be re-solved after adding more arcs; capacities are
+// consumed (residual state is kept), matching incremental use.
+func (g *Graph) Solve(s, t int) int64 {
+	if s == t {
+		panic("maxflow: source equals sink")
+	}
+	n := len(g.adj)
+	if cap(g.level) < n {
+		g.level = make([]int32, n)
+		g.iter = make([]int32, n)
+	}
+	g.level = g.level[:n]
+	g.iter = g.iter[:n]
+
+	var total int64
+	for g.bfs(s, t) {
+		for i := range g.iter {
+			g.iter[i] = 0
+		}
+		for {
+			f := g.dfs(s, t, int64(1)<<62)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// bfs builds the level graph; returns whether t is reachable.
+func (g *Graph) bfs(s, t int) bool {
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	queue := make([]int32, 0, len(g.adj))
+	g.level[s] = 0
+	queue = append(queue, int32(s))
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, id := range g.adj[v] {
+			a := g.arcs[id]
+			if a.cap > 0 && g.level[a.to] < 0 {
+				g.level[a.to] = g.level[v] + 1
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+// dfs sends one blocking-flow augmenting path.
+func (g *Graph) dfs(v, t int, f int64) int64 {
+	if v == t {
+		return f
+	}
+	for ; g.iter[v] < int32(len(g.adj[v])); g.iter[v]++ {
+		id := g.adj[v][g.iter[v]]
+		a := &g.arcs[id]
+		if a.cap <= 0 || g.level[a.to] != g.level[v]+1 {
+			continue
+		}
+		d := g.dfs(int(a.to), t, min64(f, a.cap))
+		if d > 0 {
+			a.cap -= d
+			g.arcs[id^1].cap += d
+			return d
+		}
+	}
+	return 0
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+package maxflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"feww/internal/xrand"
+)
+
+func TestSingleArc(t *testing.T) {
+	g := New()
+	s, v := g.AddNode(), g.AddNode()
+	id := g.AddArc(s, v, 7)
+	if got := g.Solve(s, v); got != 7 {
+		t.Fatalf("flow = %d, want 7", got)
+	}
+	if got := g.Flow(id); got != 7 {
+		t.Fatalf("arc flow = %d, want 7", got)
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	// s -> a -> t and s -> b -> t, plus a cross arc a -> b.
+	g := New()
+	s, a, b, tt := g.AddNode(), g.AddNode(), g.AddNode(), g.AddNode()
+	g.AddArc(s, a, 10)
+	g.AddArc(s, b, 3)
+	g.AddArc(a, tt, 6)
+	g.AddArc(b, tt, 8)
+	g.AddArc(a, b, 5)
+	if got := g.Solve(s, tt); got != 13 {
+		t.Fatalf("flow = %d, want 13", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New()
+	s, tt := g.AddNode(), g.AddNode()
+	if got := g.Solve(s, tt); got != 0 {
+		t.Fatalf("flow = %d, want 0", got)
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	g := New()
+	s, tt := g.AddNode(), g.AddNode()
+	g.AddArc(s, tt, 0)
+	if got := g.Solve(s, tt); got != 0 {
+		t.Fatalf("flow = %d, want 0", got)
+	}
+}
+
+func TestBipartiteMatchingComplete(t *testing.T) {
+	// Perfect matching in K_{5,5} has size 5.
+	g := New()
+	s := g.AddNode()
+	left := g.AddNodes(5)
+	right := g.AddNodes(5)
+	tt := g.AddNode()
+	for i := 0; i < 5; i++ {
+		g.AddArc(s, left+i, 1)
+		g.AddArc(right+i, tt, 1)
+		for j := 0; j < 5; j++ {
+			g.AddArc(left+i, right+j, 1)
+		}
+	}
+	if got := g.Solve(s, tt); got != 5 {
+		t.Fatalf("matching = %d, want 5", got)
+	}
+}
+
+func TestIncrementalResolve(t *testing.T) {
+	// Solving, adding an arc, and solving again accumulates flow.
+	g := New()
+	s, v, tt := g.AddNode(), g.AddNode(), g.AddNode()
+	g.AddArc(s, v, 4)
+	g.AddArc(v, tt, 2)
+	if got := g.Solve(s, tt); got != 2 {
+		t.Fatalf("first solve = %d, want 2", got)
+	}
+	g.AddArc(v, tt, 5)
+	if got := g.Solve(s, tt); got != 2 {
+		t.Fatalf("second solve = %d, want 2 more", got)
+	}
+}
+
+func TestAddArcPanicsOnBadNode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g := New()
+	g.AddArc(0, 1, 1)
+}
+
+// TestFlowConservation checks, on random bipartite graphs, that the flow is
+// feasible: per-arc flow within capacity, conservation at internal nodes,
+// and value consistent at source and sink.
+func TestFlowConservation(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		nl := 2 + rng.Intn(6)
+		nr := 2 + rng.Intn(6)
+		g := New()
+		s := g.AddNode()
+		left := g.AddNodes(nl)
+		right := g.AddNodes(nr)
+		tt := g.AddNode()
+		type arcRec struct {
+			id, from, to int
+			cap          int64
+		}
+		var arcs []arcRec
+		for i := 0; i < nl; i++ {
+			c := int64(1 + rng.Intn(5))
+			arcs = append(arcs, arcRec{g.AddArc(s, left+i, c), s, left + i, c})
+		}
+		for j := 0; j < nr; j++ {
+			c := int64(1 + rng.Intn(5))
+			arcs = append(arcs, arcRec{g.AddArc(right+j, tt, c), right + j, tt, c})
+		}
+		for i := 0; i < nl; i++ {
+			for j := 0; j < nr; j++ {
+				if rng.Coin(0.5) {
+					c := int64(1 + rng.Intn(4))
+					arcs = append(arcs, arcRec{g.AddArc(left+i, right+j, c), left + i, right + j, c})
+				}
+			}
+		}
+		val := g.Solve(s, tt)
+		net := make(map[int]int64)
+		for _, a := range arcs {
+			f := g.Flow(a.id)
+			if f < 0 || f > a.cap {
+				return false
+			}
+			net[a.from] -= f
+			net[a.to] += f
+		}
+		if net[s] != -val || net[tt] != val {
+			return false
+		}
+		for v, x := range net {
+			if v != s && v != tt && x != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDinicBipartite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := New()
+		s := g.AddNode()
+		left := g.AddNodes(50)
+		right := g.AddNodes(50)
+		tt := g.AddNode()
+		for x := 0; x < 50; x++ {
+			g.AddArc(s, left+x, 1)
+			g.AddArc(right+x, tt, 1)
+			for y := 0; y < 50; y++ {
+				if (x+y)%3 != 0 {
+					g.AddArc(left+x, right+y, 1)
+				}
+			}
+		}
+		g.Solve(s, tt)
+	}
+}

@@ -1,0 +1,85 @@
+// Package reservoir implements Vitter's Algorithm R reservoir sampling
+// [38], the primitive underlying the Deg-Res-Sampling subroutine
+// (Algorithm 1 in the paper): at any moment the reservoir holds a uniform
+// random size-s sample of the items offered so far (or all of them, if
+// fewer than s were offered).
+package reservoir
+
+import "feww/internal/xrand"
+
+// Reservoir maintains a uniform random sample of size at most s over the
+// items offered to it.  The zero value is not usable; construct with New.
+type Reservoir[T any] struct {
+	items []T
+	s     int
+	seen  int64 // the counter x in Algorithm 1
+	rng   *xrand.RNG
+}
+
+// New returns a reservoir of capacity s drawing randomness from rng.
+func New[T any](rng *xrand.RNG, s int) *Reservoir[T] {
+	if s <= 0 {
+		panic("reservoir: New with s <= 0")
+	}
+	return &Reservoir[T]{items: make([]T, 0, min(s, 1024)), s: s, rng: rng}
+}
+
+// Offer presents an item to the reservoir.  It returns whether the item was
+// admitted and, if admission evicted a previous occupant, that occupant.
+// This mirrors lines 6-12 of Algorithm 1: the x-th offered item is admitted
+// with probability s/x, replacing a uniform random occupant.
+func (r *Reservoir[T]) Offer(item T) (admitted bool, evicted T, didEvict bool) {
+	r.seen++
+	if len(r.items) < r.s {
+		r.items = append(r.items, item)
+		return true, evicted, false
+	}
+	if !r.rng.Coin(float64(r.s) / float64(r.seen)) {
+		return false, evicted, false
+	}
+	victim := r.rng.Intn(r.s)
+	evicted = r.items[victim]
+	r.items[victim] = item
+	return true, evicted, true
+}
+
+// Items returns the current sample.  The returned slice is the reservoir's
+// backing store; callers must not modify it.
+func (r *Reservoir[T]) Items() []T { return r.items }
+
+// Len returns the current number of sampled items.
+func (r *Reservoir[T]) Len() int { return len(r.items) }
+
+// Cap returns the reservoir capacity s.
+func (r *Reservoir[T]) Cap() int { return r.s }
+
+// Seen returns how many items have been offered so far.
+func (r *Reservoir[T]) Seen() int64 { return r.seen }
+
+// RNG exposes the reservoir's generator so checkpointing code can persist
+// its state alongside the sample.
+func (r *Reservoir[T]) RNG() *xrand.RNG { return r.rng }
+
+// Restore reconstructs a reservoir from checkpointed state: the sampled
+// items, the offered-item counter, and the generator to draw future
+// randomness from.  It panics on inconsistent state (len(items) > s or a
+// seen counter below the sample size), mirroring New's contract.
+func Restore[T any](rng *xrand.RNG, s int, items []T, seen int64) *Reservoir[T] {
+	if s <= 0 {
+		panic("reservoir: Restore with s <= 0")
+	}
+	if len(items) > s {
+		panic("reservoir: Restore with more items than capacity")
+	}
+	if seen < int64(len(items)) {
+		panic("reservoir: Restore with seen < len(items)")
+	}
+	return &Reservoir[T]{items: items, s: s, seen: seen, rng: rng}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,124 @@
+package reservoir
+
+import (
+	"math"
+	"testing"
+
+	"feww/internal/xrand"
+)
+
+func TestStoresAllWhenUnderCapacity(t *testing.T) {
+	r := New[int](xrand.New(1), 10)
+	for i := 0; i < 7; i++ {
+		admitted, _, evicted := r.Offer(i)
+		if !admitted || evicted {
+			t.Fatalf("item %d: admitted=%v evicted=%v", i, admitted, evicted)
+		}
+	}
+	if r.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", r.Len())
+	}
+	seen := make(map[int]bool)
+	for _, v := range r.Items() {
+		seen[v] = true
+	}
+	for i := 0; i < 7; i++ {
+		if !seen[i] {
+			t.Fatalf("item %d missing", i)
+		}
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	r := New[int](xrand.New(2), 5)
+	for i := 0; i < 1000; i++ {
+		r.Offer(i)
+		if r.Len() > 5 {
+			t.Fatalf("reservoir overflowed to %d", r.Len())
+		}
+	}
+	if r.Seen() != 1000 {
+		t.Fatalf("Seen = %d", r.Seen())
+	}
+}
+
+func TestEvictionBookkeeping(t *testing.T) {
+	r := New[int](xrand.New(3), 3)
+	live := make(map[int]bool)
+	for i := 0; i < 500; i++ {
+		admitted, evicted, didEvict := r.Offer(i)
+		if didEvict && !admitted {
+			t.Fatal("evicted without admitting")
+		}
+		if didEvict {
+			if !live[evicted] {
+				t.Fatalf("evicted %d which was not live", evicted)
+			}
+			delete(live, evicted)
+		}
+		if admitted {
+			live[i] = true
+		}
+	}
+	if len(live) != r.Len() {
+		t.Fatalf("bookkeeping mismatch: %d live vs %d in reservoir", len(live), r.Len())
+	}
+	for _, v := range r.Items() {
+		if !live[v] {
+			t.Fatalf("reservoir holds %d not in live set", v)
+		}
+	}
+}
+
+// TestUniformity checks the defining property: after offering N items to a
+// size-s reservoir, every item is present with probability s/N.
+func TestUniformity(t *testing.T) {
+	const n, s, trials = 40, 8, 20000
+	counts := make([]int, n)
+	rng := xrand.New(4)
+	for trial := 0; trial < trials; trial++ {
+		r := New[int](rng.Split(), s)
+		for i := 0; i < n; i++ {
+			r.Offer(i)
+		}
+		for _, v := range r.Items() {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * s / n
+	sigma := math.Sqrt(want * (1 - float64(s)/n))
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*sigma {
+			t.Errorf("item %d sampled %d times, want ~%.0f (±%.0f)", i, c, want, 6*sigma)
+		}
+	}
+}
+
+func TestSizeOneReservoir(t *testing.T) {
+	// A size-1 reservoir over N items keeps each with probability 1/N.
+	const n, trials = 10, 30000
+	counts := make([]int, n)
+	rng := xrand.New(5)
+	for trial := 0; trial < trials; trial++ {
+		r := New[int](rng.Split(), 1)
+		for i := 0; i < n; i++ {
+			r.Offer(i)
+		}
+		counts[r.Items()[0]]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("item %d kept %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with s=0 did not panic")
+		}
+	}()
+	New[int](xrand.New(6), 0)
+}

@@ -1,0 +1,71 @@
+package reservoir
+
+import (
+	"testing"
+
+	"feww/internal/xrand"
+)
+
+func TestRestoreRoundTrip(t *testing.T) {
+	rng := xrand.New(1)
+	r := New[int](rng, 3)
+	for i := 0; i < 10; i++ {
+		r.Offer(i)
+	}
+	items := append([]int(nil), r.Items()...)
+	seen := r.Seen()
+	state := r.RNG().State()
+
+	rng2 := xrand.New(0)
+	rng2.SetState(state)
+	r2 := Restore(rng2, 3, items, seen)
+
+	if r2.Seen() != seen || r2.Len() != len(items) || r2.Cap() != 3 {
+		t.Fatalf("restored reservoir: seen=%d len=%d cap=%d", r2.Seen(), r2.Len(), r2.Cap())
+	}
+	// Continuing both reservoirs with identical offers keeps them in
+	// lockstep (same RNG stream).
+	for i := 10; i < 200; i++ {
+		a1, _, _ := r.Offer(i)
+		a2, _, _ := r2.Offer(i)
+		if a1 != a2 {
+			t.Fatalf("offer %d: admitted %v vs %v", i, a1, a2)
+		}
+	}
+	for i, v := range r.Items() {
+		if r2.Items()[i] != v {
+			t.Fatalf("items diverged: %v vs %v", r.Items(), r2.Items())
+		}
+	}
+}
+
+func TestRestorePanicsOnBadState(t *testing.T) {
+	cases := []struct {
+		name  string
+		s     int
+		items []int
+		seen  int64
+	}{
+		{"zero capacity", 0, nil, 0},
+		{"overfull", 2, []int{1, 2, 3}, 3},
+		{"seen below items", 3, []int{1, 2}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			Restore(xrand.New(1), c.s, c.items, c.seen)
+		})
+	}
+}
+
+func TestRNGAccessor(t *testing.T) {
+	rng := xrand.New(5)
+	r := New[string](rng, 2)
+	if r.RNG() != rng {
+		t.Fatal("RNG() does not return the construction generator")
+	}
+}

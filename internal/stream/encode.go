@@ -1,0 +1,113 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary stream file format (used by cmd/fewwgen and cmd/fewwrun):
+//
+//	magic   [4]byte  "FEWW"
+//	version uvarint  (currently 1)
+//	n       uvarint  |A|
+//	m       uvarint  |B|
+//	count   uvarint  number of updates
+//	count times:
+//	    op    byte    0 = insert, 1 = delete
+//	    a     uvarint
+//	    b     uvarint
+
+var fileMagic = [4]byte{'F', 'E', 'W', 'W'}
+
+const fileVersion = 1
+
+// ErrBadFormat is returned when decoding a malformed stream file.
+var ErrBadFormat = errors.New("stream: bad file format")
+
+// WriteFile encodes a stream with its universe sizes to w.
+func WriteFile(w io.Writer, n, m int64, ups []Update) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	for _, v := range []uint64{fileVersion, uint64(n), uint64(m), uint64(len(ups))} {
+		if err := writeUvarint(v); err != nil {
+			return err
+		}
+	}
+	for _, u := range ups {
+		op := byte(0)
+		if u.Op == Delete {
+			op = 1
+		}
+		if err := bw.WriteByte(op); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(u.A)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(u.B)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile decodes a stream file written by WriteFile.
+func ReadFile(r io.Reader) (n, m int64, ups []Update, err error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err = io.ReadFull(br, magic[:]); err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if magic != fileMagic {
+		return 0, 0, nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic[:])
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if version != fileVersion {
+		return 0, 0, nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
+	}
+	hdr := make([]uint64, 3)
+	for i := range hdr {
+		if hdr[i], err = binary.ReadUvarint(br); err != nil {
+			return 0, 0, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+	n, m = int64(hdr[0]), int64(hdr[1])
+	count := hdr[2]
+	ups = make([]Update, 0, count)
+	for i := uint64(0); i < count; i++ {
+		op, err := br.ReadByte()
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		a, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		b, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		u := Ins(int64(a), int64(b))
+		if op == 1 {
+			u.Op = Delete
+		} else if op != 0 {
+			return 0, 0, nil, fmt.Errorf("%w: bad op byte %d", ErrBadFormat, op)
+		}
+		ups = append(ups, u)
+	}
+	return n, m, ups, nil
+}

@@ -1,0 +1,180 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Scanner reads a stream file incrementally, one update at a time, so
+// arbitrarily large files can be replayed in constant memory — the whole
+// point of a streaming algorithm.  Usage mirrors bufio.Scanner:
+//
+//	sc, err := stream.NewScanner(f)
+//	for sc.Scan() {
+//	    u := sc.Update()
+//	    ...
+//	}
+//	if err := sc.Err(); err != nil { ... }
+type Scanner struct {
+	br      *bufio.Reader
+	n, m    int64
+	total   uint64 // updates declared in the header
+	read    uint64
+	current Update
+	err     error
+}
+
+// NewScanner validates the header of a stream file and positions the
+// scanner before the first update.
+func NewScanner(r io.Reader) (*Scanner, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic[:])
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if version != fileVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
+	}
+	hdr := make([]uint64, 3)
+	for i := range hdr {
+		if hdr[i], err = binary.ReadUvarint(br); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+	return &Scanner{br: br, n: int64(hdr[0]), m: int64(hdr[1]), total: hdr[2]}, nil
+}
+
+// N returns |A| from the header.
+func (s *Scanner) N() int64 { return s.n }
+
+// M returns |B| from the header.
+func (s *Scanner) M() int64 { return s.m }
+
+// Total returns the number of updates the header declares.
+func (s *Scanner) Total() int64 { return int64(s.total) }
+
+// Scan advances to the next update; it returns false at the end of the
+// stream or on error (distinguish with Err).
+func (s *Scanner) Scan() bool {
+	if s.err != nil || s.read == s.total {
+		return false
+	}
+	op, err := s.br.ReadByte()
+	if err != nil {
+		s.err = fmt.Errorf("%w: %v", ErrBadFormat, err)
+		return false
+	}
+	a, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		s.err = fmt.Errorf("%w: %v", ErrBadFormat, err)
+		return false
+	}
+	b, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		s.err = fmt.Errorf("%w: %v", ErrBadFormat, err)
+		return false
+	}
+	switch op {
+	case 0:
+		s.current = Ins(int64(a), int64(b))
+	case 1:
+		s.current = Del(int64(a), int64(b))
+	default:
+		s.err = fmt.Errorf("%w: bad op byte %d", ErrBadFormat, op)
+		return false
+	}
+	s.read++
+	return true
+}
+
+// Update returns the update read by the last successful Scan.
+func (s *Scanner) Update() Update { return s.current }
+
+// Err returns the first error encountered, or nil at a clean end of
+// stream.  A stream shorter than its header declares is an error.
+func (s *Scanner) Err() error {
+	if s.err != nil {
+		return s.err
+	}
+	return nil
+}
+
+// Appender writes a stream file incrementally.  Because the on-disk header
+// carries an update count, the total must be declared up front; Close
+// verifies the declared and written counts agree.
+type Appender struct {
+	bw       *bufio.Writer
+	declared uint64
+	written  uint64
+	buf      [binary.MaxVarintLen64]byte
+	err      error
+}
+
+// NewAppender writes the header and returns an appender expecting exactly
+// count updates.
+func NewAppender(w io.Writer, n, m int64, count int64) (*Appender, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("stream: NewAppender with count = %d", count)
+	}
+	a := &Appender{bw: bufio.NewWriter(w), declared: uint64(count)}
+	if _, err := a.bw.Write(fileMagic[:]); err != nil {
+		return nil, err
+	}
+	for _, v := range []uint64{fileVersion, uint64(n), uint64(m), uint64(count)} {
+		a.uvarint(v)
+	}
+	return a, a.err
+}
+
+func (a *Appender) uvarint(v uint64) {
+	if a.err != nil {
+		return
+	}
+	k := binary.PutUvarint(a.buf[:], v)
+	_, a.err = a.bw.Write(a.buf[:k])
+}
+
+// Append writes one update.
+func (a *Appender) Append(u Update) error {
+	if a.err != nil {
+		return a.err
+	}
+	if a.written == a.declared {
+		a.err = fmt.Errorf("stream: Append beyond the declared count %d", a.declared)
+		return a.err
+	}
+	op := byte(0)
+	if u.Op == Delete {
+		op = 1
+	}
+	if a.err = a.bw.WriteByte(op); a.err != nil {
+		return a.err
+	}
+	a.uvarint(uint64(u.A))
+	a.uvarint(uint64(u.B))
+	if a.err == nil {
+		a.written++
+	}
+	return a.err
+}
+
+// Close flushes and verifies that exactly the declared number of updates
+// was written.
+func (a *Appender) Close() error {
+	if a.err != nil {
+		return a.err
+	}
+	if a.written != a.declared {
+		return fmt.Errorf("stream: Appender closed after %d of %d declared updates", a.written, a.declared)
+	}
+	return a.bw.Flush()
+}

@@ -1,0 +1,181 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"feww/internal/xrand"
+)
+
+func sampleUpdates(seed uint64, count int) []Update {
+	rng := xrand.New(seed)
+	ups := make([]Update, count)
+	for i := range ups {
+		ups[i] = Ins(rng.Int64n(1000), rng.Int64n(5000))
+		if rng.Coin(0.3) {
+			ups[i].Op = Delete
+		}
+	}
+	return ups
+}
+
+func TestScannerMatchesReadFile(t *testing.T) {
+	ups := sampleUpdates(1, 500)
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, 1000, 5000, ups); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScanner(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.N() != 1000 || sc.M() != 5000 || sc.Total() != 500 {
+		t.Fatalf("header n=%d m=%d total=%d", sc.N(), sc.M(), sc.Total())
+	}
+	var got []Update
+	for sc.Scan() {
+		got = append(got, sc.Update())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ups) {
+		t.Fatalf("scanned %d updates, want %d", len(got), len(ups))
+	}
+	for i := range got {
+		if got[i] != ups[i] {
+			t.Fatalf("update %d: %v, want %v", i, got[i], ups[i])
+		}
+	}
+}
+
+func TestScannerEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, 10, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScanner(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Scan() {
+		t.Fatal("Scan true on empty stream")
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScannerTruncated(t *testing.T) {
+	ups := sampleUpdates(2, 100)
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, 1000, 5000, ups); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScanner(bytes.NewReader(buf.Bytes()[:buf.Len()/2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sc.Scan() {
+	}
+	if !errors.Is(sc.Err(), ErrBadFormat) {
+		t.Fatalf("Err = %v, want ErrBadFormat", sc.Err())
+	}
+}
+
+func TestScannerRejectsBadHeader(t *testing.T) {
+	if _, err := NewScanner(bytes.NewReader([]byte("nope"))); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := NewScanner(bytes.NewReader(nil)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestAppenderRoundTrip(t *testing.T) {
+	ups := sampleUpdates(3, 250)
+	var buf bytes.Buffer
+	ap, err := NewAppender(&buf, 1000, 5000, int64(len(ups)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range ups {
+		if err := ap.Append(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The appender's output must be byte-identical to WriteFile's.
+	var ref bytes.Buffer
+	if err := WriteFile(&ref, 1000, 5000, ups); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), ref.Bytes()) {
+		t.Fatal("Appender output differs from WriteFile")
+	}
+}
+
+func TestAppenderCountEnforcement(t *testing.T) {
+	var buf bytes.Buffer
+	ap, err := NewAppender(&buf, 10, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ap.Close(); err == nil {
+		t.Fatal("Close accepted 0 of 1 declared updates")
+	}
+	ap2, err := NewAppender(&buf, 10, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ap2.Append(Ins(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ap2.Append(Ins(2, 2)); err == nil {
+		t.Fatal("Append beyond declared count accepted")
+	}
+	if _, err := NewAppender(&buf, 10, 10, -1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+// TestScannerAppenderProperty: any update sequence round-trips through
+// Appender -> Scanner unchanged.
+func TestScannerAppenderProperty(t *testing.T) {
+	check := func(seed uint64, sz uint16) bool {
+		count := int(sz % 300)
+		ups := sampleUpdates(seed, count)
+		var buf bytes.Buffer
+		ap, err := NewAppender(&buf, 1000, 5000, int64(count))
+		if err != nil {
+			return false
+		}
+		for _, u := range ups {
+			if ap.Append(u) != nil {
+				return false
+			}
+		}
+		if ap.Close() != nil {
+			return false
+		}
+		sc, err := NewScanner(&buf)
+		if err != nil {
+			return false
+		}
+		i := 0
+		for sc.Scan() {
+			if i >= count || sc.Update() != ups[i] {
+				return false
+			}
+			i++
+		}
+		return sc.Err() == nil && i == count
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

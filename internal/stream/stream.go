@@ -1,0 +1,213 @@
+// Package stream defines the edge-stream model from the paper (§2): the
+// input is a bipartite graph G = (A, B, E) with |A| = n and |B| = m =
+// poly(n), delivered either as an arbitrary-order sequence of edge
+// insertions (insertion-only model) or as an arbitrary sequence of edge
+// insertions and deletions (insertion-deletion model) under the simple-graph
+// promise that every edge multiplicity stays in {0, 1}.
+package stream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Edge is an edge between an A-vertex and a B-vertex of the bipartite
+// input graph.  In the frequent-elements view, A is the item that may be
+// frequent and B is the witness (timestamp, source IP, follower, user, ...).
+type Edge struct {
+	A int64 // item / left vertex, in [0, n)
+	B int64 // witness / right vertex, in [0, m)
+}
+
+// Op distinguishes insertions from deletions in the turnstile model.
+type Op int8
+
+const (
+	// Insert adds the edge (multiplicity 0 -> 1).
+	Insert Op = 1
+	// Delete removes the edge (multiplicity 1 -> 0).
+	Delete Op = -1
+)
+
+// Update is one stream element: an edge plus its sign.
+type Update struct {
+	Edge
+	Op Op
+}
+
+// Ins is shorthand for an insertion update.
+func Ins(a, b int64) Update { return Update{Edge: Edge{A: a, B: b}, Op: Insert} }
+
+// Del is shorthand for a deletion update.
+func Del(a, b int64) Update { return Update{Edge: Edge{A: a, B: b}, Op: Delete} }
+
+// Inserts converts a slice of edges into insertion updates.
+func Inserts(edges []Edge) []Update {
+	ups := make([]Update, len(edges))
+	for i, e := range edges {
+		ups[i] = Update{Edge: e, Op: Insert}
+	}
+	return ups
+}
+
+// Key packs an edge into a single uint64 for hashing/sampling over the
+// edge universe [0, n*m).  Callers must ensure 0 <= A < n and 0 <= B < m.
+func (e Edge) Key(m int64) uint64 { return uint64(e.A)*uint64(m) + uint64(e.B) }
+
+// EdgeFromKey is the inverse of Key.
+func EdgeFromKey(key uint64, m int64) Edge {
+	return Edge{A: int64(key / uint64(m)), B: int64(key % uint64(m))}
+}
+
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.A, e.B) }
+
+func (u Update) String() string {
+	if u.Op == Delete {
+		return "-" + u.Edge.String()
+	}
+	return "+" + u.Edge.String()
+}
+
+// Errors reported by Validate.
+var (
+	ErrVertexRange   = errors.New("stream: vertex id out of range")
+	ErrDoubleInsert  = errors.New("stream: edge inserted while already present")
+	ErrDeleteMissing = errors.New("stream: edge deleted while absent")
+)
+
+// Validate checks that a stream is a valid simple-graph turnstile stream
+// over A = [0, n), B = [0, m): every vertex id in range, no duplicate
+// insertion of a live edge, and no deletion of an absent edge.  It returns
+// the index of the first offending update alongside the error.
+func Validate(ups []Update, n, m int64) (int, error) {
+	live := make(map[Edge]struct{})
+	for i, u := range ups {
+		if u.A < 0 || u.A >= n || u.B < 0 || u.B >= m {
+			return i, fmt.Errorf("%w: update %d = %v with n=%d m=%d", ErrVertexRange, i, u, n, m)
+		}
+		_, present := live[u.Edge]
+		switch u.Op {
+		case Insert:
+			if present {
+				return i, fmt.Errorf("%w: update %d = %v", ErrDoubleInsert, i, u)
+			}
+			live[u.Edge] = struct{}{}
+		case Delete:
+			if !present {
+				return i, fmt.Errorf("%w: update %d = %v", ErrDeleteMissing, i, u)
+			}
+			delete(live, u.Edge)
+		default:
+			return i, fmt.Errorf("stream: update %d has invalid op %d", i, u.Op)
+		}
+	}
+	return -1, nil
+}
+
+// Materialize replays a stream and returns the final live edge set.
+// It assumes (but does not check) stream validity.
+func Materialize(ups []Update) map[Edge]struct{} {
+	live := make(map[Edge]struct{})
+	for _, u := range ups {
+		if u.Op == Insert {
+			live[u.Edge] = struct{}{}
+		} else {
+			delete(live, u.Edge)
+		}
+	}
+	return live
+}
+
+// Degrees replays a stream and returns the final degree of every A-vertex
+// with non-zero degree.
+func Degrees(ups []Update) map[int64]int64 {
+	deg := make(map[int64]int64)
+	for _, u := range ups {
+		deg[u.A] += int64(u.Op)
+		if deg[u.A] == 0 {
+			delete(deg, u.A)
+		}
+	}
+	return deg
+}
+
+// MaxDegree returns the A-vertex of maximum final degree and that degree.
+// Ties break toward the smaller vertex id; an empty graph yields (-1, 0).
+func MaxDegree(ups []Update) (vertex int64, degree int64) {
+	deg := Degrees(ups)
+	vertex, degree = -1, 0
+	for v, d := range deg {
+		if d > degree || (d == degree && vertex != -1 && v < vertex) {
+			vertex, degree = v, d
+		}
+	}
+	return vertex, degree
+}
+
+// Stats summarises a stream for experiment reporting.
+type Stats struct {
+	Updates    int   // stream length
+	Inserts    int   // number of insertions
+	Deletes    int   // number of deletions
+	LiveEdges  int   // |E| after replay
+	ActiveA    int   // A-vertices with non-zero final degree
+	MaxDegreeA int64 // maximum final A-degree (Δ in the paper)
+}
+
+// Summarize computes Stats in one replay pass.
+func Summarize(ups []Update) Stats {
+	var st Stats
+	st.Updates = len(ups)
+	deg := make(map[int64]int64)
+	live := 0
+	for _, u := range ups {
+		if u.Op == Insert {
+			st.Inserts++
+			live++
+		} else {
+			st.Deletes++
+			live--
+		}
+		deg[u.A] += int64(u.Op)
+		if deg[u.A] == 0 {
+			delete(deg, u.A)
+		}
+	}
+	st.LiveEdges = live
+	st.ActiveA = len(deg)
+	for _, d := range deg {
+		if d > st.MaxDegreeA {
+			st.MaxDegreeA = d
+		}
+	}
+	return st
+}
+
+// DegreeHistogram returns counts[i] = number of A-vertices with final
+// degree exactly i, for i in [0, maxDeg]; vertices of degree 0 are omitted.
+func DegreeHistogram(ups []Update) []int {
+	deg := Degrees(ups)
+	maxDeg := int64(0)
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	hist := make([]int, maxDeg+1)
+	for _, d := range deg {
+		hist[d]++
+	}
+	return hist
+}
+
+// CountAtLeast returns the number of A-vertices with final degree >= t —
+// the n_i quantities in the proof of Theorem 3.2.
+func CountAtLeast(ups []Update, t int64) int {
+	count := 0
+	for _, d := range Degrees(ups) {
+		if d >= t {
+			count++
+		}
+	}
+	return count
+}

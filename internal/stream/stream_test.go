@@ -1,0 +1,175 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"feww/internal/xrand"
+)
+
+func TestValidateAccepts(t *testing.T) {
+	ups := []Update{Ins(0, 0), Ins(1, 2), Del(0, 0), Ins(0, 0)}
+	if i, err := Validate(ups, 2, 3); err != nil {
+		t.Fatalf("valid stream rejected at %d: %v", i, err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		ups  []Update
+		want error
+	}{
+		{"out of range A", []Update{Ins(5, 0)}, ErrVertexRange},
+		{"out of range B", []Update{Ins(0, 9)}, ErrVertexRange},
+		{"negative A", []Update{Ins(-1, 0)}, ErrVertexRange},
+		{"double insert", []Update{Ins(0, 0), Ins(0, 0)}, ErrDoubleInsert},
+		{"delete missing", []Update{Del(0, 0)}, ErrDeleteMissing},
+		{"delete twice", []Update{Ins(0, 0), Del(0, 0), Del(0, 0)}, ErrDeleteMissing},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Validate(tc.ups, 2, 3); !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMaterializeAndDegrees(t *testing.T) {
+	ups := []Update{Ins(0, 0), Ins(0, 1), Ins(1, 0), Del(0, 1)}
+	live := Materialize(ups)
+	if len(live) != 2 {
+		t.Fatalf("live edges = %d, want 2", len(live))
+	}
+	if _, ok := live[Edge{0, 1}]; ok {
+		t.Fatal("deleted edge still live")
+	}
+	deg := Degrees(ups)
+	if deg[0] != 1 || deg[1] != 1 {
+		t.Fatalf("degrees = %v", deg)
+	}
+}
+
+func TestDegreesDropsZero(t *testing.T) {
+	ups := []Update{Ins(0, 0), Del(0, 0)}
+	if deg := Degrees(ups); len(deg) != 0 {
+		t.Fatalf("zero-degree vertex retained: %v", deg)
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	ups := []Update{Ins(0, 0), Ins(1, 0), Ins(1, 1), Ins(2, 2)}
+	v, d := MaxDegree(ups)
+	if v != 1 || d != 2 {
+		t.Fatalf("MaxDegree = (%d, %d), want (1, 2)", v, d)
+	}
+	if v, d := MaxDegree(nil); v != -1 || d != 0 {
+		t.Fatalf("MaxDegree(empty) = (%d, %d)", v, d)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ups := []Update{Ins(0, 0), Ins(0, 1), Ins(1, 0), Del(0, 0)}
+	st := Summarize(ups)
+	want := Stats{Updates: 4, Inserts: 3, Deletes: 1, LiveEdges: 2, ActiveA: 2, MaxDegreeA: 1}
+	if st != want {
+		t.Fatalf("Summarize = %+v, want %+v", st, want)
+	}
+}
+
+func TestDegreeHistogramAndCountAtLeast(t *testing.T) {
+	ups := []Update{Ins(0, 0), Ins(0, 1), Ins(0, 2), Ins(1, 0), Ins(2, 0), Ins(2, 1)}
+	hist := DegreeHistogram(ups)
+	if hist[1] != 1 || hist[2] != 1 || hist[3] != 1 {
+		t.Fatalf("histogram = %v", hist)
+	}
+	if CountAtLeast(ups, 2) != 2 {
+		t.Fatalf("CountAtLeast(2) = %d, want 2", CountAtLeast(ups, 2))
+	}
+	if CountAtLeast(ups, 4) != 0 {
+		t.Fatalf("CountAtLeast(4) = %d, want 0", CountAtLeast(ups, 4))
+	}
+}
+
+func TestEdgeKeyRoundTrip(t *testing.T) {
+	f := func(aRaw, bRaw uint32, mRaw uint16) bool {
+		m := int64(mRaw) + 1
+		e := Edge{A: int64(aRaw), B: int64(bRaw) % m}
+		return EdgeFromKey(e.Key(m), m) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := xrand.New(99)
+	ups := make([]Update, 0, 500)
+	for i := 0; i < 500; i++ {
+		u := Ins(rng.Int64n(1000), rng.Int64n(5000))
+		if rng.Coin(0.3) {
+			u.Op = Delete
+		}
+		ups = append(ups, u)
+	}
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, 1000, 5000, ups); err != nil {
+		t.Fatal(err)
+	}
+	n, m, got, err := ReadFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 || m != 5000 {
+		t.Fatalf("header = (%d, %d)", n, m)
+	}
+	if len(got) != len(ups) {
+		t.Fatalf("decoded %d updates, want %d", len(got), len(ups))
+	}
+	for i := range ups {
+		if got[i] != ups[i] {
+			t.Fatalf("update %d: got %v, want %v", i, got[i], ups[i])
+		}
+	}
+}
+
+func TestEncodeDecodeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, 1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, got, err := ReadFile(&buf); err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v, %v", got, err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, _, err := ReadFile(bytes.NewReader([]byte("NOPE----"))); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("garbage accepted: %v", err)
+	}
+	if _, _, _, err := ReadFile(bytes.NewReader([]byte{'F', 'E'})); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("truncated magic accepted: %v", err)
+	}
+}
+
+func TestUpdateString(t *testing.T) {
+	if s := Ins(1, 2).String(); s != "+(1,2)" {
+		t.Errorf("Ins string = %q", s)
+	}
+	if s := Del(1, 2).String(); s != "-(1,2)" {
+		t.Errorf("Del string = %q", s)
+	}
+}
+
+func TestInserts(t *testing.T) {
+	edges := []Edge{{1, 2}, {3, 4}}
+	ups := Inserts(edges)
+	for i, u := range ups {
+		if u.Op != Insert || u.Edge != edges[i] {
+			t.Fatalf("Inserts[%d] = %v", i, u)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"fmt"
+
+	"feww/internal/stream"
+	"feww/internal/xrand"
+)
+
+// ChurnConfig describes an insertion-deletion workload: a planted instance
+// whose noise is additionally inserted-then-deleted ("churned"), so the
+// final graph keeps the planted structure while the stream is dominated by
+// updates that cancel.  This is the adversarial regime for sketch-based
+// algorithms — an insertion-only sampler would be overwhelmed by the
+// churned edges, while the L0-based Algorithm 3 is oblivious to them.
+type ChurnConfig struct {
+	Planted    PlantedConfig
+	ChurnEdges int  // extra edges inserted and later deleted
+	DeleteSome bool // also delete a fraction of the noise edges
+	Seed       uint64
+}
+
+// NewChurn generates an insertion-deletion instance.  The returned Truth
+// reflects the final (post-deletion) graph.
+func NewChurn(cfg ChurnConfig) (*Planted, error) {
+	base, err := NewPlanted(cfg.Planted)
+	if err != nil {
+		return nil, err
+	}
+	rng := xrand.New(cfg.Seed ^ 0xc0ffee)
+
+	// Build churn edges disjoint from the base truth.
+	churn := make([]stream.Edge, 0, cfg.ChurnEdges)
+	used := make(map[stream.Edge]bool, cfg.ChurnEdges)
+	attempts := 0
+	for len(churn) < cfg.ChurnEdges && attempts < 20*cfg.ChurnEdges+100 {
+		attempts++
+		e := stream.Edge{A: rng.Int64n(cfg.Planted.N), B: rng.Int64n(cfg.Planted.M)}
+		if base.Truth[e] || used[e] {
+			continue
+		}
+		used[e] = true
+		churn = append(churn, e)
+	}
+
+	// Interleave: base inserts and churn inserts shuffled together, then
+	// churn deletes shuffled through the tail.
+	ups := make([]stream.Update, 0, len(base.Updates)+2*len(churn))
+	ups = append(ups, base.Updates...)
+	for _, e := range churn {
+		ups = append(ups, stream.Update{Edge: e, Op: stream.Insert})
+	}
+	rng.Shuffle(len(ups), func(i, j int) { ups[i], ups[j] = ups[j], ups[i] })
+	dels := make([]stream.Update, 0, len(churn))
+	for _, e := range churn {
+		dels = append(dels, stream.Update{Edge: e, Op: stream.Delete})
+	}
+	rng.Shuffle(len(dels), func(i, j int) { dels[i], dels[j] = dels[j], dels[i] })
+	ups = append(ups, dels...)
+
+	base.Updates = ups
+	return base, nil
+}
+
+// DenseConfig generates the dense regime of Lemma 5.2: at least n/x
+// A-vertices of degree >= d/alpha.  Every one of the Dense vertices gets
+// exactly Deg distinct neighbours.
+type DenseConfig struct {
+	N, M  int64
+	Dense int   // number of vertices given degree Deg
+	Deg   int64 // their common degree
+	Seed  uint64
+}
+
+// NewDense generates a dense instance (insertions only; pair with churn
+// via NewChurn if deletions are wanted).  All Dense vertices are "heavy".
+func NewDense(cfg DenseConfig) (*Planted, error) {
+	if cfg.Dense < 1 || int64(cfg.Dense) > cfg.N || cfg.Deg < 1 || cfg.Deg > cfg.M {
+		return nil, fmt.Errorf("workload: dense: bad config %+v", cfg)
+	}
+	rng := xrand.New(cfg.Seed)
+	p := &Planted{Truth: make(map[stream.Edge]bool)}
+	for _, v := range rng.Subset(int(cfg.N), cfg.Dense) {
+		a := int64(v)
+		p.HeavyA = append(p.HeavyA, a)
+		for _, b := range rng.Subset(int(cfg.M), int(cfg.Deg)) {
+			e := stream.Edge{A: a, B: int64(b)}
+			p.Truth[e] = true
+			p.Updates = append(p.Updates, stream.Update{Edge: e, Op: stream.Insert})
+		}
+	}
+	rng.Shuffle(len(p.Updates), func(i, j int) { p.Updates[i], p.Updates[j] = p.Updates[j], p.Updates[i] })
+	return p, nil
+}
+
+// EmptyAfterChurn generates a stream that inserts edges and then deletes
+// every one of them — the failure-injection case where the final graph is
+// empty and any algorithm must report failure rather than fabricate a
+// witness.
+func EmptyAfterChurn(seed uint64, n, m int64, edges int) []stream.Update {
+	rng := xrand.New(seed)
+	used := make(map[stream.Edge]bool, edges)
+	ins := make([]stream.Update, 0, edges)
+	for len(ins) < edges {
+		e := stream.Edge{A: rng.Int64n(n), B: rng.Int64n(m)}
+		if used[e] {
+			continue
+		}
+		used[e] = true
+		ins = append(ins, stream.Update{Edge: e, Op: stream.Insert})
+	}
+	out := make([]stream.Update, 0, 2*edges)
+	out = append(out, ins...)
+	dels := make([]stream.Update, len(ins))
+	for i, u := range ins {
+		dels[i] = stream.Update{Edge: u.Edge, Op: stream.Delete}
+	}
+	rng.Shuffle(len(dels), func(i, j int) { dels[i], dels[j] = dels[j], dels[i] })
+	return append(out, dels...)
+}

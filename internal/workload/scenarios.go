@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"fmt"
+
+	"feww/internal/stream"
+	"feww/internal/xrand"
+)
+
+// ZipfItems generates a classical frequent-elements item stream rendered in
+// the paper's graph view: each occurrence of item a at time t becomes the
+// edge (a, t) — the witness of an item is the timestamp it arrived with.
+// Items are drawn Zipf(skew) over [0, n); the stream has length total.
+// The returned instance's heavy list holds the items whose final frequency
+// is at least d.
+func ZipfItems(seed uint64, n int64, total int, skew float64, d int64) *Planted {
+	rng := xrand.New(seed)
+	zipf := xrand.NewZipf(rng, skew, int(n))
+	perm := rng.Perm(int(n))
+	p := &Planted{Truth: make(map[stream.Edge]bool, total)}
+	freq := make(map[int64]int64)
+	for t := 0; t < total; t++ {
+		a := int64(perm[zipf.Next()])
+		e := stream.Edge{A: a, B: int64(t)}
+		p.Updates = append(p.Updates, stream.Update{Edge: e, Op: stream.Insert})
+		p.Truth[e] = true
+		freq[a]++
+	}
+	for a, f := range freq {
+		if f >= d {
+			p.HeavyA = append(p.HeavyA, a)
+		}
+	}
+	return p
+}
+
+// DoSConfig describes a router-log / DNS-attack trace in the style of the
+// paper's third motivating example [22]: target IPs are A-vertices, the
+// (source IP, timestamp) pairs are B-vertices, and an attack is a target
+// receiving requests from many distinct sources.
+type DoSConfig struct {
+	Targets    int64 // |A|: number of target IPs
+	Sources    int64 // number of distinct source IPs
+	Window     int64 // number of time slots; |B| = Sources * Window
+	Victims    int   // number of attacked targets
+	AttackReqs int64 // requests each victim receives (distinct sources x times)
+	Background int   // benign requests
+	Seed       uint64
+}
+
+// BWidth returns |B| for a DoS config.
+func (c DoSConfig) BWidth() int64 { return c.Sources * c.Window }
+
+// NewDoS generates a DoS trace.  Victim targets receive AttackReqs requests
+// from distinct (source, time) pairs; background traffic is Zipf over
+// targets with duplicate (target, source, time) triples rejected.
+func NewDoS(cfg DoSConfig) (*Planted, error) {
+	if cfg.Targets < 1 || cfg.Sources < 1 || cfg.Window < 1 {
+		return nil, fmt.Errorf("workload: dos: bad universe %+v", cfg)
+	}
+	if cfg.AttackReqs > cfg.BWidth() {
+		return nil, fmt.Errorf("workload: dos: AttackReqs=%d exceeds source*time universe %d", cfg.AttackReqs, cfg.BWidth())
+	}
+	return NewPlanted(PlantedConfig{
+		N:          cfg.Targets,
+		M:          cfg.BWidth(),
+		Heavy:      cfg.Victims,
+		HeavyDeg:   cfg.AttackReqs,
+		NoiseEdges: cfg.Background,
+		NoiseSkew:  1.1,
+		// Keep benign traffic clearly below the alpha = 2 reporting
+		// threshold AttackReqs/2, so only genuine victims can be output.
+		MaxNoise: cfg.AttackReqs / 3,
+		Order:    Shuffled,
+		Seed:     cfg.Seed,
+	})
+}
+
+// SocialGraph generates a general (non-bipartite) friendship stream by
+// preferential attachment: vertices arrive one at a time, each connecting
+// to attach earlier vertices chosen proportionally to their current degree
+// — producing the influencer-with-followers skew of the paper's second
+// motivating example.  Returned updates are undirected edges {u, v} encoded
+// with A = u, B = v, u != v; callers (Star Detection) feed both
+// orientations.
+func SocialGraph(seed uint64, vertices, attach int) []stream.Update {
+	if vertices < 2 {
+		panic("workload: SocialGraph with vertices < 2")
+	}
+	rng := xrand.New(seed)
+	// endpoint multiset: picking a uniform element = degree-proportional pick.
+	endpoints := []int64{0, 1}
+	ups := []stream.Update{stream.Ins(0, 1)}
+	present := map[stream.Edge]bool{{A: 0, B: 1}: true}
+	for v := int64(2); v < int64(vertices); v++ {
+		links := attach
+		if int64(links) >= v {
+			links = int(v)
+		}
+		chosen := make(map[int64]bool, links)
+		for len(chosen) < links {
+			u := endpoints[rng.Intn(len(endpoints))]
+			if u == v || chosen[u] {
+				// fall back to uniform to guarantee progress on tiny graphs
+				u = rng.Int64n(v)
+				if u == v || chosen[u] {
+					continue
+				}
+			}
+			chosen[u] = true
+			e := stream.Edge{A: v, B: u}
+			if present[e] {
+				continue
+			}
+			present[e] = true
+			ups = append(ups, stream.Ins(v, u))
+			endpoints = append(endpoints, v, u)
+		}
+	}
+	rng.Shuffle(len(ups), func(i, j int) { ups[i], ups[j] = ups[j], ups[i] })
+	return ups
+}
+
+// DBLogConfig describes a database update log (the paper's first motivating
+// example): entries are A-vertices, users are combined with a commit
+// sequence number into B-vertices, and a hot entry is one updated many
+// times.
+type DBLogConfig struct {
+	Entries  int64 // |A|
+	Users    int64
+	Commits  int64 // commit sequence space; |B| = Users * Commits
+	Hot      int   // number of hot entries
+	HotRate  int64 // updates each hot entry receives
+	ColdOps  int   // background updates
+	Seed     uint64
+	Ordering Order
+}
+
+// NewDBLog generates a database-log instance.
+func NewDBLog(cfg DBLogConfig) (*Planted, error) {
+	if cfg.Entries < 1 || cfg.Users < 1 || cfg.Commits < 1 {
+		return nil, fmt.Errorf("workload: dblog: bad universe %+v", cfg)
+	}
+	return NewPlanted(PlantedConfig{
+		N:          cfg.Entries,
+		M:          cfg.Users * cfg.Commits,
+		Heavy:      cfg.Hot,
+		HeavyDeg:   cfg.HotRate,
+		NoiseEdges: cfg.ColdOps,
+		NoiseSkew:  1.3,
+		// Keep cold entries clearly below the alpha = 2 reporting
+		// threshold HotRate/2, so only genuinely hot entries are output.
+		MaxNoise: cfg.HotRate / 3,
+		Order:    cfg.Ordering,
+		Seed:     cfg.Seed,
+	})
+}

@@ -1,0 +1,188 @@
+// Package workload generates the synthetic input streams used by the
+// experiments.  The paper's motivating applications (§1) — database logs,
+// social-network friendship streams, router traffic logs — share one
+// structural signature: a handful of genuinely heavy A-vertices hiding in a
+// long Zipf-like tail of light ones.  Every generator here produces that
+// signature with tunable parameters and a known ground truth, so the
+// experiments can verify reported witnesses against reality.
+//
+// All generators are deterministic in their seed.
+package workload
+
+import (
+	"fmt"
+
+	"feww/internal/stream"
+	"feww/internal/xrand"
+)
+
+// Order controls the arrival order of the generated edges — the failure-
+// injection axis for the insertion-only algorithm (a reservoir-based
+// algorithm must work for every order).
+type Order int
+
+const (
+	// Shuffled delivers edges in uniform random order.
+	Shuffled Order = iota
+	// HeavyFirst delivers all edges of planted heavy vertices first.
+	HeavyFirst
+	// HeavyLast delivers all edges of planted heavy vertices last.
+	HeavyLast
+	// Interleaved round-robins heavy edges between noise edges.
+	Interleaved
+)
+
+func (o Order) String() string {
+	switch o {
+	case Shuffled:
+		return "shuffled"
+	case HeavyFirst:
+		return "heavy-first"
+	case HeavyLast:
+		return "heavy-last"
+	case Interleaved:
+		return "interleaved"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// PlantedConfig describes a bipartite graph with planted heavy vertices.
+type PlantedConfig struct {
+	N          int64   // |A|
+	M          int64   // |B|
+	Heavy      int     // number of planted heavy A-vertices (>= 1)
+	HeavyDeg   int64   // exact degree of every planted vertex (the d promise)
+	NoiseEdges int     // edges of background noise
+	NoiseSkew  float64 // Zipf exponent for noise A-vertex choice (> 1)
+	MaxNoise   int64   // cap on any noise vertex's degree (0 = HeavyDeg/2)
+	Order      Order
+	Seed       uint64
+}
+
+// Planted is a generated instance with ground truth attached.
+type Planted struct {
+	Updates []stream.Update
+	HeavyA  []int64              // the planted heavy vertex ids
+	Truth   map[stream.Edge]bool // final live edge set
+}
+
+// NewPlanted generates a planted-star instance.  Heavy vertices are chosen
+// uniformly from A; each is given exactly HeavyDeg distinct B-neighbours.
+// Noise edges pick their A-endpoint from a Zipf distribution over the
+// remaining vertices and a uniform B-endpoint, rejecting duplicates and
+// vertices that would exceed MaxNoise (keeping the ground truth clean: no
+// noise vertex reaches the promise threshold).
+func NewPlanted(cfg PlantedConfig) (*Planted, error) {
+	if cfg.N < 1 || cfg.M < 1 {
+		return nil, fmt.Errorf("workload: planted: N=%d M=%d, want >= 1", cfg.N, cfg.M)
+	}
+	if cfg.Heavy < 1 || int64(cfg.Heavy) > cfg.N {
+		return nil, fmt.Errorf("workload: planted: Heavy=%d with N=%d", cfg.Heavy, cfg.N)
+	}
+	if cfg.HeavyDeg < 1 || cfg.HeavyDeg > cfg.M {
+		return nil, fmt.Errorf("workload: planted: HeavyDeg=%d with M=%d", cfg.HeavyDeg, cfg.M)
+	}
+	maxNoise := cfg.MaxNoise
+	if maxNoise == 0 {
+		maxNoise = cfg.HeavyDeg / 2
+	}
+	if maxNoise >= cfg.HeavyDeg {
+		return nil, fmt.Errorf("workload: planted: MaxNoise=%d must stay below HeavyDeg=%d", maxNoise, cfg.HeavyDeg)
+	}
+	skew := cfg.NoiseSkew
+	if skew == 0 {
+		skew = 1.2
+	}
+
+	rng := xrand.New(cfg.Seed)
+	p := &Planted{Truth: make(map[stream.Edge]bool)}
+
+	// Choose the heavy vertices.
+	for _, v := range rng.Subset(int(cfg.N), cfg.Heavy) {
+		p.HeavyA = append(p.HeavyA, int64(v))
+	}
+	heavySet := make(map[int64]bool, cfg.Heavy)
+	for _, v := range p.HeavyA {
+		heavySet[v] = true
+	}
+
+	var heavyEdges, noiseEdges []stream.Edge
+	for _, a := range p.HeavyA {
+		for _, b := range rng.Subset(int(cfg.M), int(cfg.HeavyDeg)) {
+			e := stream.Edge{A: a, B: int64(b)}
+			heavyEdges = append(heavyEdges, e)
+			p.Truth[e] = true
+		}
+	}
+
+	// Noise: Zipf over the A id space, skipping heavy vertices and degree
+	// caps; uniform B, rejecting duplicate edges.
+	zipf := xrand.NewZipf(rng, skew, int(cfg.N))
+	perm := rng.Perm(int(cfg.N)) // decouple Zipf rank from vertex id
+	noiseDeg := make(map[int64]int64)
+	attempts := 0
+	for len(noiseEdges) < cfg.NoiseEdges && attempts < 20*cfg.NoiseEdges+100 {
+		attempts++
+		a := int64(perm[zipf.Next()])
+		if heavySet[a] || noiseDeg[a] >= maxNoise {
+			continue
+		}
+		e := stream.Edge{A: a, B: rng.Int64n(cfg.M)}
+		if p.Truth[e] {
+			continue
+		}
+		p.Truth[e] = true
+		noiseDeg[a]++
+		noiseEdges = append(noiseEdges, e)
+	}
+
+	p.Updates = arrange(rng, heavyEdges, noiseEdges, cfg.Order)
+	return p, nil
+}
+
+// arrange lays out heavy and noise edges per the requested order.
+func arrange(rng *xrand.RNG, heavy, noise []stream.Edge, order Order) []stream.Update {
+	out := make([]stream.Update, 0, len(heavy)+len(noise))
+	switch order {
+	case HeavyFirst:
+		out = append(out, stream.Inserts(heavy)...)
+		out = append(out, stream.Inserts(noise)...)
+	case HeavyLast:
+		out = append(out, stream.Inserts(noise)...)
+		out = append(out, stream.Inserts(heavy)...)
+	case Interleaved:
+		hi, ni := 0, 0
+		for hi < len(heavy) || ni < len(noise) {
+			if hi < len(heavy) {
+				out = append(out, stream.Ins(heavy[hi].A, heavy[hi].B))
+				hi++
+			}
+			if ni < len(noise) {
+				out = append(out, stream.Ins(noise[ni].A, noise[ni].B))
+				ni++
+			}
+		}
+	default: // Shuffled
+		out = append(out, stream.Inserts(heavy)...)
+		out = append(out, stream.Inserts(noise)...)
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	}
+	return out
+}
+
+// Verify checks a reported neighbourhood against the ground truth: the
+// witnesses must be distinct and every (A, witness) edge must be live.
+func (p *Planted) Verify(a int64, witnesses []int64) error {
+	seen := make(map[int64]struct{}, len(witnesses))
+	for _, b := range witnesses {
+		if _, dup := seen[b]; dup {
+			return fmt.Errorf("workload: duplicate witness %d for vertex %d", b, a)
+		}
+		seen[b] = struct{}{}
+		if !p.Truth[stream.Edge{A: a, B: b}] {
+			return fmt.Errorf("workload: fabricated witness: edge (%d,%d) not in graph", a, b)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"testing"
+
+	"feww/internal/stream"
+)
+
+func TestPlantedValidStream(t *testing.T) {
+	for _, order := range []Order{Shuffled, HeavyFirst, HeavyLast, Interleaved} {
+		t.Run(order.String(), func(t *testing.T) {
+			p, err := NewPlanted(PlantedConfig{
+				N: 100, M: 500, Heavy: 2, HeavyDeg: 20,
+				NoiseEdges: 300, Order: order, Seed: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i, err := stream.Validate(p.Updates, 100, 500); err != nil {
+				t.Fatalf("invalid stream at %d: %v", i, err)
+			}
+		})
+	}
+}
+
+func TestPlantedGroundTruth(t *testing.T) {
+	p, err := NewPlanted(PlantedConfig{
+		N: 100, M: 500, Heavy: 2, HeavyDeg: 20,
+		NoiseEdges: 300, Order: Shuffled, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := stream.Materialize(p.Updates)
+	if len(live) != len(p.Truth) {
+		t.Fatalf("truth has %d edges, stream materialises %d", len(p.Truth), len(live))
+	}
+	for e := range live {
+		if !p.Truth[e] {
+			t.Fatalf("edge %v live but not in truth", e)
+		}
+	}
+	// Planted vertices have exactly HeavyDeg; no noise vertex reaches it.
+	deg := stream.Degrees(p.Updates)
+	heavySet := map[int64]bool{}
+	for _, a := range p.HeavyA {
+		heavySet[a] = true
+		if deg[a] != 20 {
+			t.Fatalf("heavy vertex %d has degree %d, want 20", a, deg[a])
+		}
+	}
+	for a, d := range deg {
+		if !heavySet[a] && d >= 20 {
+			t.Fatalf("noise vertex %d reached degree %d", a, d)
+		}
+	}
+}
+
+func TestPlantedVerifyCatchesFabrication(t *testing.T) {
+	p, err := NewPlanted(PlantedConfig{
+		N: 50, M: 100, Heavy: 1, HeavyDeg: 10, NoiseEdges: 0, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.HeavyA[0]
+	var realB int64 = -1
+	for e := range p.Truth {
+		if e.A == a {
+			realB = e.B
+			break
+		}
+	}
+	if err := p.Verify(a, []int64{realB}); err != nil {
+		t.Fatalf("genuine witness rejected: %v", err)
+	}
+	if err := p.Verify(a, []int64{realB, realB}); err == nil {
+		t.Fatal("duplicate witness accepted")
+	}
+	// Find a non-edge.
+	for b := int64(0); b < 100; b++ {
+		if !p.Truth[stream.Edge{A: a, B: b}] {
+			if err := p.Verify(a, []int64{b}); err == nil {
+				t.Fatal("fabricated witness accepted")
+			}
+			break
+		}
+	}
+}
+
+func TestPlantedConfigValidation(t *testing.T) {
+	bad := []PlantedConfig{
+		{N: 0, M: 1, Heavy: 1, HeavyDeg: 1},
+		{N: 10, M: 10, Heavy: 0, HeavyDeg: 1},
+		{N: 10, M: 10, Heavy: 11, HeavyDeg: 1},
+		{N: 10, M: 10, Heavy: 1, HeavyDeg: 11},
+		{N: 10, M: 10, Heavy: 1, HeavyDeg: 4, MaxNoise: 9},
+	}
+	for i, cfg := range bad {
+		if _, err := NewPlanted(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestZipfItems(t *testing.T) {
+	p := ZipfItems(4, 200, 5000, 1.5, 100)
+	if i, err := stream.Validate(p.Updates, 200, 5000); err != nil {
+		t.Fatalf("invalid at %d: %v", i, err)
+	}
+	if len(p.HeavyA) == 0 {
+		t.Fatal("no item reached the threshold; raise skew or lower d")
+	}
+	deg := stream.Degrees(p.Updates)
+	for _, a := range p.HeavyA {
+		if deg[a] < 100 {
+			t.Fatalf("heavy item %d has frequency %d < 100", a, deg[a])
+		}
+	}
+}
+
+func TestDoS(t *testing.T) {
+	p, err := NewDoS(DoSConfig{
+		Targets: 50, Sources: 100, Window: 10,
+		Victims: 1, AttackReqs: 40, Background: 200, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, err := stream.Validate(p.Updates, 50, 1000); err != nil {
+		t.Fatalf("invalid at %d: %v", i, err)
+	}
+	if len(p.HeavyA) != 1 {
+		t.Fatalf("victims = %d", len(p.HeavyA))
+	}
+}
+
+func TestDoSRejectsOversizedAttack(t *testing.T) {
+	_, err := NewDoS(DoSConfig{Targets: 5, Sources: 2, Window: 2, Victims: 1, AttackReqs: 5})
+	if err == nil {
+		t.Fatal("attack larger than the witness universe accepted")
+	}
+}
+
+func TestDBLog(t *testing.T) {
+	p, err := NewDBLog(DBLogConfig{
+		Entries: 100, Users: 20, Commits: 50,
+		Hot: 2, HotRate: 30, ColdOps: 100, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, err := stream.Validate(p.Updates, 100, 1000); err != nil {
+		t.Fatalf("invalid at %d: %v", i, err)
+	}
+}
+
+func TestSocialGraph(t *testing.T) {
+	ups := SocialGraph(7, 100, 3)
+	deg := make(map[int64]int)
+	seen := make(map[stream.Edge]bool)
+	for _, u := range ups {
+		if u.Op != stream.Insert {
+			t.Fatal("social graph emitted a deletion")
+		}
+		if u.A == u.B {
+			t.Fatal("self loop")
+		}
+		if seen[u.Edge] {
+			t.Fatalf("duplicate edge %v", u.Edge)
+		}
+		seen[u.Edge] = true
+		deg[u.A]++
+		deg[u.B]++
+	}
+	// Preferential attachment must produce skew: max degree well above the
+	// mean.
+	maxDeg, sum := 0, 0
+	for _, d := range deg {
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(sum) / float64(len(deg))
+	if float64(maxDeg) < 2*mean {
+		t.Fatalf("no skew: max degree %d vs mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestChurnFinalGraphMatchesBase(t *testing.T) {
+	p, err := NewChurn(ChurnConfig{
+		Planted: PlantedConfig{
+			N: 60, M: 200, Heavy: 1, HeavyDeg: 20,
+			NoiseEdges: 50, Order: Shuffled, Seed: 8,
+		},
+		ChurnEdges: 500,
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, err := stream.Validate(p.Updates, 60, 200); err != nil {
+		t.Fatalf("invalid at %d: %v", i, err)
+	}
+	live := stream.Materialize(p.Updates)
+	if len(live) != len(p.Truth) {
+		t.Fatalf("final graph has %d edges, truth %d", len(live), len(p.Truth))
+	}
+	for e := range live {
+		if !p.Truth[e] {
+			t.Fatalf("edge %v live but not in truth", e)
+		}
+	}
+}
+
+func TestEmptyAfterChurn(t *testing.T) {
+	ups := EmptyAfterChurn(10, 30, 50, 200)
+	if i, err := stream.Validate(ups, 30, 50); err != nil {
+		t.Fatalf("invalid at %d: %v", i, err)
+	}
+	if live := stream.Materialize(ups); len(live) != 0 {
+		t.Fatalf("final graph not empty: %d edges", len(live))
+	}
+	if len(ups) != 400 {
+		t.Fatalf("stream length %d, want 400", len(ups))
+	}
+}

@@ -1,0 +1,234 @@
+// Package xrand provides a deterministic, splittable pseudo-random number
+// generator used by every randomised component in this repository.
+//
+// All algorithms in the paper are randomised (reservoir sampling, L0
+// sampling, random permutations in the communication reductions).  To make
+// every experiment row reproducible from a single seed, components never use
+// the global math/rand state; they take an *xrand.RNG, and parents derive
+// statistically independent children via Split.
+//
+// The core generator is xoshiro256**, seeded through splitmix64.  It
+// implements math/rand.Source64 so it can back stdlib distributions.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a deterministic pseudo-random generator.  It is NOT safe for
+// concurrent use; derive per-goroutine children with Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns an RNG seeded from seed via splitmix64, per the xoshiro
+// authors' recommendation.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives a child generator whose stream is independent of the
+// parent's subsequent output.  The parent advances by one step.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64())
+}
+
+// State returns the generator's full internal state, for checkpointing.
+// Restoring it with SetState resumes the exact same random stream.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the internal state with a value previously returned
+// by State.  An all-zero state is invalid for xoshiro and is rejected by
+// re-seeding from a fixed constant.
+func (r *RNG) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 0x9e3779b97f4a7c15
+	}
+	r.s = s
+}
+
+// Uint64 returns the next 64 uniformly random bits (xoshiro256**).
+func (r *RNG) Uint64() uint64 {
+	res := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return res
+}
+
+// Int63 returns a non-negative random int64 (math/rand.Source compatible).
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Seed is a no-op; it exists so *RNG satisfies math/rand.Source.  Use New.
+func (r *RNG) Seed(uint64) {}
+
+// Uint64n returns a uniform value in [0, n).  n must be > 0.
+// Uses Lemire's nearly-divisionless unbiased method.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform value in [0, n).  n must be > 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int64n returns a uniform value in [0, n).  n must be > 0.
+func (r *RNG) Int64n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int64n with n <= 0")
+	}
+	return int64(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Coin returns true with probability p.  This is the Coin(p) primitive that
+// Algorithm 1 in the paper assumes.  Values p <= 0 always return false and
+// p >= 1 always return true.
+func (r *RNG) Coin(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomises the order of n elements using the provided swap
+// function (Fisher-Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Subset returns a uniform random k-subset of [0, n), sorted ascending.
+// It uses Floyd's algorithm: O(k) expected work, no O(n) allocation.
+func (r *RNG) Subset(n, k int) []int {
+	if k < 0 || k > n {
+		panic("xrand: Subset with k out of range")
+	}
+	chosen := make(map[int]struct{}, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+	}
+	out := make([]int, 0, k)
+	for v := range chosen {
+		out = append(out, v)
+	}
+	// Insertion sort: k is typically small; avoids importing sort here.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials, i.e. a Geometric(p) variate on {0, 1, 2, ...}.
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("xrand: Geometric with p out of (0, 1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// Zipf samples from a Zipf distribution on {0, ..., n-1} with exponent
+// s > 1, i.e. P(X = i) proportional to 1/(i+1)^s, using a precomputed CDF.
+// Construction is O(n); sampling is O(log n).
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s.
+func NewZipf(rng *RNG, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with n <= 0")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next returns the next Zipf variate in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

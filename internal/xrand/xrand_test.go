@@ -1,0 +1,289 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// Child and parent streams should not be identical.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("child mirrors parent: %d/100 equal outputs", same)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(3)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := r.Uint64n(n)
+		return v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nUniform(t *testing.T) {
+	r := New(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: got %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestCoinEdgeCases(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		if r.Coin(0) {
+			t.Fatal("Coin(0) returned true")
+		}
+		if !r.Coin(1) {
+			t.Fatal("Coin(1) returned false")
+		}
+		if r.Coin(-0.5) {
+			t.Fatal("Coin(-0.5) returned true")
+		}
+		if !r.Coin(1.5) {
+			t.Fatal("Coin(1.5) returned false")
+		}
+	}
+}
+
+func TestCoinBias(t *testing.T) {
+	r := New(9)
+	const trials = 200000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if r.Coin(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Coin(%.1f): observed rate %.4f", p, got)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(17)
+	const n, trials = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Perm first element %d: got %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestSubsetProperties(t *testing.T) {
+	r := New(19)
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		k := int(kRaw) % (n + 1)
+		s := r.Subset(n, k)
+		if len(s) != k {
+			return false
+		}
+		for i, v := range s {
+			if v < 0 || v >= n {
+				return false
+			}
+			if i > 0 && s[i-1] >= v { // sorted, distinct
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsetUniformMembership(t *testing.T) {
+	r := New(23)
+	const n, k, trials = 10, 3, 60000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, v := range r.Subset(n, k) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * k / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("element %d membership: got %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestSubsetFullAndEmpty(t *testing.T) {
+	r := New(29)
+	if got := r.Subset(5, 0); len(got) != 0 {
+		t.Fatalf("Subset(5, 0) = %v", got)
+	}
+	full := r.Subset(5, 5)
+	for i, v := range full {
+		if v != i {
+			t.Fatalf("Subset(5, 5) = %v, want identity", full)
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(31)
+	xs := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("Shuffle changed contents: %v", xs)
+	}
+}
+
+func TestZipfRangeAndMonotone(t *testing.T) {
+	r := New(37)
+	z := NewZipf(r, 1.5, 20)
+	counts := make([]int, 20)
+	for i := 0; i < 100000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 20 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 should dominate rank 5, which should dominate rank 19.
+	if !(counts[0] > counts[5] && counts[5] > counts[19]) {
+		t.Fatalf("Zipf counts not decreasing: %v", counts)
+	}
+	// Check the head frequency against the exact probability.
+	total := 0.0
+	for i := 1; i <= 20; i++ {
+		total += 1 / math.Pow(float64(i), 1.5)
+	}
+	want := 100000 / total
+	if math.Abs(float64(counts[0])-want) > 6*math.Sqrt(want) {
+		t.Errorf("Zipf head count %d, want ~%.0f", counts[0], want)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(41)
+	const p, trials = 0.25, 100000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		sum += r.Geometric(p)
+	}
+	mean := float64(sum) / trials
+	want := (1 - p) / p // mean of failures-before-success
+	if math.Abs(mean-want) > 0.1 {
+		t.Errorf("Geometric(%.2f) mean %.3f, want %.3f", p, mean, want)
+	}
+	if r.Geometric(1) != 0 {
+		t.Error("Geometric(1) should be 0")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(43)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	r := New(47)
+	assertPanics(t, "Intn(0)", func() { r.Intn(0) })
+	assertPanics(t, "Int64n(-1)", func() { r.Int64n(-1) })
+	assertPanics(t, "Uint64n(0)", func() { r.Uint64n(0) })
+	assertPanics(t, "Subset k>n", func() { r.Subset(3, 4) })
+	assertPanics(t, "Geometric(0)", func() { r.Geometric(0) })
+	assertPanics(t, "NewZipf n=0", func() { NewZipf(r, 1.5, 0) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}

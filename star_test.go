@@ -1,0 +1,142 @@
+package feww
+
+import (
+	"errors"
+	"testing"
+
+	"feww/internal/stream"
+	"feww/internal/workload"
+)
+
+// TestTurnstileStarDetector builds a small general graph, deletes part of
+// it, and checks the detector reports a genuine star of the *final* graph
+// (Corollary 5.5 behaviour).
+func TestTurnstileStarDetector(t *testing.T) {
+	const n = 48
+	sd, err := NewTurnstileStarDetector(TurnstileStarConfig{
+		N: n, Alpha: 2, Eps: 0.5, Seed: 3, ScaleFactor: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	adj := make(map[int64]map[int64]bool)
+	setEdge := func(u, v int64, on bool) {
+		for _, p := range [][2]int64{{u, v}, {v, u}} {
+			if adj[p[0]] == nil {
+				adj[p[0]] = make(map[int64]bool)
+			}
+			if on {
+				adj[p[0]][p[1]] = true
+			} else {
+				delete(adj[p[0]], p[1])
+			}
+		}
+	}
+
+	// A hub (vertex 0) connected to 1..24, plus a decoy hub (vertex 40)
+	// connected to 25..39 whose edges are later deleted.
+	for v := int64(1); v <= 24; v++ {
+		if err := sd.Insert(0, v); err != nil {
+			t.Fatal(err)
+		}
+		setEdge(0, v, true)
+	}
+	for v := int64(25); v < 40; v++ {
+		if err := sd.Insert(40, v); err != nil {
+			t.Fatal(err)
+		}
+		setEdge(40, v, true)
+	}
+	for v := int64(25); v < 40; v++ {
+		if err := sd.Delete(40, v); err != nil {
+			t.Fatal(err)
+		}
+		setEdge(40, v, false)
+	}
+
+	nb, err := sd.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range nb.Witnesses {
+		if !adj[nb.A][w] {
+			t.Fatalf("reported neighbour %d of %d was deleted or never existed", w, nb.A)
+		}
+	}
+	// Delta = 24 (the hub); the (1+eps)*alpha = 3 guarantee demands >= 8.
+	if nb.Size() < 8 {
+		t.Fatalf("star size %d below Delta/((1+eps)alpha) = 8", nb.Size())
+	}
+}
+
+func TestTurnstileStarDetectorChurnWorkload(t *testing.T) {
+	const n = 20
+	inst, err := workload.NewChurn(workload.ChurnConfig{
+		Planted: workload.PlantedConfig{
+			// Bipartite planted instance reused as a general graph on
+			// [0, 2n): A-vertices keep ids, B-vertices are shifted by n.
+			N: n, M: n, Heavy: 1, HeavyDeg: 10,
+			NoiseEdges: 15, Order: workload.Shuffled, Seed: 6,
+		},
+		ChurnEdges: 30,
+		Seed:       6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := NewTurnstileStarDetector(TurnstileStarConfig{
+		N: 2 * n, Alpha: 2, Seed: 9, ScaleFactor: 0.03,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range inst.Updates {
+		var err error
+		if u.Op == stream.Delete {
+			err = sd.Delete(u.A, u.B+n)
+		} else {
+			err = sd.Insert(u.A, u.B+n)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	nb, err := sd.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Size() < 1 {
+		t.Fatal("empty star")
+	}
+	// Every witness must be a live neighbour in the final graph.
+	live := make(map[stream.Edge]bool)
+	for e := range inst.Truth {
+		live[stream.Edge{A: e.A, B: e.B + n}] = true
+		live[stream.Edge{A: e.B + n, B: e.A}] = true
+	}
+	for _, w := range nb.Witnesses {
+		if !live[stream.Edge{A: nb.A, B: w}] {
+			t.Fatalf("witness %d of %d not live in final graph", w, nb.A)
+		}
+	}
+}
+
+func TestTurnstileStarDetectorRejectsOversized(t *testing.T) {
+	_, err := NewTurnstileStarDetector(TurnstileStarConfig{
+		N: 1 << 20, Alpha: 1, MaxSamplers: 10,
+	})
+	if err == nil {
+		t.Fatal("oversized ladder accepted")
+	}
+}
+
+func TestStarDetectorEmptyGraph(t *testing.T) {
+	sd, err := NewStarDetector(StarConfig{N: 10, Alpha: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sd.Result(); !errors.Is(err, ErrNoWitness) {
+		t.Fatalf("got %v, want ErrNoWitness", err)
+	}
+}
