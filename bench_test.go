@@ -2,6 +2,7 @@ package feww
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"feww/internal/experiments"
@@ -58,6 +59,92 @@ func BenchmarkInsertOnlyProcessEdge(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				algo.ProcessEdge(int64(zipf.Next()), int64(i))
 			}
+		})
+	}
+}
+
+// benchEdges pre-generates a Zipf-distributed edge stream shared by the
+// ingest benchmarks, so the generator cost stays out of the timed region.
+func benchEdges(n int64, count int) []Edge {
+	rng := xrand.New(2)
+	zipf := xrand.NewZipf(rng, 1.2, int(n))
+	edges := make([]Edge, count)
+	for i := range edges {
+		edges[i] = Edge{A: int64(zipf.Next()), B: int64(i)}
+	}
+	return edges
+}
+
+// BenchmarkInsertOnlyProcessEdges measures the batched single-instance
+// path — the same work as BenchmarkInsertOnlyProcessEdge with the
+// per-edge dispatch amortised away.
+func BenchmarkInsertOnlyProcessEdges(b *testing.B) {
+	const n = 1 << 16
+	edges := benchEdges(n, 1<<20)
+	for _, alpha := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("alpha=%d", alpha), func(b *testing.B) {
+			algo, err := NewInsertOnly(Config{N: n, D: 1000, Alpha: alpha, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			const chunk = 4096
+			off := 0
+			for done := 0; done < b.N; {
+				c := chunk
+				if c > b.N-done {
+					c = b.N - done
+				}
+				if off+c > len(edges) {
+					off = 0
+				}
+				algo.ProcessEdges(edges[off : off+c])
+				off += c
+				done += c
+			}
+		})
+	}
+}
+
+// BenchmarkEngineIngest measures sharded ingest throughput end-to-end
+// (partitioning, batch hand-off, concurrent shard application, drain).
+// Compare shards=1 against shards=4 / shards=GOMAXPROCS: on a multi-core
+// machine the multi-shard variants should ingest at a multiple of the
+// single-shard rate.
+func BenchmarkEngineIngest(b *testing.B) {
+	const n = 1 << 16
+	edges := benchEdges(n, 1<<20)
+	counts := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		counts = append(counts, g)
+	}
+	for _, p := range counts {
+		b.Run(fmt.Sprintf("shards=%d", p), func(b *testing.B) {
+			eng, err := NewEngine(EngineConfig{
+				Config: Config{N: n, D: 1000, Alpha: 2, Seed: 1},
+				Shards: p,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			const chunk = 4096
+			off := 0
+			for done := 0; done < b.N; {
+				c := chunk
+				if c > b.N-done {
+					c = b.N - done
+				}
+				if off+c > len(edges) {
+					off = 0
+				}
+				eng.ProcessEdges(edges[off : off+c])
+				off += c
+				done += c
+			}
+			eng.Drain()
+			b.StopTimer()
+			eng.Close()
 		})
 	}
 }

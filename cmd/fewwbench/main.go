@@ -10,6 +10,7 @@
 //	fewwbench -full                # full sizes (minutes, the EXPERIMENTS.md setting)
 //	fewwbench -experiment E2,E6    # a subset
 //	fewwbench -seed 7 -list        # enumerate ids
+//	fewwbench -shards 8            # sharded-ingest throughput benchmark
 package main
 
 import (
@@ -19,7 +20,9 @@ import (
 	"strings"
 	"time"
 
+	"feww"
 	"feww/internal/experiments"
+	"feww/internal/xrand"
 )
 
 func main() {
@@ -29,8 +32,18 @@ func main() {
 		full     = flag.Bool("full", false, "full instance sizes (the EXPERIMENTS.md setting; minutes instead of seconds)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		showTime = flag.Bool("time", false, "print wall-clock time per experiment")
+		shards   = flag.Int("shards", 0, "run the sharded-ingest throughput benchmark with this many shards instead of the experiments")
+		edges    = flag.Int("edges", 4_000_000, "stream length for the -shards benchmark")
 	)
 	flag.Parse()
+
+	if *shards > 0 {
+		if err := runIngest(*shards, *edges, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "fewwbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -67,4 +80,82 @@ func main() {
 		fmt.Println()
 	}
 	os.Exit(exit)
+}
+
+// runIngest measures ingest throughput on one Zipf-distributed stream
+// through three paths: the per-edge single-instance API, the batched
+// single-instance API, and the sharded engine — the three rungs of the
+// batch-ingest ladder.
+func runIngest(shards, edgeCount int, seed uint64) error {
+	const (
+		n     = int64(1) << 18
+		d     = 1000
+		alpha = 2
+		chunk = 4096
+	)
+	fmt.Printf("ingest benchmark: %d Zipf(1.2) edges over n = %d, d = %d, alpha = %d\n\n",
+		edgeCount, n, d, alpha)
+
+	rng := xrand.New(seed + 1)
+	zipf := xrand.NewZipf(rng, 1.2, int(n))
+	stream := make([]feww.Edge, edgeCount)
+	for i := range stream {
+		stream[i] = feww.Edge{A: int64(zipf.Next()), B: int64(i)}
+	}
+
+	report := func(name string, elapsed time.Duration, found int) {
+		rate := float64(edgeCount) / elapsed.Seconds() / 1e6
+		fmt.Printf("%-28s %10v  %8.2f Medges/s  (%d frequent items found)\n",
+			name, elapsed.Round(time.Millisecond), rate, found)
+	}
+
+	perEdge, err := feww.NewInsertOnly(feww.Config{N: n, D: d, Alpha: alpha, Seed: seed})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for _, e := range stream {
+		perEdge.ProcessEdge(e.A, e.B)
+	}
+	report("single instance, per-edge", time.Since(start), len(perEdge.Results()))
+
+	batched, err := feww.NewInsertOnly(feww.Config{N: n, D: d, Alpha: alpha, Seed: seed})
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	for off := 0; off < len(stream); off += chunk {
+		end := off + chunk
+		if end > len(stream) {
+			end = len(stream)
+		}
+		batched.ProcessEdges(stream[off:end])
+	}
+	report("single instance, batched", time.Since(start), len(batched.Results()))
+
+	for _, p := range []int{1, shards} {
+		eng, err := feww.NewEngine(feww.EngineConfig{
+			Config: feww.Config{N: n, D: d, Alpha: alpha, Seed: seed},
+			Shards: p,
+		})
+		if err != nil {
+			return err
+		}
+		start = time.Now()
+		for off := 0; off < len(stream); off += chunk {
+			end := off + chunk
+			if end > len(stream) {
+				end = len(stream)
+			}
+			eng.ProcessEdges(stream[off:end])
+		}
+		eng.Drain()
+		elapsed := time.Since(start)
+		report(fmt.Sprintf("engine, %d shard(s)", eng.Shards()), elapsed, len(eng.Results()))
+		eng.Close()
+		if p == 1 && shards == 1 {
+			break
+		}
+	}
+	return nil
 }

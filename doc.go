@@ -35,6 +35,12 @@
 // (approximately) maximum degree together with its neighbourhood — via a
 // (1+eps) guess ladder (Lemma 3.3, Corollaries 3.4 and 5.5).
 //
+// Engine and TurnstileEngine shard the item universe across P independent
+// instances, each fed batches (ProcessEdges / ProcessUpdates) by its own
+// goroutine, so ingest scales with cores while each shard retains the
+// single-instance guarantees on its slice of the universe; a fixed seed
+// reproduces identical results regardless of scheduling or batch size.
+//
 // InsertOnly additionally supports reporting every frequent element found
 // (Results) and full binary checkpointing (Snapshot / RestoreInsertOnly):
 // a restored instance continues the exact same random stream, and the

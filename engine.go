@@ -1,0 +1,346 @@
+// The sharded engine lifts the single-threaded FEwW algorithms to a
+// concurrent, batched ingest pipeline.  The paper's one-way communication
+// protocols already prove the state is partition-friendly — a Snapshot is a
+// complete, self-contained message — and a per-item partition is even
+// stronger: every edge of an item lands in exactly one shard, so each shard
+// is an ordinary single-threaded instance over a slice of the universe, the
+// degree-d promise transfers verbatim, and merging shard outputs is a
+// concatenation (Results) plus a max-select (Best).  No locks are taken on
+// the hot path: the caller appends edges to per-shard buffers and hands
+// full batches to single-consumer FIFO queues.
+
+package feww
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"feww/internal/core"
+	"feww/internal/stream"
+	"feww/internal/xrand"
+)
+
+const (
+	defaultBatchSize  = 512
+	defaultQueueDepth = 8
+)
+
+// EngineConfig parameterises the sharded insertion-only engine.  The
+// embedded Config describes the global problem (full universe size N,
+// threshold D, Alpha, master Seed); the engine derives per-shard universes
+// and statistically independent per-shard seeds from it.
+type EngineConfig struct {
+	Config
+
+	// Shards is the number of partitions P, each served by its own
+	// goroutine.  0 means runtime.GOMAXPROCS(0).  The count is clamped to N
+	// so every shard owns at least one item.
+	Shards int
+	// BatchSize is the number of edges buffered per shard before hand-off
+	// (default 512).  Larger batches amortise queue traffic; results are
+	// identical for any batch size.
+	BatchSize int
+	// QueueDepth is the per-shard queue capacity in batches (default 8);
+	// it bounds how far the producer may run ahead of a slow shard.
+	QueueDepth int
+}
+
+// Engine is a sharded, batched front-end to the insertion-only FEwW
+// algorithm.  Items are partitioned across P independent InsertOnly
+// instances, each fed in stream order by its own goroutine, so ingest
+// scales with cores while every per-shard guarantee of Theorem 3.2 is
+// preserved on the shard's sub-universe.  A fixed seed yields identical
+// results across executions regardless of scheduling or batch size.
+//
+// The producer side (ProcessEdge, ProcessEdges, Flush, Close) and the
+// query side (Result, Results, Best, SpaceWords, ...) must be called from
+// a single goroutine; the engine parallelises internally.  Queries may be
+// issued at any point during the stream — they drain all queued work
+// first — and remain valid after Close.
+type Engine struct {
+	shards []*shard
+	f      *fanout[Edge]
+}
+
+// NewEngine constructs a sharded engine and starts its shard goroutines.
+// Shard p owns items {a in [0, N) : a % P == p} as an InsertOnly instance
+// over a universe of size ceil((N-p)/P) with a seed derived from cfg.Seed.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("feww: Engine config: N = %d, want >= 1", cfg.N)
+	}
+	cfg.Shards = shardCount(cfg.Shards, cfg.N, runtime.GOMAXPROCS(0))
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("feww: Engine config: Shards = %d, want >= 1", cfg.Shards)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = defaultBatchSize
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+
+	p := int64(cfg.Shards)
+	seeds := xrand.New(cfg.Seed)
+	shards := make([]*shard, cfg.Shards)
+	apply := make([]func([]Edge), cfg.Shards)
+	for i := range shards {
+		inner, err := core.NewInsertOnly(core.InsertOnlyConfig{
+			N:           (cfg.N - int64(i) + p - 1) / p,
+			D:           cfg.D,
+			Alpha:       cfg.Alpha,
+			Seed:        seeds.Uint64(),
+			ScaleFactor: cfg.ScaleFactor,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("feww: Engine shard %d: %w", i, err)
+		}
+		sh := &shard{idx: i, stride: p, inner: inner}
+		shards[i] = sh
+		// The worker remaps the batch to local ids in place (it owns the
+		// buffer) and feeds the batched path of the inner algorithm.
+		apply[i] = func(batch []stream.Edge) {
+			for j := range batch {
+				batch[j].A = sh.local(batch[j].A)
+			}
+			sh.inner.ProcessEdges(batch)
+		}
+	}
+
+	return &Engine{
+		shards: shards,
+		f: newFanout("Engine", cfg.BatchSize, cfg.QueueDepth,
+			func(e Edge) int64 { return e.A }, apply),
+	}, nil
+}
+
+// Shards returns the number of partitions in use.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// ProcessEdge feeds one occurrence: item a in [0, N) arrived with witness
+// b.  The edge is buffered and handed to its shard once a full batch
+// accumulates (or on Flush/Close/any query).
+func (e *Engine) ProcessEdge(a, b int64) { e.f.add(Edge{A: a, B: b}) }
+
+// ProcessEdges feeds a batch of occurrences in order.  The slice is copied
+// into per-shard buffers; the caller keeps ownership of edges.
+func (e *Engine) ProcessEdges(edges []Edge) { e.f.addBatch(edges) }
+
+// Flush hands every buffered edge to its shard queue without waiting for
+// the shards to apply them.
+func (e *Engine) Flush() { e.f.flush() }
+
+// Drain flushes and blocks until every shard has applied everything queued
+// so far; afterwards all previously fed edges are reflected in queries.
+func (e *Engine) Drain() {
+	e.f.mustBeOpen()
+	e.f.barrier()
+}
+
+// Close flushes buffered edges, waits for the shards to apply them, and
+// stops the shard goroutines.  The engine stays queryable after Close;
+// feeding further edges panics.  Close is idempotent.
+func (e *Engine) Close() { e.f.close() }
+
+// Result returns a frequent item with at least ceil(D/Alpha) witnesses, or
+// ErrNoWitness if no shard found one.  Shards are consulted in index order,
+// so the choice is deterministic for a fixed seed.
+func (e *Engine) Result() (Neighbourhood, error) {
+	e.f.barrier()
+	for _, sh := range e.shards {
+		if nb, err := sh.inner.Result(); err == nil {
+			nb.A = sh.global(nb.A)
+			return nb, nil
+		}
+	}
+	return Neighbourhood{}, ErrNoWitness
+}
+
+// Results returns every distinct frequent element found across all shards,
+// sorted by global item id.  The per-item partition guarantees no item is
+// reported by two shards, so the merge is a pure concatenation; witnesses
+// are returned exactly as the owning shard collected them.
+func (e *Engine) Results() []Neighbourhood {
+	e.f.barrier()
+	var out []Neighbourhood
+	for _, sh := range e.shards {
+		for _, nb := range sh.inner.Results() {
+			nb.A = sh.global(nb.A)
+			out = append(out, nb)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].A < out[j].A })
+	return out
+}
+
+// Best max-selects the largest neighbourhood collected by any shard, even
+// if below the ceil(D/Alpha) target; found is false only if nothing was
+// collected at all.  Ties break toward the lower shard index.
+func (e *Engine) Best() (Neighbourhood, bool) {
+	e.f.barrier()
+	var best Neighbourhood
+	found := false
+	for _, sh := range e.shards {
+		if nb, ok := sh.inner.Best(); ok && (!found || nb.Size() > best.Size()) {
+			nb.A = sh.global(nb.A)
+			best, found = nb, true
+		}
+	}
+	return best, found
+}
+
+// WitnessTarget returns ceil(D/Alpha), the guaranteed output size.
+func (e *Engine) WitnessTarget() int64 { return e.shards[0].inner.WitnessTarget() }
+
+// EdgesProcessed returns the number of edges fed to the engine.  The
+// counter is maintained on the producer side, so no shard synchronisation
+// is needed: polling it mid-stream is free.
+func (e *Engine) EdgesProcessed() int64 { return e.f.count }
+
+// SpaceWords reports the live state summed across all shards.  Sharding
+// pays the O(n log n) degree-table term once in total (each shard tracks
+// only its own items) while the n^(1/Alpha) reservoir term is paid per
+// shard on a universe P times smaller.
+func (e *Engine) SpaceWords() int {
+	e.f.barrier()
+	words := 0
+	for _, sh := range e.shards {
+		words += sh.inner.SpaceWords()
+	}
+	return words
+}
+
+// TurnstileEngineConfig parameterises the sharded insertion-deletion
+// engine.  MaxSamplers in the embedded config caps each shard separately.
+type TurnstileEngineConfig struct {
+	TurnstileConfig
+
+	// Shards, BatchSize, QueueDepth behave exactly as in EngineConfig.
+	Shards     int
+	BatchSize  int
+	QueueDepth int
+}
+
+// TurnstileEngine is the sharded front-end to the insertion-deletion FEwW
+// algorithm: the same per-item partition and batched hand-off as Engine,
+// with per-shard InsertDelete instances.  The same single-producer rules
+// and determinism guarantees apply.
+type TurnstileEngine struct {
+	shards []*tShard
+	f      *fanout[Update]
+}
+
+// NewTurnstileEngine constructs a sharded turnstile engine and starts its
+// shard goroutines.  All samplers of all shards are allocated up front, as
+// the underlying algorithm requires.
+func NewTurnstileEngine(cfg TurnstileEngineConfig) (*TurnstileEngine, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("feww: TurnstileEngine config: N = %d, want >= 1", cfg.N)
+	}
+	cfg.Shards = shardCount(cfg.Shards, cfg.N, runtime.GOMAXPROCS(0))
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("feww: TurnstileEngine config: Shards = %d, want >= 1", cfg.Shards)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = defaultBatchSize
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+
+	p := int64(cfg.Shards)
+	seeds := xrand.New(cfg.Seed)
+	shards := make([]*tShard, cfg.Shards)
+	apply := make([]func([]Update), cfg.Shards)
+	for i := range shards {
+		inner, err := core.NewInsertDelete(core.InsertDeleteConfig{
+			N:           (cfg.N - int64(i) + p - 1) / p,
+			M:           cfg.M,
+			D:           cfg.D,
+			Alpha:       cfg.Alpha,
+			Seed:        seeds.Uint64(),
+			ScaleFactor: cfg.ScaleFactor,
+			MaxSamplers: cfg.MaxSamplers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("feww: TurnstileEngine shard %d: %w", i, err)
+		}
+		sh := &tShard{idx: i, stride: p, inner: inner}
+		shards[i] = sh
+		apply[i] = func(batch []stream.Update) {
+			for j := range batch {
+				batch[j].A = sh.local(batch[j].A)
+			}
+			sh.inner.ApplyUpdates(batch)
+		}
+	}
+
+	return &TurnstileEngine{
+		shards: shards,
+		f: newFanout("TurnstileEngine", cfg.BatchSize, cfg.QueueDepth,
+			func(u Update) int64 { return u.A }, apply),
+	}, nil
+}
+
+// Shards returns the number of partitions in use.
+func (e *TurnstileEngine) Shards() int { return len(e.shards) }
+
+// Insert feeds the insertion of edge (a, b).
+func (e *TurnstileEngine) Insert(a, b int64) {
+	e.f.add(Update{Edge: Edge{A: a, B: b}, Op: stream.Insert})
+}
+
+// Delete feeds the deletion of edge (a, b); the edge must currently exist
+// (simple-graph turnstile promise).
+func (e *TurnstileEngine) Delete(a, b int64) {
+	e.f.add(Update{Edge: Edge{A: a, B: b}, Op: stream.Delete})
+}
+
+// ProcessUpdates feeds a batch of signed updates in order.  The slice is
+// copied into per-shard buffers; the caller keeps ownership of ups.
+func (e *TurnstileEngine) ProcessUpdates(ups []Update) { e.f.addBatch(ups) }
+
+// Flush hands every buffered update to its shard queue without waiting.
+func (e *TurnstileEngine) Flush() { e.f.flush() }
+
+// Drain flushes and blocks until every shard has applied everything queued.
+func (e *TurnstileEngine) Drain() {
+	e.f.mustBeOpen()
+	e.f.barrier()
+}
+
+// Close flushes, waits for the shards to drain, and stops them.  The
+// engine stays queryable after Close; feeding further updates panics.
+func (e *TurnstileEngine) Close() { e.f.close() }
+
+// Result returns a frequent item of the final graph with at least
+// ceil(D/Alpha) live witnesses, or ErrNoWitness if no shard found one.
+// Shards are consulted in index order.
+func (e *TurnstileEngine) Result() (Neighbourhood, error) {
+	e.f.barrier()
+	for _, sh := range e.shards {
+		if nb, err := sh.inner.Result(); err == nil {
+			nb.A = sh.global(nb.A)
+			return nb, nil
+		}
+	}
+	return Neighbourhood{}, ErrNoWitness
+}
+
+// WitnessTarget returns ceil(D/Alpha).
+func (e *TurnstileEngine) WitnessTarget() int64 { return e.shards[0].inner.WitnessTarget() }
+
+// UpdatesProcessed returns the number of updates fed to the engine.  The
+// counter is maintained on the producer side, so polling it is free.
+func (e *TurnstileEngine) UpdatesProcessed() int64 { return e.f.count }
+
+// SpaceWords reports the live state summed across all shards.
+func (e *TurnstileEngine) SpaceWords() int {
+	e.f.barrier()
+	words := 0
+	for _, sh := range e.shards {
+		words += sh.inner.SpaceWords()
+	}
+	return words
+}

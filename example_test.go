@@ -29,6 +29,35 @@ func ExampleInsertOnly() {
 	// item: 7 witnesses: 3
 }
 
+// The sharded engine: the same problem, partitioned across concurrent
+// shards and fed in batches.  A fixed seed reproduces the exact same
+// output on every run.
+func ExampleEngine() {
+	eng, err := feww.NewEngine(feww.EngineConfig{
+		Config: feww.Config{N: 1000, D: 6, Alpha: 2, Seed: 1},
+		Shards: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	// Items 7 and 8 each appear six times; they live in different shards.
+	var batch []feww.Edge
+	for t := int64(100); t < 106; t++ {
+		batch = append(batch, feww.Edge{A: 7, B: t}, feww.Edge{A: 8, B: t})
+	}
+	eng.ProcessEdges(batch)
+	eng.ProcessEdge(3, 200) // background noise
+
+	for _, nb := range eng.Results() {
+		fmt.Println("item:", nb.A, "witnesses:", len(nb.Witnesses))
+	}
+	// Output:
+	// item: 7 witnesses: 3
+	// item: 8 witnesses: 3
+}
+
 // Deletions are first-class in the turnstile algorithm: an item whose
 // occurrences are all retracted cannot be reported.
 func ExampleInsertDelete() {

@@ -4,7 +4,17 @@ import (
 	"io"
 
 	"feww/internal/core"
+	"feww/internal/stream"
 )
+
+// Edge is one element of an insertion-only stream: item A in [0, N) arrived
+// with witness B.  It aliases the internal stream model so batch slices move
+// through every layer without conversion.
+type Edge = stream.Edge
+
+// Update is one element of a turnstile stream: an Edge plus its sign
+// (stream.Insert or stream.Delete).
+type Update = stream.Update
 
 // Neighbourhood is an algorithm's output: a frequent A-vertex together
 // with distinct witnesses (B-neighbours) proving its degree.
@@ -56,6 +66,11 @@ func NewInsertOnly(cfg Config) (*InsertOnly, error) {
 // b (a timestamp, source address, user id, ... — any satellite datum
 // encoded as an integer).
 func (io *InsertOnly) ProcessEdge(a, b int64) { io.inner.ProcessEdge(a, b) }
+
+// ProcessEdges feeds a batch of occurrences in order.  It is equivalent to
+// calling ProcessEdge per element but amortises the per-edge dispatch; the
+// sharded Engine uses it as its shard hand-off unit.
+func (io *InsertOnly) ProcessEdges(edges []Edge) { io.inner.ProcessEdges(edges) }
 
 // Result returns a frequent item with at least ceil(D/Alpha) witnesses, or
 // ErrNoWitness.  It may be called at any point during the stream.
@@ -148,6 +163,10 @@ func (id *InsertDelete) Insert(a, b int64) { id.inner.Update(a, b, 1) }
 // Delete feeds the deletion of edge (a, b); the edge must currently exist
 // (simple-graph turnstile promise).
 func (id *InsertDelete) Delete(a, b int64) { id.inner.Update(a, b, -1) }
+
+// ProcessUpdates feeds a batch of signed updates in order; it is equivalent
+// to calling Insert/Delete per element.
+func (id *InsertDelete) ProcessUpdates(ups []Update) { id.inner.ApplyUpdates(ups) }
 
 // Result returns a frequent item of the final graph with at least
 // ceil(D/Alpha) live witnesses, or ErrNoWitness.

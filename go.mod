@@ -1,0 +1,3 @@
+module feww
+
+go 1.24

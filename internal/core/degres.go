@@ -2,6 +2,7 @@ package core
 
 import (
 	"feww/internal/reservoir"
+	"feww/internal/stream"
 	"feww/internal/xrand"
 )
 
@@ -91,6 +92,17 @@ func (dr *DegRes) Process(a, b int64, degA int64) {
 	}
 	if cand, ok := dr.pos[a]; ok && int64(len(cand.witnesses)) < dr.d2 {
 		cand.witnesses = append(cand.witnesses, b)
+	}
+}
+
+// ProcessEdges feeds a batch of stream edges in order.  degs[i] must be
+// the degree of edges[i].A including that edge, exactly as Process
+// expects; both slices must have equal length.  Reservoir offers are rare
+// (one per vertex lifetime), so the batch win at this layer is purely the
+// amortised call dispatch from the run-major loop above.
+func (dr *DegRes) ProcessEdges(edges []stream.Edge, degs []int64) {
+	for i := range edges {
+		dr.Process(edges[i].A, edges[i].B, degs[i])
 	}
 }
 

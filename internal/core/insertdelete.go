@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"feww/internal/l0"
+	"feww/internal/stream"
 	"feww/internal/xrand"
 )
 
@@ -197,6 +198,15 @@ func (id *InsertDelete) Update(a, b int64, delta int) {
 	key := uint64(a)*uint64(id.cfg.M) + uint64(b)
 	for _, s := range id.edgeSamplers {
 		s.Update(key, int64(delta))
+	}
+}
+
+// ApplyUpdates feeds a batch of stream updates in order.  It is equivalent
+// to calling Update once per element; the batched form is the turnstile
+// engine's shard hand-off unit.
+func (id *InsertDelete) ApplyUpdates(ups []stream.Update) {
+	for _, u := range ups {
+		id.Update(u.A, u.B, int(u.Op))
 	}
 }
 

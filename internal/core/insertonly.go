@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"feww/internal/stream"
 	"feww/internal/xrand"
 )
 
@@ -66,6 +67,7 @@ type InsertOnly struct {
 	tracker *DegreeTracker
 	runs    []*DegRes
 	edges   int64
+	degs    []int64 // scratch for ProcessEdges, not part of the state
 }
 
 // NewInsertOnly constructs the algorithm.  The zero ScaleFactor means 1.0.
@@ -98,6 +100,29 @@ func (io *InsertOnly) ProcessEdge(a, b int64) {
 	deg := io.tracker.Inc(a)
 	for _, run := range io.runs {
 		run.Process(a, b, deg)
+	}
+}
+
+// ProcessEdges feeds a batch of inserted edges.  The final state is
+// identical to calling ProcessEdge once per edge (the alpha runs are
+// mutually independent, so iterating run-major instead of edge-major
+// commutes); the batched form updates the shared degree tracker once per
+// edge and then hands each run the whole slice, amortising the per-edge
+// dispatch that dominates the single-edge path.
+func (io *InsertOnly) ProcessEdges(edges []stream.Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	io.edges += int64(len(edges))
+	if cap(io.degs) < len(edges) {
+		io.degs = make([]int64, len(edges))
+	}
+	degs := io.degs[:len(edges)]
+	for i, e := range edges {
+		degs[i] = io.tracker.Inc(e.A)
+	}
+	for _, run := range io.runs {
+		run.ProcessEdges(edges, degs)
 	}
 }
 

@@ -32,6 +32,9 @@ func TestRunUnknownID(t *testing.T) {
 // validates its own invariants internally (verified witnesses, exact figure
 // reproduction) and returns an error on violation.
 func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the quick experiment suite still takes ~1.5 minutes; run without -short")
+	}
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
@@ -56,6 +59,9 @@ func TestEveryExperimentRuns(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs E1 three times; run without -short")
+	}
 	a, err := Run("E1", quickCfg())
 	if err != nil {
 		t.Fatal(err)

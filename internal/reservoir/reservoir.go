@@ -43,6 +43,24 @@ func (r *Reservoir[T]) Offer(item T) (admitted bool, evicted T, didEvict bool) {
 	return true, evicted, true
 }
 
+// OfferBatch offers every item in order, invoking onAdmit for each admitted
+// item and onEvict for each occupant an admission displaced (either callback
+// may be nil).  The reservoir state and random stream afterwards are
+// identical to calling Offer once per item; the batched form exists so the
+// engine's ingest path hands over a slice instead of paying one call per
+// stream element.
+func (r *Reservoir[T]) OfferBatch(items []T, onAdmit func(T), onEvict func(T)) {
+	for _, item := range items {
+		admitted, evicted, didEvict := r.Offer(item)
+		if didEvict && onEvict != nil {
+			onEvict(evicted)
+		}
+		if admitted && onAdmit != nil {
+			onAdmit(item)
+		}
+	}
+}
+
 // Items returns the current sample.  The returned slice is the reservoir's
 // backing store; callers must not modify it.
 func (r *Reservoir[T]) Items() []T { return r.items }

@@ -122,3 +122,56 @@ func TestNewPanicsOnBadSize(t *testing.T) {
 	}()
 	New[int](xrand.New(6), 0)
 }
+
+// TestOfferBatchMatchesOffer checks the batched entry point: identical
+// final state and random stream as per-item Offer, with the admit/evict
+// callbacks reporting exactly the per-item outcomes.
+func TestOfferBatchMatchesOffer(t *testing.T) {
+	items := make([]int, 500)
+	for i := range items {
+		items[i] = i
+	}
+
+	seq := New[int](xrand.New(9), 8)
+	var seqAdmits, seqEvicts []int
+	for _, it := range items {
+		admitted, evicted, didEvict := seq.Offer(it)
+		if admitted {
+			seqAdmits = append(seqAdmits, it)
+		}
+		if didEvict {
+			seqEvicts = append(seqEvicts, evicted)
+		}
+	}
+
+	bat := New[int](xrand.New(9), 8)
+	var batAdmits, batEvicts []int
+	bat.OfferBatch(items,
+		func(it int) { batAdmits = append(batAdmits, it) },
+		func(ev int) { batEvicts = append(batEvicts, ev) })
+
+	if len(batAdmits) != len(seqAdmits) || len(batEvicts) != len(seqEvicts) {
+		t.Fatalf("callback counts diverged: %d/%d admits, %d/%d evicts",
+			len(batAdmits), len(seqAdmits), len(batEvicts), len(seqEvicts))
+	}
+	for i := range seqAdmits {
+		if batAdmits[i] != seqAdmits[i] {
+			t.Fatalf("admit %d: batched %d, sequential %d", i, batAdmits[i], seqAdmits[i])
+		}
+	}
+	for i := range seqEvicts {
+		if batEvicts[i] != seqEvicts[i] {
+			t.Fatalf("evict %d: batched %d, sequential %d", i, batEvicts[i], seqEvicts[i])
+		}
+	}
+	if bat.Seen() != seq.Seen() || bat.Len() != seq.Len() {
+		t.Fatalf("state diverged: seen %d/%d, len %d/%d", bat.Seen(), seq.Seen(), bat.Len(), seq.Len())
+	}
+	for i, v := range seq.Items() {
+		if bat.Items()[i] != v {
+			t.Fatalf("sample diverged at %d: %d vs %d", i, bat.Items()[i], v)
+		}
+	}
+	// Nil callbacks are allowed.
+	bat.OfferBatch(items[:10], nil, nil)
+}

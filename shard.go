@@ -1,0 +1,213 @@
+package feww
+
+import (
+	"sync"
+
+	"feww/internal/core"
+)
+
+// The engine partitions the item universe [0, N) across P shards by
+// residue: shard p owns every global item a with a % P == p, stored inside
+// the shard's algorithm instance under the local id a / P.  The mapping is
+// a bijection between the shard's slice of the universe and [0, ceil((N-p)/P)),
+// so each shard runs the unmodified single-threaded algorithm on a smaller
+// universe and the per-item degree promise transfers exactly: every edge of
+// a global item lands in the one shard that owns it.
+
+// shard is one partition of the insertion-only Engine; tShard is the
+// turnstile counterpart.  They carry what the query-side merge needs: the
+// residue class, the stride P, and the inner algorithm instance.
+type shard struct {
+	idx    int   // residue class this shard owns
+	stride int64 // P, the total shard count
+	inner  *core.InsertOnly
+}
+
+// local converts a global item id owned by this shard to its local id.
+func (sh *shard) local(a int64) int64 { return a / sh.stride }
+
+// global converts a shard-local item id back to the global id.
+func (sh *shard) global(local int64) int64 { return local*sh.stride + int64(sh.idx) }
+
+type tShard struct {
+	idx    int
+	stride int64
+	inner  *core.InsertDelete
+}
+
+func (sh *tShard) local(a int64) int64 { return a / sh.stride }
+
+func (sh *tShard) global(local int64) int64 { return local*sh.stride + int64(sh.idx) }
+
+// shardCount resolves the configured shard count against the universe size:
+// 0 means "one shard per available CPU", and the count is clamped to N so
+// every shard owns at least one item.
+func shardCount(requested int, n int64, defaultShards int) int {
+	p := requested
+	if p == 0 {
+		p = defaultShards
+	}
+	if int64(p) > n {
+		p = int(n)
+	}
+	return p
+}
+
+// msg is the unit of work on a worker queue: a batch buffer (recycled
+// after application) and/or a barrier acknowledgement channel, which the
+// worker closes once every earlier batch has been applied.
+type msg[E any] struct {
+	batch *[]E
+	ack   chan<- struct{}
+}
+
+// fanout is the concurrency skeleton shared by Engine and TurnstileEngine:
+// per-shard fill buffers, bounded FIFO batch queues, one worker goroutine
+// per shard, an ack barrier, and buffer recycling through a sync.Pool (of
+// *[]E, so recycling does not re-box the slice header).  Each worker
+// drains its queue in FIFO order, so every shard consumes its sub-stream
+// in exact arrival order and results are deterministic regardless of
+// scheduling.  The producer side is single-goroutine by contract.
+type fanout[E any] struct {
+	name      string // engine type, for panic messages
+	batchSize int
+	item      func(E) int64 // global item id of an element, for routing
+	apply     []func([]E)   // per shard: apply one batch (global ids)
+	chans     []chan msg[E]
+	pending   []*[]E // per-shard fill buffers, owned by the producer
+	pool      sync.Pool
+	wg        sync.WaitGroup
+	count     int64 // elements accepted so far
+	closed    bool
+}
+
+// newFanout builds the skeleton and starts one worker per apply function.
+func newFanout[E any](name string, batchSize, queueDepth int, item func(E) int64, apply []func([]E)) *fanout[E] {
+	f := &fanout[E]{
+		name:      name,
+		batchSize: batchSize,
+		item:      item,
+		apply:     apply,
+		chans:     make([]chan msg[E], len(apply)),
+		pending:   make([]*[]E, len(apply)),
+	}
+	for i := range f.chans {
+		f.chans[i] = make(chan msg[E], queueDepth)
+		f.pending[i] = f.newBuf()
+	}
+	f.wg.Add(len(f.chans))
+	for i := range f.chans {
+		go f.run(i)
+	}
+	return f
+}
+
+// run is the worker goroutine for shard i.
+func (f *fanout[E]) run(i int) {
+	defer f.wg.Done()
+	for m := range f.chans[i] {
+		if m.batch != nil {
+			f.apply[i](*m.batch)
+			*m.batch = (*m.batch)[:0]
+			f.pool.Put(m.batch)
+		}
+		if m.ack != nil {
+			close(m.ack)
+		}
+	}
+}
+
+// add routes one element; addBatch routes a slice (copying it into the
+// per-shard buffers, so the caller keeps ownership).  Full buffers are
+// handed to the owning worker.
+func (f *fanout[E]) add(el E) {
+	f.mustBeOpen()
+	f.count++
+	i := int(f.item(el) % int64(len(f.chans)))
+	*f.pending[i] = append(*f.pending[i], el)
+	if len(*f.pending[i]) >= f.batchSize {
+		f.dispatch(i)
+	}
+}
+
+func (f *fanout[E]) addBatch(els []E) {
+	f.mustBeOpen()
+	f.count += int64(len(els))
+	p := int64(len(f.chans))
+	for _, el := range els {
+		i := int(f.item(el) % p)
+		*f.pending[i] = append(*f.pending[i], el)
+		if len(*f.pending[i]) >= f.batchSize {
+			f.dispatch(i)
+		}
+	}
+}
+
+// dispatch hands shard i's fill buffer to its queue and installs a fresh
+// (usually recycled) buffer.
+func (f *fanout[E]) dispatch(i int) {
+	if len(*f.pending[i]) == 0 {
+		return
+	}
+	f.chans[i] <- msg[E]{batch: f.pending[i]}
+	f.pending[i] = f.newBuf()
+}
+
+func (f *fanout[E]) newBuf() *[]E {
+	if v := f.pool.Get(); v != nil {
+		return v.(*[]E)
+	}
+	buf := make([]E, 0, f.batchSize)
+	return &buf
+}
+
+// flush hands every buffered element to its shard queue without waiting.
+func (f *fanout[E]) flush() {
+	f.mustBeOpen()
+	for i := range f.chans {
+		f.dispatch(i)
+	}
+}
+
+// barrier makes every element fed so far visible to the caller: it
+// flushes the fill buffers, then sends each worker an ack token and waits
+// for all of them.  Each queue is FIFO with a single consumer, so an
+// acked worker has applied every earlier batch; the ack also establishes
+// the happens-before edge that lets the caller read shard state directly.
+// After close the workers have drained and stopped, so reads are safe
+// without a barrier.
+func (f *fanout[E]) barrier() {
+	if f.closed {
+		return
+	}
+	f.flush()
+	acks := make([]chan struct{}, len(f.chans))
+	for i, ch := range f.chans {
+		ack := make(chan struct{})
+		acks[i] = ack
+		ch <- msg[E]{ack: ack}
+	}
+	for _, ack := range acks {
+		<-ack
+	}
+}
+
+// close flushes, stops the workers, and waits for them to drain.
+// Idempotent.
+func (f *fanout[E]) close() {
+	if f.closed {
+		return
+	}
+	f.flush()
+	for _, ch := range f.chans {
+		close(ch)
+	}
+	f.wg.Wait()
+	f.closed = true
+}
+
+func (f *fanout[E]) mustBeOpen() {
+	if f.closed {
+		panic("feww: " + f.name + " used after Close")
+	}
+}
