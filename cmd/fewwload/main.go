@@ -1,0 +1,149 @@
+// Command fewwload replays a synthetic workload scenario against a
+// running fewwd instance and reports the achieved ingest rate.  It is the
+// load-generation half of the service pair: fewwd owns the engine,
+// fewwload drives it over HTTP with the same generators the experiments
+// use (internal/workload), so the planted ground truth is known and the
+// served answer can be verified, not just timed.
+//
+// Usage:
+//
+//	fewwload -scenario zipf -n 100000 -edges 1000000 -d 2000
+//	fewwload -scenario dos -n 20000 -d 3000 -heavy 3 -edges 80000
+//	fewwload -scenario churn -n 500 -m 2000 -d 50 -edges 2000     (fewwd -turnstile)
+//	fewwload -scenario planted -checkpoint-every 20 -verify
+//
+// Scenarios: zipf (frequent items in a Zipf tail), planted (heavy
+// vertices in Zipf noise), dos (victims receiving distinct-source
+// floods), churn (planted structure under insert-then-delete noise;
+// requires a turnstile fewwd).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"feww/internal/stream"
+	"feww/internal/workload"
+	"feww/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "fewwd base URL")
+		scenario  = flag.String("scenario", "zipf", "workload: zipf | planted | dos | churn")
+		n         = flag.Int64("n", 100000, "item universe size |A|")
+		m         = flag.Int64("m", 0, "witness universe size |B| (default 4n; zipf uses the stream length)")
+		d         = flag.Int64("d", 2000, "heavy degree / frequency threshold")
+		heavy     = flag.Int("heavy", 3, "planted heavy vertices (planted/dos/churn)")
+		edges     = flag.Int("edges", 1000000, "stream length / noise edges")
+		skew      = flag.Float64("skew", 1.2, "Zipf exponent")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		reqSize   = flag.Int("reqsize", 50000, "updates per /ingest request")
+		ckptEvery = flag.Int("checkpoint-every", 0, "POST /checkpoint every k requests (0 = never)")
+		verify    = flag.Bool("verify", true, "verify served witnesses against the planted ground truth")
+	)
+	flag.Parse()
+
+	inst, streamN, streamM, err := generate(*scenario, *n, *m, *d, *heavy, *edges, *skew, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := stream.Summarize(inst.Updates)
+	fmt.Printf("workload: %s, %d updates (%d inserts, %d deletes), %d heavy, max degree %d\n",
+		*scenario, st.Updates, st.Inserts, st.Deletes, len(inst.HeavyA), st.MaxDegreeA)
+
+	cl := &server.Client{Base: *addr}
+	if _, err := cl.Stats(); err != nil {
+		log.Fatalf("fewwload: cannot reach fewwd at %s: %v", *addr, err)
+	}
+
+	start := time.Now()
+	var sent int64
+	requests := 0
+	for lo := 0; lo < len(inst.Updates); lo += *reqSize {
+		hi := min(lo+*reqSize, len(inst.Updates))
+		resp, err := cl.Ingest(streamN, streamM, inst.Updates[lo:hi])
+		if err != nil {
+			log.Fatalf("fewwload: request %d: %v", requests, err)
+		}
+		sent += resp.Accepted
+		requests++
+		if *ckptEvery > 0 && requests%*ckptEvery == 0 {
+			ck, err := cl.Checkpoint()
+			if err != nil {
+				log.Fatalf("fewwload: checkpoint after request %d: %v", requests, err)
+			}
+			fmt.Printf("  checkpoint after %d updates: %d bytes\n", sent, ck.Bytes)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("replayed %d updates in %d requests over %v: %.0f updates/sec\n",
+		sent, requests, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+
+	stats, err := cl.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server: %s engine, %d shards, %d elements, %d space words, snapshot %d bytes, queues %v\n",
+		stats.Engine, stats.Shards, stats.Elements, stats.SpaceWords, stats.SnapshotBytes, stats.QueueDepths)
+
+	best, err := cl.Best()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !best.Found {
+		fmt.Println("result: no witnessed neighbourhood collected")
+		os.Exit(1)
+	}
+	fmt.Printf("result: vertex %d with %d witnesses (target %d)\n",
+		best.Neighbourhood.Vertex, best.Neighbourhood.Size, best.WitnessTarget)
+	if *verify {
+		if err := inst.Verify(best.Neighbourhood.Vertex, best.Neighbourhood.Witnesses); err != nil {
+			log.Fatalf("fewwload: served witnesses FAILED verification: %v", err)
+		}
+		fmt.Println("verified: every served witness is a real edge of the generated stream")
+	}
+}
+
+// generate builds the requested scenario and returns it with the
+// universe sizes the encoded stream should declare.
+func generate(scenario string, n, m, d int64, heavy, edges int, skew float64, seed uint64) (*workload.Planted, int64, int64, error) {
+	if m == 0 {
+		m = 4 * n
+	}
+	switch scenario {
+	case "zipf":
+		inst := workload.ZipfItems(seed, n, edges, skew, d)
+		return inst, n, int64(edges), nil
+	case "planted":
+		inst, err := workload.NewPlanted(workload.PlantedConfig{
+			N: n, M: m, Heavy: heavy, HeavyDeg: d,
+			NoiseEdges: edges, NoiseSkew: skew, MaxNoise: d / 3,
+			Order: workload.Shuffled, Seed: seed,
+		})
+		return inst, n, m, err
+	case "dos":
+		cfg := workload.DoSConfig{
+			Targets: n, Sources: max(n/10, 2), Window: 256,
+			Victims: heavy, AttackReqs: d, Background: edges, Seed: seed,
+		}
+		inst, err := workload.NewDoS(cfg)
+		return inst, n, cfg.BWidth(), err
+	case "churn":
+		inst, err := workload.NewChurn(workload.ChurnConfig{
+			Planted: workload.PlantedConfig{
+				N: n, M: m, Heavy: heavy, HeavyDeg: d,
+				NoiseEdges: edges / 2, NoiseSkew: skew, MaxNoise: d / 3,
+				Order: workload.Shuffled, Seed: seed,
+			},
+			ChurnEdges: edges,
+			Seed:       seed,
+		})
+		return inst, n, m, err
+	default:
+		return nil, 0, 0, fmt.Errorf("fewwload: unknown scenario %q", scenario)
+	}
+}

@@ -40,12 +40,27 @@
 // goroutine, so ingest scales with cores while each shard retains the
 // single-instance guarantees on its slice of the universe; a fixed seed
 // reproduces identical results regardless of scheduling or batch size.
+// Both engines are safe for concurrent producers and queriers, which is
+// what the network service layer builds on.
 //
-// InsertOnly additionally supports reporting every frequent element found
-// (Results) and full binary checkpointing (Snapshot / RestoreInsertOnly):
-// a restored instance continues the exact same random stream, and the
-// snapshot bytes are precisely the "message" of the paper's communication
-// protocols (see examples/partitioned).
+// # Checkpointing
+//
+// Every layer snapshots and restores exactly.  InsertOnly and (via the
+// engines) InsertDelete serialise their complete state — degree tables,
+// reservoirs, witnesses, sketch cells and RNG streams — so a restored
+// instance continues the very same random stream, and the snapshot bytes
+// are precisely the "message" of the paper's communication protocols
+// (see examples/partitioned).  Engine.Snapshot / RestoreEngine and
+// TurnstileEngine.Snapshot / RestoreTurnstileEngine compose the per-shard
+// snapshots into one container, quiescing the queues first so nothing in
+// flight is lost; see docs/ARCHITECTURE.md for the byte-level formats.
+//
+// # The service
+//
+// The feww/server package and cmd/fewwd expose an engine over HTTP —
+// binary stream ingest, live witnessed-neighbourhood queries, stats and
+// checkpoint/restore — and cmd/fewwload replays workload scenarios
+// against it.  See docs/OPERATIONS.md for the runbook.
 //
 // # Quick start
 //
@@ -60,7 +75,7 @@
 //	}
 //
 // See examples/ for runnable programs covering the paper's three motivating
-// applications (database logs, social networks, DoS detection), DESIGN.md
-// for the system inventory, and EXPERIMENTS.md for the reproduction of the
-// paper's claims.
+// applications (database logs, social networks, DoS detection),
+// docs/ARCHITECTURE.md for the layer map and binary format
+// specifications, and docs/OPERATIONS.md for running the service.
 package feww

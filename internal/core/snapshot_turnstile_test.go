@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"feww/internal/stream"
+	"feww/internal/workload"
+)
+
+func turnstileSnapCfg() InsertDeleteConfig {
+	return InsertDeleteConfig{N: 32, M: 64, D: 8, Alpha: 2, Seed: 11, ScaleFactor: 0.02}
+}
+
+func turnstileSnapStream(t testing.TB) (*workload.Planted, []stream.Update) {
+	t.Helper()
+	inst, err := workload.NewChurn(workload.ChurnConfig{
+		Planted: workload.PlantedConfig{
+			N: 32, M: 64, Heavy: 1, HeavyDeg: 8,
+			NoiseEdges: 40, MaxNoise: 2, Order: workload.Shuffled, Seed: 5,
+		},
+		ChurnEdges: 100,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, inst.Updates
+}
+
+func TestTurnstileSnapshotRoundTrip(t *testing.T) {
+	algo, err := NewInsertDelete(turnstileSnapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ups := turnstileSnapStream(t)
+	algo.ApplyUpdates(ups[:len(ups)/3])
+
+	var buf bytes.Buffer
+	if err := algo.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := algo.SnapshotSize(), buf.Len(); got != want {
+		t.Fatalf("SnapshotSize = %d, actual = %d", got, want)
+	}
+	restored, err := RestoreInsertDelete(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.UpdatesProcessed() != algo.UpdatesProcessed() {
+		t.Fatalf("updates %d, want %d", restored.UpdatesProcessed(), algo.UpdatesProcessed())
+	}
+	if restored.SpaceWords() != algo.SpaceWords() {
+		t.Fatalf("space %d, want %d", restored.SpaceWords(), algo.SpaceWords())
+	}
+	var buf2 bytes.Buffer
+	if err := restored.Snapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("snapshot of restored state differs from original snapshot")
+	}
+}
+
+// TestTurnstileSnapshotContinuation: restoring mid-stream and feeding the
+// identical suffix yields the exact same final state as the uninterrupted
+// run — deletions of edges inserted before the checkpoint must cancel in
+// the restored sketches too.
+func TestTurnstileSnapshotContinuation(t *testing.T) {
+	inst, ups := turnstileSnapStream(t)
+
+	full, err := NewInsertDelete(turnstileSnapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.ApplyUpdates(ups)
+
+	half, err := NewInsertDelete(turnstileSnapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(ups) / 2
+	half.ApplyUpdates(ups[:cut])
+	var buf bytes.Buffer
+	if err := half.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := RestoreInsertDelete(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.ApplyUpdates(ups[cut:])
+
+	var a, b bytes.Buffer
+	if err := full.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("resumed run diverged from uninterrupted run")
+	}
+
+	nb, err := resumed.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(nb.A, nb.Witnesses); err != nil {
+		t.Fatal(err)
+	}
+	nbFull, err := full.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.A != nbFull.A {
+		t.Fatalf("resumed found vertex %d, uninterrupted found %d", nb.A, nbFull.A)
+	}
+}
+
+func TestTurnstileSnapshotEmpty(t *testing.T) {
+	algo, err := NewInsertDelete(turnstileSnapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := algo.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreInsertDelete(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.UpdatesProcessed() != 0 {
+		t.Fatalf("restored empty algorithm has %d updates", restored.UpdatesProcessed())
+	}
+	if _, err := restored.Result(); !errors.Is(err, ErrNoWitness) {
+		t.Fatalf("got %v, want ErrNoWitness", err)
+	}
+}
+
+func TestTurnstileRestoreRejectsCorruption(t *testing.T) {
+	algo, err := NewInsertDelete(turnstileSnapCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ups := turnstileSnapStream(t)
+	algo.ApplyUpdates(ups[:100])
+	var buf bytes.Buffer
+	if err := algo.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := RestoreInsertDelete(bytes.NewReader(nil)); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] ^= 0xff
+		if _, err := RestoreInsertDelete(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("insert-only magic", func(t *testing.T) {
+		if _, err := RestoreInsertDelete(bytes.NewReader(append(snapMagic[:], good[8:]...))); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, frac := range []int{2, 3, 10} {
+			if _, err := RestoreInsertDelete(bytes.NewReader(good[:len(good)/frac])); err == nil {
+				t.Fatalf("truncation to 1/%d accepted", frac)
+			}
+		}
+	})
+	t.Run("zeroed N", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		for i := 8; i < 16; i++ {
+			bad[i] = 0
+		}
+		if _, err := RestoreInsertDelete(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("got %v", err)
+		}
+	})
+}

@@ -159,6 +159,16 @@ func (f *Fingerprint) Matches(i uint64, count int64) bool {
 // Zero reports whether the fingerprint is consistent with the zero vector.
 func (f *Fingerprint) Zero() bool { return f.acc == 0 }
 
+// Acc returns the accumulator — the fingerprint's only mutable state (the
+// evaluation point r is fixed at construction, so checkpointing a
+// fingerprint needs nothing else when the constructor is replayed from the
+// same RNG).
+func (f *Fingerprint) Acc() uint64 { return f.acc }
+
+// SetAcc overwrites the accumulator; used by snapshot restore after the
+// construction RNG has re-derived the evaluation point.
+func (f *Fingerprint) SetAcc(acc uint64) { f.acc = acc }
+
 // Clone returns an independent copy (same evaluation point and state),
 // used by peeling decoders that subtract recovered coordinates from a
 // scratch copy.

@@ -72,5 +72,20 @@ func (o *OneSparse) Clone() *OneSparse {
 	return &OneSparse{count: o.count, sum: o.sum, fp: o.fp.Clone()}
 }
 
+// State returns the cell's mutable state: the delta sum, the index-weighted
+// sum, and the fingerprint accumulator.  The fingerprint's evaluation point
+// is not part of the state — it is derived from the construction RNG, so a
+// checkpoint needs only these three words per cell.
+func (o *OneSparse) State() (count, sum int64, acc uint64) {
+	return o.count, o.sum, o.fp.Acc()
+}
+
+// SetState overwrites the cell's mutable state; used by snapshot restore on
+// a freshly constructed (hence hash-compatible) cell.
+func (o *OneSparse) SetState(count, sum int64, acc uint64) {
+	o.count, o.sum = count, sum
+	o.fp.SetAcc(acc)
+}
+
 // SpaceWords reports the words of state held by the recoverer.
 func (o *OneSparse) SpaceWords() int { return 2 + o.fp.SpaceWords() }

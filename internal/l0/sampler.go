@@ -117,6 +117,23 @@ func (s *Sampler) Sample() (index uint64, count int64, ok bool) {
 	return 0, 0, false
 }
 
+// Cells visits every 1-sparse cell of the sampler in a fixed
+// (level-major, then row-major) order.  Snapshot and restore both walk
+// this order, so the cell sequence of two samplers built from the same
+// RNG stream lines up exactly.
+func (s *Sampler) Cells(visit func(*OneSparse)) {
+	for _, lv := range s.level {
+		lv.Cells(visit)
+	}
+}
+
+// NumCells returns how many 1-sparse cells Cells visits.
+func (s *Sampler) NumCells() int {
+	n := 0
+	s.Cells(func(*OneSparse) { n++ })
+	return n
+}
+
 // SpaceWords reports the words of state held by the sampler.
 func (s *Sampler) SpaceWords() int {
 	words := s.lvlHash.SpaceWords() + s.minHash.SpaceWords()

@@ -88,6 +88,16 @@ func (ss *SSparse) Recover() map[uint64]int64 {
 	}
 }
 
+// Cells visits every 1-sparse cell in row-major order — the fixed
+// iteration order the snapshot format relies on.
+func (ss *SSparse) Cells(visit func(*OneSparse)) {
+	for _, row := range ss.cells {
+		for _, cell := range row {
+			visit(cell)
+		}
+	}
+}
+
 // SpaceWords reports the words of state held by the recoverer.
 func (ss *SSparse) SpaceWords() int {
 	words := 0

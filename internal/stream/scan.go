@@ -18,39 +18,25 @@ import (
 //	}
 //	if err := sc.Err(); err != nil { ... }
 type Scanner struct {
-	br      *bufio.Reader
-	n, m    int64
-	total   uint64 // updates declared in the header
-	read    uint64
-	current Update
-	err     error
+	or       *offsetReader
+	n, m     int64
+	total    uint64 // updates declared in the header
+	read     uint64
+	current  Update
+	err      error
+	eofCheck bool // trailing-data probe already done
 }
 
 // NewScanner validates the header of a stream file and positions the
-// scanner before the first update.
+// scanner before the first update.  Header errors wrap ErrBadFormat with
+// the byte offset of the fault.
 func NewScanner(r io.Reader) (*Scanner, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
-	}
-	if magic != fileMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic[:])
-	}
-	version, err := binary.ReadUvarint(br)
+	or := &offsetReader{br: bufio.NewReader(r)}
+	n, m, total, err := readHeader(or)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		return nil, err
 	}
-	if version != fileVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
-	}
-	hdr := make([]uint64, 3)
-	for i := range hdr {
-		if hdr[i], err = binary.ReadUvarint(br); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
-		}
-	}
-	return &Scanner{br: br, n: int64(hdr[0]), m: int64(hdr[1]), total: hdr[2]}, nil
+	return &Scanner{or: or, n: n, m: m, total: total}, nil
 }
 
 // N returns |A| from the header.
@@ -63,41 +49,51 @@ func (s *Scanner) M() int64 { return s.m }
 func (s *Scanner) Total() int64 { return int64(s.total) }
 
 // Scan advances to the next update; it returns false at the end of the
-// stream or on error (distinguish with Err).
+// stream or on error (distinguish with Err).  A stream that ends before
+// the declared count — an over-count header or a truncated transfer — is
+// an error wrapping ErrBadFormat with the byte offset it was detected at,
+// and so is input continuing past the declared count (checked by a
+// one-byte probe once the count is reached).
 func (s *Scanner) Scan() bool {
-	if s.err != nil || s.read == s.total {
+	if s.err != nil {
 		return false
 	}
-	op, err := s.br.ReadByte()
+	if s.read == s.total {
+		s.checkTrailing()
+		return false
+	}
+	u, err := readUpdate(s.or, s.read, s.total)
 	if err != nil {
-		s.err = fmt.Errorf("%w: %v", ErrBadFormat, err)
+		s.err = err
 		return false
 	}
-	a, err := binary.ReadUvarint(s.br)
-	if err != nil {
-		s.err = fmt.Errorf("%w: %v", ErrBadFormat, err)
-		return false
-	}
-	b, err := binary.ReadUvarint(s.br)
-	if err != nil {
-		s.err = fmt.Errorf("%w: %v", ErrBadFormat, err)
-		return false
-	}
-	switch op {
-	case 0:
-		s.current = Ins(int64(a), int64(b))
-	case 1:
-		s.current = Del(int64(a), int64(b))
-	default:
-		s.err = fmt.Errorf("%w: bad op byte %d", ErrBadFormat, op)
-		return false
-	}
+	s.current = u
 	s.read++
 	return true
 }
 
+// checkTrailing rejects bytes following the declared update count, the
+// same way ReadFile does — a concatenated second stream or an
+// under-counting header must not be silently dropped on the ingest path.
+func (s *Scanner) checkTrailing() {
+	if s.eofCheck {
+		return
+	}
+	s.eofCheck = true
+	if _, err := s.or.ReadByte(); err == nil {
+		s.err = fmt.Errorf("%w: trailing data after the %d declared updates at byte %d",
+			ErrBadFormat, s.total, s.or.off-1)
+	} else if err != io.EOF {
+		s.err = fmt.Errorf("%w: at byte %d: %v", ErrBadFormat, s.or.off, err)
+	}
+}
+
 // Update returns the update read by the last successful Scan.
 func (s *Scanner) Update() Update { return s.current }
+
+// Offset returns the number of input bytes consumed so far — the resume
+// point when replaying a partially ingested file.
+func (s *Scanner) Offset() int64 { return s.or.off }
 
 // Err returns the first error encountered, or nil at a clean end of
 // stream.  A stream shorter than its header declares is an error.

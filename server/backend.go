@@ -1,0 +1,150 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"feww"
+)
+
+// Backend is the engine surface fewwd serves: either the insertion-only
+// Engine or the TurnstileEngine behind one adapter interface.  Both
+// engines are internally safe for concurrent use, so Backend methods may
+// be called from any number of request handlers at once.
+type Backend interface {
+	// Kind is "insert-only" or "turnstile", reported by /stats.
+	Kind() string
+	// Ingest applies a batch of updates in order.  It validates every
+	// update against the engine's universe before feeding anything, so a
+	// rejected batch leaves the engine untouched.
+	Ingest(ups []feww.Update) error
+	// Best returns the largest neighbourhood collected so far (for the
+	// turnstile engine: the Result neighbourhood, which is only available
+	// once it reaches the witness target).
+	Best() (feww.Neighbourhood, bool)
+	// Results returns every full-target neighbourhood found.
+	Results() []feww.Neighbourhood
+	// Processed returns the number of stream elements accepted.
+	Processed() int64
+	// Shards, QueueDepths, WitnessTarget and Usage feed the /stats
+	// endpoint; Usage reports space words and snapshot bytes under one
+	// engine quiesce, so a stats poll stalls ingest once, not twice.
+	Shards() int
+	QueueDepths() []int
+	WitnessTarget() int64
+	Usage() (spaceWords, snapshotBytes int)
+	// Snapshot serialises the engine state; Restore* round-trips it.
+	Snapshot(w io.Writer) error
+	// Close drains and stops the engine; the backend stays queryable.
+	Close()
+}
+
+// NewInsertOnlyBackend wraps a sharded insertion-only engine.
+func NewInsertOnlyBackend(e *feww.Engine) Backend { return &insertBackend{e} }
+
+// NewTurnstileBackend wraps a sharded insertion-deletion engine.
+func NewTurnstileBackend(e *feww.TurnstileEngine) Backend { return &turnstileBackend{e} }
+
+type insertBackend struct {
+	e *feww.Engine
+}
+
+func (b *insertBackend) Kind() string { return "insert-only" }
+
+func (b *insertBackend) Ingest(ups []feww.Update) error {
+	n := b.e.Config().N
+	for i, u := range ups {
+		if u.Op != feww.Insert {
+			return fmt.Errorf("update %d of %d: %v: insertion-only engine cannot apply deletions (run the service in turnstile mode)", i, len(ups), u)
+		}
+		if u.A < 0 || u.A >= n || u.B < 0 {
+			return fmt.Errorf("update %d of %d: %v: item out of the engine's universe [0, %d)", i, len(ups), u, n)
+		}
+	}
+	edges := make([]feww.Edge, len(ups))
+	for i, u := range ups {
+		edges[i] = u.Edge
+	}
+	b.e.ProcessEdges(edges)
+	return nil
+}
+
+func (b *insertBackend) Best() (feww.Neighbourhood, bool)   { return b.e.Best() }
+func (b *insertBackend) Results() []feww.Neighbourhood      { return b.e.Results() }
+func (b *insertBackend) Processed() int64                   { return b.e.EdgesProcessed() }
+func (b *insertBackend) Shards() int                        { return b.e.Shards() }
+func (b *insertBackend) QueueDepths() []int                 { return b.e.QueueDepths() }
+func (b *insertBackend) WitnessTarget() int64               { return b.e.WitnessTarget() }
+func (b *insertBackend) Usage() (spaceWords, snapBytes int) { return b.e.Usage() }
+func (b *insertBackend) Snapshot(w io.Writer) error         { return b.e.Snapshot(w) }
+func (b *insertBackend) Close()                             { b.e.Close() }
+
+type turnstileBackend struct {
+	e *feww.TurnstileEngine
+}
+
+func (b *turnstileBackend) Kind() string { return "turnstile" }
+
+func (b *turnstileBackend) Ingest(ups []feww.Update) error {
+	cfg := b.e.Config()
+	for i, u := range ups {
+		if u.Op != feww.Insert && u.Op != feww.Delete {
+			return fmt.Errorf("update %d of %d has invalid op %d", i, len(ups), u.Op)
+		}
+		if u.A < 0 || u.A >= cfg.N || u.B < 0 || u.B >= cfg.M {
+			return fmt.Errorf("update %d of %d: %v: edge out of the engine's universe [0, %d) x [0, %d)", i, len(ups), u, cfg.N, cfg.M)
+		}
+	}
+	b.e.ProcessUpdates(ups)
+	return nil
+}
+
+// Best for the turnstile engine is its Result: the L0-sampler queries
+// only certify neighbourhoods once they reach the witness target, so
+// there is no meaningful "largest partial" to report.
+func (b *turnstileBackend) Best() (feww.Neighbourhood, bool) {
+	nb, err := b.e.Result()
+	return nb, err == nil
+}
+
+func (b *turnstileBackend) Results() []feww.Neighbourhood {
+	if nb, err := b.e.Result(); err == nil {
+		return []feww.Neighbourhood{nb}
+	}
+	return nil
+}
+
+func (b *turnstileBackend) Processed() int64                   { return b.e.UpdatesProcessed() }
+func (b *turnstileBackend) Shards() int                        { return b.e.Shards() }
+func (b *turnstileBackend) QueueDepths() []int                 { return b.e.QueueDepths() }
+func (b *turnstileBackend) WitnessTarget() int64               { return b.e.WitnessTarget() }
+func (b *turnstileBackend) Usage() (spaceWords, snapBytes int) { return b.e.Usage() }
+func (b *turnstileBackend) Snapshot(w io.Writer) error         { return b.e.Snapshot(w) }
+func (b *turnstileBackend) Close()                             { b.e.Close() }
+
+// RestoreBackend reads an engine snapshot — a checkpoint file, or the
+// bytes of GET /snapshot — sniffs which engine kind it holds, and returns
+// a running backend of that kind.  This is the paper's one-way protocol
+// made operational: party i's memory state restored by party i+1.
+func RestoreBackend(r io.Reader) (Backend, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(9)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading engine snapshot header: %v", feww.ErrBadSnapshot, err)
+	}
+	switch head[8] {
+	case 1: // turnstile kind byte
+		e, err := feww.RestoreTurnstileEngine(br)
+		if err != nil {
+			return nil, err
+		}
+		return NewTurnstileBackend(e), nil
+	default:
+		e, err := feww.RestoreEngine(br)
+		if err != nil {
+			return nil, err
+		}
+		return NewInsertOnlyBackend(e), nil
+	}
+}

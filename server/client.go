@@ -1,0 +1,125 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"feww"
+	"feww/internal/stream"
+)
+
+// Client talks to a fewwd instance.  It is what cmd/fewwload and the
+// end-to-end tests drive; the zero HTTPClient means http.DefaultClient.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTPClient overrides the transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// Ingest encodes a batch of updates in the FEWW binary format and posts
+// it to /ingest.  n and m declare the stream's universe sizes (they must
+// fit inside the server engine's universe).
+func (c *Client) Ingest(n, m int64, ups []feww.Update) (IngestResponse, error) {
+	var body bytes.Buffer
+	if err := stream.WriteFile(&body, n, m, ups); err != nil {
+		return IngestResponse{}, err
+	}
+	return c.IngestStream(&body)
+}
+
+// IngestStream posts an already encoded FEWW binary stream to /ingest —
+// e.g. a file produced by cmd/fewwgen, streamed without decoding.
+func (c *Client) IngestStream(body io.Reader) (IngestResponse, error) {
+	resp, err := c.http().Post(c.url("/ingest"), "application/octet-stream", body)
+	if err != nil {
+		return IngestResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return IngestResponse{}, fmt.Errorf("ingest: decoding response (HTTP %d): %w", resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("ingest rejected (HTTP %d) after %d accepted updates: %s",
+			resp.StatusCode, out.Accepted, out.Error)
+	}
+	return out, nil
+}
+
+// Best fetches /best.
+func (c *Client) Best() (BestResponse, error) {
+	var out BestResponse
+	return out, c.getJSON("/best", &out)
+}
+
+// Results fetches /results.
+func (c *Client) Results() ([]NeighbourhoodJSON, error) {
+	var out []NeighbourhoodJSON
+	return out, c.getJSON("/results", &out)
+}
+
+// Stats fetches /stats.
+func (c *Client) Stats() (StatsResponse, error) {
+	var out StatsResponse
+	return out, c.getJSON("/stats", &out)
+}
+
+// Checkpoint asks the server to write its configured checkpoint file.
+func (c *Client) Checkpoint() (CheckpointResponse, error) {
+	resp, err := c.http().Post(c.url("/checkpoint"), "", nil)
+	if err != nil {
+		return CheckpointResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return CheckpointResponse{}, fmt.Errorf("checkpoint failed (HTTP %d): %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var out CheckpointResponse
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Snapshot streams /snapshot into w and returns the byte count — the
+// engine's memory state crossing the network, as in the paper's one-way
+// protocols.
+func (c *Client) Snapshot(w io.Writer) (int64, error) {
+	resp, err := c.http().Get(c.url("/snapshot"))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return 0, fmt.Errorf("snapshot failed (HTTP %d): %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return io.Copy(w, resp.Body)
+}
+
+func (c *Client) getJSON(path string, v any) error {
+	resp, err := c.http().Get(c.url(path))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET %s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"feww"
+	"feww/internal/workload"
+)
+
+// TestCheckpointKillRestoreEquivalence is the acceptance scenario: serve
+// a planted Zipf workload over HTTP, checkpoint mid-stream, kill the
+// server, restore a fresh one from the checkpoint file, finish the
+// stream, and verify that GET /best returns a valid witnessed
+// neighbourhood identical to an uninterrupted in-process run with the
+// same seed — and that the final engine states are byte-identical.
+func TestCheckpointKillRestoreEquivalence(t *testing.T) {
+	const (
+		n     = 600
+		total = 6000
+		d     = 60
+	)
+	inst := workload.ZipfItems(17, n, total, 1.3, d)
+	if len(inst.HeavyA) == 0 {
+		t.Fatal("workload planted no heavy items")
+	}
+	engCfg := feww.EngineConfig{
+		Config: feww.Config{N: n, D: d, Alpha: 2, Seed: 77},
+		Shards: 4, BatchSize: 128,
+	}
+
+	// Uninterrupted in-process reference run.
+	ref, err := feww.NewEngine(engCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for _, u := range inst.Updates {
+		ref.ProcessEdge(u.A, u.B)
+	}
+	refBest, refFound := ref.Best()
+	if !refFound {
+		t.Fatal("reference run found nothing")
+	}
+
+	// Phase 1: serve, ingest the first half in several requests,
+	// checkpoint, kill.
+	ckpt := filepath.Join(t.TempDir(), "feww.ckpt")
+	eng1, err := feww.NewEngine(engCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := New(NewInsertOnlyBackend(eng1), Config{CheckpointPath: ckpt})
+	ts1 := httptest.NewServer(srv1.Handler())
+	cl := &Client{Base: ts1.URL, HTTPClient: ts1.Client()}
+
+	cut := len(inst.Updates) / 2
+	const reqSize = 1000
+	for lo := 0; lo < cut; lo += reqSize {
+		hi := min(lo+reqSize, cut)
+		if _, err := cl.Ingest(n, int64(total), inst.Updates[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck, err := cl.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Bytes <= 0 {
+		t.Fatalf("checkpoint wrote %d bytes", ck.Bytes)
+	}
+	ts1.Close()
+	eng1.Close() // the kill: engine gone, only the checkpoint file survives
+
+	// Phase 2: restore from the checkpoint file, finish the stream.
+	f, err := os.Open(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend2, err := RestoreBackend(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend2.Close()
+	if backend2.Processed() != int64(cut) {
+		t.Fatalf("restored backend reports %d elements, want %d", backend2.Processed(), cut)
+	}
+	srv2 := New(backend2, Config{CheckpointPath: ckpt})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	cl2 := &Client{Base: ts2.URL, HTTPClient: ts2.Client()}
+
+	for lo := cut; lo < len(inst.Updates); lo += reqSize {
+		hi := min(lo+reqSize, len(inst.Updates))
+		if _, err := cl2.Ingest(n, int64(total), inst.Updates[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The served result equals the uninterrupted run exactly.
+	best, err := cl2.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Found {
+		t.Fatal("restored server found nothing after the full stream")
+	}
+	if best.Neighbourhood.Vertex != refBest.A {
+		t.Fatalf("served best vertex %d, reference %d", best.Neighbourhood.Vertex, refBest.A)
+	}
+	if !reflect.DeepEqual(best.Neighbourhood.Witnesses, refBest.Witnesses) {
+		t.Fatal("served witnesses differ from the reference run")
+	}
+	if err := inst.Verify(best.Neighbourhood.Vertex, best.Neighbourhood.Witnesses); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the full engine states are byte-identical.
+	var refSnap, gotSnap bytes.Buffer
+	if err := ref.Snapshot(&refSnap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl2.Snapshot(&gotSnap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refSnap.Bytes(), gotSnap.Bytes()) {
+		t.Fatal("restored-and-finished engine state differs from the uninterrupted run")
+	}
+}

@@ -1,0 +1,321 @@
+// Package server implements fewwd's HTTP layer: network ingest of the
+// FEWW binary stream format into a sharded engine, live JSON queries
+// while ingest continues, operational stats, and checkpoint/restore.
+//
+// The service view of the paper (conf_pods_Konrad21) is direct.  The
+// engine is the streaming algorithm; POST /ingest delivers the stream in
+// arbitrary-size framed chunks; GET /best and GET /results are the FEwW
+// query — a frequent item together with witnesses proving its frequency;
+// and GET /snapshot is the one-way communication protocol of §4 made
+// operational: the complete memory state of party i, restored byte-exactly
+// by party i+1 (or by the same host after a restart).
+//
+// Endpoints:
+//
+//	POST /ingest      body: FEWW binary stream (internal/stream format)
+//	GET  /best        largest witnessed neighbourhood so far, as JSON
+//	GET  /results     every full-target neighbourhood, as JSON
+//	GET  /stats       per-shard queue depths, counters, snapshot size
+//	POST /checkpoint  write a snapshot to the configured checkpoint path
+//	GET  /snapshot    stream the snapshot bytes to the caller
+//	GET  /            endpoint index
+//
+// All handlers are safe to call concurrently; the engine serialises
+// internally.  Ingest is chunk-atomic: a request that fails validation
+// mid-stream reports how many updates were accepted before the fault (the
+// error carries the byte offset, courtesy of stream.ErrBadFormat).
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"feww"
+	"feww/internal/stream"
+)
+
+// ingestChunk is how many decoded updates are validated and handed to the
+// engine at a time while an /ingest body is scanned.
+const ingestChunk = 8192
+
+// Config parameterises the HTTP layer (the engine itself is configured at
+// construction and carried by the Backend).
+type Config struct {
+	// CheckpointPath is where POST /checkpoint writes the engine
+	// snapshot (atomically: temp file + rename).  Empty disables the
+	// endpoint.
+	CheckpointPath string
+	// MaxBodyBytes caps an /ingest request body; 0 means 1 GiB.
+	MaxBodyBytes int64
+}
+
+// Server serves a Backend over HTTP.
+type Server struct {
+	backend Backend
+	cfg     Config
+	mux     *http.ServeMux
+	start   time.Time
+
+	ckptMu    sync.Mutex // serialises checkpoint file writes
+	ckptCount int64
+	ckptBytes int64
+}
+
+// New builds a server around a backend.  Call Handler to mount it.
+func New(b Backend, cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 30
+	}
+	s := &Server{backend: b, cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /best", s.handleBest)
+	s.mux.HandleFunc("GET /results", s.handleResults)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	return s
+}
+
+// Handler returns the HTTP handler serving every endpoint.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Backend returns the engine adapter the server was built around.
+func (s *Server) Backend() Backend { return s.backend }
+
+// Checkpoint writes the engine snapshot to the configured path (temp file
+// + rename, so a crash mid-write never corrupts the previous checkpoint)
+// and returns the byte count.  It is what POST /checkpoint and the
+// shutdown path of fewwd call.
+func (s *Server) Checkpoint() (int64, error) {
+	if s.cfg.CheckpointPath == "" {
+		return 0, errors.New("server: no checkpoint path configured")
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	dir := filepath.Dir(s.cfg.CheckpointPath)
+	tmp, err := os.CreateTemp(dir, ".feww-checkpoint-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := s.backend.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	// Persist the data before the rename makes it the checkpoint: rename
+	// metadata can hit disk before unsynced file contents, which would
+	// replace a good checkpoint with a truncated one on power loss.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	size, err := tmp.Seek(0, 2)
+	if err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), s.cfg.CheckpointPath); err != nil {
+		return 0, err
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	s.ckptCount++
+	s.ckptBytes = size
+	return size, nil
+}
+
+// NeighbourhoodJSON is the wire form of a witnessed neighbourhood.
+type NeighbourhoodJSON struct {
+	Vertex    int64   `json:"vertex"`
+	Size      int     `json:"size"`
+	Witnesses []int64 `json:"witnesses"`
+}
+
+func toJSON(nb feww.Neighbourhood) NeighbourhoodJSON {
+	return NeighbourhoodJSON{Vertex: nb.A, Size: nb.Size(), Witnesses: nb.Witnesses}
+}
+
+// IngestResponse reports an /ingest outcome.  On a 400 it still carries
+// how many updates of the request were accepted before the fault.
+type IngestResponse struct {
+	Accepted int64  `json:"accepted"`
+	Total    int64  `json:"total"`
+	Error    string `json:"error,omitempty"`
+}
+
+// BestResponse is the /best payload.
+type BestResponse struct {
+	Found         bool               `json:"found"`
+	WitnessTarget int64              `json:"witness_target"`
+	Neighbourhood *NeighbourhoodJSON `json:"neighbourhood,omitempty"`
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	Engine          string  `json:"engine"`
+	Shards          int     `json:"shards"`
+	Elements        int64   `json:"elements"`
+	QueueDepths     []int   `json:"queue_depths"`
+	SpaceWords      int     `json:"space_words"`
+	SnapshotBytes   int     `json:"snapshot_bytes"`
+	WitnessTarget   int64   `json:"witness_target"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Checkpoints     int64   `json:"checkpoints"`
+	CheckpointBytes int64   `json:"checkpoint_bytes"`
+}
+
+// CheckpointResponse is the /checkpoint payload.
+type CheckpointResponse struct {
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	sc, err := stream.NewScanner(body)
+	if err != nil {
+		s.ingestError(w, 0, err)
+		return
+	}
+	var accepted int64
+	batch := make([]feww.Update, 0, ingestChunk)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := s.backend.Ingest(batch); err != nil {
+			return err
+		}
+		accepted += int64(len(batch))
+		batch = batch[:0]
+		return nil
+	}
+	for sc.Scan() {
+		batch = append(batch, sc.Update())
+		if len(batch) == ingestChunk {
+			if err := flush(); err != nil {
+				s.ingestError(w, accepted, err)
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		s.ingestError(w, accepted, err)
+		return
+	}
+	if err := flush(); err != nil {
+		s.ingestError(w, accepted, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Accepted: accepted, Total: s.backend.Processed()})
+}
+
+func (s *Server) ingestError(w http.ResponseWriter, accepted int64, err error) {
+	writeJSON(w, http.StatusBadRequest, IngestResponse{
+		Accepted: accepted,
+		Total:    s.backend.Processed(),
+		Error:    err.Error(),
+	})
+}
+
+func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
+	resp := BestResponse{WitnessTarget: s.backend.WitnessTarget()}
+	if nb, ok := s.backend.Best(); ok {
+		j := toJSON(nb)
+		resp.Found, resp.Neighbourhood = true, &j
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	nbs := s.backend.Results()
+	out := make([]NeighbourhoodJSON, len(nbs))
+	for i, nb := range nbs {
+		out[i] = toJSON(nb)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.ckptMu.Lock()
+	ckptCount, ckptBytes := s.ckptCount, s.ckptBytes
+	s.ckptMu.Unlock()
+	spaceWords, snapshotBytes := s.backend.Usage()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Engine:          s.backend.Kind(),
+		Shards:          s.backend.Shards(),
+		Elements:        s.backend.Processed(),
+		QueueDepths:     s.backend.QueueDepths(),
+		SpaceWords:      spaceWords,
+		SnapshotBytes:   snapshotBytes,
+		WitnessTarget:   s.backend.WitnessTarget(),
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Checkpoints:     ckptCount,
+		CheckpointBytes: ckptBytes,
+	})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	size, err := s.Checkpoint()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if s.cfg.CheckpointPath == "" {
+			code = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointResponse{Path: s.cfg.CheckpointPath, Bytes: size})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	// Serialise into memory first: the engine quiesces once, the
+	// Content-Length is exact even with concurrent ingest, and a
+	// serialisation failure can still become a clean 500 instead of an
+	// aborted chunked stream.
+	var buf bytes.Buffer
+	if err := s.backend.Snapshot(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"service":          "fewwd",
+		"engine":           s.backend.Kind(),
+		"POST /ingest":     "FEWW binary stream body",
+		"GET /best":        "largest witnessed neighbourhood",
+		"GET /results":     "all full-target neighbourhoods",
+		"GET /stats":       "counters and queue depths",
+		"POST /checkpoint": "write snapshot to the checkpoint path",
+		"GET /snapshot":    "stream the snapshot bytes",
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The status is already on the wire; an encode error here can only
+	// mean the client went away.
+	_ = enc.Encode(v)
+}

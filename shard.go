@@ -2,6 +2,7 @@ package feww
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"feww/internal/core"
 )
@@ -67,17 +68,25 @@ type msg[E any] struct {
 // *[]E, so recycling does not re-box the slice header).  Each worker
 // drains its queue in FIFO order, so every shard consumes its sub-stream
 // in exact arrival order and results are deterministic regardless of
-// scheduling.  The producer side is single-goroutine by contract.
+// scheduling.
+//
+// The producer/query side is guarded by mu, so any number of goroutines
+// may feed and query concurrently (a network server's handlers); ingest
+// order — and hence determinism — across concurrent producers is whatever
+// order they win the lock in.  Queries run under the same lock *after* a
+// barrier, which is what makes reading shard state race-free: the workers
+// are quiescent and the ack channel established the happens-before edge.
 type fanout[E any] struct {
 	name      string // engine type, for panic messages
 	batchSize int
 	item      func(E) int64 // global item id of an element, for routing
 	apply     []func([]E)   // per shard: apply one batch (global ids)
 	chans     []chan msg[E]
-	pending   []*[]E // per-shard fill buffers, owned by the producer
+	pending   []*[]E // per-shard fill buffers, owned by the lock holder
 	pool      sync.Pool
 	wg        sync.WaitGroup
-	count     int64 // elements accepted so far
+	mu        sync.Mutex   // guards pending, closed, and shard state reads
+	count     atomic.Int64 // elements accepted so far
 	closed    bool
 }
 
@@ -121,8 +130,10 @@ func (f *fanout[E]) run(i int) {
 // per-shard buffers, so the caller keeps ownership).  Full buffers are
 // handed to the owning worker.
 func (f *fanout[E]) add(el E) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.mustBeOpen()
-	f.count++
+	f.count.Add(1)
 	i := int(f.item(el) % int64(len(f.chans)))
 	*f.pending[i] = append(*f.pending[i], el)
 	if len(*f.pending[i]) >= f.batchSize {
@@ -131,8 +142,10 @@ func (f *fanout[E]) add(el E) {
 }
 
 func (f *fanout[E]) addBatch(els []E) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.mustBeOpen()
-	f.count += int64(len(els))
+	f.count.Add(int64(len(els)))
 	p := int64(len(f.chans))
 	for _, el := range els {
 		i := int(f.item(el) % p)
@@ -163,24 +176,50 @@ func (f *fanout[E]) newBuf() *[]E {
 
 // flush hands every buffered element to its shard queue without waiting.
 func (f *fanout[E]) flush() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.mustBeOpen()
+	f.flushLocked()
+}
+
+func (f *fanout[E]) flushLocked() {
 	for i := range f.chans {
 		f.dispatch(i)
 	}
 }
 
-// barrier makes every element fed so far visible to the caller: it
+// drain flushes and blocks until every worker has applied everything
+// queued so far.
+func (f *fanout[E]) drain() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mustBeOpen()
+	f.barrierLocked()
+}
+
+// query runs fn after a barrier, holding the lock throughout, so fn may
+// read shard state directly: every element fed before the call is applied,
+// the workers are idle on their queues, and no producer can slip new
+// batches in while fn runs.
+func (f *fanout[E]) query(fn func()) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.barrierLocked()
+	fn()
+}
+
+// barrierLocked makes every element fed so far visible to the caller: it
 // flushes the fill buffers, then sends each worker an ack token and waits
 // for all of them.  Each queue is FIFO with a single consumer, so an
 // acked worker has applied every earlier batch; the ack also establishes
 // the happens-before edge that lets the caller read shard state directly.
 // After close the workers have drained and stopped, so reads are safe
 // without a barrier.
-func (f *fanout[E]) barrier() {
+func (f *fanout[E]) barrierLocked() {
 	if f.closed {
 		return
 	}
-	f.flush()
+	f.flushLocked()
 	acks := make([]chan struct{}, len(f.chans))
 	for i, ch := range f.chans {
 		ack := make(chan struct{})
@@ -195,15 +234,28 @@ func (f *fanout[E]) barrier() {
 // close flushes, stops the workers, and waits for them to drain.
 // Idempotent.
 func (f *fanout[E]) close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.closed {
 		return
 	}
-	f.flush()
+	f.flushLocked()
 	for _, ch := range f.chans {
 		close(ch)
 	}
 	f.wg.Wait()
 	f.closed = true
+}
+
+// queueDepths samples the number of batches waiting in each shard queue —
+// a load signal for operational dashboards.  It takes no barrier: the
+// numbers are instantaneous and may be stale by the time they are read.
+func (f *fanout[E]) queueDepths() []int {
+	depths := make([]int, len(f.chans))
+	for i, ch := range f.chans {
+		depths[i] = len(ch)
+	}
+	return depths
 }
 
 func (f *fanout[E]) mustBeOpen() {

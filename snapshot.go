@@ -1,0 +1,372 @@
+package feww
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"feww/internal/core"
+	"feww/internal/xrand"
+)
+
+// Engine-level checkpointing composes the per-shard core snapshots into
+// one container.  The container records the resolved engine configuration
+// (so a restored engine re-creates the identical partitioning and queue
+// tuning), the producer-side element counter, and each shard's
+// length-prefixed core snapshot in shard order.  Because a snapshot is
+// taken after an internal barrier, the queues are empty at the instant of
+// serialisation and nothing in flight can be lost: every edge the engine
+// accepted is inside some shard's state.
+//
+// Layout (all fixed-width fields little-endian uint64 unless noted):
+//
+//	magic   [8]byte "FEWWENG1"
+//	kind    byte    0 = insertion-only Engine, 1 = TurnstileEngine
+//	header  kind-specific configuration + element count (see below)
+//	shards  Shards times: byte length, then that shard's core snapshot
+var engineSnapMagic = [8]byte{'F', 'E', 'W', 'W', 'E', 'N', 'G', '1'}
+
+const (
+	engineKindInsertOnly = 0
+	engineKindTurnstile  = 1
+)
+
+// Snapshot writes the engine's complete state to w: resolved
+// configuration, the ingest counter, and every shard's core snapshot.
+// The engine quiesces first (flush + barrier), so the snapshot reflects
+// exactly the edges fed before the call; concurrent producers block until
+// serialisation finishes.  Restoring with RestoreEngine and feeding the
+// same stream suffix reproduces the uninterrupted run exactly.
+func (e *Engine) Snapshot(w io.Writer) error {
+	var err error
+	e.f.query(func() {
+		bw := bufio.NewWriter(w)
+		enc := &wordEncoder{w: bw}
+		enc.bytes(engineSnapMagic[:])
+		enc.bytes([]byte{engineKindInsertOnly})
+		enc.u64(uint64(e.cfg.N))
+		enc.u64(uint64(e.cfg.D))
+		enc.u64(uint64(e.cfg.Alpha))
+		enc.u64(e.cfg.Seed)
+		enc.u64(math.Float64bits(e.cfg.ScaleFactor))
+		enc.u64(uint64(e.cfg.Shards))
+		enc.u64(uint64(e.cfg.BatchSize))
+		enc.u64(uint64(e.cfg.QueueDepth))
+		enc.u64(uint64(e.f.count.Load()))
+		for _, sh := range e.shards {
+			enc.u64(uint64(sh.inner.SnapshotSize()))
+			if enc.err == nil {
+				enc.err = sh.inner.Snapshot(bw)
+			}
+		}
+		if enc.err != nil {
+			err = enc.err
+			return
+		}
+		err = bw.Flush()
+	})
+	return err
+}
+
+// SnapshotSize returns the exact byte length Snapshot would write.
+func (e *Engine) SnapshotSize() int {
+	_, size := e.Usage()
+	return size
+}
+
+// Usage reports SpaceWords and SnapshotSize together under a single
+// quiesce — what a periodic stats poll should call, so monitoring costs
+// one barrier per poll instead of two.
+func (e *Engine) Usage() (spaceWords, snapshotBytes int) {
+	e.f.query(func() {
+		snapshotBytes = 8 + 1 + 9*8
+		for _, sh := range e.shards {
+			spaceWords += sh.inner.SpaceWords()
+			snapshotBytes += 8 + sh.inner.SnapshotSize()
+		}
+	})
+	return spaceWords, snapshotBytes
+}
+
+// RestoreEngine reads a snapshot written by (*Engine).Snapshot and returns
+// a running engine that continues exactly where the snapshotted one
+// stopped, including its shard partitioning and batch/queue tuning.  It
+// fails with ErrBadSnapshot if the bytes hold a TurnstileEngine snapshot
+// (use RestoreTurnstileEngine) or are corrupt.
+func RestoreEngine(r io.Reader) (*Engine, error) {
+	br := bufio.NewReader(r)
+	kind, err := readEngineSnapKind(br)
+	if err != nil {
+		return nil, err
+	}
+	if kind != engineKindInsertOnly {
+		return nil, fmt.Errorf("%w: snapshot holds a TurnstileEngine; use RestoreTurnstileEngine", ErrBadSnapshot)
+	}
+	dec := &wordDecoder{r: br}
+	cfg := EngineConfig{
+		Config: Config{
+			N:     int64(dec.u64()),
+			D:     int64(dec.u64()),
+			Alpha: int(dec.u64()),
+			Seed:  dec.u64(),
+		},
+	}
+	cfg.ScaleFactor = math.Float64frombits(dec.u64())
+	cfg.Shards = int(dec.u64())
+	cfg.BatchSize = int(dec.u64())
+	cfg.QueueDepth = int(dec.u64())
+	count := int64(dec.u64())
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	if err := validateEngineSnapHeader(cfg.N, cfg.Shards, cfg.BatchSize, cfg.QueueDepth, count); err != nil {
+		return nil, err
+	}
+	p := int64(cfg.Shards)
+	seeds := xrand.New(cfg.Seed)
+	inners := make([]*core.InsertOnly, cfg.Shards)
+	for i := range inners {
+		if inners[i], err = restoreShard(dec, core.RestoreInsertOnly, i); err != nil {
+			return nil, err
+		}
+		// The shard snapshot carries its own config; it must be exactly
+		// what NewEngine would derive from the container's, or the
+		// local/global id mapping (and the universe checks above the
+		// engine) are wrong for this shard.
+		want := core.InsertOnlyConfig{
+			N:           (cfg.N - int64(i) + p - 1) / p,
+			D:           cfg.D,
+			Alpha:       cfg.Alpha,
+			Seed:        seeds.Uint64(),
+			ScaleFactor: cfg.ScaleFactor,
+		}
+		if got := inners[i].Config(); got != want {
+			return nil, fmt.Errorf("%w: shard %d config %+v does not match container derivation %+v",
+				ErrBadSnapshot, i, got, want)
+		}
+	}
+	eng := newEngineFromInners(cfg, inners)
+	eng.f.count.Store(count)
+	return eng, nil
+}
+
+// Snapshot writes the turnstile engine's complete state to w; the same
+// quiescing and exactness guarantees as (*Engine).Snapshot apply.
+func (e *TurnstileEngine) Snapshot(w io.Writer) error {
+	var err error
+	e.f.query(func() {
+		bw := bufio.NewWriter(w)
+		enc := &wordEncoder{w: bw}
+		enc.bytes(engineSnapMagic[:])
+		enc.bytes([]byte{engineKindTurnstile})
+		enc.u64(uint64(e.cfg.N))
+		enc.u64(uint64(e.cfg.M))
+		enc.u64(uint64(e.cfg.D))
+		enc.u64(uint64(e.cfg.Alpha))
+		enc.u64(e.cfg.Seed)
+		enc.u64(math.Float64bits(e.cfg.ScaleFactor))
+		enc.u64(uint64(e.cfg.MaxSamplers))
+		enc.u64(uint64(e.cfg.Shards))
+		enc.u64(uint64(e.cfg.BatchSize))
+		enc.u64(uint64(e.cfg.QueueDepth))
+		enc.u64(uint64(e.f.count.Load()))
+		for _, sh := range e.shards {
+			enc.u64(uint64(sh.inner.SnapshotSize()))
+			if enc.err == nil {
+				enc.err = sh.inner.Snapshot(bw)
+			}
+		}
+		if enc.err != nil {
+			err = enc.err
+			return
+		}
+		err = bw.Flush()
+	})
+	return err
+}
+
+// SnapshotSize returns the exact byte length Snapshot would write.
+func (e *TurnstileEngine) SnapshotSize() int {
+	_, size := e.Usage()
+	return size
+}
+
+// Usage reports SpaceWords and SnapshotSize together under a single
+// quiesce; see (*Engine).Usage.
+func (e *TurnstileEngine) Usage() (spaceWords, snapshotBytes int) {
+	e.f.query(func() {
+		snapshotBytes = 8 + 1 + 11*8
+		for _, sh := range e.shards {
+			spaceWords += sh.inner.SpaceWords()
+			snapshotBytes += 8 + sh.inner.SnapshotSize()
+		}
+	})
+	return spaceWords, snapshotBytes
+}
+
+// RestoreTurnstileEngine reads a snapshot written by
+// (*TurnstileEngine).Snapshot and returns a running engine that continues
+// exactly where the snapshotted one stopped.
+func RestoreTurnstileEngine(r io.Reader) (*TurnstileEngine, error) {
+	br := bufio.NewReader(r)
+	kind, err := readEngineSnapKind(br)
+	if err != nil {
+		return nil, err
+	}
+	if kind != engineKindTurnstile {
+		return nil, fmt.Errorf("%w: snapshot holds an insertion-only Engine; use RestoreEngine", ErrBadSnapshot)
+	}
+	dec := &wordDecoder{r: br}
+	cfg := TurnstileEngineConfig{
+		TurnstileConfig: TurnstileConfig{
+			N:     int64(dec.u64()),
+			M:     int64(dec.u64()),
+			D:     int64(dec.u64()),
+			Alpha: int(dec.u64()),
+			Seed:  dec.u64(),
+		},
+	}
+	cfg.ScaleFactor = math.Float64frombits(dec.u64())
+	cfg.MaxSamplers = int(dec.u64())
+	cfg.Shards = int(dec.u64())
+	cfg.BatchSize = int(dec.u64())
+	cfg.QueueDepth = int(dec.u64())
+	count := int64(dec.u64())
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	if err := validateEngineSnapHeader(cfg.N, cfg.Shards, cfg.BatchSize, cfg.QueueDepth, count); err != nil {
+		return nil, err
+	}
+	p := int64(cfg.Shards)
+	seeds := xrand.New(cfg.Seed)
+	inners := make([]*core.InsertDelete, cfg.Shards)
+	for i := range inners {
+		if inners[i], err = restoreShard(dec, core.RestoreInsertDelete, i); err != nil {
+			return nil, err
+		}
+		want := core.InsertDeleteConfig{
+			N:           (cfg.N - int64(i) + p - 1) / p,
+			M:           cfg.M,
+			D:           cfg.D,
+			Alpha:       cfg.Alpha,
+			Seed:        seeds.Uint64(),
+			ScaleFactor: cfg.ScaleFactor,
+			MaxSamplers: cfg.MaxSamplers,
+		}
+		if got := inners[i].Config(); got != want {
+			return nil, fmt.Errorf("%w: shard %d config %+v does not match container derivation %+v",
+				ErrBadSnapshot, i, got, want)
+		}
+	}
+	eng := newTurnstileFromInners(cfg, inners)
+	eng.f.count.Store(count)
+	return eng, nil
+}
+
+// readEngineSnapKind consumes and checks the container magic, returning
+// the engine kind byte.
+func readEngineSnapKind(br *bufio.Reader) (byte, error) {
+	var head [9]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if [8]byte(head[:8]) != engineSnapMagic {
+		return 0, fmt.Errorf("%w: bad engine magic %q", ErrBadSnapshot, head[:8])
+	}
+	kind := head[8]
+	if kind != engineKindInsertOnly && kind != engineKindTurnstile {
+		return 0, fmt.Errorf("%w: unknown engine kind %d", ErrBadSnapshot, kind)
+	}
+	return kind, nil
+}
+
+// Upper bounds a snapshot header may claim before any allocation is made
+// on its behalf.  Far above anything an engine can be configured to, far
+// below anything that could OOM the restoring process — a corrupt header
+// must fail as ErrBadSnapshot, not as a makeslice panic.
+const (
+	maxSnapShards     = 1 << 20
+	maxSnapBatchSize  = 1 << 24
+	maxSnapQueueDepth = 1 << 16
+)
+
+// validateEngineSnapHeader sanity-checks the decoded header before any
+// shard is reconstructed.
+func validateEngineSnapHeader(n int64, shards, batchSize, queueDepth int, count int64) error {
+	switch {
+	case n < 1:
+		return fmt.Errorf("%w: N = %d", ErrBadSnapshot, n)
+	case shards < 1 || int64(shards) > n || shards > maxSnapShards:
+		return fmt.Errorf("%w: %d shards with N = %d", ErrBadSnapshot, shards, n)
+	case batchSize < 1 || batchSize > maxSnapBatchSize:
+		return fmt.Errorf("%w: batch size %d", ErrBadSnapshot, batchSize)
+	case queueDepth < 1 || queueDepth > maxSnapQueueDepth:
+		return fmt.Errorf("%w: queue depth %d", ErrBadSnapshot, queueDepth)
+	case count < 0:
+		return fmt.Errorf("%w: element count %d", ErrBadSnapshot, count)
+	}
+	return nil
+}
+
+// restoreShard reads one length-prefixed shard snapshot and restores it
+// with the given core restore function, verifying the declared length is
+// consumed exactly.
+func restoreShard[T any](dec *wordDecoder, restore func(io.Reader) (T, error), idx int) (T, error) {
+	var zero T
+	size := int64(dec.u64())
+	if dec.err != nil {
+		return zero, dec.err
+	}
+	if size < 0 {
+		return zero, fmt.Errorf("%w: shard %d snapshot length %d", ErrBadSnapshot, idx, size)
+	}
+	lr := io.LimitReader(dec.r, size)
+	inner, err := restore(lr)
+	if err != nil {
+		return zero, fmt.Errorf("shard %d: %w", idx, err)
+	}
+	if left, _ := io.Copy(io.Discard, lr); left != 0 {
+		return zero, fmt.Errorf("%w: shard %d snapshot has %d trailing bytes", ErrBadSnapshot, idx, left)
+	}
+	return inner, nil
+}
+
+// wordEncoder / wordDecoder mirror the little-endian fixed-width helpers
+// of internal/core for the engine container's own fields.
+type wordEncoder struct {
+	w   io.Writer
+	buf [8]byte
+	err error
+}
+
+func (e *wordEncoder) bytes(p []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(p)
+}
+
+func (e *wordEncoder) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:], v)
+	e.bytes(e.buf[:])
+}
+
+type wordDecoder struct {
+	r   io.Reader
+	buf [8]byte
+	err error
+}
+
+func (d *wordDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if _, err := io.ReadFull(d.r, d.buf[:]); err != nil {
+		d.err = fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		return 0
+	}
+	return binary.LittleEndian.Uint64(d.buf[:])
+}
