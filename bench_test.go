@@ -3,6 +3,7 @@ package feww
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 
 	"feww/internal/experiments"
@@ -10,10 +11,10 @@ import (
 	"feww/internal/xrand"
 )
 
-// One benchmark per experiment table (DESIGN.md §3).  Each iteration
+// One benchmark per experiment table (docs/EXPERIMENTS.md §3).  Each iteration
 // regenerates the full artefact; the quick configuration is used so the
 // whole suite stays benchable (use cmd/fewwbench -full for the
-// EXPERIMENTS.md-sized runs).
+// docs/EXPERIMENTS.md §3 -full-sized runs).
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
@@ -144,6 +145,65 @@ func BenchmarkEngineIngest(b *testing.B) {
 			}
 			eng.Drain()
 			b.StopTimer()
+			eng.Close()
+		})
+	}
+}
+
+// BenchmarkEngineQueryUnderIngest measures the serving path this engine
+// exists for: query latency while a producer feeds at full rate.  The
+// published sub-benchmark reads the shards' atomic result epochs
+// (barrier-free); the fresh sub-benchmark takes the strict barrier each
+// query and therefore serialises with ingest and with other queriers.
+// The ratio between the two is the cost of strict consistency — tracked
+// over time next to BENCH_mixed.json (fewwbench -mode mixed).
+func BenchmarkEngineQueryUnderIngest(b *testing.B) {
+	const n = 1 << 16
+	edges := benchEdges(n, 1<<20)
+	for _, mode := range []string{"published", "fresh"} {
+		b.Run(mode, func(b *testing.B) {
+			eng, err := NewEngine(EngineConfig{
+				Config: Config{N: n, D: 1000, Alpha: 2, Seed: 1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { // full-rate ingest, looping the stream until stopped
+				defer wg.Done()
+				const chunk = 4096
+				off := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if off+chunk > len(edges) {
+						off = 0
+					}
+					if err := eng.ProcessEdges(edges[off : off+chunk]); err != nil {
+						b.Error(err)
+						return
+					}
+					off += chunk
+				}
+			}()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if mode == "fresh" {
+						eng.BestFresh()
+					} else {
+						eng.Best()
+					}
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
 			eng.Close()
 		})
 	}

@@ -1,16 +1,22 @@
 // Command fewwbench regenerates the paper's evaluation artefacts.
 //
-// Each experiment id (E1-E10, F1-F3; see DESIGN.md §3) validates the shape
+// Each experiment id (E1-E10, F1-F3; see docs/EXPERIMENTS.md §3) validates the shape
 // of one theorem or reproduces one worked figure, printing a table of
 // measured values against the paper's claim.
 //
 // Usage:
 //
 //	fewwbench                      # run everything, quick sizes
-//	fewwbench -full                # full sizes (minutes, the EXPERIMENTS.md setting)
+//	fewwbench -full                # full sizes (minutes, the docs/EXPERIMENTS.md setting)
 //	fewwbench -experiment E2,E6    # a subset
 //	fewwbench -seed 7 -list        # enumerate ids
 //	fewwbench -shards 8            # sharded-ingest throughput benchmark
+//	fewwbench -mode mixed          # ingest+query benchmark, writes BENCH_mixed.json
+//
+// The mixed mode drives full-rate ingest while concurrent clients query,
+// once against the barrier-free published path and once against the
+// strict barrier path, and emits a machine-readable comparison (-out)
+// for the performance trajectory; see docs/EXPERIMENTS.md.
 package main
 
 import (
@@ -29,13 +35,29 @@ func main() {
 	var (
 		expFlag  = flag.String("experiment", "", "comma-separated experiment ids (default: all)")
 		seed     = flag.Uint64("seed", 1, "random seed; a fixed seed reproduces a run exactly")
-		full     = flag.Bool("full", false, "full instance sizes (the EXPERIMENTS.md setting; minutes instead of seconds)")
+		full     = flag.Bool("full", false, "full instance sizes (the docs/EXPERIMENTS.md setting; minutes instead of seconds)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		showTime = flag.Bool("time", false, "print wall-clock time per experiment")
-		shards   = flag.Int("shards", 0, "run the sharded-ingest throughput benchmark with this many shards instead of the experiments")
-		edges    = flag.Int("edges", 4_000_000, "stream length for the -shards benchmark")
+		mode     = flag.String("mode", "", "benchmark mode: mixed (full-rate ingest + concurrent queries, published vs. barrier)")
+		shards   = flag.Int("shards", 0, "run the sharded-ingest throughput benchmark with this many shards instead of the experiments (also the shard count for -mode mixed; 0 = GOMAXPROCS)")
+		edges    = flag.Int("edges", 4_000_000, "stream length for the -shards and -mode mixed benchmarks")
+		clients  = flag.Int("clients", 8, "concurrent query clients for -mode mixed")
+		out      = flag.String("out", "BENCH_mixed.json", "machine-readable output path for -mode mixed")
 	)
 	flag.Parse()
+
+	switch *mode {
+	case "mixed":
+		if err := runMixed(*shards, *clients, *edges, *seed, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "fewwbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "fewwbench: unknown -mode %q (want mixed)\n", *mode)
+		os.Exit(2)
+	}
 
 	if *shards > 0 {
 		if err := runIngest(*shards, *edges, *seed); err != nil {

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"feww"
+	"feww/internal/benchstat"
+	"feww/internal/xrand"
+)
+
+// The mixed benchmark measures the serving-path question the sharded
+// engine exists to answer: how fast can concurrent clients query while
+// ingest runs at full rate?  It runs the same Zipf stream twice — once
+// with the query clients on the barrier-free published path (Best), once
+// on the strict barrier path (BestFresh) — and reports ingest rate and
+// query throughput/latency for both, plus the speedup and a determinism
+// check that the two runs ended in identical final results.  The output
+// goes to stdout as a table and to -out as machine-readable JSON, so CI
+// can archive a trajectory across commits.
+
+// phaseStats is one run's measurements.
+type phaseStats struct {
+	Mode          string  `json:"mode"` // "published" or "fresh"
+	IngestSeconds float64 `json:"ingest_seconds"`
+	IngestRate    float64 `json:"ingest_updates_per_sec"`
+	Queries       int64   `json:"queries"`
+	QueryRate     float64 `json:"queries_per_sec"`
+	P50Micros     float64 `json:"query_p50_micros"`
+	P99Micros     float64 `json:"query_p99_micros"`
+}
+
+// mixedReport is the BENCH_mixed.json document.
+type mixedReport struct {
+	N                int64      `json:"n"`
+	D                int64      `json:"d"`
+	Alpha            int        `json:"alpha"`
+	Shards           int        `json:"shards"`
+	Clients          int        `json:"clients"`
+	Edges            int        `json:"edges"`
+	Seed             uint64     `json:"seed"`
+	Published        phaseStats `json:"published"`
+	Fresh            phaseStats `json:"fresh"`
+	QuerySpeedup     float64    `json:"query_speedup"`
+	ResultsIdentical bool       `json:"results_identical"`
+}
+
+// runMixed executes both phases and writes the report.
+func runMixed(shards, clients, edgeCount int, seed uint64, outPath string) error {
+	const (
+		n     = int64(1) << 18
+		d     = 1000
+		alpha = 2
+		chunk = 4096
+	)
+	rng := xrand.New(seed + 1)
+	zipf := xrand.NewZipf(rng, 1.2, int(n))
+	edges := make([]feww.Edge, edgeCount)
+	for i := range edges {
+		edges[i] = feww.Edge{A: int64(zipf.Next()), B: int64(i)}
+	}
+
+	fmt.Printf("mixed benchmark: %d Zipf(1.2) edges over n = %d, d = %d, alpha = %d; %d query clients\n\n",
+		edgeCount, n, d, alpha, clients)
+
+	resolvedShards := shards
+	run := func(fresh bool) (phaseStats, string, error) {
+		eng, err := feww.NewEngine(feww.EngineConfig{
+			Config: feww.Config{N: n, D: d, Alpha: alpha, Seed: seed},
+			Shards: shards,
+		})
+		if err != nil {
+			return phaseStats{}, "", err
+		}
+		defer eng.Close()
+		resolvedShards = eng.Shards()
+
+		stop := make(chan struct{})
+		samplers := make([]benchstat.Sampler, clients)
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					t0 := time.Now()
+					if fresh {
+						eng.BestFresh()
+					} else {
+						eng.Best()
+					}
+					samplers[c].Observe(time.Since(t0))
+				}
+			}(c)
+		}
+
+		start := time.Now()
+		for off := 0; off < len(edges); off += chunk {
+			end := min(off+chunk, len(edges))
+			if err := eng.ProcessEdges(edges[off:end]); err != nil {
+				close(stop)
+				return phaseStats{}, "", err
+			}
+		}
+		if err := eng.Drain(); err != nil {
+			close(stop)
+			return phaseStats{}, "", err
+		}
+		elapsed := time.Since(start)
+		close(stop)
+		wg.Wait()
+
+		all, queries := benchstat.Merge(samplers)
+		mode := "published"
+		if fresh {
+			mode = "fresh"
+		}
+		st := phaseStats{
+			Mode:          mode,
+			IngestSeconds: elapsed.Seconds(),
+			IngestRate:    float64(edgeCount) / elapsed.Seconds(),
+			Queries:       queries,
+			QueryRate:     float64(queries) / elapsed.Seconds(),
+			P50Micros:     benchstat.QuantileMicros(all, 0.50),
+			P99Micros:     benchstat.QuantileMicros(all, 0.99),
+		}
+		// Drained engine: published == fresh, so this fingerprint is the
+		// exact final answer and must match across phases (fixed seed).
+		fp := fmt.Sprintf("%v", eng.Results())
+		return st, fp, nil
+	}
+
+	pub, fpPub, err := run(false)
+	if err != nil {
+		return err
+	}
+	frs, fpFrs, err := run(true)
+	if err != nil {
+		return err
+	}
+
+	rep := mixedReport{
+		N: n, D: d, Alpha: alpha, Shards: resolvedShards, Clients: clients,
+		Edges: edgeCount, Seed: seed,
+		Published:        pub,
+		Fresh:            frs,
+		ResultsIdentical: fpPub == fpFrs,
+	}
+	if frs.QueryRate > 0 {
+		rep.QuerySpeedup = pub.QueryRate / frs.QueryRate
+	}
+
+	for _, st := range []phaseStats{pub, frs} {
+		fmt.Printf("%-10s  ingest %10.0f edges/s in %6.2fs   queries %9d (%10.0f q/s)  p50 %8.2fµs  p99 %8.2fµs\n",
+			st.Mode, st.IngestRate, st.IngestSeconds, st.Queries, st.QueryRate, st.P50Micros, st.P99Micros)
+	}
+	fmt.Printf("\nquery speedup (published / fresh): %.1fx; final results identical: %v\n",
+		rep.QuerySpeedup, rep.ResultsIdentical)
+	if !rep.ResultsIdentical {
+		return fmt.Errorf("fewwbench: mixed phases diverged — published-path reads perturbed the engine state")
+	}
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

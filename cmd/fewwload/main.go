@@ -11,6 +11,8 @@
 //	fewwload -scenario dos -n 20000 -d 3000 -heavy 3 -edges 80000
 //	fewwload -scenario churn -n 500 -m 2000 -d 50 -edges 2000     (fewwd -turnstile)
 //	fewwload -scenario planted -checkpoint-every 20 -verify
+//	fewwload -queryclients 8              # poll /best concurrently during replay
+//	fewwload -queryclients 8 -fresh       # same, on the ?fresh=1 barrier path
 //
 // Scenarios: zipf (frequent items in a Zipf tail), planted (heavy
 // vertices in Zipf noise), dos (victims receiving distinct-source
@@ -23,8 +25,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sync"
 	"time"
 
+	"feww/internal/benchstat"
 	"feww/internal/stream"
 	"feww/internal/workload"
 	"feww/server"
@@ -44,6 +48,8 @@ func main() {
 		reqSize   = flag.Int("reqsize", 50000, "updates per /ingest request")
 		ckptEvery = flag.Int("checkpoint-every", 0, "POST /checkpoint every k requests (0 = never)")
 		verify    = flag.Bool("verify", true, "verify served witnesses against the planted ground truth")
+		qClients  = flag.Int("queryclients", 0, "concurrent /best pollers running during the replay (0 = none)")
+		qFresh    = flag.Bool("fresh", false, "pollers use /best?fresh=1 (barrier consistency) instead of the published path")
 	)
 	flag.Parse()
 
@@ -58,6 +64,36 @@ func main() {
 	cl := &server.Client{Base: *addr}
 	if _, err := cl.Stats(); err != nil {
 		log.Fatalf("fewwload: cannot reach fewwd at %s: %v", *addr, err)
+	}
+
+	// Optional concurrent query load: k pollers hammering /best while the
+	// replay runs, measuring what the serving path sustains under ingest.
+	stopPolling := make(chan struct{})
+	var pollWG sync.WaitGroup
+	samplers := make([]benchstat.Sampler, *qClients)
+	for c := 0; c < *qClients; c++ {
+		pollWG.Add(1)
+		go func(c int) {
+			defer pollWG.Done()
+			for {
+				select {
+				case <-stopPolling:
+					return
+				default:
+				}
+				t0 := time.Now()
+				var err error
+				if *qFresh {
+					_, err = cl.BestFresh()
+				} else {
+					_, err = cl.Best()
+				}
+				if err != nil {
+					continue // transient; the replay loop reports hard failures
+				}
+				samplers[c].Observe(time.Since(t0))
+			}
+		}(c)
 	}
 
 	start := time.Now()
@@ -80,8 +116,21 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start)
+	close(stopPolling)
+	pollWG.Wait()
 	fmt.Printf("replayed %d updates in %d requests over %v: %.0f updates/sec\n",
 		sent, requests, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+	if *qClients > 0 {
+		all, queries := benchstat.Merge(samplers)
+		mode := "published"
+		if *qFresh {
+			mode = "fresh"
+		}
+		fmt.Printf("query load (%s, %d clients): %d queries, %.0f q/s, p50 %v, p99 %v\n",
+			mode, *qClients, queries, float64(queries)/elapsed.Seconds(),
+			benchstat.Quantile(all, 0.50).Round(time.Microsecond),
+			benchstat.Quantile(all, 0.99).Round(time.Microsecond))
+	}
 
 	stats, err := cl.Stats()
 	if err != nil {
@@ -90,7 +139,9 @@ func main() {
 	fmt.Printf("server: %s engine, %d shards, %d elements, %d space words, snapshot %d bytes, queues %v\n",
 		stats.Engine, stats.Shards, stats.Elements, stats.SpaceWords, stats.SnapshotBytes, stats.QueueDepths)
 
-	best, err := cl.Best()
+	// The final answer is fetched on the barrier path: the ground-truth
+	// verification below must see every replayed update reflected.
+	best, err := cl.BestFresh()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -40,7 +40,12 @@
 // goroutine, so ingest scales with cores while each shard retains the
 // single-instance guarantees on its slice of the universe; a fixed seed
 // reproduces identical results regardless of scheduling or batch size.
-// Both engines are safe for concurrent producers and queriers, which is
+// Both engines are safe for concurrent producers and queriers.  Queries
+// are barrier-free by default — each shard publishes an immutable result
+// view after applying batches, so Best/Results/Usage read the latest
+// published epoch without stalling ingest — while the Fresh variants
+// quiesce the shards for strict read-your-writes consistency; see
+// docs/ARCHITECTURE.md ("Query consistency") for the contract.  This is
 // what the network service layer builds on.
 //
 // # Checkpointing

@@ -11,10 +11,20 @@
 // per call, amortised to nothing on the batch path) makes the whole
 // front-end safe for concurrent producers and queriers, which is what a
 // network server on top of the engine needs.
+//
+// Queries are barrier-free by default: each shard worker publishes an
+// immutable result view (a core.View inside a publishedView epoch) through
+// an atomic pointer, so Best/Results/Result/SpaceWords/Usage merge the
+// latest published epochs without taking the producer lock or quiescing
+// any worker — a read-heavy workload neither stalls ingest nor serialises
+// with other queries.  The Fresh variants keep the strict barrier
+// semantics: they quiesce the shards and reflect every element fed before
+// the call.
 
 package feww
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -23,6 +33,23 @@ import (
 	"feww/internal/stream"
 	"feww/internal/xrand"
 )
+
+// ErrClosed is returned by the feed path (ProcessEdge, ProcessEdges,
+// Insert, Delete, ProcessUpdates, Flush, Drain) once Close has run.  The
+// engine stays fully queryable after Close; only feeding is refused.
+var ErrClosed = errors.New("feww: engine used after Close")
+
+// ErrOutOfUniverse is wrapped by the feed path when an element lies
+// outside the engine's configured universe — a negative or too-large item
+// id, a negative witness, or (turnstile) a witness at or beyond M.  The
+// offending batch is rejected whole, before any element reaches a shard,
+// so the engine state is untouched.
+var ErrOutOfUniverse = errors.New("feww: element outside the engine's universe")
+
+// ErrInvalidOp is wrapped by the turnstile feed path when an update's Op
+// is neither Insert nor Delete.  Like ErrOutOfUniverse it rejects the
+// batch whole with the engine state untouched.
+var ErrInvalidOp = errors.New("feww: update op is neither Insert nor Delete")
 
 const (
 	defaultBatchSize  = 512
@@ -62,8 +89,24 @@ type EngineConfig struct {
 // handlers ingest and answer queries concurrently.  Determinism holds
 // whenever the edges reach the engine in a fixed order, i.e. with a
 // single producer; concurrent producers get whatever interleaving they
-// win the internal lock in.  Queries drain all queued work first and
-// remain valid after Close.
+// win the internal lock in.
+//
+// Queries default to the published consistency: they merge the shards'
+// latest published result epochs without any locking, so they cost
+// nanoseconds, scale with readers, and never stall ingest — at the price
+// of lagging the accepted stream.  Work handed to the shards becomes
+// visible within a short publication throttle (tens of milliseconds; see
+// shard.go), but edges parked in a partial producer-side fill buffer are
+// not dispatched until the batch fills, Flush is called, or a barrier
+// runs — a producer that stops mid-batch must Flush (as the HTTP server
+// does per request) or published queries will not see the tail.  Every
+// published value was genuinely held by the engine at a batch boundary
+// (a prefix of each shard's sub-stream); nothing torn or fabricated is
+// ever visible.  The Fresh variants (ResultFresh, ResultsFresh,
+// BestFresh, SpaceWordsFresh, UsageFresh) opt into the strict barrier:
+// they quiesce the shards and reflect every element fed before the call.
+// After Drain or Close the two consistencies coincide.  Queries of either
+// kind remain valid after Close.
 type Engine struct {
 	cfg    EngineConfig
 	shards []*shard
@@ -118,12 +161,17 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 // newEngineFromInners assembles the engine around existing per-shard
 // algorithm instances — freshly constructed by NewEngine, or restored
 // from a snapshot by RestoreEngine — and starts the shard goroutines.
+// Each shard's epoch-0 view is published before any worker starts, so the
+// barrier-free query path is valid from the first instant (and, after a
+// restore, already reflects the restored state).
 func newEngineFromInners(cfg EngineConfig, inners []*core.InsertOnly) *Engine {
 	p := int64(cfg.Shards)
 	shards := make([]*shard, cfg.Shards)
 	apply := make([]func([]Edge), cfg.Shards)
+	publish := make([]func(), cfg.Shards)
 	for i, inner := range inners {
 		sh := &shard{idx: i, stride: p, inner: inner}
+		sh.view.Store(&publishedView{View: inner.View()})
 		shards[i] = sh
 		// The worker remaps the batch to local ids in place (it owns the
 		// buffer) and feeds the batched path of the inner algorithm.
@@ -133,12 +181,17 @@ func newEngineFromInners(cfg EngineConfig, inners []*core.InsertOnly) *Engine {
 			}
 			sh.inner.ProcessEdges(batch)
 		}
+		// Only shard i's worker calls this, so the read-modify-write of
+		// the epoch counter is single-writer and the inner state is quiet.
+		publish[i] = func() {
+			sh.view.Store(&publishedView{View: sh.inner.View(), Epoch: sh.view.Load().Epoch + 1})
+		}
 	}
 	return &Engine{
 		cfg:    cfg,
 		shards: shards,
 		f: newFanout("Engine", cfg.BatchSize, cfg.QueueDepth,
-			func(e Edge) int64 { return e.A }, apply),
+			func(e Edge) int64 { return e.A }, apply, publish),
 	}
 }
 
@@ -150,36 +203,89 @@ func (e *Engine) Shards() int { return len(e.shards) }
 // snapshot persists.
 func (e *Engine) Config() EngineConfig { return e.cfg }
 
+// checkEdge validates one occurrence against the engine's universe.  A
+// negative item would make the shard router's modulo negative (an
+// out-of-range shard index); an item >= N would silently land in the
+// wrong residue class and corrupt the local/global id mapping.  Both are
+// rejected here, before anything is buffered.
+func (e *Engine) checkEdge(i, total int, a, b int64) error {
+	if a < 0 || a >= e.cfg.N {
+		return fmt.Errorf("%w: edge %d of %d: item %d not in [0, %d)", ErrOutOfUniverse, i, total, a, e.cfg.N)
+	}
+	if b < 0 {
+		return fmt.Errorf("%w: edge %d of %d: witness %d is negative", ErrOutOfUniverse, i, total, b)
+	}
+	return nil
+}
+
 // ProcessEdge feeds one occurrence: item a in [0, N) arrived with witness
 // b.  The edge is buffered and handed to its shard once a full batch
-// accumulates (or on Flush/Close/any query).
-func (e *Engine) ProcessEdge(a, b int64) { e.f.add(Edge{A: a, B: b}) }
+// accumulates (or on Flush/Close/any barrier query).  It returns an error
+// wrapping ErrOutOfUniverse for an edge outside the configured universe
+// and ErrClosed after Close; in both cases nothing is fed.
+func (e *Engine) ProcessEdge(a, b int64) error {
+	if err := e.checkEdge(0, 1, a, b); err != nil {
+		return err
+	}
+	return e.f.add(Edge{A: a, B: b})
+}
 
 // ProcessEdges feeds a batch of occurrences in order.  The slice is copied
-// into per-shard buffers; the caller keeps ownership of edges.
-func (e *Engine) ProcessEdges(edges []Edge) { e.f.addBatch(edges) }
+// into per-shard buffers; the caller keeps ownership of edges.  The whole
+// batch is validated first and rejected atomically — on error the engine
+// state is exactly as before the call.
+func (e *Engine) ProcessEdges(edges []Edge) error {
+	for i, ed := range edges {
+		if err := e.checkEdge(i, len(edges), ed.A, ed.B); err != nil {
+			return err
+		}
+	}
+	return e.f.addBatch(edges)
+}
 
 // Flush hands every buffered edge to its shard queue without waiting for
-// the shards to apply them.
-func (e *Engine) Flush() { e.f.flush() }
+// the shards to apply them.  The published views catch up as soon as the
+// workers drain the handed-off batches.
+func (e *Engine) Flush() error { return e.f.flush() }
 
 // Drain flushes and blocks until every shard has applied everything queued
-// so far; afterwards all previously fed edges are reflected in queries.
-func (e *Engine) Drain() { e.f.drain() }
+// so far; afterwards all previously fed edges are reflected in queries of
+// both consistencies (the workers republish before acknowledging).
+func (e *Engine) Drain() error { return e.f.drain() }
 
 // Close flushes buffered edges, waits for the shards to apply them, and
-// stops the shard goroutines.  The engine stays queryable after Close;
-// feeding further edges panics.  Close is idempotent.
+// stops the shard goroutines.  The engine stays queryable after Close
+// (the final published epochs reflect the complete stream); feeding
+// further edges returns ErrClosed.  Close is idempotent.
 func (e *Engine) Close() { e.f.close() }
 
-// Result returns a frequent item with at least ceil(D/Alpha) witnesses, or
-// ErrNoWitness if no shard found one.  Shards are consulted in index order,
-// so the choice is deterministic for a fixed seed.
+// Result returns a frequent item with at least ceil(D/Alpha) witnesses
+// from the latest published epochs, or ErrNoWitness if no shard has
+// published one.  The choice is deterministic: the smallest-id frequent
+// item of the lowest-index shard holding one — the same selection
+// ResultFresh makes, so the two consistencies agree on quiescent state.
 func (e *Engine) Result() (Neighbourhood, error) {
+	for _, sh := range e.shards {
+		if v := sh.view.Load(); len(v.Results) > 0 {
+			nb := v.Results[0]
+			nb.A = sh.global(nb.A)
+			return nb, nil
+		}
+	}
+	return Neighbourhood{}, ErrNoWitness
+}
+
+// ResultFresh is Result under the strict barrier: it quiesces the shards
+// first, so the answer reflects every edge fed before the call.  It
+// selects like Result — the smallest-id frequent item of the
+// lowest-index shard holding one — so published and fresh answers
+// coincide once the shards are drained.
+func (e *Engine) ResultFresh() (Neighbourhood, error) {
 	nb, err := Neighbourhood{}, error(ErrNoWitness)
 	e.f.query(func() {
 		for _, sh := range e.shards {
-			if got, gotErr := sh.inner.Result(); gotErr == nil {
+			if results := sh.inner.Results(); len(results) > 0 {
+				got := results[0]
 				got.A = sh.global(got.A)
 				nb, err = got, nil
 				return
@@ -189,11 +295,28 @@ func (e *Engine) Result() (Neighbourhood, error) {
 	return nb, err
 }
 
-// Results returns every distinct frequent element found across all shards,
-// sorted by global item id.  The per-item partition guarantees no item is
-// reported by two shards, so the merge is a pure concatenation; witnesses
-// are returned exactly as the owning shard collected them.
+// Results returns every distinct frequent element in the latest published
+// epochs, sorted by global item id.  The per-item partition guarantees no
+// item is reported by two shards, so the merge is a pure concatenation.
+// The call is barrier-free: it never blocks ingest or other queries.
+// The returned neighbourhoods stay valid forever, but their witness
+// slices are shared with the published view (and with other callers on
+// the same epoch) — treat them as read-only.
 func (e *Engine) Results() []Neighbourhood {
+	var out []Neighbourhood
+	for _, sh := range e.shards {
+		for _, nb := range sh.view.Load().Results {
+			nb.A = sh.global(nb.A)
+			out = append(out, nb)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].A < out[j].A })
+	return out
+}
+
+// ResultsFresh is Results under the strict barrier; witnesses are
+// returned exactly as the owning shard collected them.
+func (e *Engine) ResultsFresh() []Neighbourhood {
 	var out []Neighbourhood
 	e.f.query(func() {
 		for _, sh := range e.shards {
@@ -207,10 +330,25 @@ func (e *Engine) Results() []Neighbourhood {
 	return out
 }
 
-// Best max-selects the largest neighbourhood collected by any shard, even
-// if below the ceil(D/Alpha) target; found is false only if nothing was
-// collected at all.  Ties break toward the lower shard index.
+// Best max-selects the largest neighbourhood across the latest published
+// epochs, even if below the ceil(D/Alpha) target; found is false only if
+// no shard has published anything.  Ties break toward the lower shard
+// index.  Barrier-free; see Results.
 func (e *Engine) Best() (Neighbourhood, bool) {
+	var best Neighbourhood
+	found := false
+	for _, sh := range e.shards {
+		if v := sh.view.Load(); v.BestOK && (!found || v.Best.Size() > best.Size()) {
+			nb := v.Best
+			nb.A = sh.global(nb.A)
+			best, found = nb, true
+		}
+	}
+	return best, found
+}
+
+// BestFresh is Best under the strict barrier.
+func (e *Engine) BestFresh() (Neighbourhood, bool) {
 	var best Neighbourhood
 	found := false
 	e.f.query(func() {
@@ -239,11 +377,33 @@ func (e *Engine) EdgesProcessed() int64 { return e.f.count.Load() }
 // the time they are read.
 func (e *Engine) QueueDepths() []int { return e.f.queueDepths() }
 
-// SpaceWords reports the live state summed across all shards.  Sharding
-// pays the O(n log n) degree-table term once in total (each shard tracks
-// only its own items) while the n^(1/Alpha) reservoir term is paid per
-// shard on a universe P times smaller.
+// ViewEpochs reports each shard's published epoch number — 0 before the
+// first publication, then incremented every time the shard's worker
+// republishes its view.  Monotonically non-decreasing per shard; a shard
+// whose epoch stops advancing under load is applying batches without ever
+// idling (publication coalesces under backlog).
+func (e *Engine) ViewEpochs() []uint64 {
+	epochs := make([]uint64, len(e.shards))
+	for i, sh := range e.shards {
+		epochs[i] = sh.view.Load().Epoch
+	}
+	return epochs
+}
+
+// SpaceWords reports the state size summed over the latest published
+// epochs.  Sharding pays the O(n log n) degree-table term once in total
+// (each shard tracks only its own items) while the n^(1/Alpha) reservoir
+// term is paid per shard on a universe P times smaller.
 func (e *Engine) SpaceWords() int {
+	words := 0
+	for _, sh := range e.shards {
+		words += sh.view.Load().SpaceWords
+	}
+	return words
+}
+
+// SpaceWordsFresh is SpaceWords under the strict barrier.
+func (e *Engine) SpaceWordsFresh() int {
 	words := 0
 	e.f.query(func() {
 		for _, sh := range e.shards {
@@ -251,6 +411,19 @@ func (e *Engine) SpaceWords() int {
 		}
 	})
 	return words
+}
+
+// Usage reports SpaceWords and SnapshotSize from the latest published
+// epochs — what a periodic stats poll should call, since it costs a few
+// atomic loads and never quiesces the shards.
+func (e *Engine) Usage() (spaceWords, snapshotBytes int) {
+	snapshotBytes = engineSnapHeaderBytes
+	for _, sh := range e.shards {
+		v := sh.view.Load()
+		spaceWords += v.SpaceWords
+		snapshotBytes += 8 + v.SnapshotBytes
+	}
+	return spaceWords, snapshotBytes
 }
 
 // TurnstileEngineConfig parameterises the sharded insertion-deletion
@@ -266,9 +439,11 @@ type TurnstileEngineConfig struct {
 
 // TurnstileEngine is the sharded front-end to the insertion-deletion FEwW
 // algorithm: the same per-item partition and batched hand-off as Engine,
-// with per-shard InsertDelete instances.  The same concurrency and
-// determinism guarantees apply: safe for any number of goroutines, and
-// deterministic whenever a single producer fixes the update order.
+// with per-shard InsertDelete instances.  The same concurrency,
+// determinism, and consistency contracts apply: safe for any number of
+// goroutines, deterministic whenever a single producer fixes the update
+// order, queries barrier-free against published epochs by default with
+// Fresh variants for the strict barrier.
 type TurnstileEngine struct {
 	cfg    TurnstileEngineConfig
 	shards []*tShard
@@ -322,13 +497,16 @@ func NewTurnstileEngine(cfg TurnstileEngineConfig) (*TurnstileEngine, error) {
 }
 
 // newTurnstileFromInners assembles the engine around existing per-shard
-// instances and starts the shard goroutines.
+// instances and starts the shard goroutines; epoch-0 views are published
+// before any worker starts, as in newEngineFromInners.
 func newTurnstileFromInners(cfg TurnstileEngineConfig, inners []*core.InsertDelete) *TurnstileEngine {
 	p := int64(cfg.Shards)
 	shards := make([]*tShard, cfg.Shards)
 	apply := make([]func([]Update), cfg.Shards)
+	publish := make([]func(), cfg.Shards)
 	for i, inner := range inners {
 		sh := &tShard{idx: i, stride: p, inner: inner}
+		sh.view.Store(&publishedView{View: inner.View()})
 		shards[i] = sh
 		apply[i] = func(batch []stream.Update) {
 			for j := range batch {
@@ -336,12 +514,15 @@ func newTurnstileFromInners(cfg TurnstileEngineConfig, inners []*core.InsertDele
 			}
 			sh.inner.ApplyUpdates(batch)
 		}
+		publish[i] = func() {
+			sh.view.Store(&publishedView{View: sh.inner.View(), Epoch: sh.view.Load().Epoch + 1})
+		}
 	}
 	return &TurnstileEngine{
 		cfg:    cfg,
 		shards: shards,
 		f: newFanout("TurnstileEngine", cfg.BatchSize, cfg.QueueDepth,
-			func(u Update) int64 { return u.A }, apply),
+			func(u Update) int64 { return u.A }, apply, publish),
 	}
 }
 
@@ -352,35 +533,84 @@ func (e *TurnstileEngine) Shards() int { return len(e.shards) }
 // (*Engine).Config.
 func (e *TurnstileEngine) Config() TurnstileEngineConfig { return e.cfg }
 
-// Insert feeds the insertion of edge (a, b).
-func (e *TurnstileEngine) Insert(a, b int64) {
-	e.f.add(Update{Edge: Edge{A: a, B: b}, Op: stream.Insert})
+// checkUpdate validates one signed update against the engine's universe
+// and the turnstile op set; see (*Engine).checkEdge for why out-of-range
+// items must be stopped before the shard router.
+func (e *TurnstileEngine) checkUpdate(i, total int, u Update) error {
+	if u.Op != stream.Insert && u.Op != stream.Delete {
+		return fmt.Errorf("%w: update %d of %d: op %d", ErrInvalidOp, i, total, u.Op)
+	}
+	if u.A < 0 || u.A >= e.cfg.N {
+		return fmt.Errorf("%w: update %d of %d: item %d not in [0, %d)", ErrOutOfUniverse, i, total, u.A, e.cfg.N)
+	}
+	if u.B < 0 || u.B >= e.cfg.M {
+		return fmt.Errorf("%w: update %d of %d: witness %d not in [0, %d)", ErrOutOfUniverse, i, total, u.B, e.cfg.M)
+	}
+	return nil
+}
+
+// Insert feeds the insertion of edge (a, b).  It returns an error wrapping
+// ErrOutOfUniverse for an edge outside [0, N) x [0, M) and ErrClosed after
+// Close; in both cases nothing is fed.
+func (e *TurnstileEngine) Insert(a, b int64) error {
+	u := Update{Edge: Edge{A: a, B: b}, Op: stream.Insert}
+	if err := e.checkUpdate(0, 1, u); err != nil {
+		return err
+	}
+	return e.f.add(u)
 }
 
 // Delete feeds the deletion of edge (a, b); the edge must currently exist
-// (simple-graph turnstile promise).
-func (e *TurnstileEngine) Delete(a, b int64) {
-	e.f.add(Update{Edge: Edge{A: a, B: b}, Op: stream.Delete})
+// (simple-graph turnstile promise).  Errors as Insert.
+func (e *TurnstileEngine) Delete(a, b int64) error {
+	u := Update{Edge: Edge{A: a, B: b}, Op: stream.Delete}
+	if err := e.checkUpdate(0, 1, u); err != nil {
+		return err
+	}
+	return e.f.add(u)
 }
 
 // ProcessUpdates feeds a batch of signed updates in order.  The slice is
-// copied into per-shard buffers; the caller keeps ownership of ups.
-func (e *TurnstileEngine) ProcessUpdates(ups []Update) { e.f.addBatch(ups) }
+// copied into per-shard buffers; the caller keeps ownership of ups.  The
+// whole batch is validated first and rejected atomically on error.
+func (e *TurnstileEngine) ProcessUpdates(ups []Update) error {
+	for i, u := range ups {
+		if err := e.checkUpdate(i, len(ups), u); err != nil {
+			return err
+		}
+	}
+	return e.f.addBatch(ups)
+}
 
 // Flush hands every buffered update to its shard queue without waiting.
-func (e *TurnstileEngine) Flush() { e.f.flush() }
+func (e *TurnstileEngine) Flush() error { return e.f.flush() }
 
 // Drain flushes and blocks until every shard has applied everything queued.
-func (e *TurnstileEngine) Drain() { e.f.drain() }
+func (e *TurnstileEngine) Drain() error { return e.f.drain() }
 
 // Close flushes, waits for the shards to drain, and stops them.  The
-// engine stays queryable after Close; feeding further updates panics.
+// engine stays queryable after Close; feeding further updates returns
+// ErrClosed.  Close is idempotent.
 func (e *TurnstileEngine) Close() { e.f.close() }
 
 // Result returns a frequent item of the final graph with at least
-// ceil(D/Alpha) live witnesses, or ErrNoWitness if no shard found one.
-// Shards are consulted in index order.
+// ceil(D/Alpha) live witnesses from the latest published epochs, or
+// ErrNoWitness if no shard has published one.  Shards are consulted in
+// index order.  Barrier-free; see (*Engine).Results for the contract.
 func (e *TurnstileEngine) Result() (Neighbourhood, error) {
+	for _, sh := range e.shards {
+		if v := sh.view.Load(); len(v.Results) > 0 {
+			nb := v.Results[0]
+			nb.A = sh.global(nb.A)
+			return nb, nil
+		}
+	}
+	return Neighbourhood{}, ErrNoWitness
+}
+
+// ResultFresh is Result under the strict barrier: it quiesces the shards
+// first, so the answer reflects every update fed before the call.
+func (e *TurnstileEngine) ResultFresh() (Neighbourhood, error) {
 	nb, err := Neighbourhood{}, error(ErrNoWitness)
 	e.f.query(func() {
 		for _, sh := range e.shards {
@@ -405,8 +635,28 @@ func (e *TurnstileEngine) UpdatesProcessed() int64 { return e.f.count.Load() }
 // see (*Engine).QueueDepths.
 func (e *TurnstileEngine) QueueDepths() []int { return e.f.queueDepths() }
 
-// SpaceWords reports the live state summed across all shards.
+// ViewEpochs reports each shard's published epoch number; see
+// (*Engine).ViewEpochs.
+func (e *TurnstileEngine) ViewEpochs() []uint64 {
+	epochs := make([]uint64, len(e.shards))
+	for i, sh := range e.shards {
+		epochs[i] = sh.view.Load().Epoch
+	}
+	return epochs
+}
+
+// SpaceWords reports the state size summed over the latest published
+// epochs; barrier-free.
 func (e *TurnstileEngine) SpaceWords() int {
+	words := 0
+	for _, sh := range e.shards {
+		words += sh.view.Load().SpaceWords
+	}
+	return words
+}
+
+// SpaceWordsFresh is SpaceWords under the strict barrier.
+func (e *TurnstileEngine) SpaceWordsFresh() int {
 	words := 0
 	e.f.query(func() {
 		for _, sh := range e.shards {
@@ -414,4 +664,16 @@ func (e *TurnstileEngine) SpaceWords() int {
 		}
 	})
 	return words
+}
+
+// Usage reports SpaceWords and SnapshotSize from the latest published
+// epochs; see (*Engine).Usage.
+func (e *TurnstileEngine) Usage() (spaceWords, snapshotBytes int) {
+	snapshotBytes = turnstileSnapHeaderBytes
+	for _, sh := range e.shards {
+		v := sh.view.Load()
+		spaceWords += v.SpaceWords
+		snapshotBytes += 8 + v.SnapshotBytes
+	}
+	return spaceWords, snapshotBytes
 }

@@ -2,6 +2,7 @@ package feww
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"reflect"
 	"testing"
@@ -59,6 +60,7 @@ func TestEngineResultsAcrossShards(t *testing.T) {
 		t.Fatalf("Shards() = %d, want %d", eng.Shards(), shards)
 	}
 	eng.ProcessEdges(edges)
+	eng.Drain() // make every fed edge visible to the published query path
 
 	results := eng.Results()
 	byItem := make(map[int64]Neighbourhood)
@@ -135,6 +137,7 @@ func TestEngineDeterminism(t *testing.T) {
 		} else {
 			eng.ProcessEdges(edges)
 		}
+		eng.Drain()
 		return eng.Results()
 	}
 
@@ -154,8 +157,9 @@ func TestEngineDeterminism(t *testing.T) {
 	}
 }
 
-// TestEngineMidStreamQueries exercises the barrier path: queries during the
-// stream must reflect everything fed so far and must not disturb ingest.
+// TestEngineMidStreamQueries exercises the strict barrier path: Fresh
+// queries during the stream must reflect everything fed so far and must
+// not disturb ingest.
 func TestEngineMidStreamQueries(t *testing.T) {
 	const n, d = 500, 40
 	edges, truth := engineStream([]int64{5, 6}, d, n)
@@ -169,13 +173,15 @@ func TestEngineMidStreamQueries(t *testing.T) {
 	}
 	half := len(edges) / 2
 	eng.ProcessEdges(edges[:half])
-	eng.Drain()
+	if err := eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
 	if got := eng.EdgesProcessed(); got != int64(half) {
 		t.Fatalf("EdgesProcessed mid-stream = %d, want %d", got, half)
 	}
 	eng.ProcessEdges(edges[half:])
 
-	nb, err := eng.Result()
+	nb, err := eng.ResultFresh()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,12 +190,13 @@ func TestEngineMidStreamQueries(t *testing.T) {
 			t.Fatalf("fabricated witness (%d, %d)", nb.A, w)
 		}
 	}
-	best, found := eng.Best()
+	best, found := eng.BestFresh()
 	if !found || best.Size() < nb.Size() {
-		t.Fatalf("Best() = %v, %v; want a neighbourhood at least as large as Result's", best, found)
+		t.Fatalf("BestFresh() = %v, %v; want a neighbourhood at least as large as ResultFresh's", best, found)
 	}
 
-	// Close is idempotent and the engine stays queryable afterwards.
+	// Close is idempotent and the engine stays queryable afterwards, on
+	// both consistencies: the final published epoch is the full stream.
 	eng.Close()
 	eng.Close()
 	if got := eng.EdgesProcessed(); got != int64(len(edges)) {
@@ -198,12 +205,23 @@ func TestEngineMidStreamQueries(t *testing.T) {
 	if _, err := eng.Result(); err != nil {
 		t.Fatalf("Result after Close: %v", err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("ProcessEdge after Close did not panic")
-		}
-	}()
-	eng.ProcessEdge(1, 2)
+	if _, err := eng.ResultFresh(); err != nil {
+		t.Fatalf("ResultFresh after Close: %v", err)
+	}
+	// Feeding after Close is a clean error, not a panic: a server can turn
+	// an ingest racing shutdown into a 503.
+	if err := eng.ProcessEdge(1, 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ProcessEdge after Close = %v, want ErrClosed", err)
+	}
+	if err := eng.ProcessEdges(edges[:1]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ProcessEdges after Close = %v, want ErrClosed", err)
+	}
+	if err := eng.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Flush after Close = %v, want ErrClosed", err)
+	}
+	if err := eng.Drain(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Drain after Close = %v, want ErrClosed", err)
+	}
 }
 
 func TestEngineConfigValidation(t *testing.T) {
@@ -224,6 +242,7 @@ func TestEngineConfigValidation(t *testing.T) {
 	}
 	eng.ProcessEdge(0, 1)
 	eng.ProcessEdge(0, 2)
+	eng.Drain()
 	if nb, err := eng.Result(); err != nil || nb.A != 0 {
 		t.Errorf("Result = %v, %v; want item 0", nb, err)
 	}
@@ -332,6 +351,7 @@ func TestTurnstileEngine(t *testing.T) {
 			eng.Delete(u.A, u.B)
 		}
 	}
+	eng.Drain()
 
 	nb, err := eng.Result()
 	if err != nil {
@@ -379,6 +399,7 @@ func TestTurnstileEngineDeterminism(t *testing.T) {
 		}
 		defer eng.Close()
 		eng.ProcessUpdates(ups)
+		eng.Drain()
 		nb, err := eng.Result()
 		return fmt.Sprintf("%v %v", nb, err)
 	}

@@ -50,6 +50,9 @@ func ExampleEngine() {
 	eng.ProcessEdges(batch)
 	eng.ProcessEdge(3, 200) // background noise
 
+	// Queries are barrier-free against published shard views; Drain makes
+	// everything fed so far visible (Close would too).
+	eng.Drain()
 	for _, nb := range eng.Results() {
 		fmt.Println("item:", nb.A, "witnesses:", len(nb.Witnesses))
 	}

@@ -80,7 +80,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	best, err := cl.Best()
+	// Fetch the answer on the ?fresh=1 barrier path: the verification
+	// below needs every replayed update reflected, not just the published
+	// epochs' view of them.
+	best, err := cl.BestFresh()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -102,7 +105,9 @@ func main() {
 	}
 	defer ref.Close()
 	for _, u := range inst.Updates {
-		ref.ProcessEdge(u.A, u.B)
+		if err := ref.ProcessEdge(u.A, u.B); err != nil {
+			log.Fatal(err)
+		}
 	}
 	var refSnap, srvSnap bytes.Buffer
 	if err := ref.Snapshot(&refSnap); err != nil {

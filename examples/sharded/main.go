@@ -60,12 +60,21 @@ func main() {
 	for _, u := range trace.Updates {
 		buf = append(buf, feww.Edge{A: u.A, B: u.B})
 		if len(buf) == batch {
-			eng.ProcessEdges(buf)
+			if err := eng.ProcessEdges(buf); err != nil {
+				log.Fatal(err) // id outside [0, Targets), or engine closed
+			}
 			buf = buf[:0]
 		}
 	}
-	eng.ProcessEdges(buf)
+	if err := eng.ProcessEdges(buf); err != nil {
+		log.Fatal(err)
+	}
 
+	// Queries read published shard views without stalling ingest; Drain
+	// first so the report covers the complete log.
+	if err := eng.Drain(); err != nil {
+		log.Fatal(err)
+	}
 	results := eng.Results()
 	if len(results) == 0 {
 		log.Fatal("no attack detected")

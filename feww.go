@@ -137,7 +137,7 @@ type TurnstileConfig struct {
 	Seed uint64
 	// ScaleFactor (default 1.0) multiplies the theoretical L0-sampler
 	// counts.  The paper's constants are large; laptop-scale runs typically
-	// use 0.01-0.1.  See DESIGN.md.
+	// use 0.01-0.1.  See docs/EXPERIMENTS.md.
 	ScaleFactor float64
 	// MaxSamplers caps total sampler allocation (default 1 << 20); the
 	// constructor fails rather than over-allocating.

@@ -1,0 +1,73 @@
+// Package benchstat holds the small latency-accounting helpers shared by
+// the load-generation commands (cmd/fewwbench, cmd/fewwload): a bounded
+// latency sampler and quantile extraction.
+package benchstat
+
+import (
+	"sort"
+	"time"
+)
+
+// maxSamples bounds the retained latencies per Sampler.
+const maxSamples = 1 << 16
+
+// Sampler counts every observation but retains only a bounded, evenly
+// strided subset for quantile estimates.  A barrier-free query path can
+// serve millions of queries per second; retaining every latency would
+// cost hundreds of MB and a giant sort.  Once the buffer fills, every
+// other retained sample is dropped and the stride doubles, keeping
+// memory flat while the kept samples stay evenly spaced over the run.
+// Not safe for concurrent use — give each client goroutine its own.
+type Sampler struct {
+	count  int64
+	stride int64
+	lats   []time.Duration
+}
+
+// Observe records one latency observation.
+func (s *Sampler) Observe(d time.Duration) {
+	s.count++
+	if s.stride == 0 {
+		s.stride = 1
+	}
+	if s.count%s.stride != 0 {
+		return
+	}
+	s.lats = append(s.lats, d)
+	if len(s.lats) >= maxSamples {
+		kept := s.lats[:0]
+		for i := 1; i < len(s.lats); i += 2 {
+			kept = append(kept, s.lats[i])
+		}
+		s.lats = kept
+		s.stride *= 2
+	}
+}
+
+// Count returns the total number of observations (not just retained ones).
+func (s *Sampler) Count() int64 { return s.count }
+
+// Merge combines the retained samples of several per-client samplers into
+// one sorted slice, returning it with the total observation count.
+func Merge(samplers []Sampler) (sorted []time.Duration, total int64) {
+	for i := range samplers {
+		sorted = append(sorted, samplers[i].lats...)
+		total += samplers[i].count
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted, total
+}
+
+// Quantile returns the q-quantile of a sorted duration slice (0 when
+// empty).
+func Quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+// QuantileMicros is Quantile in microseconds, for JSON reports.
+func QuantileMicros(sorted []time.Duration, q float64) float64 {
+	return float64(Quantile(sorted, q).Nanoseconds()) / 1e3
+}

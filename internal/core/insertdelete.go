@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"feww/internal/l0"
 	"feww/internal/stream"
@@ -20,7 +21,7 @@ type InsertDeleteConfig struct {
 	// ScaleFactor multiplies the theoretical sampler counts (the "10 ... ln"
 	// terms of Algorithm 3).  1.0 (default when 0) is the paper's setting;
 	// experiments use smaller values to keep the constant-factor-free
-	// shape measurable on a laptop.  See DESIGN.md §2 (substitutions).
+	// shape measurable on a laptop.  See docs/EXPERIMENTS.md §2 (substitutions).
 	ScaleFactor float64
 
 	// Sampler selects the internal L0 sampler dimensions; zero value uses
@@ -252,12 +253,17 @@ func (id *InsertDelete) Result() (Neighbourhood, error) {
 
 // ResultWithStrategy is Result plus which strategy succeeded — used by
 // experiment E6 to exhibit the dense/sparse crossover of Lemmas 5.2/5.3.
+//
+// Candidate vertices and witness sets are consulted in sorted order, not
+// map order, so identical sampler state always yields the identical
+// neighbourhood.  The engines rely on this: a published result epoch and
+// a barrier read of the same state must agree byte for byte.
 func (id *InsertDelete) ResultWithStrategy() (Neighbourhood, Strategy, error) {
 	// Vertex strategy: each sampled vertex's battery yields up to
 	// SamplersPerVertex (near-uniform, with repetition) incident edges.
-	for a, batt := range id.vertexSamplers {
+	for _, a := range sortedKeys(id.vertexSamplers) {
 		seen := make(map[int64]struct{})
-		for _, s := range batt {
+		for _, s := range id.vertexSamplers[a] {
 			if b, cnt, ok := s.Sample(); ok && cnt > 0 {
 				seen[int64(b)] = struct{}{}
 			}
@@ -280,24 +286,34 @@ func (id *InsertDelete) ResultWithStrategy() (Neighbourhood, Strategy, error) {
 		}
 		byVertex[a][b] = struct{}{}
 	}
-	for a, seen := range byVertex {
-		if int64(len(seen)) >= id.d2 {
+	for _, a := range sortedKeys(byVertex) {
+		if seen := byVertex[a]; int64(len(seen)) >= id.d2 {
 			return Neighbourhood{A: a, Witnesses: takeWitnesses(seen, id.d2)}, StrategyEdge, nil
 		}
 	}
 	return Neighbourhood{}, StrategyNone, ErrNoWitness
 }
 
-// takeWitnesses extracts d2 witnesses from a set.
+// sortedKeys returns a map's keys in ascending order, for deterministic
+// candidate iteration.
+func sortedKeys[V any](m map[int64]V) []int64 {
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// takeWitnesses extracts the d2 smallest witnesses from a set — a
+// deterministic choice, so the same state always reports the same proof.
 func takeWitnesses(set map[int64]struct{}, d2 int64) []int64 {
-	out := make([]int64, 0, d2)
+	out := make([]int64, 0, len(set))
 	for b := range set {
 		out = append(out, b)
-		if int64(len(out)) == d2 {
-			break
-		}
 	}
-	return out
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out[:d2]
 }
 
 // WitnessTarget returns d2 = ceil(d/alpha).

@@ -10,7 +10,7 @@ import (
 
 // idConfig returns a laptop-sized insertion-deletion config; ScaleFactor
 // keeps the sampler count tractable while preserving the algorithm's
-// structure (see DESIGN.md substitutions).
+// structure (see docs/EXPERIMENTS.md §2 substitutions).
 func idConfig(n, m, d int64, alpha int, seed uint64) InsertDeleteConfig {
 	return InsertDeleteConfig{
 		N: n, M: m, D: d, Alpha: alpha, Seed: seed,

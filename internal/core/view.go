@@ -1,0 +1,74 @@
+package core
+
+// View is an immutable summary of an algorithm instance's query surface,
+// exported so a concurrent container (the sharded engines) can publish it
+// through an atomic pointer and serve queries without quiescing the
+// instance's owner.  Everything inside is deep-copied from the live state:
+// witness slices in particular are cloned, because DegRes hands out
+// neighbourhoods that alias its reservoir candidates, which the owning
+// goroutine keeps appending to.  A View therefore never changes after it
+// is built — readers may hold it indefinitely and share it freely.
+type View struct {
+	// Best is the largest neighbourhood collected so far, possibly below
+	// the witness target; BestOK is false when nothing was collected.
+	Best   Neighbourhood
+	BestOK bool
+	// Results holds every full-target neighbourhood, sorted by vertex id.
+	Results []Neighbourhood
+	// SpaceWords and SnapshotBytes are the live-state size and the exact
+	// Snapshot length at the time the view was built.
+	SpaceWords    int
+	SnapshotBytes int
+	// Elements is the number of stream elements applied when the view was
+	// built (edges for InsertOnly, updates for InsertDelete).
+	Elements int64
+}
+
+// cloneNeighbourhood deep-copies a neighbourhood so the returned value
+// shares no memory with live algorithm state.
+func cloneNeighbourhood(nb Neighbourhood) Neighbourhood {
+	w := make([]int64, len(nb.Witnesses))
+	copy(w, nb.Witnesses)
+	return Neighbourhood{A: nb.A, Witnesses: w}
+}
+
+// View builds an immutable snapshot of the instance's query surface.  It
+// must be called by the goroutine that owns the instance (or under the
+// same synchronisation as mutations); the returned value is then safe to
+// hand to any number of concurrent readers.
+func (io_ *InsertOnly) View() View {
+	v := View{
+		SpaceWords:    io_.SpaceWords(),
+		SnapshotBytes: io_.SnapshotSize(),
+		Elements:      io_.edges,
+	}
+	if nb, ok := io_.Best(); ok {
+		v.Best, v.BestOK = cloneNeighbourhood(nb), true
+	}
+	if results := io_.Results(); len(results) > 0 {
+		v.Results = make([]Neighbourhood, len(results))
+		for i, nb := range results {
+			v.Results[i] = cloneNeighbourhood(nb)
+		}
+	}
+	return v
+}
+
+// View builds an immutable snapshot of the instance's query surface; see
+// (*InsertOnly).View.  The turnstile algorithm only certifies full-target
+// neighbourhoods (its L0-sampler queries have no meaningful "largest
+// partial"), so Best and Results both carry the Result neighbourhood when
+// one exists.  Result already allocates fresh witness slices, so no extra
+// copy is needed.
+func (id *InsertDelete) View() View {
+	v := View{
+		SpaceWords:    id.SpaceWords(),
+		SnapshotBytes: id.SnapshotSize(),
+		Elements:      id.updates,
+	}
+	if nb, err := id.Result(); err == nil {
+		v.Best, v.BestOK = nb, true
+		v.Results = []Neighbourhood{nb}
+	}
+	return v
+}

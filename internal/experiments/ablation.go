@@ -9,7 +9,7 @@ func init() {
 	register("E10", E10Ablations)
 }
 
-// E10Ablations probes the design decisions DESIGN.md §4 calls out:
+// E10Ablations probes the design decisions docs/EXPERIMENTS.md §2 calls out:
 //
 //  1. reservoir size — sweeping ScaleFactor below 1 locates where the
 //     Theorem 3.2 guarantee starts to erode, showing the paper's
@@ -23,7 +23,7 @@ func E10Ablations(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:    "E10",
 		Title: "ablations: reservoir size, staggered thresholds, sampler budget",
-		Claim: "DESIGN.md §4: the paper's constants sit at the knee of the success curve",
+		Claim: "docs/EXPERIMENTS.md §2: the paper's constants sit at the knee of the success curve",
 		Columns: []string{
 			"component", "scale", "success", "avg words", "per-run success",
 		},

@@ -5,9 +5,9 @@
 // scaling exponents, crossovers, model separations) or reproduces one
 // figure as an executable construction.
 //
-// The experiment IDs E1-E10 and F1-F3 are indexed in DESIGN.md §3; the
-// measured outcomes are recorded against the paper's claims in
-// EXPERIMENTS.md.  Every experiment is deterministic in Config.Seed.
+// The experiment IDs E1-E10 and F1-F3 are indexed in docs/EXPERIMENTS.md
+// §3; measured outcomes are recorded against the paper's claims there
+// too.  Every experiment is deterministic in Config.Seed.
 package experiments
 
 import (
@@ -23,7 +23,7 @@ type Config struct {
 	Seed uint64
 	// Quick shrinks instance sizes and trial counts so the full suite runs
 	// in seconds (used by tests and -short benchmarks).  The recorded
-	// EXPERIMENTS.md numbers use Quick = false.
+	// docs/EXPERIMENTS.md numbers use Quick = false.
 	Quick bool
 }
 

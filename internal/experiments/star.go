@@ -102,7 +102,7 @@ func maxDegreeUndirected(ups []stream.Update) (vertex int64, degree int64) {
 }
 
 // ladderGuesses returns the Lemma 3.3 guess set {1, (1+eps), (1+eps)^2,
-// ...} up to n, for documentation in EXPERIMENTS.md.
+// ...} up to n, for documentation in docs/EXPERIMENTS.md.
 func ladderGuesses(n int64, eps float64) []int64 {
 	var out []int64
 	for g := 1.0; g <= float64(n); g *= 1 + eps {

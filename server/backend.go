@@ -12,28 +12,41 @@ import (
 // Engine or the TurnstileEngine behind one adapter interface.  Both
 // engines are internally safe for concurrent use, so Backend methods may
 // be called from any number of request handlers at once.
+//
+// Queries take a fresh flag selecting the consistency: false reads the
+// shards' latest published result epochs (barrier-free — never stalls
+// ingest, never serialises with other queries, lags the accepted stream
+// by the in-flight batches plus a short publication throttle), true
+// takes the strict barrier and reflects every update accepted before
+// the call.
 type Backend interface {
 	// Kind is "insert-only" or "turnstile", reported by /stats.
 	Kind() string
-	// Ingest applies a batch of updates in order.  It validates every
-	// update against the engine's universe before feeding anything, so a
-	// rejected batch leaves the engine untouched.
+	// Ingest applies a batch of updates in order.  The engine validates
+	// every update against its universe before feeding anything, so a
+	// rejected batch leaves the engine untouched; the error wraps
+	// feww.ErrOutOfUniverse for out-of-range elements, feww.ErrInvalidOp
+	// for a bad op, and feww.ErrClosed when the engine is shutting down.
 	Ingest(ups []feww.Update) error
+	// Flush hands buffered updates to the shard queues without waiting,
+	// bounding how far the published epochs lag a completed request.
+	Flush()
 	// Best returns the largest neighbourhood collected so far (for the
 	// turnstile engine: the Result neighbourhood, which is only available
 	// once it reaches the witness target).
-	Best() (feww.Neighbourhood, bool)
+	Best(fresh bool) (feww.Neighbourhood, bool)
 	// Results returns every full-target neighbourhood found.
-	Results() []feww.Neighbourhood
+	Results(fresh bool) []feww.Neighbourhood
 	// Processed returns the number of stream elements accepted.
 	Processed() int64
-	// Shards, QueueDepths, WitnessTarget and Usage feed the /stats
-	// endpoint; Usage reports space words and snapshot bytes under one
-	// engine quiesce, so a stats poll stalls ingest once, not twice.
+	// Shards, QueueDepths, ViewEpochs, WitnessTarget and Usage feed the
+	// /stats endpoint; Usage reports space words and snapshot bytes (one
+	// quiesce when fresh, a few atomic loads when not).
 	Shards() int
 	QueueDepths() []int
+	ViewEpochs() []uint64
 	WitnessTarget() int64
-	Usage() (spaceWords, snapshotBytes int)
+	Usage(fresh bool) (spaceWords, snapshotBytes int)
 	// Snapshot serialises the engine state; Restore* round-trips it.
 	Snapshot(w io.Writer) error
 	// Close drains and stops the engine; the backend stays queryable.
@@ -53,32 +66,51 @@ type insertBackend struct {
 func (b *insertBackend) Kind() string { return "insert-only" }
 
 func (b *insertBackend) Ingest(ups []feww.Update) error {
-	n := b.e.Config().N
+	// The op check lives here (the edge type the engine feeds on has no
+	// sign); universe validation is the engine's own boundary check, so a
+	// hostile id can never reach the shard router no matter who calls.
 	for i, u := range ups {
 		if u.Op != feww.Insert {
 			return fmt.Errorf("update %d of %d: %v: insertion-only engine cannot apply deletions (run the service in turnstile mode)", i, len(ups), u)
-		}
-		if u.A < 0 || u.A >= n || u.B < 0 {
-			return fmt.Errorf("update %d of %d: %v: item out of the engine's universe [0, %d)", i, len(ups), u, n)
 		}
 	}
 	edges := make([]feww.Edge, len(ups))
 	for i, u := range ups {
 		edges[i] = u.Edge
 	}
-	b.e.ProcessEdges(edges)
-	return nil
+	return b.e.ProcessEdges(edges)
 }
 
-func (b *insertBackend) Best() (feww.Neighbourhood, bool)   { return b.e.Best() }
-func (b *insertBackend) Results() []feww.Neighbourhood      { return b.e.Results() }
-func (b *insertBackend) Processed() int64                   { return b.e.EdgesProcessed() }
-func (b *insertBackend) Shards() int                        { return b.e.Shards() }
-func (b *insertBackend) QueueDepths() []int                 { return b.e.QueueDepths() }
-func (b *insertBackend) WitnessTarget() int64               { return b.e.WitnessTarget() }
-func (b *insertBackend) Usage() (spaceWords, snapBytes int) { return b.e.Usage() }
-func (b *insertBackend) Snapshot(w io.Writer) error         { return b.e.Snapshot(w) }
-func (b *insertBackend) Close()                             { b.e.Close() }
+func (b *insertBackend) Flush() { b.e.Flush() }
+
+func (b *insertBackend) Best(fresh bool) (feww.Neighbourhood, bool) {
+	if fresh {
+		return b.e.BestFresh()
+	}
+	return b.e.Best()
+}
+
+func (b *insertBackend) Results(fresh bool) []feww.Neighbourhood {
+	if fresh {
+		return b.e.ResultsFresh()
+	}
+	return b.e.Results()
+}
+
+func (b *insertBackend) Usage(fresh bool) (spaceWords, snapBytes int) {
+	if fresh {
+		return b.e.UsageFresh()
+	}
+	return b.e.Usage()
+}
+
+func (b *insertBackend) Processed() int64           { return b.e.EdgesProcessed() }
+func (b *insertBackend) Shards() int                { return b.e.Shards() }
+func (b *insertBackend) QueueDepths() []int         { return b.e.QueueDepths() }
+func (b *insertBackend) ViewEpochs() []uint64       { return b.e.ViewEpochs() }
+func (b *insertBackend) WitnessTarget() int64       { return b.e.WitnessTarget() }
+func (b *insertBackend) Snapshot(w io.Writer) error { return b.e.Snapshot(w) }
+func (b *insertBackend) Close()                     { b.e.Close() }
 
 type turnstileBackend struct {
 	e *feww.TurnstileEngine
@@ -86,42 +118,50 @@ type turnstileBackend struct {
 
 func (b *turnstileBackend) Kind() string { return "turnstile" }
 
+// Ingest delegates validation entirely to the engine boundary: ops,
+// items, and witnesses are all checked there before anything is fed.
 func (b *turnstileBackend) Ingest(ups []feww.Update) error {
-	cfg := b.e.Config()
-	for i, u := range ups {
-		if u.Op != feww.Insert && u.Op != feww.Delete {
-			return fmt.Errorf("update %d of %d has invalid op %d", i, len(ups), u.Op)
-		}
-		if u.A < 0 || u.A >= cfg.N || u.B < 0 || u.B >= cfg.M {
-			return fmt.Errorf("update %d of %d: %v: edge out of the engine's universe [0, %d) x [0, %d)", i, len(ups), u, cfg.N, cfg.M)
-		}
-	}
-	b.e.ProcessUpdates(ups)
-	return nil
+	return b.e.ProcessUpdates(ups)
 }
+
+func (b *turnstileBackend) Flush() { b.e.Flush() }
 
 // Best for the turnstile engine is its Result: the L0-sampler queries
 // only certify neighbourhoods once they reach the witness target, so
 // there is no meaningful "largest partial" to report.
-func (b *turnstileBackend) Best() (feww.Neighbourhood, bool) {
-	nb, err := b.e.Result()
+func (b *turnstileBackend) Best(fresh bool) (feww.Neighbourhood, bool) {
+	nb, err := b.result(fresh)
 	return nb, err == nil
 }
 
-func (b *turnstileBackend) Results() []feww.Neighbourhood {
-	if nb, err := b.e.Result(); err == nil {
+func (b *turnstileBackend) Results(fresh bool) []feww.Neighbourhood {
+	if nb, err := b.result(fresh); err == nil {
 		return []feww.Neighbourhood{nb}
 	}
 	return nil
 }
 
-func (b *turnstileBackend) Processed() int64                   { return b.e.UpdatesProcessed() }
-func (b *turnstileBackend) Shards() int                        { return b.e.Shards() }
-func (b *turnstileBackend) QueueDepths() []int                 { return b.e.QueueDepths() }
-func (b *turnstileBackend) WitnessTarget() int64               { return b.e.WitnessTarget() }
-func (b *turnstileBackend) Usage() (spaceWords, snapBytes int) { return b.e.Usage() }
-func (b *turnstileBackend) Snapshot(w io.Writer) error         { return b.e.Snapshot(w) }
-func (b *turnstileBackend) Close()                             { b.e.Close() }
+func (b *turnstileBackend) result(fresh bool) (feww.Neighbourhood, error) {
+	if fresh {
+		return b.e.ResultFresh()
+	}
+	return b.e.Result()
+}
+
+func (b *turnstileBackend) Usage(fresh bool) (spaceWords, snapBytes int) {
+	if fresh {
+		return b.e.UsageFresh()
+	}
+	return b.e.Usage()
+}
+
+func (b *turnstileBackend) Processed() int64           { return b.e.UpdatesProcessed() }
+func (b *turnstileBackend) Shards() int                { return b.e.Shards() }
+func (b *turnstileBackend) QueueDepths() []int         { return b.e.QueueDepths() }
+func (b *turnstileBackend) ViewEpochs() []uint64       { return b.e.ViewEpochs() }
+func (b *turnstileBackend) WitnessTarget() int64       { return b.e.WitnessTarget() }
+func (b *turnstileBackend) Snapshot(w io.Writer) error { return b.e.Snapshot(w) }
+func (b *turnstileBackend) Close()                     { b.e.Close() }
 
 // RestoreBackend reads an engine snapshot — a checkpoint file, or the
 // bytes of GET /snapshot — sniffs which engine kind it holds, and returns

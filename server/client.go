@@ -62,22 +62,42 @@ func (c *Client) IngestStream(body io.Reader) (IngestResponse, error) {
 	return out, nil
 }
 
-// Best fetches /best.
+// Best fetches /best: the published (barrier-free) consistency, which may
+// lag the accepted stream by the in-flight batches.
 func (c *Client) Best() (BestResponse, error) {
 	var out BestResponse
 	return out, c.getJSON("/best", &out)
 }
 
-// Results fetches /results.
+// BestFresh fetches /best?fresh=1: the strict barrier consistency, exact
+// with respect to every update accepted before the request.
+func (c *Client) BestFresh() (BestResponse, error) {
+	var out BestResponse
+	return out, c.getJSON("/best?fresh=1", &out)
+}
+
+// Results fetches /results (published consistency).
 func (c *Client) Results() ([]NeighbourhoodJSON, error) {
 	var out []NeighbourhoodJSON
 	return out, c.getJSON("/results", &out)
 }
 
-// Stats fetches /stats.
+// ResultsFresh fetches /results?fresh=1 (barrier consistency).
+func (c *Client) ResultsFresh() ([]NeighbourhoodJSON, error) {
+	var out []NeighbourhoodJSON
+	return out, c.getJSON("/results?fresh=1", &out)
+}
+
+// Stats fetches /stats (published consistency).
 func (c *Client) Stats() (StatsResponse, error) {
 	var out StatsResponse
 	return out, c.getJSON("/stats", &out)
+}
+
+// StatsFresh fetches /stats?fresh=1 (barrier consistency).
+func (c *Client) StatsFresh() (StatsResponse, error) {
+	var out StatsResponse
+	return out, c.getJSON("/stats?fresh=1", &out)
 }
 
 // Checkpoint asks the server to write its configured checkpoint file.

@@ -40,7 +40,12 @@ func TestCheckpointKillRestoreEquivalence(t *testing.T) {
 	}
 	defer ref.Close()
 	for _, u := range inst.Updates {
-		ref.ProcessEdge(u.A, u.B)
+		if err := ref.ProcessEdge(u.A, u.B); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ref.Drain(); err != nil {
+		t.Fatal(err)
 	}
 	refBest, refFound := ref.Best()
 	if !refFound {
@@ -102,8 +107,9 @@ func TestCheckpointKillRestoreEquivalence(t *testing.T) {
 		}
 	}
 
-	// The served result equals the uninterrupted run exactly.
-	best, err := cl2.Best()
+	// The served result equals the uninterrupted run exactly (fetched on
+	// the barrier path: the comparison needs the complete stream applied).
+	best, err := cl2.BestFresh()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,10 +20,21 @@
 //	GET  /snapshot    stream the snapshot bytes to the caller
 //	GET  /            endpoint index
 //
+// The query endpoints (/best, /results, /stats) are barrier-free by
+// default: they read the shards' latest published result epochs, so any
+// number of concurrent clients can poll them without stalling ingest or
+// each other.  Appending ?fresh=1 opts a request into the strict barrier
+// — the engine quiesces and the answer reflects every update accepted
+// before the request.  Published answers lag the accepted stream by at
+// most the in-flight batches and are never torn: every served
+// neighbourhood was genuinely held by the engine at a batch boundary.
+//
 // All handlers are safe to call concurrently; the engine serialises
-// internally.  Ingest is chunk-atomic: a request that fails validation
-// mid-stream reports how many updates were accepted before the fault (the
-// error carries the byte offset, courtesy of stream.ErrBadFormat).
+// ingest internally.  Ingest is chunk-atomic: a request that fails
+// validation mid-stream reports how many updates were accepted before the
+// fault (the error carries the byte offset, courtesy of
+// stream.ErrBadFormat).  An ingest that races engine shutdown gets HTTP
+// 503, not a dead connection.
 package server
 
 import (
@@ -35,6 +46,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"feww"
@@ -63,9 +75,11 @@ type Server struct {
 	mux     *http.ServeMux
 	start   time.Time
 
-	ckptMu    sync.Mutex // serialises checkpoint file writes
-	ckptCount int64
-	ckptBytes int64
+	// ckptMu serialises checkpoint file writes only.  The counters are
+	// atomics so /stats never waits behind a slow disk checkpoint.
+	ckptMu    sync.Mutex
+	ckptCount atomic.Int64
+	ckptBytes atomic.Int64
 }
 
 // New builds a server around a backend.  Call Handler to mount it.
@@ -133,8 +147,8 @@ func (s *Server) Checkpoint() (int64, error) {
 		d.Sync()
 		d.Close()
 	}
-	s.ckptCount++
-	s.ckptBytes = size
+	s.ckptCount.Add(1)
+	s.ckptBytes.Store(size)
 	return size, nil
 }
 
@@ -164,18 +178,24 @@ type BestResponse struct {
 	Neighbourhood *NeighbourhoodJSON `json:"neighbourhood,omitempty"`
 }
 
-// StatsResponse is the /stats payload.
+// StatsResponse is the /stats payload.  Consistency reports which path
+// served the numbers: "published" (barrier-free epoch reads, the default)
+// or "fresh" (?fresh=1, exact at a barrier).  ViewEpochs is each shard's
+// published epoch counter; an epoch that stops advancing under load means
+// that shard is saturated and publication is coalescing.
 type StatsResponse struct {
-	Engine          string  `json:"engine"`
-	Shards          int     `json:"shards"`
-	Elements        int64   `json:"elements"`
-	QueueDepths     []int   `json:"queue_depths"`
-	SpaceWords      int     `json:"space_words"`
-	SnapshotBytes   int     `json:"snapshot_bytes"`
-	WitnessTarget   int64   `json:"witness_target"`
-	UptimeSeconds   float64 `json:"uptime_seconds"`
-	Checkpoints     int64   `json:"checkpoints"`
-	CheckpointBytes int64   `json:"checkpoint_bytes"`
+	Engine          string   `json:"engine"`
+	Consistency     string   `json:"consistency"`
+	Shards          int      `json:"shards"`
+	Elements        int64    `json:"elements"`
+	QueueDepths     []int    `json:"queue_depths"`
+	ViewEpochs      []uint64 `json:"view_epochs"`
+	SpaceWords      int      `json:"space_words"`
+	SnapshotBytes   int      `json:"snapshot_bytes"`
+	WitnessTarget   int64    `json:"witness_target"`
+	UptimeSeconds   float64  `json:"uptime_seconds"`
+	Checkpoints     int64    `json:"checkpoints"`
+	CheckpointBytes int64    `json:"checkpoint_bytes"`
 }
 
 // CheckpointResponse is the /checkpoint payload.
@@ -221,20 +241,42 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.ingestError(w, accepted, err)
 		return
 	}
+	// Hand the sub-batch remainder to the shard queues so the published
+	// epochs converge to everything this request accepted, instead of
+	// parking up to one batch per shard until more traffic arrives.
+	s.backend.Flush()
 	writeJSON(w, http.StatusOK, IngestResponse{Accepted: accepted, Total: s.backend.Processed()})
 }
 
 func (s *Server) ingestError(w http.ResponseWriter, accepted int64, err error) {
-	writeJSON(w, http.StatusBadRequest, IngestResponse{
+	// Chunks accepted before the fault were fed for real; flush them to
+	// the shard queues so the published epochs converge to the reported
+	// accepted count even if no further traffic arrives.
+	s.backend.Flush()
+	// A shutdown race is the server's fault, not the client's: the stream
+	// was well-formed, the engine just stopped accepting.  503 invites a
+	// retry against the restarted instance; anything else is a 400.
+	code := http.StatusBadRequest
+	if errors.Is(err, feww.ErrClosed) {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, IngestResponse{
 		Accepted: accepted,
 		Total:    s.backend.Processed(),
 		Error:    err.Error(),
 	})
 }
 
+// wantFresh reports whether the request opted into the strict barrier
+// consistency with ?fresh=1 (any value strconv.ParseBool accepts).
+func wantFresh(r *http.Request) bool {
+	fresh, err := strconv.ParseBool(r.URL.Query().Get("fresh"))
+	return err == nil && fresh
+}
+
 func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
 	resp := BestResponse{WitnessTarget: s.backend.WitnessTarget()}
-	if nb, ok := s.backend.Best(); ok {
+	if nb, ok := s.backend.Best(wantFresh(r)); ok {
 		j := toJSON(nb)
 		resp.Found, resp.Neighbourhood = true, &j
 	}
@@ -242,7 +284,7 @@ func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
-	nbs := s.backend.Results()
+	nbs := s.backend.Results(wantFresh(r))
 	out := make([]NeighbourhoodJSON, len(nbs))
 	for i, nb := range nbs {
 		out[i] = toJSON(nb)
@@ -251,21 +293,25 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.ckptMu.Lock()
-	ckptCount, ckptBytes := s.ckptCount, s.ckptBytes
-	s.ckptMu.Unlock()
-	spaceWords, snapshotBytes := s.backend.Usage()
+	fresh := wantFresh(r)
+	consistency := "published"
+	if fresh {
+		consistency = "fresh"
+	}
+	spaceWords, snapshotBytes := s.backend.Usage(fresh)
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Engine:          s.backend.Kind(),
+		Consistency:     consistency,
 		Shards:          s.backend.Shards(),
 		Elements:        s.backend.Processed(),
 		QueueDepths:     s.backend.QueueDepths(),
+		ViewEpochs:      s.backend.ViewEpochs(),
 		SpaceWords:      spaceWords,
 		SnapshotBytes:   snapshotBytes,
 		WitnessTarget:   s.backend.WitnessTarget(),
 		UptimeSeconds:   time.Since(s.start).Seconds(),
-		Checkpoints:     ckptCount,
-		CheckpointBytes: ckptBytes,
+		Checkpoints:     s.ckptCount.Load(),
+		CheckpointBytes: s.ckptBytes.Load(),
 	})
 }
 
@@ -302,9 +348,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"service":          "fewwd",
 		"engine":           s.backend.Kind(),
 		"POST /ingest":     "FEWW binary stream body",
-		"GET /best":        "largest witnessed neighbourhood",
-		"GET /results":     "all full-target neighbourhoods",
-		"GET /stats":       "counters and queue depths",
+		"GET /best":        "largest witnessed neighbourhood (?fresh=1 for barrier consistency)",
+		"GET /results":     "all full-target neighbourhoods (?fresh=1 for barrier consistency)",
+		"GET /stats":       "counters, queue depths, view epochs (?fresh=1 for barrier consistency)",
 		"POST /checkpoint": "write snapshot to the checkpoint path",
 		"GET /snapshot":    "stream the snapshot bytes",
 	})

@@ -2,12 +2,14 @@ package server
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"feww"
 	"feww/internal/stream"
@@ -54,7 +56,10 @@ func TestIngestAndQuery(t *testing.T) {
 		t.Fatalf("ingest response %+v, want %d accepted", resp, len(inst.Updates))
 	}
 
-	best, err := cl.Best()
+	// The assertions below demand every accepted update reflected, so they
+	// use the ?fresh=1 barrier consistency; the published path is checked
+	// for agreement right after.
+	best, err := cl.BestFresh()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,8 +69,17 @@ func TestIngestAndQuery(t *testing.T) {
 	if err := inst.Verify(best.Neighbourhood.Vertex, best.Neighbourhood.Witnesses); err != nil {
 		t.Fatal(err)
 	}
+	// The fresh read above took a barrier, so the published epochs now
+	// cover the full stream and the default path must agree.
+	published, err := cl.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !published.Found || published.Neighbourhood.Vertex != best.Neighbourhood.Vertex {
+		t.Fatalf("published /best %+v disagrees with fresh %+v after quiesce", published, best)
+	}
 
-	results, err := cl.Results()
+	results, err := cl.ResultsFresh()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,21 +95,31 @@ func TestIngestAndQuery(t *testing.T) {
 		}
 	}
 
-	stats, err := cl.Stats()
+	stats, err := cl.StatsFresh()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.Engine != "insert-only" || stats.Shards != 4 {
 		t.Fatalf("stats %+v", stats)
 	}
+	if stats.Consistency != "fresh" {
+		t.Fatalf("stats.Consistency = %q, want fresh", stats.Consistency)
+	}
 	if stats.Elements != int64(len(inst.Updates)) {
 		t.Fatalf("stats.Elements = %d, want %d", stats.Elements, len(inst.Updates))
 	}
-	if len(stats.QueueDepths) != 4 {
-		t.Fatalf("stats.QueueDepths = %v, want 4 entries", stats.QueueDepths)
+	if len(stats.QueueDepths) != 4 || len(stats.ViewEpochs) != 4 {
+		t.Fatalf("stats.QueueDepths = %v, ViewEpochs = %v, want 4 entries each", stats.QueueDepths, stats.ViewEpochs)
 	}
 	if stats.SnapshotBytes <= 0 || stats.SpaceWords <= 0 {
 		t.Fatalf("stats sizes not populated: %+v", stats)
+	}
+	pubStats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pubStats.Consistency != "published" {
+		t.Fatalf("stats.Consistency = %q, want published", pubStats.Consistency)
 	}
 }
 
@@ -252,6 +276,110 @@ func TestSnapshotEndpointRoundTrip(t *testing.T) {
 	}
 }
 
+// TestIngestNegativeIDIs400: the FEWW wire format can carry a negative
+// item id (uvarint round-trips the two's-complement bits), which used to
+// reach the shard router and panic the handler via a negative modulo.
+// The engine boundary must turn it into a clean 400 — with the accepted
+// count — and the server must keep serving afterwards.
+func TestIngestNegativeIDIs400(t *testing.T) {
+	_, ts, cl := newInsertServer(t, testEngineCfg(), "")
+
+	var body bytes.Buffer
+	if err := stream.WriteFile(&body, 500, 500, []feww.Update{
+		stream.Ins(1, 2),
+		stream.Ins(-7, 3), // hostile: negative item id on the wire
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/ingest", "application/octet-stream", &body)
+	if err != nil {
+		t.Fatalf("request died instead of returning a status: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative-id stream: HTTP %d, want 400", resp.StatusCode)
+	}
+	var ir IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Error == "" {
+		t.Fatal("400 response carries no error message")
+	}
+	// Chunk atomicity: the bad update shares a chunk with the good one, so
+	// the whole chunk is rejected and nothing was accepted.
+	if ir.Accepted != 0 {
+		t.Fatalf("accepted = %d, want 0 (rejected chunk must not feed)", ir.Accepted)
+	}
+	// The shard workers survived: a valid ingest and a query still work.
+	if _, err := cl.Ingest(500, 500, []feww.Update{stream.Ins(1, 2), stream.Ins(1, 3)}); err != nil {
+		t.Fatalf("server unusable after rejected stream: %v", err)
+	}
+	if _, err := cl.StatsFresh(); err != nil {
+		t.Fatalf("stats unusable after rejected stream: %v", err)
+	}
+}
+
+// TestIngestDuringShutdownIs503: an /ingest racing Backend.Close gets a
+// 503 (retry against the restarted instance), not a panic-killed
+// connection.
+func TestIngestDuringShutdownIs503(t *testing.T) {
+	eng, err := feww.NewEngine(testEngineCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := NewInsertOnlyBackend(eng)
+	srv := New(backend, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := &Client{Base: ts.URL, HTTPClient: ts.Client()}
+
+	backend.Close() // shutdown wins the race
+
+	var body bytes.Buffer
+	if err := stream.WriteFile(&body, 500, 500, []feww.Update{stream.Ins(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/ingest", "application/octet-stream", &body)
+	if err != nil {
+		t.Fatalf("request died instead of returning a status: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest after Close: HTTP %d, want 503", resp.StatusCode)
+	}
+	// Queries stay up on the final published epochs.
+	if _, err := cl.Best(); err != nil {
+		t.Fatalf("query after Close: %v", err)
+	}
+}
+
+// TestStatsNotBlockedByCheckpoint: /stats must answer while a (slow)
+// checkpoint holds the checkpoint mutex — the counters are atomics and
+// the default usage path reads published epochs, so nothing on the stats
+// path may wait behind the disk.
+func TestStatsNotBlockedByCheckpoint(t *testing.T) {
+	srv, ts, cl := newInsertServer(t, testEngineCfg(), "")
+	_ = ts
+
+	srv.ckptMu.Lock() // simulate a checkpoint stuck on a slow disk
+	defer srv.ckptMu.Unlock()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Stats()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("/stats blocked behind the checkpoint lock")
+	}
+}
+
 // TestTurnstileServer drives the turnstile backend end to end: churn
 // stream over HTTP, deletions included, then a query.
 func TestTurnstileServer(t *testing.T) {
@@ -289,7 +417,7 @@ func TestTurnstileServer(t *testing.T) {
 	if stats.Engine != "turnstile" || stats.Elements != int64(len(inst.Updates)) {
 		t.Fatalf("stats %+v", stats)
 	}
-	best, err := cl.Best()
+	best, err := cl.BestFresh()
 	if err != nil {
 		t.Fatal(err)
 	}

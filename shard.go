@@ -3,6 +3,7 @@ package feww
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"feww/internal/core"
 )
@@ -17,11 +18,13 @@ import (
 
 // shard is one partition of the insertion-only Engine; tShard is the
 // turnstile counterpart.  They carry what the query-side merge needs: the
-// residue class, the stride P, and the inner algorithm instance.
+// residue class, the stride P, the inner algorithm instance, and the
+// shard's latest published result epoch.
 type shard struct {
 	idx    int   // residue class this shard owns
 	stride int64 // P, the total shard count
 	inner  *core.InsertOnly
+	view   atomic.Pointer[publishedView]
 }
 
 // local converts a global item id owned by this shard to its local id.
@@ -34,11 +37,23 @@ type tShard struct {
 	idx    int
 	stride int64
 	inner  *core.InsertDelete
+	view   atomic.Pointer[publishedView]
 }
 
 func (sh *tShard) local(a int64) int64 { return a / sh.stride }
 
 func (sh *tShard) global(local int64) int64 { return local*sh.stride + int64(sh.idx) }
+
+// publishedView is one result epoch of one shard: an immutable core.View
+// built by the shard's worker from quiescent state, plus the epoch number
+// (0 for the pre-stream view installed at construction, then incremented
+// on every publication).  The worker is the only writer; any number of
+// goroutines may Load and read it without further synchronisation, which
+// is what makes the engines' default query path barrier-free.
+type publishedView struct {
+	core.View
+	Epoch uint64
+}
 
 // shardCount resolves the configured shard count against the universe size:
 // 0 means "one shard per available CPU", and the count is clamped to N so
@@ -70,17 +85,29 @@ type msg[E any] struct {
 // in exact arrival order and results are deterministic regardless of
 // scheduling.
 //
-// The producer/query side is guarded by mu, so any number of goroutines
-// may feed and query concurrently (a network server's handlers); ingest
-// order — and hence determinism — across concurrent producers is whatever
-// order they win the lock in.  Queries run under the same lock *after* a
-// barrier, which is what makes reading shard state race-free: the workers
-// are quiescent and the ack channel established the happens-before edge.
+// The producer side is guarded by mu, so any number of goroutines may
+// feed concurrently (a network server's handlers); ingest order — and
+// hence determinism — across concurrent producers is whatever order they
+// win the lock in.  Feeding a closed fanout returns ErrClosed.
+//
+// Queries come in two consistencies.  Barrier queries (query) take the
+// lock and quiesce the workers, so the callback may read shard state
+// directly — every element fed before the call is applied.  The default
+// barrier-free path instead reads each shard's published view: after
+// applying batches, a worker rebuilds its immutable result view (via the
+// publish hook) and installs it with an atomic store, so readers never
+// touch the lock, never stall the workers, and never observe a
+// half-applied batch.  Publication coalesces under backlog and is
+// throttled when idle — the view is rebuilt only when the worker's queue
+// momentarily empties and publishMinInterval has passed, or when a
+// barrier demands it — so neither saturation nor a trickle of batches
+// trades ingest throughput for view freshness.
 type fanout[E any] struct {
-	name      string // engine type, for panic messages
+	name      string // engine type, for error messages
 	batchSize int
 	item      func(E) int64 // global item id of an element, for routing
 	apply     []func([]E)   // per shard: apply one batch (global ids)
+	publish   []func()      // per shard: rebuild + atomically install the view
 	chans     []chan msg[E]
 	pending   []*[]E // per-shard fill buffers, owned by the lock holder
 	pool      sync.Pool
@@ -91,12 +118,16 @@ type fanout[E any] struct {
 }
 
 // newFanout builds the skeleton and starts one worker per apply function.
-func newFanout[E any](name string, batchSize, queueDepth int, item func(E) int64, apply []func([]E)) *fanout[E] {
+// publish[i] is invoked by worker i alone, after it has applied batches
+// and found its queue empty (and before acknowledging a barrier), so the
+// hook may read shard i's state without synchronisation.
+func newFanout[E any](name string, batchSize, queueDepth int, item func(E) int64, apply []func([]E), publish []func()) *fanout[E] {
 	f := &fanout[E]{
 		name:      name,
 		batchSize: batchSize,
 		item:      item,
 		apply:     apply,
+		publish:   publish,
 		chans:     make([]chan msg[E], len(apply)),
 		pending:   make([]*[]E, len(apply)),
 	}
@@ -111,40 +142,105 @@ func newFanout[E any](name string, batchSize, queueDepth int, item func(E) int64
 	return f
 }
 
-// run is the worker goroutine for shard i.
+// publishMinInterval throttles idle republication: between barriers a
+// shard rebuilds its result view at most once per interval.  Rebuilding
+// a view costs roughly one full query (for the turnstile engine, an L0
+// recovery pass over every sampler), so publishing after *every* batch
+// would make lightly-loaded ingest pay a query per batch; the throttle
+// caps that at ~20 rebuilds per second per shard while keeping published
+// staleness bounded by the interval.  Barrier publications (before acks,
+// after close) are never throttled — Drain/Snapshot/Fresh reads stay
+// exact.  A variable so the race tests can set it to zero and hammer the
+// publication path.
+var publishMinInterval = 50 * time.Millisecond
+
+// run is the worker goroutine for shard i.  Between applying batches it
+// republishes the shard's result view: when the queue is empty (the
+// worker is about to idle) and the throttle window is open, before
+// acknowledging a barrier (so a barrier implies the published view is
+// exact), and once more after the queue closes (so the final view
+// reflects the complete stream).  If the throttle defers a publication,
+// the worker waits for more work with a deadline and publishes when the
+// window closes, so the published view converges even if no further
+// traffic arrives.  Under sustained backlog the queue never empties and
+// publication is skipped — ingest throughput is never traded for view
+// freshness.
 func (f *fanout[E]) run(i int) {
 	defer f.wg.Done()
-	for m := range f.chans[i] {
+	dirty := false
+	var last time.Time // most recent publication
+	publish := func() {
+		if f.publish[i] != nil {
+			f.publish[i]()
+		}
+		dirty = false
+		last = time.Now()
+	}
+	for {
+		var m msg[E]
+		var ok bool
+		if dirty && len(f.chans[i]) == 0 {
+			// A throttled publication is pending and no work is queued:
+			// wait for more, but only until the throttle window closes.
+			select {
+			case m, ok = <-f.chans[i]:
+			case <-time.After(publishMinInterval - time.Since(last)):
+				publish()
+				continue
+			}
+		} else {
+			m, ok = <-f.chans[i]
+		}
+		if !ok {
+			break
+		}
 		if m.batch != nil {
 			f.apply[i](*m.batch)
 			*m.batch = (*m.batch)[:0]
 			f.pool.Put(m.batch)
+			dirty = true
 		}
 		if m.ack != nil {
+			if dirty {
+				publish()
+			}
 			close(m.ack)
 		}
+		if dirty && len(f.chans[i]) == 0 && time.Since(last) >= publishMinInterval {
+			publish()
+		}
+	}
+	if dirty {
+		publish()
 	}
 }
 
 // add routes one element; addBatch routes a slice (copying it into the
 // per-shard buffers, so the caller keeps ownership).  Full buffers are
-// handed to the owning worker.
-func (f *fanout[E]) add(el E) {
+// handed to the owning worker.  Both return ErrClosed — without feeding
+// anything — once close has run, so a server draining towards shutdown
+// can turn an in-flight ingest into a clean error instead of a panic.
+func (f *fanout[E]) add(el E) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.mustBeOpen()
+	if f.closed {
+		return ErrClosed
+	}
 	f.count.Add(1)
 	i := int(f.item(el) % int64(len(f.chans)))
 	*f.pending[i] = append(*f.pending[i], el)
 	if len(*f.pending[i]) >= f.batchSize {
 		f.dispatch(i)
 	}
+	return nil
 }
 
-func (f *fanout[E]) addBatch(els []E) {
+func (f *fanout[E]) addBatch(els []E) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.mustBeOpen()
+	if f.closed {
+		return ErrClosed
+	}
 	f.count.Add(int64(len(els)))
 	p := int64(len(f.chans))
 	for _, el := range els {
@@ -154,6 +250,7 @@ func (f *fanout[E]) addBatch(els []E) {
 			f.dispatch(i)
 		}
 	}
+	return nil
 }
 
 // dispatch hands shard i's fill buffer to its queue and installs a fresh
@@ -175,11 +272,14 @@ func (f *fanout[E]) newBuf() *[]E {
 }
 
 // flush hands every buffered element to its shard queue without waiting.
-func (f *fanout[E]) flush() {
+func (f *fanout[E]) flush() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.mustBeOpen()
+	if f.closed {
+		return ErrClosed
+	}
 	f.flushLocked()
+	return nil
 }
 
 func (f *fanout[E]) flushLocked() {
@@ -189,12 +289,16 @@ func (f *fanout[E]) flushLocked() {
 }
 
 // drain flushes and blocks until every worker has applied everything
-// queued so far.
-func (f *fanout[E]) drain() {
+// queued so far.  After Close it returns ErrClosed: the workers have
+// drained and stopped, so there is nothing left to wait for.
+func (f *fanout[E]) drain() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.mustBeOpen()
+	if f.closed {
+		return ErrClosed
+	}
 	f.barrierLocked()
+	return nil
 }
 
 // query runs fn after a barrier, holding the lock throughout, so fn may
@@ -256,10 +360,4 @@ func (f *fanout[E]) queueDepths() []int {
 		depths[i] = len(ch)
 	}
 	return depths
-}
-
-func (f *fanout[E]) mustBeOpen() {
-	if f.closed {
-		panic("feww: " + f.name + " used after Close")
-	}
 }

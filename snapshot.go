@@ -31,6 +31,12 @@ var engineSnapMagic = [8]byte{'F', 'E', 'W', 'W', 'E', 'N', 'G', '1'}
 const (
 	engineKindInsertOnly = 0
 	engineKindTurnstile  = 1
+
+	// Container header sizes: magic + kind byte + the fixed uint64 fields
+	// each Snapshot writes before the per-shard payloads.  Usage and
+	// UsageFresh must agree with Snapshot on these.
+	engineSnapHeaderBytes    = 8 + 1 + 9*8
+	turnstileSnapHeaderBytes = 8 + 1 + 11*8
 )
 
 // Snapshot writes the engine's complete state to w: resolved
@@ -70,18 +76,19 @@ func (e *Engine) Snapshot(w io.Writer) error {
 	return err
 }
 
-// SnapshotSize returns the exact byte length Snapshot would write.
+// SnapshotSize returns the exact byte length Snapshot would write, under
+// the same quiesce Snapshot itself takes.
 func (e *Engine) SnapshotSize() int {
-	_, size := e.Usage()
+	_, size := e.UsageFresh()
 	return size
 }
 
-// Usage reports SpaceWords and SnapshotSize together under a single
-// quiesce — what a periodic stats poll should call, so monitoring costs
-// one barrier per poll instead of two.
-func (e *Engine) Usage() (spaceWords, snapshotBytes int) {
+// UsageFresh reports SpaceWords and SnapshotSize together under a single
+// quiesce — exact at the barrier, at the cost of stalling ingest once.
+// Periodic stats polls should prefer the barrier-free Usage.
+func (e *Engine) UsageFresh() (spaceWords, snapshotBytes int) {
 	e.f.query(func() {
-		snapshotBytes = 8 + 1 + 9*8
+		snapshotBytes = engineSnapHeaderBytes
 		for _, sh := range e.shards {
 			spaceWords += sh.inner.SpaceWords()
 			snapshotBytes += 8 + sh.inner.SnapshotSize()
@@ -187,17 +194,18 @@ func (e *TurnstileEngine) Snapshot(w io.Writer) error {
 	return err
 }
 
-// SnapshotSize returns the exact byte length Snapshot would write.
+// SnapshotSize returns the exact byte length Snapshot would write, under
+// the same quiesce Snapshot itself takes.
 func (e *TurnstileEngine) SnapshotSize() int {
-	_, size := e.Usage()
+	_, size := e.UsageFresh()
 	return size
 }
 
-// Usage reports SpaceWords and SnapshotSize together under a single
-// quiesce; see (*Engine).Usage.
-func (e *TurnstileEngine) Usage() (spaceWords, snapshotBytes int) {
+// UsageFresh reports SpaceWords and SnapshotSize together under a single
+// quiesce; see (*Engine).UsageFresh.
+func (e *TurnstileEngine) UsageFresh() (spaceWords, snapshotBytes int) {
 	e.f.query(func() {
-		snapshotBytes = 8 + 1 + 11*8
+		snapshotBytes = turnstileSnapHeaderBytes
 		for _, sh := range e.shards {
 			spaceWords += sh.inner.SpaceWords()
 			snapshotBytes += 8 + sh.inner.SnapshotSize()
