@@ -1,0 +1,69 @@
+// Package cluster turns N independent fewwd nodes into one logical FEwW
+// engine: a scatter-gather gateway over a static contiguous partition of
+// the item universe.
+//
+// The paper (conf_pods_Konrad21) proves its algorithms admit one-way
+// communication protocols: the complete memory state of a party is a
+// message the next party can resume from.  PR 2 made that operational on
+// one node (GET /snapshot, checkpoint/restore); this package uses the
+// same property across nodes.  FEwW state over a sub-universe is
+// self-contained, so the A-universe [0, n) can be cut into contiguous
+// ranges, each served by its own fewwd whose engine covers exactly that
+// range (items remapped to range-local ids), and
+//
+//   - ingest is routing: a mixed batch splits by item id into per-range
+//     sub-batches, each preserving the stream order of its items;
+//   - queries are merging: ranges are disjoint, so /results is a pure
+//     concatenation (sorted by global id), /best a max-select, and space
+//     and usage numbers sum — exactly the merge the engine already
+//     performs across its in-process shards, lifted one tier up;
+//   - rebalance is messaging: moving a range to a new node ships the
+//     donor's snapshot bytes into the recipient's restore path, and the
+//     gateway repoints the range when the recipient confirms the state.
+//
+// The gateway mirrors the fewwd endpoint surface (ingest, best, results,
+// stats, healthz, checkpoint), so clients — including server.Client and
+// cmd/fewwload — talk to a cluster exactly as they talk to a node.  The
+// ?fresh=1 consistency opt-in fans out to the members' strict-barrier
+// path; the default reads their barrier-free published views.
+package cluster
+
+import "fmt"
+
+// Range is a contiguous slice [Lo, Hi) of the cluster's item universe,
+// served by one member node.  The member's engine covers [0, Hi-Lo); the
+// gateway translates between global and range-local ids at the boundary.
+type Range struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+}
+
+// Len returns the number of items in the range.
+func (r Range) Len() int64 { return r.Hi - r.Lo }
+
+// Contains reports whether global item a falls in the range.
+func (r Range) Contains(a int64) bool { return a >= r.Lo && a < r.Hi }
+
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// Split cuts [0, n) into k contiguous ranges whose lengths are
+// ceil((n-j)/k) for j = 0..k-1 — the same sizing rule the engine applies
+// to its in-process shards, so the first n mod k ranges are one item
+// longer and every range is non-empty whenever k <= n.  Node j of a
+// bootstrap should therefore run with -n equal to Split(n, k)[j].Len().
+func Split(n int64, k int) []Range {
+	if n < 1 || k < 1 {
+		panic("cluster: Split with n < 1 or k < 1")
+	}
+	if int64(k) > n {
+		k = int(n)
+	}
+	out := make([]Range, k)
+	lo := int64(0)
+	for j := range out {
+		length := (n - int64(j) + int64(k) - 1) / int64(k)
+		out[j] = Range{Lo: lo, Hi: lo + length}
+		lo += length
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"feww"
+	"feww/server"
+)
+
+func TestSplit(t *testing.T) {
+	for _, tc := range []struct {
+		n    int64
+		k    int
+		want []Range
+	}{
+		{n: 9, k: 3, want: []Range{{0, 3}, {3, 6}, {6, 9}}},
+		{n: 10, k: 3, want: []Range{{0, 4}, {4, 7}, {7, 10}}},
+		{n: 11, k: 3, want: []Range{{0, 4}, {4, 8}, {8, 11}}},
+		{n: 5, k: 1, want: []Range{{0, 5}}},
+		{n: 2, k: 5, want: []Range{{0, 1}, {1, 2}}}, // k clamped to n
+	} {
+		got := Split(tc.n, tc.k)
+		if len(got) != len(tc.want) {
+			t.Fatalf("Split(%d, %d) = %v, want %v", tc.n, tc.k, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Split(%d, %d)[%d] = %v, want %v", tc.n, tc.k, i, got[i], tc.want[i])
+			}
+		}
+		// The split always covers [0, n) exactly.
+		if got[0].Lo != 0 || got[len(got)-1].Hi != tc.n {
+			t.Errorf("Split(%d, %d) does not cover the universe: %v", tc.n, tc.k, got)
+		}
+	}
+}
+
+func TestMemberFor(t *testing.T) {
+	g := &Gateway{}
+	for _, rng := range []Range{{0, 4}, {4, 7}, {7, 10}} {
+		g.members = append(g.members, &member{rng: rng})
+	}
+	for a, want := range map[int64]int{0: 0, 3: 0, 4: 1, 6: 1, 7: 2, 9: 2} {
+		if got := g.memberFor(a); got != want {
+			t.Errorf("memberFor(%d) = %d, want %d", a, got, want)
+		}
+	}
+}
+
+func TestMergeBestTieBreak(t *testing.T) {
+	nb := func(v int64, size int) server.BestResponse {
+		ws := make([]int64, size)
+		return server.BestResponse{Found: true, Neighbourhood: &server.NeighbourhoodJSON{Vertex: v, Size: size, Witnesses: ws}}
+	}
+	// Larger size wins regardless of order.
+	got := mergeBest(5, []server.BestResponse{nb(1, 3), nb(9, 7), nb(4, 6)})
+	if got.Neighbourhood.Vertex != 9 {
+		t.Errorf("size merge picked vertex %d, want 9", got.Neighbourhood.Vertex)
+	}
+	// Ties break toward the smaller vertex id, independent of position.
+	got = mergeBest(5, []server.BestResponse{nb(8, 4), nb(2, 4), nb(5, 4)})
+	if got.Neighbourhood.Vertex != 2 {
+		t.Errorf("tie merge picked vertex %d, want 2", got.Neighbourhood.Vertex)
+	}
+	if got.WitnessTarget != 5 {
+		t.Errorf("merge dropped the witness target: %d", got.WitnessTarget)
+	}
+	// Nothing found anywhere.
+	got = mergeBest(5, []server.BestResponse{{}, {}})
+	if got.Found {
+		t.Error("merge of empty bests reports found")
+	}
+}
+
+// node is one in-process fewwd member: engine + server + listener.
+type node struct {
+	backend server.Backend
+	srv     *server.Server
+	ts      *httptest.Server
+	ckpt    string
+}
+
+func (nd *node) close() {
+	nd.ts.Close()
+	nd.backend.Close()
+}
+
+// startNode serves a backend over an httptest listener with a checkpoint
+// path under dir.
+func startNode(t *testing.T, b server.Backend, dir string, idx int) *node {
+	t.Helper()
+	ckpt := filepath.Join(dir, "node"+strconv.Itoa(idx)+".ckpt")
+	srv := server.New(b, server.Config{CheckpointPath: ckpt})
+	ts := httptest.NewServer(srv.Handler())
+	nd := &node{backend: b, srv: srv, ts: ts, ckpt: ckpt}
+	t.Cleanup(nd.close)
+	return nd
+}
+
+// startInsertCluster boots one full-universe reference node plus k range
+// members and a gateway over them, all insert-only.  Per-member seeds and
+// shard counts deliberately differ from the reference: in the
+// deterministic regime (alpha = 1) the results must not depend on them.
+func startInsertCluster(t *testing.T, n int64, k int, d int64) (ref *node, gw *httptest.Server, nodes []*node) {
+	t.Helper()
+	dir := t.TempDir()
+	refEng, err := feww.NewEngine(feww.EngineConfig{
+		Config: feww.Config{N: n, D: d, Alpha: 1, Seed: 42},
+		Shards: 4, BatchSize: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref = startNode(t, server.NewInsertOnlyBackend(refEng), dir, 99)
+
+	urls := make([]string, k)
+	for j, rng := range Split(n, k) {
+		eng, err := feww.NewEngine(feww.EngineConfig{
+			Config: feww.Config{N: rng.Len(), D: d, Alpha: 1, Seed: uint64(7 + j)},
+			Shards: j + 1, BatchSize: 16 + j,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd := startNode(t, server.NewInsertOnlyBackend(eng), dir, j)
+		nodes = append(nodes, nd)
+		urls[j] = nd.ts.URL
+	}
+	g, err := New(Config{Members: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref, serveGateway(t, g), nodes
+}
+
+// serveGateway mounts a gateway on an httptest listener.
+func serveGateway(t *testing.T, g *Gateway) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// get fetches a URL and returns the raw body, failing the test on a
+// transport error or unexpected status.
+func get(t *testing.T, url string, wantCode int) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: HTTP %d (want %d): %s", url, resp.StatusCode, wantCode, body)
+	}
+	return body
+}

@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"testing"
+
+	"feww"
+	"feww/internal/stream"
+	"feww/server"
+)
+
+// The equivalence tests pin the cluster's central correctness claim: a
+// gateway over k range members answers fresh queries byte-identically to
+// one fewwd node running a single engine over the whole universe — at
+// the raw HTTP level, same response bytes for the same stream bytes.
+//
+// Byte-identity across *different* partitions (the members run different
+// seeds and shard counts than the reference on purpose) holds because the
+// streams below keep every instance in the deterministic regime, where
+// the answer depends only on each item's own sub-stream:
+//
+//   - Insert-only with alpha = 1: the reservoir size s = ceil(n ln n) is
+//     at least the instance universe, so every candidate is admitted and
+//     none evicted — no randomness touches the result, and an item's
+//     witnesses are the first ceil(d/alpha) of its own sub-stream, which
+//     ingest routing preserves per item no matter where range boundaries
+//     fall.
+//   - Turnstile with every vertex in the sampled set (small universes
+//     clamp the vertex sample to everything) and the planted vertex
+//     holding *exactly* d2 live witnesses: any battery that certifies it
+//     must report all d2 of them, sorted — the same bytes under any seed.
+//
+// Outside this regime the reservoir and sampler randomness is
+// partition-dependent and cluster answers are equivalent in distribution
+// but not bitwise; docs/ARCHITECTURE.md states that boundary.
+
+func ins(a, b int64) feww.Update { return feww.Update{Edge: feww.Edge{A: a, B: b}, Op: feww.Insert} }
+func del(a, b int64) feww.Update { return feww.Update{Edge: feww.Edge{A: a, B: b}, Op: feww.Delete} }
+
+// interleavedInserts builds an insertion stream: each vertex v receives
+// degs[v] edges with distinct witnesses, emitted round-robin across the
+// vertices in ascending id order — so every vertex's edges are spread
+// through the whole stream and each /ingest request mixes all ranges.
+func interleavedInserts(degs map[int64]int) []feww.Update {
+	vs := make([]int64, 0, len(degs))
+	for v := range degs {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	var out []feww.Update
+	for k := 0; ; k++ {
+		emitted := false
+		for _, v := range vs {
+			if k < degs[v] {
+				out = append(out, ins(v, v*1009+int64(k)))
+				emitted = true
+			}
+		}
+		if !emitted {
+			return out
+		}
+	}
+}
+
+// postStream sends one encoded FEWW stream to url's /ingest and fails the
+// test on any error.
+func postStream(t *testing.T, url string, n, m int64, ups []feww.Update) {
+	t.Helper()
+	var body bytes.Buffer
+	if err := stream.WriteFile(&body, n, m, ups); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/ingest", "application/octet-stream", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s/ingest: HTTP %d", url, resp.StatusCode)
+	}
+}
+
+// freshEqual asserts that the reference node and the gateway return
+// byte-identical bodies for path?fresh=1, returning the shared bytes.
+func freshEqual(t *testing.T, ref, gw *httptestURL, path string) []byte {
+	t.Helper()
+	want := get(t, ref.url+path+"?fresh=1", http.StatusOK)
+	got := get(t, gw.url+path+"?fresh=1", http.StatusOK)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("%s?fresh=1 diverged\nsingle engine: %s\ncluster:       %s", path, want, got)
+	}
+	return got
+}
+
+// httptestURL lets freshEqual take either a node or a gateway server.
+type httptestURL struct{ url string }
+
+func TestClusterInsertOnlyEquivalence(t *testing.T) {
+	const n, d = 300, 12
+
+	t.Run("unique-best", func(t *testing.T) {
+		ref, gw, _ := startInsertCluster(t, n, 3, d)
+		// One vertex past the threshold (witnesses cap at d), two partial
+		// collectors with distinct sizes, background noise in every range.
+		ups := interleavedInserts(map[int64]int{
+			25: 40, 130: 11, 270: 9,
+			3: 2, 55: 2, 160: 2, 201: 2, 299: 2,
+		})
+		postStream(t, ref.ts.URL, n, 1<<20, ups)
+		postStream(t, gw.URL, n, 1<<20, ups)
+
+		body := freshEqual(t, &httptestURL{ref.ts.URL}, &httptestURL{gw.URL}, "/best")
+		var best server.BestResponse
+		if err := json.Unmarshal(body, &best); err != nil {
+			t.Fatal(err)
+		}
+		if !best.Found || best.Neighbourhood.Vertex != 25 || best.Neighbourhood.Size != d {
+			t.Fatalf("best = %s, want vertex 25 at size %d", body, d)
+		}
+		freshEqual(t, &httptestURL{ref.ts.URL}, &httptestURL{gw.URL}, "/results")
+	})
+
+	t.Run("multi-heavy-results", func(t *testing.T) {
+		ref, gw, _ := startInsertCluster(t, n, 3, d)
+		// Four vertices over the threshold spread across all three ranges:
+		// the merged /results must carry all of them in global id order.
+		ups := interleavedInserts(map[int64]int{
+			10: 20, 40: 13, 110: 30, 250: 14,
+			7: 3, 90: 3, 140: 3, 205: 3, 280: 3,
+		})
+		// Split the stream over several requests so the gateway's
+		// range-splitting of mixed batches is exercised more than once.
+		for lo := 0; lo < len(ups); lo += 29 {
+			hi := min(lo+29, len(ups))
+			postStream(t, ref.ts.URL, n, 1<<20, ups[lo:hi])
+			postStream(t, gw.URL, n, 1<<20, ups[lo:hi])
+		}
+
+		body := freshEqual(t, &httptestURL{ref.ts.URL}, &httptestURL{gw.URL}, "/results")
+		var nbs []server.NeighbourhoodJSON
+		if err := json.Unmarshal(body, &nbs); err != nil {
+			t.Fatal(err)
+		}
+		if len(nbs) != 4 {
+			t.Fatalf("results = %s, want the 4 planted heavy vertices", body)
+		}
+		for i, want := range []int64{10, 40, 110, 250} {
+			if nbs[i].Vertex != want || nbs[i].Size != d {
+				t.Errorf("results[%d] = vertex %d size %d, want vertex %d size %d",
+					i, nbs[i].Vertex, nbs[i].Size, want, d)
+			}
+		}
+	})
+}
+
+func TestClusterTurnstileEquivalence(t *testing.T) {
+	const (
+		n     = 48
+		m     = 128
+		d     = 4
+		scale = 0.3
+	)
+
+	dir := t.TempDir()
+	refEng, err := feww.NewTurnstileEngine(feww.TurnstileEngineConfig{
+		TurnstileConfig: feww.TurnstileConfig{N: n, M: m, D: d, Alpha: 1, Seed: 42, ScaleFactor: scale},
+		Shards:          2, BatchSize: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := startNode(t, server.NewTurnstileBackend(refEng), dir, 99)
+
+	ranges := Split(n, 3)
+	urls := make([]string, len(ranges))
+	for j, rng := range ranges {
+		eng, err := feww.NewTurnstileEngine(feww.TurnstileEngineConfig{
+			TurnstileConfig: feww.TurnstileConfig{N: rng.Len(), M: m, D: d, Alpha: 1, Seed: uint64(7 + j), ScaleFactor: scale},
+			Shards:          1, BatchSize: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		urls[j] = startNode(t, server.NewTurnstileBackend(eng), dir, j).ts.URL
+	}
+	g, err := New(Config{Members: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := serveGateway(t, g)
+
+	// The planted vertex holds exactly d live witnesses at the end, so any
+	// instance that certifies it must report exactly this set (sorted).
+	// Everything else stays strictly below d live witnesses, and the churn
+	// pairs cancel inside the linear sketches.
+	heavy, heavyWitnesses := int64(25), []int64{3, 50, 77, 120}
+	var ups []feww.Update
+	for k, b := range heavyWitnesses {
+		ups = append(ups, ins(heavy, b))
+		// Interleave noise between the heavy edges: three live witnesses
+		// per noise vertex, spread across all ranges.
+		for _, v := range []int64{1, 8, 17, 30, 40, 47} {
+			if k < 3 {
+				ups = append(ups, ins(v, (v*7+int64(k))%m))
+			}
+		}
+	}
+	// Churn: inserted then deleted, net zero in every sketch.
+	for _, v := range []int64{5, 20, 36} {
+		ups = append(ups, ins(v, v+60), ins(v, v+70))
+	}
+	for _, v := range []int64{5, 20, 36} {
+		ups = append(ups, del(v, v+60), del(v, v+70))
+	}
+
+	postStream(t, ref.ts.URL, n, m, ups)
+	postStream(t, gw.URL, n, m, ups)
+
+	body := freshEqual(t, &httptestURL{ref.ts.URL}, &httptestURL{gw.URL}, "/best")
+	var best server.BestResponse
+	if err := json.Unmarshal(body, &best); err != nil {
+		t.Fatal(err)
+	}
+	if !best.Found || best.Neighbourhood.Vertex != heavy {
+		t.Fatalf("best = %s, want the planted vertex %d", body, heavy)
+	}
+	if got := best.Neighbourhood.Witnesses; len(got) != len(heavyWitnesses) {
+		t.Fatalf("best witnesses = %v, want exactly %v", got, heavyWitnesses)
+	} else {
+		for i := range got {
+			if got[i] != heavyWitnesses[i] {
+				t.Fatalf("best witnesses = %v, want exactly %v", got, heavyWitnesses)
+			}
+		}
+	}
+	freshEqual(t, &httptestURL{ref.ts.URL}, &httptestURL{gw.URL}, "/results")
+}

@@ -1,0 +1,711 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"feww"
+	"feww/internal/stream"
+	"feww/server"
+)
+
+// Config parameterises a Gateway.
+type Config struct {
+	// Members lists the fewwd base URLs in range order: member j serves
+	// the j-th contiguous range of the item universe, whose length is
+	// discovered from the member's /healthz at construction.
+	Members []string
+	// MemberTimeout bounds each member request end to end (default 30s;
+	// negative disables the deadline).  One slow node then fails its slice
+	// of a scatter-gather instead of wedging the whole fan-out.
+	MemberTimeout time.Duration
+	// MaxBodyBytes caps an /ingest request body; 0 means 256 MiB.  The
+	// default is smaller than a node's (1 GiB) because the gateway's
+	// all-or-nothing contract buffers the request *decoded* — roughly
+	// 3-4x the varint-encoded size — before anything is forwarded.
+	// Producers should chunk large replays into multiple requests, as
+	// cmd/fewwload does.
+	MaxBodyBytes int64
+}
+
+// member is one node of the cluster: an immutable range plus the client
+// currently serving it.
+type member struct {
+	rng Range
+	// ingestMu serialises ingest for the range against rebalance: ingest
+	// holds it shared, rebalance exclusively — so no update can land on a
+	// donor after its snapshot is cut.  Queries do not take it: they keep
+	// answering from whichever node currently serves the range (the donor,
+	// until the repoint), so a rebalance shipping a large snapshot never
+	// blocks reads.
+	ingestMu sync.RWMutex
+	// clMu guards the client pointer, which rebalance swaps at repoint.
+	clMu sync.RWMutex
+	cl   *server.Client
+}
+
+// client returns the client currently serving the member's range.
+func (m *member) client() *server.Client {
+	m.clMu.RLock()
+	defer m.clMu.RUnlock()
+	return m.cl
+}
+
+// setClient repoints the range to a new node.
+func (m *member) setClient(cl *server.Client) {
+	m.clMu.Lock()
+	defer m.clMu.Unlock()
+	m.cl = cl
+}
+
+// Gateway is the cluster front-end: one logical FEwW engine over the
+// member nodes.  It is an http.Handler factory (Handler) mirroring the
+// fewwd endpoint surface, plus a rebalance operation for moving ranges
+// between nodes.  All handlers are safe for concurrent use.
+type Gateway struct {
+	cfg    Config
+	kind   string // members' engine kind: "insert-only" or "turnstile"
+	n      int64  // total item universe: sum of member ranges
+	m      int64  // witness universe (turnstile members; 0 otherwise)
+	target int64  // ceil(D/Alpha), identical on every member
+
+	members []*member
+	mux     *http.ServeMux
+	start   time.Time
+
+	// rebalanceMu serialises rebalance operations gateway-wide: the
+	// duplicate-target guard scans current membership, so two concurrent
+	// moves of *different* ranges onto the same fresh node would both
+	// pass it and the second restore would destroy the first range's
+	// state.  Rebalances are rare admin operations; serialising them is
+	// free.
+	rebalanceMu sync.Mutex
+}
+
+// New builds a gateway over the configured members, probing each node's
+// /healthz to discover its universe size and verify the cluster is
+// coherent: every member must serve the same engine kind with the same
+// witness target (and, for turnstile engines, the same witness universe
+// m).  Member j's range is [sum of earlier sizes, + its own size).  A
+// member that is down or draining fails construction — callers that want
+// to wait for a bootstrapping cluster retry New (see cmd/fewwgate -wait).
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Members) == 0 {
+		return nil, errors.New("cluster: no members configured")
+	}
+	if cfg.MemberTimeout == 0 {
+		cfg.MemberTimeout = 30 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 256 << 20
+	}
+	g := &Gateway{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
+	lo := int64(0)
+	for j, url := range cfg.Members {
+		cl := g.newClient(url)
+		h, err := cl.Health()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: member %d (%s): %w", j, url, err)
+		}
+		if !h.Serving {
+			return nil, fmt.Errorf("cluster: member %d (%s) is draining", j, url)
+		}
+		if j == 0 {
+			g.kind, g.m, g.target = h.Engine, h.M, h.WitnessTarget
+		} else if h.Engine != g.kind || h.M != g.m || h.WitnessTarget != g.target {
+			return nil, fmt.Errorf("cluster: member %d (%s) is incoherent: engine %s m %d target %d, cluster has engine %s m %d target %d",
+				j, url, h.Engine, h.M, h.WitnessTarget, g.kind, g.m, g.target)
+		}
+		g.members = append(g.members, &member{rng: Range{Lo: lo, Hi: lo + h.N}, cl: cl})
+		lo += h.N
+	}
+	g.n = lo
+	g.mux.HandleFunc("POST /ingest", g.handleIngest)
+	g.mux.HandleFunc("GET /best", g.handleBest)
+	g.mux.HandleFunc("GET /results", g.handleResults)
+	g.mux.HandleFunc("GET /stats", g.handleStats)
+	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.mux.HandleFunc("POST /checkpoint", g.handleCheckpoint)
+	g.mux.HandleFunc("POST /rebalance", g.handleRebalance)
+	g.mux.HandleFunc("GET /{$}", g.handleIndex)
+	return g, nil
+}
+
+func (g *Gateway) newClient(url string) *server.Client {
+	timeout := g.cfg.MemberTimeout
+	if timeout < 0 {
+		timeout = 0
+	}
+	return &server.Client{Base: url, Timeout: timeout}
+}
+
+// Handler returns the HTTP handler serving every gateway endpoint.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Universe returns the total item universe [0, n) and the witness
+// universe m (0 for insert-only clusters).
+func (g *Gateway) Universe() (n, m int64) { return g.n, g.m }
+
+// Kind returns the members' engine kind.
+func (g *Gateway) Kind() string { return g.kind }
+
+// Ranges returns the static range partition in member order.
+func (g *Gateway) Ranges() []Range {
+	out := make([]Range, len(g.members))
+	for i, m := range g.members {
+		out[i] = m.rng
+	}
+	return out
+}
+
+// memberFor returns the index of the member whose range holds global
+// item a.  Ranges are contiguous and ascending, so this is a binary
+// search over the lower bounds.
+func (g *Gateway) memberFor(a int64) int {
+	lo, hi := 0, len(g.members)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if g.members[mid].rng.Lo <= a {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// scatter runs fn against every member concurrently with the client
+// currently serving its range, and returns the per-member errors.  It
+// takes no locks beyond the client-pointer read, so queries proceed even
+// while a rebalance is shipping that member's state.
+func (g *Gateway) scatter(fn func(i int, rng Range, cl *server.Client) error) []error {
+	errs := make([]error, len(g.members))
+	var wg sync.WaitGroup
+	for i, m := range g.members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			errs[i] = fn(i, m.rng, m.client())
+		}(i, m)
+	}
+	wg.Wait()
+	return errs
+}
+
+// firstError joins per-member errors into one message naming the members
+// at fault (by the URL currently serving each range), or returns nil.
+func (g *Gateway) firstError(errs []error) error {
+	var msgs []string
+	for i, err := range errs {
+		if err != nil {
+			msgs = append(msgs, fmt.Sprintf("member %d (%s): %v", i, g.memberURL(i), err))
+		}
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	msg := msgs[0]
+	for _, m := range msgs[1:] {
+		msg += "; " + m
+	}
+	return errors.New(msg)
+}
+
+// wantFresh mirrors the server's ?fresh=1 opt-in.
+func wantFresh(r *http.Request) bool {
+	fresh, err := strconv.ParseBool(r.URL.Query().Get("fresh"))
+	return err == nil && fresh
+}
+
+// handleIngest accepts a FEWW binary stream over the full universe,
+// validates it whole, splits it by range, and forwards each sub-stream
+// (items remapped to range-local ids, order preserved) to its member.
+//
+// The engine's all-or-nothing boundary contract (PR 3) holds at the
+// gateway boundary: the entire request is decoded and validated before a
+// single update is forwarded, so a malformed stream, an out-of-universe
+// id, or a deletion sent to an insert-only cluster is rejected with HTTP
+// 400 and no member sees anything.  A member failure mid-fan-out is
+// reported as HTTP 502 with the accepted count — sub-streams forwarded
+// to healthy members were genuinely applied (ranges are independent
+// engines; there is no cross-range state to un-apply).
+func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	sc, err := stream.NewScanner(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, server.IngestResponse{Error: err.Error()})
+		return
+	}
+	per := make([][]feww.Update, len(g.members))
+	i := 0
+	for sc.Scan() {
+		u := sc.Update()
+		if err := g.checkUpdate(i, u); err != nil {
+			writeJSON(w, http.StatusBadRequest, server.IngestResponse{Error: err.Error()})
+			return
+		}
+		j := g.memberFor(u.A)
+		u.A -= g.members[j].rng.Lo
+		per[j] = append(per[j], u)
+		i++
+	}
+	if err := sc.Err(); err != nil {
+		writeJSON(w, http.StatusBadRequest, server.IngestResponse{Error: err.Error()})
+		return
+	}
+
+	// Forward every sub-stream concurrently.  Members with no updates in
+	// this request still get an empty stream: the response's Total then
+	// reflects the whole cluster, and a dead member surfaces here rather
+	// than silently once traffic reaches its range.
+	headerM := g.m
+	if headerM == 0 {
+		headerM = sc.M()
+	}
+	resps := make([]server.IngestResponse, len(g.members))
+	errs := make([]error, len(g.members))
+	var wg sync.WaitGroup
+	for j, m := range g.members {
+		wg.Add(1)
+		go func(j int, m *member) {
+			defer wg.Done()
+			// The shared ingest lock orders this request against any
+			// concurrent rebalance of the range: either it lands on the
+			// donor before the snapshot is cut, or on the new node after
+			// the repoint — never in between.
+			m.ingestMu.RLock()
+			defer m.ingestMu.RUnlock()
+			resps[j], errs[j] = m.client().Ingest(m.rng.Len(), headerM, per[j])
+		}(j, m)
+	}
+	wg.Wait()
+	var out server.IngestResponse
+	for _, resp := range resps {
+		out.Accepted += resp.Accepted
+		out.Total += resp.Total
+	}
+	if err := g.firstError(errs); err != nil {
+		out.Error = err.Error()
+		writeJSON(w, http.StatusBadGateway, out)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// checkUpdate validates one decoded update against the cluster universe
+// and engine kind, mirroring the engine's own boundary checks so nothing
+// invalid is ever forwarded.
+func (g *Gateway) checkUpdate(i int, u feww.Update) error {
+	if u.A < 0 || u.A >= g.n {
+		return fmt.Errorf("%w: update %d: item %d not in [0, %d)", feww.ErrOutOfUniverse, i, u.A, g.n)
+	}
+	if u.B < 0 {
+		return fmt.Errorf("%w: update %d: witness %d is negative", feww.ErrOutOfUniverse, i, u.B)
+	}
+	if g.kind == "turnstile" {
+		if u.B >= g.m {
+			return fmt.Errorf("%w: update %d: witness %d not in [0, %d)", feww.ErrOutOfUniverse, i, u.B, g.m)
+		}
+	} else if u.Op != feww.Insert {
+		return fmt.Errorf("update %d: %v: insert-only cluster cannot apply deletions (run the members in turnstile mode)", i, u)
+	}
+	return nil
+}
+
+func (g *Gateway) handleBest(w http.ResponseWriter, r *http.Request) {
+	fresh := wantFresh(r)
+	bests := make([]server.BestResponse, len(g.members))
+	errs := g.scatter(func(j int, rng Range, cl *server.Client) error {
+		var (
+			b   server.BestResponse
+			err error
+		)
+		if fresh {
+			b, err = cl.BestFresh()
+		} else {
+			b, err = cl.Best()
+		}
+		bests[j] = remapBest(b, rng.Lo)
+		return err
+	})
+	if err := g.firstError(errs); err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeJSON(w, http.StatusOK, mergeBest(g.target, bests))
+}
+
+func (g *Gateway) handleResults(w http.ResponseWriter, r *http.Request) {
+	fresh := wantFresh(r)
+	lists := make([][]server.NeighbourhoodJSON, len(g.members))
+	errs := g.scatter(func(j int, rng Range, cl *server.Client) error {
+		var (
+			nbs []server.NeighbourhoodJSON
+			err error
+		)
+		if fresh {
+			nbs, err = cl.ResultsFresh()
+		} else {
+			nbs, err = cl.Results()
+		}
+		lists[j] = remapResults(nbs, rng.Lo)
+		return err
+	})
+	if err := g.firstError(errs); err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeJSON(w, http.StatusOK, mergeResults(lists))
+}
+
+// MemberStats is one member's slice of the cluster /stats payload.
+type MemberStats struct {
+	URL   string                `json:"url"`
+	Range Range                 `json:"range"`
+	Error string                `json:"error,omitempty"`
+	Stats *server.StatsResponse `json:"stats,omitempty"`
+}
+
+// StatsResponse is the cluster /stats payload: the members' numbers
+// summed (the same merge the engine applies across shards) plus the
+// per-member breakdown.  The summed field names match the node payload,
+// so a client that understands fewwd /stats can read the aggregate.
+type StatsResponse struct {
+	Service       string        `json:"service"`
+	Engine        string        `json:"engine"`
+	Consistency   string        `json:"consistency"`
+	Members       int           `json:"members"`
+	Degraded      bool          `json:"degraded"`
+	N             int64         `json:"n"`
+	M             int64         `json:"m,omitempty"`
+	WitnessTarget int64         `json:"witness_target"`
+	Shards        int           `json:"shards"`
+	Elements      int64         `json:"elements"`
+	SpaceWords    int           `json:"space_words"`
+	SnapshotBytes int           `json:"snapshot_bytes"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	PerMember     []MemberStats `json:"per_member"`
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	fresh := wantFresh(r)
+	consistency := "published"
+	if fresh {
+		consistency = "fresh"
+	}
+	stats := make([]server.StatsResponse, len(g.members))
+	errs := g.scatter(func(j int, _ Range, cl *server.Client) error {
+		var err error
+		if fresh {
+			stats[j], err = cl.StatsFresh()
+		} else {
+			stats[j], err = cl.Stats()
+		}
+		return err
+	})
+	out := StatsResponse{
+		Service:       "fewwgate",
+		Engine:        g.kind,
+		Consistency:   consistency,
+		Members:       len(g.members),
+		N:             g.n,
+		M:             g.m,
+		WitnessTarget: g.target,
+		UptimeSeconds: time.Since(g.start).Seconds(),
+		PerMember:     make([]MemberStats, len(g.members)),
+	}
+	for j, m := range g.members {
+		ms := MemberStats{URL: g.memberURL(j), Range: m.rng}
+		if errs[j] != nil {
+			ms.Error = errs[j].Error()
+			out.Degraded = true
+		} else {
+			st := stats[j]
+			ms.Stats = &st
+			out.Shards += st.Shards
+			out.Elements += st.Elements
+			out.SpaceWords += st.SpaceWords
+			out.SnapshotBytes += st.SnapshotBytes
+		}
+		out.PerMember[j] = ms
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// MemberHealth is one member's slice of the cluster /healthz payload.
+// Ready means the member answered, is serving, and its engine matches
+// the range and cluster parameters it is supposed to hold.
+type MemberHealth struct {
+	URL    string                 `json:"url"`
+	Range  Range                  `json:"range"`
+	Ready  bool                   `json:"ready"`
+	Error  string                 `json:"error,omitempty"`
+	Health *server.HealthResponse `json:"health,omitempty"`
+}
+
+// HealthzResponse is the cluster /healthz payload.  The top-level field
+// names mirror the node payload (service, engine, serving, n, m,
+// witness_target, shards), so server.Client.Health reads a gateway
+// exactly as it reads a node — the cluster presents as one big fewwd.
+type HealthzResponse struct {
+	Service       string         `json:"service"`
+	Engine        string         `json:"engine"`
+	Serving       bool           `json:"serving"`
+	N             int64          `json:"n"`
+	M             int64          `json:"m,omitempty"`
+	WitnessTarget int64          `json:"witness_target"`
+	Shards        int            `json:"shards"`
+	Elements      int64          `json:"elements"`
+	Members       []MemberHealth `json:"members"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	out := HealthzResponse{
+		Service:       "fewwgate",
+		Engine:        g.kind,
+		Serving:       true,
+		N:             g.n,
+		M:             g.m,
+		WitnessTarget: g.target,
+		Members:       make([]MemberHealth, len(g.members)),
+	}
+	healths := make([]server.HealthResponse, len(g.members))
+	errs := g.scatter(func(j int, _ Range, cl *server.Client) error {
+		var err error
+		healths[j], err = cl.Health()
+		return err
+	})
+	for j, m := range g.members {
+		mh := MemberHealth{URL: g.memberURL(j), Range: m.rng}
+		if errs[j] != nil {
+			mh.Error = errs[j].Error()
+		} else {
+			h := healths[j]
+			mh.Health = &h
+			if !h.Serving {
+				mh.Error = "draining"
+			} else if err := g.verifyMember(h, m.rng); err != nil {
+				mh.Error = err.Error()
+			} else {
+				mh.Ready = true
+				out.Elements += h.Elements
+				out.Shards += h.Shards
+			}
+		}
+		if !mh.Ready {
+			out.Serving = false
+		}
+		out.Members[j] = mh
+	}
+	code := http.StatusOK
+	if !out.Serving {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, out)
+}
+
+// verifyMember checks that a member's reported engine matches the range
+// and cluster parameters it serves — the guard that catches an operator
+// pointing a range at a node sized for a different one.
+func (g *Gateway) verifyMember(h server.HealthResponse, rng Range) error {
+	if h.Engine != g.kind {
+		return fmt.Errorf("engine kind %q, cluster is %q", h.Engine, g.kind)
+	}
+	if h.N != rng.Len() {
+		return fmt.Errorf("engine universe %d does not cover range %s (%d items)", h.N, rng, rng.Len())
+	}
+	if h.M != g.m {
+		return fmt.Errorf("witness universe %d, cluster has %d", h.M, g.m)
+	}
+	if h.WitnessTarget != g.target {
+		return fmt.Errorf("witness target %d, cluster has %d", h.WitnessTarget, g.target)
+	}
+	return nil
+}
+
+// memberURL returns the base URL currently serving member j (rebalance
+// may have moved it off the bootstrap URL).
+func (g *Gateway) memberURL(j int) string {
+	return g.members[j].client().Base
+}
+
+// MemberCheckpoint is one member's slice of the cluster /checkpoint
+// payload.
+type MemberCheckpoint struct {
+	URL   string `json:"url"`
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+}
+
+// CheckpointResponse is the cluster /checkpoint payload.
+type CheckpointResponse struct {
+	Members    []MemberCheckpoint `json:"members"`
+	TotalBytes int64              `json:"total_bytes"`
+}
+
+func (g *Gateway) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	resps := make([]server.CheckpointResponse, len(g.members))
+	errs := g.scatter(func(j int, _ Range, cl *server.Client) error {
+		var err error
+		resps[j], err = cl.Checkpoint()
+		return err
+	})
+	if err := g.firstError(errs); err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	out := CheckpointResponse{Members: make([]MemberCheckpoint, len(g.members))}
+	for j, resp := range resps {
+		out.Members[j] = MemberCheckpoint{URL: g.memberURL(j), Path: resp.Path, Bytes: resp.Bytes}
+		out.TotalBytes += resp.Bytes
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// RebalanceRequest asks the gateway to move a range to a different node.
+//
+// Mode "ship" (the default) is the live path: the donor currently
+// serving the range streams its snapshot — the complete engine state,
+// the paper's one-way message — through the gateway into the target's
+// POST /restore, and the range is repointed once the target confirms
+// the restored state.  Ingest for the range pauses for the duration;
+// queries keep answering from the donor until the repoint.
+//
+// Mode "adopt" repoints the range without shipping anything: the target
+// must already hold a matching engine, e.g. a replacement node started
+// with -restore from the dead donor's checkpoint file.  This is the node
+// replacement path when there is no live donor to ship from.
+type RebalanceRequest struct {
+	Range  int    `json:"range"`          // index into the range partition
+	Target string `json:"target"`         // base URL of the receiving node
+	Mode   string `json:"mode,omitempty"` // "ship" (default) or "adopt"
+}
+
+// RebalanceResponse reports a completed rebalance.
+type RebalanceResponse struct {
+	Range         Range  `json:"range"`
+	From          string `json:"from"`
+	To            string `json:"to"`
+	Mode          string `json:"mode"`
+	SnapshotBytes int64  `json:"snapshot_bytes,omitempty"`
+	Elements      int64  `json:"elements"`
+}
+
+func (g *Gateway) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	var req RebalanceRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "rebalance: decoding request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Range < 0 || req.Range >= len(g.members) {
+		http.Error(w, fmt.Sprintf("rebalance: range %d not in [0, %d)", req.Range, len(g.members)), http.StatusBadRequest)
+		return
+	}
+	if req.Target == "" {
+		http.Error(w, "rebalance: no target", http.StatusBadRequest)
+		return
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "ship"
+	}
+	if mode != "ship" && mode != "adopt" {
+		http.Error(w, fmt.Sprintf("rebalance: unknown mode %q (want ship or adopt)", req.Mode), http.StatusBadRequest)
+		return
+	}
+	// One rebalance at a time, gateway-wide: the guard below reads the
+	// current membership, which a concurrent rebalance could be changing.
+	g.rebalanceMu.Lock()
+	defer g.rebalanceMu.Unlock()
+
+	// A target already serving a *different* range must be refused:
+	// restoring into it would Close that range's engine and destroy its
+	// state — and with equal-length ranges verifyMember could not tell.
+	// (Re-targeting the donor's own URL is a harmless no-op repoint.)
+	target := strings.TrimRight(req.Target, "/")
+	for j := range g.members {
+		if j != req.Range && strings.TrimRight(g.memberURL(j), "/") == target {
+			http.Error(w, fmt.Sprintf("rebalance: target %s already serves range %d (%s)", req.Target, j, g.members[j].rng), http.StatusConflict)
+			return
+		}
+	}
+
+	m := g.members[req.Range]
+	tcl := g.newClient(req.Target)
+
+	// The exclusive ingest lock pauses writes for this range: no update
+	// can land on the donor after the snapshot is cut, so the shipped
+	// state is exactly the range's accepted stream.  Queries are not
+	// blocked — they keep answering from the donor until the repoint.
+	m.ingestMu.Lock()
+	defer m.ingestMu.Unlock()
+
+	donor := m.client()
+	out := RebalanceResponse{Range: m.rng, From: donor.Base, To: req.Target, Mode: mode}
+	var health server.HealthResponse
+	switch mode {
+	case "ship":
+		// The snapshot is buffered in gateway memory rather than piped:
+		// a replayable body is what lets Restore survive a refused
+		// connection, and the size is bounded by the donor's body cap.
+		// Rebalance is a rare admin operation; the transient buffer is
+		// the simpler trade.
+		var snap bytes.Buffer
+		size, err := donor.Snapshot(&snap)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("rebalance: donor snapshot: %v", err), http.StatusBadGateway)
+			return
+		}
+		out.SnapshotBytes = size
+		if health, err = tcl.Restore(snap.Bytes()); err != nil {
+			http.Error(w, fmt.Sprintf("rebalance: target restore: %v", err), http.StatusBadGateway)
+			return
+		}
+	case "adopt":
+		var err error
+		if health, err = tcl.Health(); err != nil {
+			http.Error(w, fmt.Sprintf("rebalance: target health: %v", err), http.StatusBadGateway)
+			return
+		}
+		if !health.Serving {
+			http.Error(w, "rebalance: target is draining", http.StatusBadGateway)
+			return
+		}
+	}
+	if err := g.verifyMember(health, m.rng); err != nil {
+		http.Error(w, fmt.Sprintf("rebalance: target %s does not match range %s: %v", req.Target, m.rng, err), http.StatusConflict)
+		return
+	}
+	out.Elements = health.Elements
+	m.setClient(tcl)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (g *Gateway) handleIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"service":          "fewwgate",
+		"engine":           g.kind,
+		"POST /ingest":     "FEWW binary stream body, split across member ranges",
+		"GET /best":        "max-merged best neighbourhood (?fresh=1 for barrier consistency)",
+		"GET /results":     "concatenated full-target neighbourhoods (?fresh=1 for barrier consistency)",
+		"GET /stats":       "summed cluster stats with per-member breakdown",
+		"GET /healthz":     "cluster readiness: every member serving its range",
+		"POST /checkpoint": "fan out a checkpoint to every member",
+		"POST /rebalance":  `{"range": i, "target": url, "mode": "ship"|"adopt"} — move a range`,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

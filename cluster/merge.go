@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"sort"
+
+	"feww/server"
+)
+
+// The merge rules mirror the engine's own cross-shard query merge
+// (engine.go): ranges partition the universe, so no item can be reported
+// by two members and concatenation is lossless.  The one genuinely new
+// rule is the cross-member tie-break for /best — members are separate
+// processes, so "lowest shard index" has no meaning across them; ties on
+// size break toward the smaller global vertex id, which is deterministic
+// and independent of response arrival order.
+
+// mergeBest max-selects over per-member best responses whose vertex ids
+// have already been remapped to global.  found is false only if no
+// member reported a neighbourhood.
+func mergeBest(target int64, bests []server.BestResponse) server.BestResponse {
+	out := server.BestResponse{WitnessTarget: target}
+	for _, b := range bests {
+		if !b.Found || b.Neighbourhood == nil {
+			continue
+		}
+		if out.Neighbourhood == nil ||
+			b.Neighbourhood.Size > out.Neighbourhood.Size ||
+			(b.Neighbourhood.Size == out.Neighbourhood.Size && b.Neighbourhood.Vertex < out.Neighbourhood.Vertex) {
+			nb := *b.Neighbourhood
+			out.Found, out.Neighbourhood = true, &nb
+		}
+	}
+	return out
+}
+
+// mergeResults concatenates per-member result lists (vertex ids already
+// global) and sorts by vertex id — the cluster-tier analogue of the
+// engine's Results merge.  Ranges are disjoint, so there is nothing to
+// deduplicate.
+func mergeResults(lists [][]server.NeighbourhoodJSON) []server.NeighbourhoodJSON {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]server.NeighbourhoodJSON, 0, total)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Vertex < out[j].Vertex })
+	return out
+}
+
+// remapBest and remapResults translate a member's range-local vertex ids
+// back to global ids by adding the range's lower bound.
+func remapBest(b server.BestResponse, lo int64) server.BestResponse {
+	if b.Found && b.Neighbourhood != nil {
+		nb := *b.Neighbourhood
+		nb.Vertex += lo
+		b.Neighbourhood = &nb
+	}
+	return b
+}
+
+func remapResults(nbs []server.NeighbourhoodJSON, lo int64) []server.NeighbourhoodJSON {
+	for i := range nbs {
+		nbs[i].Vertex += lo
+	}
+	return nbs
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"feww"
+	"feww/server"
+)
+
+// TestClusterScatterGatherRace hammers the gateway's barrier-free query
+// path while a producer ingests through it, checking that merged answers
+// are never torn: every served result list is sorted by global id with
+// in-range vertices and exactly target-sized witness sets, and /best
+// never exceeds the witness target.  Run under -race this also proves
+// the fan-out machinery (member RLocks, shared response slices) is
+// data-race free.
+func TestClusterScatterGatherRace(t *testing.T) {
+	const (
+		n      = 300
+		d      = 12
+		rounds = 60
+	)
+	_, gw, _ := startInsertCluster(t, n, 3, d)
+	cl := &server.Client{Base: gw.URL}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Producer: rounds of mixed batches; every vertex eventually crosses
+	// the threshold, so results appear and grow while the readers poll.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for r := 0; r < rounds; r++ {
+			ups := make([]feww.Update, 0, 2*n)
+			for v := int64(0); v < n; v++ {
+				ups = append(ups, ins(v, v*1009+int64(r)))
+			}
+			if _, err := cl.Ingest(n, 1<<20, ups); err != nil {
+				t.Errorf("ingest round %d: %v", r, err)
+				return
+			}
+		}
+	}()
+
+	reader := func(fresh bool) {
+		defer wg.Done()
+		rcl := &server.Client{Base: gw.URL}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var (
+				nbs []server.NeighbourhoodJSON
+				bst server.BestResponse
+				err error
+			)
+			if fresh {
+				nbs, err = rcl.ResultsFresh()
+			} else {
+				nbs, err = rcl.Results()
+			}
+			if err != nil {
+				t.Errorf("results: %v", err)
+				return
+			}
+			for i, nb := range nbs {
+				if nb.Vertex < 0 || nb.Vertex >= n {
+					t.Errorf("torn view: vertex %d outside [0, %d)", nb.Vertex, n)
+				}
+				if i > 0 && nbs[i-1].Vertex >= nb.Vertex {
+					t.Errorf("torn view: results out of order at %d: %d then %d", i, nbs[i-1].Vertex, nb.Vertex)
+				}
+				if nb.Size != d || len(nb.Witnesses) != d {
+					t.Errorf("torn view: result for %d has %d witnesses, want %d", nb.Vertex, len(nb.Witnesses), d)
+				}
+			}
+			if fresh {
+				bst, err = rcl.BestFresh()
+			} else {
+				bst, err = rcl.Best()
+			}
+			if err != nil {
+				t.Errorf("best: %v", err)
+				return
+			}
+			if bst.Found && bst.Neighbourhood.Size > d {
+				t.Errorf("torn view: best size %d exceeds target %d", bst.Neighbourhood.Size, d)
+			}
+			if _, err := rcl.Stats(); err != nil {
+				t.Errorf("stats: %v", err)
+				return
+			}
+		}
+	}
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go reader(false)
+	}
+	wg.Add(1)
+	go reader(true) // one strict-barrier reader races the published ones
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("race test wedged")
+	}
+}

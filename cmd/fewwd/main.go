@@ -61,7 +61,7 @@ func main() {
 	srv := server.New(backend, server.Config{CheckpointPath: *checkpoint, MaxBodyBytes: *maxBody})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
-	log.Printf("fewwd: %s engine, %d shards, %d elements restored, listening on %s",
+	log.Printf("fewwd: %s engine, %d shards, %d elements restored, listening on %s (GET /healthz for readiness)",
 		backend.Kind(), backend.Shards(), backend.Processed(), *addr)
 
 	errc := make(chan error, 1)
@@ -94,7 +94,9 @@ func main() {
 			log.Printf("fewwd: final checkpoint: %d bytes to %s", size, *checkpoint)
 		}
 	}
-	backend.Close()
+	// Close the backend the server *currently* holds: a POST /restore
+	// (cluster rebalance) may have replaced the one built at startup.
+	srv.Backend().Close()
 }
 
 // buildBackend restores from a snapshot file or constructs a fresh engine

@@ -1,0 +1,108 @@
+// Command fewwgate serves a cluster of fewwd nodes as one logical FEwW
+// engine: a scatter-gather gateway over a static contiguous partition of
+// the item universe.  Ingest requests split by item id and fan out to
+// the member owning each range; queries fan out and merge (concatenation
+// for /results, max-select for /best, sums for /stats), with ?fresh=1
+// forwarded to the members' strict-barrier path.  POST /rebalance moves
+// a range between nodes by shipping the donor's snapshot into the
+// target's restore path.
+//
+// Usage:
+//
+//	# three nodes, universe 0..999 split 334/333/333 (cluster.Split order)
+//	fewwd -n 334 -d 50 -addr :9001 &
+//	fewwd -n 333 -d 50 -addr :9002 &
+//	fewwd -n 333 -d 50 -addr :9003 &
+//	fewwgate -addr :9000 -members http://127.0.0.1:9001,http://127.0.0.1:9002,http://127.0.0.1:9003
+//
+// Member ranges are discovered from each node's /healthz: member j
+// serves the j-th contiguous range, of length equal to its engine's
+// universe.  Size the nodes with cluster.Split semantics — the first
+// n mod k nodes get one extra item — or pick any sizes; the gateway's
+// universe is simply their sum, in order.
+//
+// See docs/OPERATIONS.md for the cluster runbook (bootstrap, rebalance,
+// node replacement).
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"feww/cluster"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":9000", "listen address")
+		members = flag.String("members", "", "comma-separated fewwd base URLs in range order (required)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-member request timeout")
+		wait    = flag.Duration("wait", 30*time.Second, "how long to wait for every member to become ready at startup")
+		maxBody = flag.Int64("maxbody", 0, "max /ingest body bytes (0 = 256 MiB; the gateway buffers requests decoded)")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*members, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("fewwgate: -members is required (comma-separated fewwd base URLs)")
+	}
+
+	cfg := cluster.Config{Members: urls, MemberTimeout: *timeout, MaxBodyBytes: *maxBody}
+
+	// Bootstrap: the members may still be starting (or restoring large
+	// checkpoints), so construction — which probes every /healthz —
+	// retries until the readiness window closes.
+	var (
+		g   *cluster.Gateway
+		err error
+	)
+	deadline := time.Now().Add(*wait)
+	for {
+		g, err = cluster.New(cfg)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("fewwgate: members not ready after %v: %v", *wait, err)
+		}
+		log.Printf("fewwgate: waiting for members: %v", err)
+		time.Sleep(500 * time.Millisecond)
+	}
+
+	n, m := g.Universe()
+	log.Printf("fewwgate: %s cluster, %d members, universe n=%d m=%d, ranges %v, listening on %s (GET /healthz for readiness)",
+		g.Kind(), len(urls), n, m, g.Ranges(), *addr)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: g.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("fewwgate: %v: draining", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("fewwgate: shutdown: %v", err)
+	}
+	// The gateway is stateless: every accepted update lives in a member
+	// engine, so there is nothing to checkpoint here.  Members drain and
+	// checkpoint themselves (see fewwd's shutdown hook).
+}

@@ -13,21 +13,33 @@
 //	fewwload -scenario planted -checkpoint-every 20 -verify
 //	fewwload -queryclients 8              # poll /best concurrently during replay
 //	fewwload -queryclients 8 -fresh       # same, on the ?fresh=1 barrier path
+//	fewwload -gateway -addr http://127.0.0.1:9000   # drive a fewwgate cluster
 //
 // Scenarios: zipf (frequent items in a Zipf tail), planted (heavy
 // vertices in Zipf noise), dos (victims receiving distinct-source
 // floods), churn (planted structure under insert-then-delete noise;
 // requires a turnstile fewwd).
+//
+// With -gateway the target is a fewwgate cluster instead of a single
+// node: the replay is unchanged (the gateway mirrors the fewwd endpoint
+// surface and splits each request across its members), but readiness is
+// checked against the cluster /healthz — every member must be serving
+// its range — and the ground-truth verification runs against the merged
+// cluster results.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
+	"feww/cluster"
 	"feww/internal/benchstat"
 	"feww/internal/stream"
 	"feww/internal/workload"
@@ -50,6 +62,7 @@ func main() {
 		verify    = flag.Bool("verify", true, "verify served witnesses against the planted ground truth")
 		qClients  = flag.Int("queryclients", 0, "concurrent /best pollers running during the replay (0 = none)")
 		qFresh    = flag.Bool("fresh", false, "pollers use /best?fresh=1 (barrier consistency) instead of the published path")
+		gateway   = flag.Bool("gateway", false, "the target is a fewwgate cluster: check cluster readiness and verify against the merged results")
 	)
 	flag.Parse()
 
@@ -62,7 +75,21 @@ func main() {
 		*scenario, st.Updates, st.Inserts, st.Deletes, len(inst.HeavyA), st.MaxDegreeA)
 
 	cl := &server.Client{Base: *addr}
-	if _, err := cl.Stats(); err != nil {
+	if *gateway {
+		hz, err := gatewayHealth(*addr)
+		if err != nil {
+			log.Fatalf("fewwload: cannot reach fewwgate at %s: %v", *addr, err)
+		}
+		if !hz.Serving {
+			for _, m := range hz.Members {
+				if !m.Ready {
+					log.Printf("fewwload: member %s serving %s not ready: %s", m.URL, m.Range, m.Error)
+				}
+			}
+			log.Fatalf("fewwload: cluster at %s is not ready", *addr)
+		}
+		fmt.Printf("gateway: %s cluster, %d members, universe n=%d\n", hz.Engine, len(hz.Members), hz.N)
+	} else if _, err := cl.Stats(); err != nil {
 		log.Fatalf("fewwload: cannot reach fewwd at %s: %v", *addr, err)
 	}
 
@@ -157,6 +184,22 @@ func main() {
 		}
 		fmt.Println("verified: every served witness is a real edge of the generated stream")
 	}
+}
+
+// gatewayHealth fetches and decodes a fewwgate /healthz, which carries
+// the per-member readiness the single-node client does not model.  The
+// probe gets its own deadline: a gateway that accepts the connection but
+// never answers must fail the check, not hang the replay.
+func gatewayHealth(base string) (cluster.HealthzResponse, error) {
+	var out cluster.HealthzResponse
+	hc := &http.Client{Timeout: 15 * time.Second}
+	resp, err := hc.Get(strings.TrimRight(base, "/") + "/healthz")
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	// 503 still carries the full per-member breakdown; decode either way.
+	return out, json.NewDecoder(resp.Body).Decode(&out)
 }
 
 // generate builds the requested scenario and returns it with the

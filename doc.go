@@ -65,7 +65,12 @@
 // The feww/server package and cmd/fewwd expose an engine over HTTP —
 // binary stream ingest, live witnessed-neighbourhood queries, stats and
 // checkpoint/restore — and cmd/fewwload replays workload scenarios
-// against it.  See docs/OPERATIONS.md for the runbook.
+// against it.  One tier up, the feww/cluster package and cmd/fewwgate
+// serve several fewwd nodes as one logical engine: contiguous ranges of
+// the universe, scatter-gather queries with the engine's own merge
+// rules, and range rebalancing by shipping snapshots — the paper's
+// state-as-message protocols operating across machines.  See
+// docs/OPERATIONS.md for both runbooks.
 //
 // # Quick start
 //

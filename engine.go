@@ -259,6 +259,11 @@ func (e *Engine) Drain() error { return e.f.drain() }
 // further edges returns ErrClosed.  Close is idempotent.
 func (e *Engine) Close() { e.f.close() }
 
+// Closed reports whether Close has run — i.e. whether the engine still
+// accepts the stream.  Queries remain valid either way; the service
+// health probe exposes this as its serving flag.
+func (e *Engine) Closed() bool { return e.f.isClosed() }
+
 // Result returns a frequent item with at least ceil(D/Alpha) witnesses
 // from the latest published epochs, or ErrNoWitness if no shard has
 // published one.  The choice is deterministic: the smallest-id frequent
@@ -592,6 +597,9 @@ func (e *TurnstileEngine) Drain() error { return e.f.drain() }
 // engine stays queryable after Close; feeding further updates returns
 // ErrClosed.  Close is idempotent.
 func (e *TurnstileEngine) Close() { e.f.close() }
+
+// Closed reports whether Close has run; see (*Engine).Closed.
+func (e *TurnstileEngine) Closed() bool { return e.f.isClosed() }
 
 // Result returns a frequent item of the final graph with at least
 // ceil(D/Alpha) live witnesses from the latest published epochs, or

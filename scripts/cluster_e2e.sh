@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# End-to-end cluster exercise (also the CI cluster-e2e job):
+#
+#   1. boot three fewwd nodes and a fewwgate over them,
+#   2. replay a planted workload through the gateway with fewwload
+#      -gateway, verifying the served witnesses against the ground truth,
+#   3. checkpoint the cluster, kill one node with SIGKILL,
+#   4. observe the gateway report the degradation,
+#   5. restart the node from its checkpoint file,
+#   6. assert the cluster's fresh results reconverge byte-for-byte.
+#
+# Usage: scripts/cluster_e2e.sh   (from anywhere inside the repo)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+bins="$workdir/bins"
+mkdir -p "$bins"
+cleanup() {
+    # shellcheck disable=SC2046
+    kill $(jobs -p) 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$bins" ./cmd/fewwd ./cmd/fewwgate ./cmd/fewwload
+
+GATE=http://127.0.0.1:9400
+N=900 D=40   # universe 900 over three nodes of 300 (cluster.Split sizing)
+
+wait_http() { # url code tries
+    local url=$1 code=$2 tries=${3:-60}
+    for _ in $(seq "$tries"); do
+        if [ "$(curl -s -o /dev/null -w '%{http_code}' "$url")" = "$code" ]; then
+            return 0
+        fi
+        sleep 0.5
+    done
+    echo "timed out waiting for $url to return $code" >&2
+    return 1
+}
+
+echo "== booting 3 fewwd nodes + fewwgate"
+"$bins/fewwd" -addr 127.0.0.1:9401 -n 300 -d $D -seed 11 -checkpoint "$workdir/n0.ckpt" >"$workdir/n0.log" 2>&1 &
+"$bins/fewwd" -addr 127.0.0.1:9402 -n 300 -d $D -seed 12 -checkpoint "$workdir/n1.ckpt" >"$workdir/n1.log" 2>&1 &
+"$bins/fewwd" -addr 127.0.0.1:9403 -n 300 -d $D -seed 13 -checkpoint "$workdir/n2.ckpt" >"$workdir/n2.log" 2>&1 &
+victim=$!
+"$bins/fewwgate" -addr 127.0.0.1:9400 \
+    -members http://127.0.0.1:9401,http://127.0.0.1:9402,http://127.0.0.1:9403 \
+    -wait 30s >"$workdir/gate.log" 2>&1 &
+wait_http "$GATE/healthz" 200
+
+echo "== replaying a planted workload through the gateway (with ground-truth verify)"
+"$bins/fewwload" -gateway -addr "$GATE" -scenario planted \
+    -n $N -d $D -heavy 3 -edges 20000 -reqsize 2000 -verify
+
+echo "== checkpointing the cluster"
+curl -fsS -X POST "$GATE/checkpoint" >/dev/null
+curl -fsS "$GATE/results?fresh=1" >"$workdir/before.json"
+[ -s "$workdir/before.json" ]
+
+echo "== killing node 2 (SIGKILL)"
+kill -9 "$victim"
+wait_http "$GATE/healthz" 503
+
+echo "== restoring node 2 from its checkpoint"
+"$bins/fewwd" -addr 127.0.0.1:9403 -restore "$workdir/n2.ckpt" \
+    -checkpoint "$workdir/n2.ckpt" >"$workdir/n2-restored.log" 2>&1 &
+wait_http "$GATE/healthz" 200
+
+echo "== asserting fresh results reconverged byte-for-byte"
+curl -fsS "$GATE/results?fresh=1" >"$workdir/after.json"
+diff "$workdir/before.json" "$workdir/after.json"
+
+echo "PASS: cluster served, survived a node kill, and reconverged after restore"

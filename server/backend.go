@@ -47,6 +47,15 @@ type Backend interface {
 	ViewEpochs() []uint64
 	WitnessTarget() int64
 	Usage(fresh bool) (spaceWords, snapshotBytes int)
+	// Universe reports the configured universe sizes: the item universe n
+	// and, for the turnstile engine, the witness universe m (0 for the
+	// insertion-only engine, whose witnesses are unbounded).  The /healthz
+	// endpoint reports both so a cluster gateway can verify a member's
+	// engine matches the range it is supposed to serve.
+	Universe() (n, m int64)
+	// Closed reports whether the engine has stopped accepting the stream
+	// (Close has run); queries stay valid either way.
+	Closed() bool
 	// Snapshot serialises the engine state; Restore* round-trips it.
 	Snapshot(w io.Writer) error
 	// Close drains and stops the engine; the backend stays queryable.
@@ -109,6 +118,8 @@ func (b *insertBackend) Shards() int                { return b.e.Shards() }
 func (b *insertBackend) QueueDepths() []int         { return b.e.QueueDepths() }
 func (b *insertBackend) ViewEpochs() []uint64       { return b.e.ViewEpochs() }
 func (b *insertBackend) WitnessTarget() int64       { return b.e.WitnessTarget() }
+func (b *insertBackend) Universe() (int64, int64)   { return b.e.Config().N, 0 }
+func (b *insertBackend) Closed() bool               { return b.e.Closed() }
 func (b *insertBackend) Snapshot(w io.Writer) error { return b.e.Snapshot(w) }
 func (b *insertBackend) Close()                     { b.e.Close() }
 
@@ -160,6 +171,8 @@ func (b *turnstileBackend) Shards() int                { return b.e.Shards() }
 func (b *turnstileBackend) QueueDepths() []int         { return b.e.QueueDepths() }
 func (b *turnstileBackend) ViewEpochs() []uint64       { return b.e.ViewEpochs() }
 func (b *turnstileBackend) WitnessTarget() int64       { return b.e.WitnessTarget() }
+func (b *turnstileBackend) Universe() (int64, int64)   { return b.e.Config().N, b.e.Config().M }
+func (b *turnstileBackend) Closed() bool               { return b.e.Closed() }
 func (b *turnstileBackend) Snapshot(w io.Writer) error { return b.e.Snapshot(w) }
 func (b *turnstileBackend) Close()                     { b.e.Close() }
 

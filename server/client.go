@@ -3,33 +3,112 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"syscall"
+	"time"
 
 	"feww"
 	"feww/internal/stream"
 )
 
-// Client talks to a fewwd instance.  It is what cmd/fewwload and the
-// end-to-end tests drive; the zero HTTPClient means http.DefaultClient.
+// Client talks to a fewwd instance (or to a fewwgate gateway, which
+// mirrors the fewwd endpoints).  It is what cmd/fewwload, the cluster
+// gateway's member fan-out, and the end-to-end tests drive; the zero
+// HTTPClient means http.DefaultClient.
+//
+// Timeout bounds each request end to end (connect, send, read): a member
+// node that hangs mid-response fails the call instead of wedging the
+// caller, which is what a scatter-gather fan-out needs.  Requests are
+// retried once on connection refused (the dial failed; nothing reached
+// the server), and idempotent requests — everything except /ingest —
+// also on connection reset.  A reset can strike after the server
+// applied part of an ingest, so replaying one could double-apply
+// updates; refused cannot.  Retries need a replayable body, which every
+// method provides except IngestStream with a non-seekable reader.
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8080".
 	Base string
 	// HTTPClient overrides the transport (nil = http.DefaultClient).
 	HTTPClient *http.Client
+	// Timeout bounds each request end to end; 0 means no client-side
+	// deadline (whatever the transport does).
+	Timeout time.Duration
+	// NoRetry disables the single automatic retry on connection
+	// refused/reset.  The retry is safe — it only fires on errors raised
+	// before or while the connection is being (re)established, with a
+	// replayable body — but tests exercising failure paths want the
+	// first error verbatim.
+	NoRetry bool
 }
 
 func (c *Client) http() *http.Client {
-	if c.HTTPClient != nil {
-		return c.HTTPClient
+	base := c.HTTPClient
+	if base == nil {
+		base = http.DefaultClient
 	}
-	return http.DefaultClient
+	if c.Timeout <= 0 {
+		return base
+	}
+	// A shallow copy shares the transport (and its connection pool) while
+	// imposing this client's deadline.
+	hc := *base
+	hc.Timeout = c.Timeout
+	return &hc
 }
 
 func (c *Client) url(path string) string {
 	return strings.TrimRight(c.Base, "/") + path
+}
+
+// retryable reports whether err is a transport failure worth one more
+// attempt.  Connection refused always qualifies: the dial failed, so
+// nothing of the request reached an engine.  Connection reset can strike
+// *after* the server processed part (or all) of the request, so it only
+// qualifies when the request is idempotent — replaying /ingest after a
+// reset could double-apply chunks the engine already accepted.
+func retryable(err error, idempotent bool) bool {
+	if errors.Is(err, syscall.ECONNREFUSED) {
+		return true
+	}
+	return idempotent && errors.Is(err, syscall.ECONNRESET)
+}
+
+// do issues one request, retrying once per the retryable policy.
+// makeBody returns a fresh body reader per attempt (nil makeBody means a
+// bodyless request; a nil *return* means the body cannot be replayed, so
+// the original error surfaces instead of a bogus empty-body request);
+// contentType is set when non-empty.
+func (c *Client) do(method, path, contentType string, idempotent bool, makeBody func() io.Reader) (*http.Response, error) {
+	hc := c.http()
+	attempt := func(body io.Reader) (*http.Response, error) {
+		req, err := http.NewRequest(method, c.url(path), body)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		return hc.Do(req)
+	}
+	first := io.Reader(nil)
+	if makeBody != nil {
+		first = makeBody()
+	}
+	resp, err := attempt(first)
+	if err != nil && !c.NoRetry && retryable(err, idempotent) {
+		var replay io.Reader
+		if makeBody != nil {
+			if replay = makeBody(); replay == nil {
+				return resp, err // non-replayable body: keep the real error
+			}
+		}
+		resp, err = attempt(replay)
+	}
+	return resp, err
 }
 
 // Ingest encodes a batch of updates in the FEWW binary format and posts
@@ -40,13 +119,44 @@ func (c *Client) Ingest(n, m int64, ups []feww.Update) (IngestResponse, error) {
 	if err := stream.WriteFile(&body, n, m, ups); err != nil {
 		return IngestResponse{}, err
 	}
-	return c.IngestStream(&body)
+	return c.ingest(func() io.Reader { return bytes.NewReader(body.Bytes()) })
 }
 
 // IngestStream posts an already encoded FEWW binary stream to /ingest —
-// e.g. a file produced by cmd/fewwgen, streamed without decoding.
+// e.g. a file produced by cmd/fewwgen, streamed without decoding.  The
+// stream starts at the reader's current position.  A seekable body is
+// replayed from that position if a refused connection triggers the
+// retry; a non-seekable one cannot be, so the transport error surfaces
+// as-is — use Ingest (or seek and re-call) when that matters.
 func (c *Client) IngestStream(body io.Reader) (IngestResponse, error) {
-	resp, err := c.http().Post(c.url("/ingest"), "application/octet-stream", body)
+	if rs, ok := body.(io.ReadSeeker); ok {
+		if pos, err := rs.Seek(0, io.SeekCurrent); err == nil {
+			first := true
+			return c.ingest(func() io.Reader {
+				if !first {
+					if _, err := rs.Seek(pos, io.SeekStart); err != nil {
+						return nil // rewind failed; do() surfaces the first error
+					}
+				}
+				first = false
+				return rs
+			})
+		}
+		// A ReadSeeker whose position cannot be read cannot be replayed
+		// reliably; fall through to the single-attempt path.
+	}
+	one := false
+	return c.ingest(func() io.Reader {
+		if one {
+			return nil // replay impossible; do() surfaces the first error
+		}
+		one = true
+		return body
+	})
+}
+
+func (c *Client) ingest(makeBody func() io.Reader) (IngestResponse, error) {
+	resp, err := c.do(http.MethodPost, "/ingest", "application/octet-stream", false, makeBody)
 	if err != nil {
 		return IngestResponse{}, err
 	}
@@ -100,9 +210,29 @@ func (c *Client) StatsFresh() (StatsResponse, error) {
 	return out, c.getJSON("/stats?fresh=1", &out)
 }
 
+// Health fetches /healthz.  The response decodes on HTTP 200 (serving)
+// and 503 (draining: Serving false) alike; any other status is an error.
+// It is the readiness probe a cluster gateway polls for each member.
+func (c *Client) Health() (HealthResponse, error) {
+	resp, err := c.do(http.MethodGet, "/healthz", "", true, nil)
+	if err != nil {
+		return HealthResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return HealthResponse{}, fmt.Errorf("GET /healthz: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var out HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return HealthResponse{}, fmt.Errorf("healthz: decoding response (HTTP %d): %w", resp.StatusCode, err)
+	}
+	return out, nil
+}
+
 // Checkpoint asks the server to write its configured checkpoint file.
 func (c *Client) Checkpoint() (CheckpointResponse, error) {
-	resp, err := c.http().Post(c.url("/checkpoint"), "", nil)
+	resp, err := c.do(http.MethodPost, "/checkpoint", "", true, nil)
 	if err != nil {
 		return CheckpointResponse{}, err
 	}
@@ -119,7 +249,7 @@ func (c *Client) Checkpoint() (CheckpointResponse, error) {
 // engine's memory state crossing the network, as in the paper's one-way
 // protocols.
 func (c *Client) Snapshot(w io.Writer) (int64, error) {
-	resp, err := c.http().Get(c.url("/snapshot"))
+	resp, err := c.do(http.MethodGet, "/snapshot", "", true, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -131,8 +261,27 @@ func (c *Client) Snapshot(w io.Writer) (int64, error) {
 	return io.Copy(w, resp.Body)
 }
 
+// Restore posts snapshot bytes to /restore, replacing the server's
+// engine with the snapshot's state — the shipping half of a cluster
+// rebalance.  It returns the server's post-restore health, which carries
+// the restored engine's kind and universe for verification.
+func (c *Client) Restore(snapshot []byte) (HealthResponse, error) {
+	resp, err := c.do(http.MethodPost, "/restore", "application/octet-stream", true,
+		func() io.Reader { return bytes.NewReader(snapshot) })
+	if err != nil {
+		return HealthResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return HealthResponse{}, fmt.Errorf("restore failed (HTTP %d): %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var out HealthResponse
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
 func (c *Client) getJSON(path string, v any) error {
-	resp, err := c.http().Get(c.url(path))
+	resp, err := c.do(http.MethodGet, path, "", true, nil)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"feww"
+)
+
+func newHealthServer(t *testing.T, n, d int64) (*Server, *feww.Engine) {
+	t.Helper()
+	eng, err := feww.NewEngine(feww.EngineConfig{
+		Config: feww.Config{N: n, D: d, Alpha: 1, Seed: 3},
+		Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(NewInsertOnlyBackend(eng), Config{}), eng
+}
+
+// TestHealthz covers the readiness probe: 200 with the engine parameters
+// while serving, 503 with Serving false once the engine is closed.
+func TestHealthz(t *testing.T) {
+	srv, eng := newHealthServer(t, 50, 4)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := &Client{Base: ts.URL}
+
+	h, err := cl.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := HealthResponse{
+		Service: "fewwd", Engine: "insert-only", Serving: true,
+		N: 50, M: 0, WitnessTarget: 4, Shards: 2, Elements: 0,
+	}
+	if !reflect.DeepEqual(h, want) {
+		t.Fatalf("healthz = %+v, want %+v", h, want)
+	}
+
+	eng.Close()
+	h, err = cl.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Serving {
+		t.Fatal("healthz still reports serving after Close")
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after Close: HTTP %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestRestoreEndpoint ships one node's snapshot into another via POST
+// /restore and checks the recipient serves the donor's state exactly —
+// including its universe parameters, which a cluster gateway verifies.
+func TestRestoreEndpoint(t *testing.T) {
+	donorSrv, donorEng := newHealthServer(t, 80, 3)
+	donorTS := httptest.NewServer(donorSrv.Handler())
+	defer donorTS.Close()
+	defer donorEng.Close()
+	donor := &Client{Base: donorTS.URL}
+	for b := int64(0); b < 5; b++ {
+		if err := donorEng.ProcessEdge(7, 100+b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recipSrv, recipEng := newHealthServer(t, 2, 1) // placeholder engine, replaced by the restore
+	recipTS := httptest.NewServer(recipSrv.Handler())
+	defer recipTS.Close()
+	defer recipEng.Close()
+	recip := &Client{Base: recipTS.URL}
+
+	var snap bytes.Buffer
+	if _, err := donor.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	h, err := recip.Restore(snap.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 80 || h.Elements != 5 || !h.Serving {
+		t.Fatalf("post-restore health = %+v, want the donor's N=80, Elements=5", h)
+	}
+
+	wantBest, err := donor.BestFresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBest, err := recip.BestFresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantBest, gotBest) {
+		t.Fatalf("restored best = %+v, donor best = %+v", gotBest, wantBest)
+	}
+
+	// Garbage bytes must be refused without touching the serving engine.
+	if _, err := recip.Restore([]byte("not a snapshot")); err == nil {
+		t.Fatal("restoring garbage succeeded")
+	}
+	if h, err := recip.Health(); err != nil || h.N != 80 {
+		t.Fatalf("failed restore disturbed the engine: %+v, %v", h, err)
+	}
+}
+
+// refusingTransport fails the first `failures` round trips with a
+// connection-refused dial error — the failure a restarting node produces
+// before anything reaches its engine — then delegates.  Stubbing at the
+// transport keeps the retry test deterministic: the stdlib transport has
+// its own recovery for some socket-level failures, which would otherwise
+// absorb the fault before the client's retry layer sees it.
+type refusingTransport struct {
+	failures int32
+	calls    atomic.Int32
+	inner    http.RoundTripper
+}
+
+func (f *refusingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f.calls.Add(1) <= f.failures {
+		return nil, &net.OpError{Op: "dial", Net: "tcp",
+			Err: &os.SyscallError{Syscall: "connect", Err: syscall.ECONNREFUSED}}
+	}
+	return f.inner.RoundTrip(req)
+}
+
+// TestClientRetryConnRefused checks the single-retry contract: one
+// connection-refused attempt is retried and served; two are a hard
+// error; NoRetry surfaces the first.
+func TestClientRetryConnRefused(t *testing.T) {
+	srv, eng := newHealthServer(t, 50, 4)
+	defer eng.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	mk := func(failures int32, noRetry bool) (*Client, *refusingTransport) {
+		tr := &refusingTransport{failures: failures, inner: http.DefaultTransport}
+		return &Client{
+			Base:       ts.URL,
+			HTTPClient: &http.Client{Transport: tr},
+			Timeout:    5 * time.Second,
+			NoRetry:    noRetry,
+		}, tr
+	}
+
+	cl, tr := mk(1, false)
+	if _, err := cl.Health(); err != nil {
+		t.Fatalf("health with one refused attempt: %v", err)
+	}
+	if got := tr.calls.Load(); got != 2 {
+		t.Fatalf("client made %d attempts, want 2 (original + retry)", got)
+	}
+
+	// Exactly one retry: a second refusal is a hard error.
+	cl, tr = mk(2, false)
+	if _, err := cl.Health(); !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("two refusals: err = %v, want ECONNREFUSED", err)
+	}
+	if got := tr.calls.Load(); got != 2 {
+		t.Fatalf("client made %d attempts, want 2", got)
+	}
+
+	// NoRetry surfaces the first failure without a second attempt.
+	cl, tr = mk(1, true)
+	if _, err := cl.Health(); !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("NoRetry: err = %v, want ECONNREFUSED", err)
+	}
+	if got := tr.calls.Load(); got != 1 {
+		t.Fatalf("NoRetry client made %d attempts, want 1", got)
+	}
+
+	// The policy itself: refused retries everywhere; reset only retries
+	// idempotent requests — a reset can strike after the server applied
+	// part of an /ingest, and replaying it would double-apply updates.
+	reset := &net.OpError{Op: "write", Net: "tcp", Err: &os.SyscallError{Syscall: "write", Err: syscall.ECONNRESET}}
+	refused := &net.OpError{Op: "dial", Net: "tcp", Err: &os.SyscallError{Syscall: "connect", Err: syscall.ECONNREFUSED}}
+	for _, tc := range []struct {
+		err        error
+		idempotent bool
+		want       bool
+	}{
+		{refused, true, true},
+		{refused, false, true},
+		{reset, true, true},
+		{reset, false, false}, // the ingest case
+	} {
+		if got := retryable(tc.err, tc.idempotent); got != tc.want {
+			t.Errorf("retryable(%v, idempotent=%t) = %t, want %t", tc.err, tc.idempotent, got, tc.want)
+		}
+	}
+}

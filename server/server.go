@@ -16,8 +16,10 @@
 //	GET  /best        largest witnessed neighbourhood so far, as JSON
 //	GET  /results     every full-target neighbourhood, as JSON
 //	GET  /stats       per-shard queue depths, counters, snapshot size
+//	GET  /healthz     readiness probe: serving flag + universe parameters
 //	POST /checkpoint  write a snapshot to the configured checkpoint path
 //	GET  /snapshot    stream the snapshot bytes to the caller
+//	POST /restore     replace the engine with one restored from the body
 //	GET  /            endpoint index
 //
 // The query endpoints (/best, /results, /stats) are barrier-free by
@@ -70,10 +72,15 @@ type Config struct {
 
 // Server serves a Backend over HTTP.
 type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+
+	// beMu guards backend, which POST /restore replaces wholesale.  Every
+	// handler reads the current backend once through be(); an RLock per
+	// request is uncontended except during the swap itself.
+	beMu    sync.RWMutex
 	backend Backend
-	cfg     Config
-	mux     *http.ServeMux
-	start   time.Time
 
 	// ckptMu serialises checkpoint file writes only.  The counters are
 	// atomics so /stats never waits behind a slow disk checkpoint.
@@ -92,8 +99,10 @@ func New(b Backend, cfg Config) *Server {
 	s.mux.HandleFunc("GET /best", s.handleBest)
 	s.mux.HandleFunc("GET /results", s.handleResults)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /restore", s.handleRestore)
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
 	return s
 }
@@ -101,8 +110,27 @@ func New(b Backend, cfg Config) *Server {
 // Handler returns the HTTP handler serving every endpoint.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Backend returns the engine adapter the server was built around.
-func (s *Server) Backend() Backend { return s.backend }
+// Backend returns the engine adapter the server currently serves — the
+// one it was built around, or the latest POST /restore replacement.
+// Shutdown hooks must go through this accessor rather than hold the
+// construction-time value, or they would checkpoint a stale engine.
+func (s *Server) Backend() Backend {
+	s.beMu.RLock()
+	defer s.beMu.RUnlock()
+	return s.backend
+}
+
+// be is the internal alias the handlers use.
+func (s *Server) be() Backend { return s.Backend() }
+
+// swapBackend installs a restored backend and returns the previous one.
+func (s *Server) swapBackend(b Backend) Backend {
+	s.beMu.Lock()
+	defer s.beMu.Unlock()
+	old := s.backend
+	s.backend = b
+	return old
+}
 
 // Checkpoint writes the engine snapshot to the configured path (temp file
 // + rename, so a crash mid-write never corrupts the previous checkpoint)
@@ -120,7 +148,7 @@ func (s *Server) Checkpoint() (int64, error) {
 		return 0, err
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := s.backend.Snapshot(tmp); err != nil {
+	if err := s.be().Snapshot(tmp); err != nil {
 		tmp.Close()
 		return 0, err
 	}
@@ -205,10 +233,13 @@ type CheckpointResponse struct {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// The backend is pinned once per request: a concurrent /restore swap
+	// must not split one request's chunks across two engines.
+	be := s.be()
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	sc, err := stream.NewScanner(body)
 	if err != nil {
-		s.ingestError(w, 0, err)
+		s.ingestError(w, be, 0, err)
 		return
 	}
 	var accepted int64
@@ -217,7 +248,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if len(batch) == 0 {
 			return nil
 		}
-		if err := s.backend.Ingest(batch); err != nil {
+		if err := be.Ingest(batch); err != nil {
 			return err
 		}
 		accepted += int64(len(batch))
@@ -228,31 +259,31 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		batch = append(batch, sc.Update())
 		if len(batch) == ingestChunk {
 			if err := flush(); err != nil {
-				s.ingestError(w, accepted, err)
+				s.ingestError(w, be, accepted, err)
 				return
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		s.ingestError(w, accepted, err)
+		s.ingestError(w, be, accepted, err)
 		return
 	}
 	if err := flush(); err != nil {
-		s.ingestError(w, accepted, err)
+		s.ingestError(w, be, accepted, err)
 		return
 	}
 	// Hand the sub-batch remainder to the shard queues so the published
 	// epochs converge to everything this request accepted, instead of
 	// parking up to one batch per shard until more traffic arrives.
-	s.backend.Flush()
-	writeJSON(w, http.StatusOK, IngestResponse{Accepted: accepted, Total: s.backend.Processed()})
+	be.Flush()
+	writeJSON(w, http.StatusOK, IngestResponse{Accepted: accepted, Total: be.Processed()})
 }
 
-func (s *Server) ingestError(w http.ResponseWriter, accepted int64, err error) {
+func (s *Server) ingestError(w http.ResponseWriter, be Backend, accepted int64, err error) {
 	// Chunks accepted before the fault were fed for real; flush them to
 	// the shard queues so the published epochs converge to the reported
 	// accepted count even if no further traffic arrives.
-	s.backend.Flush()
+	be.Flush()
 	// A shutdown race is the server's fault, not the client's: the stream
 	// was well-formed, the engine just stopped accepting.  503 invites a
 	// retry against the restarted instance; anything else is a 400.
@@ -262,7 +293,7 @@ func (s *Server) ingestError(w http.ResponseWriter, accepted int64, err error) {
 	}
 	writeJSON(w, code, IngestResponse{
 		Accepted: accepted,
-		Total:    s.backend.Processed(),
+		Total:    be.Processed(),
 		Error:    err.Error(),
 	})
 }
@@ -275,8 +306,9 @@ func wantFresh(r *http.Request) bool {
 }
 
 func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
-	resp := BestResponse{WitnessTarget: s.backend.WitnessTarget()}
-	if nb, ok := s.backend.Best(wantFresh(r)); ok {
+	be := s.be()
+	resp := BestResponse{WitnessTarget: be.WitnessTarget()}
+	if nb, ok := be.Best(wantFresh(r)); ok {
 		j := toJSON(nb)
 		resp.Found, resp.Neighbourhood = true, &j
 	}
@@ -284,7 +316,7 @@ func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
-	nbs := s.backend.Results(wantFresh(r))
+	nbs := s.be().Results(wantFresh(r))
 	out := make([]NeighbourhoodJSON, len(nbs))
 	for i, nb := range nbs {
 		out[i] = toJSON(nb)
@@ -293,26 +325,99 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	be := s.be()
 	fresh := wantFresh(r)
 	consistency := "published"
 	if fresh {
 		consistency = "fresh"
 	}
-	spaceWords, snapshotBytes := s.backend.Usage(fresh)
+	spaceWords, snapshotBytes := be.Usage(fresh)
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Engine:          s.backend.Kind(),
+		Engine:          be.Kind(),
 		Consistency:     consistency,
-		Shards:          s.backend.Shards(),
-		Elements:        s.backend.Processed(),
-		QueueDepths:     s.backend.QueueDepths(),
-		ViewEpochs:      s.backend.ViewEpochs(),
+		Shards:          be.Shards(),
+		Elements:        be.Processed(),
+		QueueDepths:     be.QueueDepths(),
+		ViewEpochs:      be.ViewEpochs(),
 		SpaceWords:      spaceWords,
 		SnapshotBytes:   snapshotBytes,
-		WitnessTarget:   s.backend.WitnessTarget(),
+		WitnessTarget:   be.WitnessTarget(),
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		Checkpoints:     s.ckptCount.Load(),
 		CheckpointBytes: s.ckptBytes.Load(),
 	})
+}
+
+// HealthResponse is the /healthz payload: the readiness probe plus the
+// engine parameters a cluster gateway needs to verify that this node
+// matches the universe range it is supposed to serve.  Serving is false
+// once the engine has been closed (shutdown in progress — queries still
+// answer, ingest returns 503).
+type HealthResponse struct {
+	Service       string `json:"service"`
+	Engine        string `json:"engine"`
+	Serving       bool   `json:"serving"`
+	N             int64  `json:"n"`
+	M             int64  `json:"m,omitempty"`
+	WitnessTarget int64  `json:"witness_target"`
+	Shards        int    `json:"shards"`
+	Elements      int64  `json:"elements"`
+}
+
+func (s *Server) healthResponse() HealthResponse {
+	be := s.be()
+	n, m := be.Universe()
+	return HealthResponse{
+		Service:       "fewwd",
+		Engine:        be.Kind(),
+		Serving:       !be.Closed(),
+		N:             n,
+		M:             m,
+		WitnessTarget: be.WitnessTarget(),
+		Shards:        be.Shards(),
+		Elements:      be.Processed(),
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.healthResponse()
+	code := http.StatusOK
+	if !h.Serving {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// handleRestore replaces the serving engine with one restored from the
+// snapshot bytes in the request body — the recipient half of a cluster
+// rebalance: the donor's GET /snapshot (its complete memory state, the
+// paper's one-way message) posted here brings this node to exactly the
+// donor's state.  The swap is atomic with respect to other handlers;
+// requests already running against the old engine finish against it (an
+// in-flight ingest may then report 503 once the old engine closes, which
+// invites the standard retry).  The engine kind, universe, seed and
+// shard layout all come from the snapshot, exactly as fewwd -restore.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	backend, err := RestoreBackend(body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		code := http.StatusBadRequest
+		if errors.As(err, &tooLarge) {
+			// The snapshot exceeds this node's -maxbody: the sender's
+			// state is fine, this node's cap is too small.
+			code = http.StatusRequestEntityTooLarge
+		} else if !errors.Is(err, feww.ErrBadSnapshot) && !errors.Is(err, stream.ErrBadFormat) {
+			code = http.StatusInternalServerError
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	old := s.swapBackend(backend)
+	// Stop the replaced engine's shard goroutines; it stays queryable for
+	// any handler that pinned it before the swap.
+	old.Close()
+	writeJSON(w, http.StatusOK, s.healthResponse())
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
@@ -334,7 +439,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	// serialisation failure can still become a clean 500 instead of an
 	// aborted chunked stream.
 	var buf bytes.Buffer
-	if err := s.backend.Snapshot(&buf); err != nil {
+	if err := s.be().Snapshot(&buf); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -346,13 +451,15 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{
 		"service":          "fewwd",
-		"engine":           s.backend.Kind(),
+		"engine":           s.be().Kind(),
 		"POST /ingest":     "FEWW binary stream body",
 		"GET /best":        "largest witnessed neighbourhood (?fresh=1 for barrier consistency)",
 		"GET /results":     "all full-target neighbourhoods (?fresh=1 for barrier consistency)",
 		"GET /stats":       "counters, queue depths, view epochs (?fresh=1 for barrier consistency)",
+		"GET /healthz":     "readiness probe with engine kind and universe parameters",
 		"POST /checkpoint": "write snapshot to the checkpoint path",
 		"GET /snapshot":    "stream the snapshot bytes",
+		"POST /restore":    "replace the engine with one restored from the snapshot bytes in the body",
 	})
 }
 

@@ -351,6 +351,14 @@ func (f *fanout[E]) close() {
 	f.closed = true
 }
 
+// isClosed reports whether close has run.  It is what the engines' Closed
+// accessors — and through them the service health probe — read.
+func (f *fanout[E]) isClosed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
 // queueDepths samples the number of batches waiting in each shard queue —
 // a load signal for operational dashboards.  It takes no barrier: the
 // numbers are instantaneous and may be stale by the time they are read.
