@@ -71,10 +71,11 @@ func (m *member) setClient(cl *server.Client) {
 // between nodes.  All handlers are safe for concurrent use.
 type Gateway struct {
 	cfg    Config
-	kind   string // members' engine kind: "insert-only" or "turnstile"
+	kind   string // members' engine kind: "insert-only", "turnstile" or "star"
 	n      int64  // total item universe: sum of member ranges
-	m      int64  // witness universe (turnstile members; 0 otherwise)
-	target int64  // ceil(D/Alpha), identical on every member
+	m      int64  // witness universe (turnstile/star members; 0 otherwise)
+	target int64  // the members' witness target, identical on every member
+	rungs  int    // star guess-ladder length (0 for the flat kinds)
 
 	members []*member
 	mux     *http.ServeMux
@@ -118,15 +119,22 @@ func New(cfg Config) (*Gateway, error) {
 			return nil, fmt.Errorf("cluster: member %d (%s) is draining", j, url)
 		}
 		if j == 0 {
-			g.kind, g.m, g.target = h.Engine, h.M, h.WitnessTarget
-		} else if h.Engine != g.kind || h.M != g.m || h.WitnessTarget != g.target {
-			return nil, fmt.Errorf("cluster: member %d (%s) is incoherent: engine %s m %d target %d, cluster has engine %s m %d target %d",
-				j, url, h.Engine, h.M, h.WitnessTarget, g.kind, g.m, g.target)
+			g.kind, g.m, g.target, g.rungs = h.Engine, h.M, h.WitnessTarget, h.Rungs
+		} else if h.Engine != g.kind || h.M != g.m || h.WitnessTarget != g.target || h.Rungs != g.rungs {
+			return nil, fmt.Errorf("cluster: member %d (%s) is incoherent: engine %s m %d target %d rungs %d, cluster has engine %s m %d target %d rungs %d",
+				j, url, h.Engine, h.M, h.WitnessTarget, h.Rungs, g.kind, g.m, g.target, g.rungs)
 		}
 		g.members = append(g.members, &member{rng: Range{Lo: lo, Hi: lo + h.N}, cl: cl})
 		lo += h.N
 	}
 	g.n = lo
+	// A star cluster's ranges are slices of the vertex set whose total
+	// must be exactly the graph the members' ladders (and witness
+	// universes) were sized for — anything else silently mis-scopes the
+	// double cover.
+	if g.kind == "star" && g.n != g.m {
+		return nil, fmt.Errorf("cluster: star member ranges cover %d vertices, engines are sized for a %d-vertex graph", g.n, g.m)
+	}
 	g.mux.HandleFunc("POST /ingest", g.handleIngest)
 	g.mux.HandleFunc("GET /best", g.handleBest)
 	g.mux.HandleFunc("GET /results", g.handleResults)
@@ -309,12 +317,45 @@ func (g *Gateway) checkUpdate(i int, u feww.Update) error {
 	if u.B < 0 {
 		return fmt.Errorf("%w: update %d: witness %d is negative", feww.ErrOutOfUniverse, i, u.B)
 	}
-	if g.kind == "turnstile" {
+	switch g.kind {
+	case "turnstile":
 		if u.B >= g.m {
 			return fmt.Errorf("%w: update %d: witness %d not in [0, %d)", feww.ErrOutOfUniverse, i, u.B, g.m)
 		}
-	} else if u.Op != feww.Insert {
-		return fmt.Errorf("update %d: %v: insert-only cluster cannot apply deletions (run the members in turnstile mode)", i, u)
+	case "star":
+		// Star streams are directed half-edges over the vertex set: both
+		// endpoints are vertices, and deletions need the turnstile ladder
+		// (not served by this cluster).
+		if u.Op != feww.Insert {
+			return fmt.Errorf("update %d: %v: star cluster cannot apply deletions", i, u)
+		}
+		if u.B >= g.m {
+			return fmt.Errorf("%w: update %d: neighbour %d not in [0, %d)", feww.ErrOutOfUniverse, i, u.B, g.m)
+		}
+	default:
+		if u.Op != feww.Insert {
+			return fmt.Errorf("update %d: %v: insert-only cluster cannot apply deletions (run the members in turnstile mode)", i, u)
+		}
+	}
+	return nil
+}
+
+// checkAnswerRung rejects a member answer whose star rung annotation
+// contradicts the cluster's engine kind — the query-path half of the
+// kind-swap guard.  /healthz catches a member whose engine was replaced
+// by a foreign-kind snapshot, but only when polled; without this check a
+// star answer arriving in a flat cluster would *dominate* the merge
+// (rung priority) and a flat answer in a star cluster would corrupt the
+// rung filter, silently, on every query until someone looks at healthz.
+// Flat-kind swaps (insert-only vs turnstile) produce indistinguishable
+// answer shapes and merge under the same rules; those remain
+// healthz/stats territory.
+func (g *Gateway) checkAnswerRung(rung int) error {
+	if g.rungs == 0 && rung >= 0 {
+		return errors.New("rung-annotated answer from a member of a non-star cluster: engine kind mismatch (check GET /healthz)")
+	}
+	if g.rungs > 0 && rung < 0 {
+		return errors.New("answer without a star rung in a star cluster: engine kind mismatch (check GET /healthz)")
 	}
 	return nil
 }
@@ -332,8 +373,16 @@ func (g *Gateway) handleBest(w http.ResponseWriter, r *http.Request) {
 		} else {
 			b, err = cl.Best()
 		}
+		if err != nil {
+			return err
+		}
+		if b.Found {
+			if err := g.checkAnswerRung(respRung(b)); err != nil {
+				return err
+			}
+		}
 		bests[j] = remapBest(b, rng.Lo)
-		return err
+		return nil
 	})
 	if err := g.firstError(errs); err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
@@ -355,8 +404,16 @@ func (g *Gateway) handleResults(w http.ResponseWriter, r *http.Request) {
 		} else {
 			nbs, err = cl.Results()
 		}
+		if err != nil {
+			return err
+		}
+		if len(nbs) > 0 {
+			if err := g.checkAnswerRung(listRung(nbs)); err != nil {
+				return err
+			}
+		}
 		lists[j] = remapResults(nbs, rng.Lo)
-		return err
+		return nil
 	})
 	if err := g.firstError(errs); err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
@@ -426,8 +483,14 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		if errs[j] != nil {
 			ms.Error = errs[j].Error()
 			out.Degraded = true
+		} else if st := stats[j]; st.Engine != g.kind {
+			// A member serving another engine kind (a foreign /restore
+			// slipped in) must surface as degraded here too, not only on
+			// the next /healthz poll — its numbers would corrupt the sums.
+			ms.Error = fmt.Sprintf("engine kind %q, cluster is %q", st.Engine, g.kind)
+			ms.Stats = &st
+			out.Degraded = true
 		} else {
-			st := stats[j]
 			ms.Stats = &st
 			out.Shards += st.Shards
 			out.Elements += st.Elements
@@ -513,7 +576,11 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // verifyMember checks that a member's reported engine matches the range
 // and cluster parameters it serves — the guard that catches an operator
-// pointing a range at a node sized for a different one.
+// pointing a range at a node sized for a different one, and a member
+// whose engine kind was swapped out from under the cluster (e.g. a
+// POST /restore of another kind's snapshot): merging answers across
+// kinds would silently produce garbage, so a mismatched member is
+// reported not-ready instead.
 func (g *Gateway) verifyMember(h server.HealthResponse, rng Range) error {
 	if h.Engine != g.kind {
 		return fmt.Errorf("engine kind %q, cluster is %q", h.Engine, g.kind)
@@ -526,6 +593,9 @@ func (g *Gateway) verifyMember(h server.HealthResponse, rng Range) error {
 	}
 	if h.WitnessTarget != g.target {
 		return fmt.Errorf("witness target %d, cluster has %d", h.WitnessTarget, g.target)
+	}
+	if h.Rungs != g.rungs {
+		return fmt.Errorf("star ladder has %d rungs, cluster has %d", h.Rungs, g.rungs)
 	}
 	return nil
 }

@@ -7,51 +7,97 @@ import (
 )
 
 // The merge rules mirror the engine's own cross-shard query merge
-// (engine.go): ranges partition the universe, so no item can be reported
-// by two members and concatenation is lossless.  The one genuinely new
-// rule is the cross-member tie-break for /best — members are separate
-// processes, so "lowest shard index" has no meaning across them; ties on
-// size break toward the smaller global vertex id, which is deterministic
-// and independent of response arrival order.
+// (runtime.go / starengine.go): ranges partition the universe, so no
+// item can be reported by two members and concatenation is lossless.
+// Two rules are genuinely cluster-level:
+//
+//   - the cross-member tie-break for /best — members are separate
+//     processes, so "lowest shard index" has no meaning across them;
+//     ties on size break toward the smaller global vertex id, which is
+//     deterministic and independent of response arrival order;
+//   - the star rung order — star answers are rung-annotated, and a
+//     higher rung (a larger certified degree guess) always beats a lower
+//     one, exactly as the StarEngine merges its own shards, so merging
+//     over members of merged shards equals merging over everything.
 
-// mergeBest max-selects over per-member best responses whose vertex ids
-// have already been remapped to global.  found is false only if no
-// member reported a neighbourhood.
+// respRung extracts the star ladder rung of a /best response; flat
+// engines' responses carry no rung and sort lowest.
+func respRung(b server.BestResponse) int {
+	if b.Neighbourhood != nil && b.Neighbourhood.Rung != nil {
+		return *b.Neighbourhood.Rung
+	}
+	return -1
+}
+
+// listRung extracts the star ladder rung of a /results list (uniform
+// across the list by construction); empty and flat lists sort lowest.
+func listRung(l []server.NeighbourhoodJSON) int {
+	if len(l) > 0 && l[0].Rung != nil {
+		return *l[0].Rung
+	}
+	return -1
+}
+
+// mergeBest selects over per-member best responses whose vertex ids have
+// already been remapped to global: max rung first (star), then max size,
+// then the smaller global vertex id.  A star winner's rung-specific
+// witness target and guess ride along; flat winners keep the cluster
+// target.  found is false only if no member reported a neighbourhood.
 func mergeBest(target int64, bests []server.BestResponse) server.BestResponse {
 	out := server.BestResponse{WitnessTarget: target}
+	outRung := -1
 	for _, b := range bests {
 		if !b.Found || b.Neighbourhood == nil {
 			continue
 		}
-		if out.Neighbourhood == nil ||
-			b.Neighbourhood.Size > out.Neighbourhood.Size ||
-			(b.Neighbourhood.Size == out.Neighbourhood.Size && b.Neighbourhood.Vertex < out.Neighbourhood.Vertex) {
-			nb := *b.Neighbourhood
-			out.Found, out.Neighbourhood = true, &nb
+		r := respRung(b)
+		better := out.Neighbourhood == nil || r > outRung ||
+			(r == outRung && (b.Neighbourhood.Size > out.Neighbourhood.Size ||
+				(b.Neighbourhood.Size == out.Neighbourhood.Size && b.Neighbourhood.Vertex < out.Neighbourhood.Vertex)))
+		if !better {
+			continue
+		}
+		nb := *b.Neighbourhood
+		out.Found, out.Neighbourhood = true, &nb
+		outRung = r
+		if r >= 0 {
+			out.WitnessTarget, out.Guess = b.WitnessTarget, b.Guess
 		}
 	}
 	return out
 }
 
-// mergeResults concatenates per-member result lists (vertex ids already
-// global) and sorts by vertex id — the cluster-tier analogue of the
-// engine's Results merge.  Ranges are disjoint, so there is nothing to
-// deduplicate.
+// mergeResults merges per-member result lists (vertex ids already
+// global).  Flat lists all concatenate — ranges are disjoint, so there
+// is nothing to deduplicate; star lists are filtered to the highest rung
+// reported by any member first, the StarEngine's own cross-shard rule
+// lifted one tier up.  The result is sorted by vertex id.
 func mergeResults(lists [][]server.NeighbourhoodJSON) []server.NeighbourhoodJSON {
+	maxRung := -1
+	for _, l := range lists {
+		if r := listRung(l); r > maxRung {
+			maxRung = r
+		}
+	}
 	total := 0
 	for _, l := range lists {
-		total += len(l)
+		if listRung(l) == maxRung {
+			total += len(l)
+		}
 	}
 	out := make([]server.NeighbourhoodJSON, 0, total)
 	for _, l := range lists {
-		out = append(out, l...)
+		if listRung(l) == maxRung {
+			out = append(out, l...)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Vertex < out[j].Vertex })
 	return out
 }
 
 // remapBest and remapResults translate a member's range-local vertex ids
-// back to global ids by adding the range's lower bound.
+// back to global ids by adding the range's lower bound.  Star witnesses
+// are global vertex ids already and stay untouched.
 func remapBest(b server.BestResponse, lo int64) server.BestResponse {
 	if b.Found && b.Neighbourhood != nil {
 		nb := *b.Neighbourhood

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"feww"
+	"feww/internal/stream"
+	"feww/server"
+)
+
+// The star equivalence test pins the acceptance criterion of the unified
+// runtime: a cluster of fewwd star members answers fresh star queries
+// byte-identically to a single full-universe StarEngine — at the raw
+// HTTP level, same response bytes for the same stream bytes.
+//
+// The deterministic regime mirrors the insert-only one: alpha = 1 puts
+// every rung's reservoir in the all-candidates regime, so rung r
+// certifies exactly the centers of degree >= guess_r with the first
+// guess_r of their neighbours in sub-stream arrival order — a function
+// of each center's own half-edge sub-stream only, which range routing
+// preserves.  The ladder is derived from the global vertex count M on
+// every member, so rung indices are comparable across any partition.
+
+// startStarCluster boots one full-universe star reference node plus k
+// range members and a gateway.  Per-member seeds and shard counts
+// deliberately differ from the reference.
+func startStarCluster(t *testing.T, n int64, k int) (ref *node, gw *httptest.Server, nodes []*node) {
+	t.Helper()
+	dir := t.TempDir()
+	refEng, err := feww.NewStarEngine(feww.StarEngineConfig{
+		N: n, Alpha: 1, Eps: 0.5, Seed: 42, Shards: 4, BatchSize: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref = startNode(t, server.NewStarBackend(refEng), dir, 99)
+
+	urls := make([]string, k)
+	for j, rng := range Split(n, k) {
+		eng, err := feww.NewStarEngine(feww.StarEngineConfig{
+			N: rng.Len(), M: n, Alpha: 1, Eps: 0.5, Seed: uint64(7 + j),
+			Shards: j + 1, BatchSize: 16 + j,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd := startNode(t, server.NewStarBackend(eng), dir, j)
+		nodes = append(nodes, nd)
+		urls[j] = nd.ts.URL
+	}
+	g, err := New(Config{Members: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref, serveGateway(t, g), nodes
+}
+
+// doubleCover expands undirected edges into the directed half-edge
+// stream the star tier consumes, both orientations back to back.
+func doubleCover(edges [][2]int64) []feww.Update {
+	var out []feww.Update
+	for _, e := range edges {
+		out = append(out, ins(e[0], e[1]), ins(e[1], e[0]))
+	}
+	return out
+}
+
+func TestClusterStarEquivalence(t *testing.T) {
+	const n = 60
+	ref, gw, _ := startStarCluster(t, n, 3)
+
+	// A planted star at vertex 25 with 20 neighbours spread over all
+	// three ranges; lower-degree structure elsewhere.  Ladder over 60
+	// with eps 0.5 is 1,2,3,4,6,8,12,18,27,41 — the winning guess is 18
+	// (rung 7), certified by the first 18 of 25's neighbours in arrival
+	// order.
+	var edges [][2]int64
+	neighbours := []int64{
+		2, 41, 21, 58, 7, 33, 48, 11, 55, 17,
+		39, 3, 29, 51, 9, 44, 23, 13, 36, 57,
+	}
+	for _, v := range neighbours {
+		edges = append(edges, [2]int64{25, v})
+	}
+	// Background: a small star at 50 (degree 4 incl. mirror edges) and
+	// scattered single edges in every range.
+	for _, v := range []int64{1, 12, 31} {
+		edges = append(edges, [2]int64{50, v})
+	}
+	edges = append(edges, [2]int64{5, 45}, [2]int64{28, 59}, [2]int64{40, 8})
+
+	ups := doubleCover(edges)
+	// Several requests so the gateway splits mixed batches repeatedly.
+	for lo := 0; lo < len(ups); lo += 13 {
+		hi := min(lo+13, len(ups))
+		postStream(t, ref.ts.URL, n, n, ups[lo:hi])
+		postStream(t, gw.URL, n, n, ups[lo:hi])
+	}
+
+	body := freshEqual(t, &httptestURL{ref.ts.URL}, &httptestURL{gw.URL}, "/best")
+	var best server.BestResponse
+	if err := json.Unmarshal(body, &best); err != nil {
+		t.Fatal(err)
+	}
+	if !best.Found || best.Neighbourhood.Vertex != 25 {
+		t.Fatalf("best = %s, want the planted center 25", body)
+	}
+	if best.Guess != 18 || best.WitnessTarget != 18 || best.Neighbourhood.Size != 18 {
+		t.Fatalf("best = %s, want guess/target/size 18 (winning rung of degree 20)", body)
+	}
+	if best.Neighbourhood.Rung == nil {
+		t.Fatalf("best = %s, want a rung-annotated star answer", body)
+	}
+	for i, w := range best.Neighbourhood.Witnesses {
+		if w != neighbours[i] {
+			t.Fatalf("witnesses = %v, want the first 18 planted neighbours in order", best.Neighbourhood.Witnesses)
+		}
+	}
+
+	body = freshEqual(t, &httptestURL{ref.ts.URL}, &httptestURL{gw.URL}, "/results")
+	var nbs []server.NeighbourhoodJSON
+	if err := json.Unmarshal(body, &nbs); err != nil {
+		t.Fatal(err)
+	}
+	if len(nbs) != 1 || nbs[0].Vertex != 25 {
+		t.Fatalf("results = %s, want exactly the winning-rung center 25", body)
+	}
+
+	// The gateway must also refuse a deletion for the star tier.
+	var body2 bytes.Buffer
+	if err := stream.WriteFile(&body2, n, n, []feww.Update{del(25, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(gw.URL+"/ingest", "application/octet-stream", &body2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("star gateway accepted a deletion: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestClusterStarRangesMustCoverGraph: star members whose ranges do not
+// sum to the graph's vertex count are refused at construction.
+func TestClusterStarRangesMustCoverGraph(t *testing.T) {
+	dir := t.TempDir()
+	var urls []string
+	for j, nLocal := range []int64{20, 20} { // covers 40 of a 60-vertex graph
+		eng, err := feww.NewStarEngine(feww.StarEngineConfig{
+			N: nLocal, M: 60, Alpha: 1, Seed: uint64(j + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		urls = append(urls, startNode(t, server.NewStarBackend(eng), dir, j).ts.URL)
+	}
+	if _, err := New(Config{Members: urls}); err == nil {
+		t.Fatal("gateway accepted star ranges that do not cover the graph")
+	}
+}

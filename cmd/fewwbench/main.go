@@ -43,12 +43,13 @@ func main() {
 		edges    = flag.Int("edges", 4_000_000, "stream length for the -shards and -mode mixed benchmarks")
 		clients  = flag.Int("clients", 8, "concurrent query clients for -mode mixed")
 		out      = flag.String("out", "BENCH_mixed.json", "machine-readable output path for -mode mixed")
+		baseline = flag.String("baseline", "", "committed BENCH_mixed.json to gate -mode mixed against: fail if published-path queries/s regresses more than 15%")
 	)
 	flag.Parse()
 
 	switch *mode {
 	case "mixed":
-		if err := runMixed(*shards, *clients, *edges, *seed, *out); err != nil {
+		if err := runMixed(*shards, *clients, *edges, *seed, *out, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "fewwbench: %v\n", err)
 			os.Exit(1)
 		}

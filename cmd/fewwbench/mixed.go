@@ -48,8 +48,10 @@ type mixedReport struct {
 	ResultsIdentical bool       `json:"results_identical"`
 }
 
-// runMixed executes both phases and writes the report.
-func runMixed(shards, clients, edgeCount int, seed uint64, outPath string) error {
+// runMixed executes both phases, writes the report, and — when a
+// baseline trajectory point is given — gates the published-path query
+// throughput against it.
+func runMixed(shards, clients, edgeCount int, seed uint64, outPath, baselinePath string) error {
 	const (
 		n     = int64(1) << 18
 		d     = 1000
@@ -182,5 +184,48 @@ func runMixed(shards, clients, edgeCount int, seed uint64, outPath string) error
 		return err
 	}
 	fmt.Printf("wrote %s\n", outPath)
+	if baselinePath != "" {
+		return checkBaseline(rep, baselinePath)
+	}
+	return nil
+}
+
+// maxQueryRegression is how much the published-path query throughput may
+// fall below the committed trajectory point before the bench gate fails.
+// The serving path is the product's hot path; a refactor that costs more
+// than this must be noticed, not archived.
+const maxQueryRegression = 0.15
+
+// checkBaseline compares the fresh report against a committed
+// BENCH_mixed.json and fails on a published-path queries/s regression
+// beyond maxQueryRegression.  The runs must be configured identically —
+// a 2M-edge run gated against a 4M-edge baseline measures the flag
+// difference, not the code — so any workload-parameter mismatch is an
+// explicit error, not a silent misfire.
+func checkBaseline(rep mixedReport, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base mixedReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.Published.QueryRate <= 0 {
+		return fmt.Errorf("baseline %s carries no published query rate", path)
+	}
+	if base.N != rep.N || base.D != rep.D || base.Alpha != rep.Alpha ||
+		base.Edges != rep.Edges || base.Clients != rep.Clients || base.Seed != rep.Seed {
+		return fmt.Errorf("baseline %s was measured with a different configuration (n=%d d=%d alpha=%d edges=%d clients=%d seed=%d; this run: n=%d d=%d alpha=%d edges=%d clients=%d seed=%d) — rerun with matching flags or regenerate the baseline",
+			path, base.N, base.D, base.Alpha, base.Edges, base.Clients, base.Seed,
+			rep.N, rep.D, rep.Alpha, rep.Edges, rep.Clients, rep.Seed)
+	}
+	ratio := rep.Published.QueryRate / base.Published.QueryRate
+	fmt.Printf("baseline %s: published %0.f q/s, now %0.f q/s (%.2fx)\n",
+		path, base.Published.QueryRate, rep.Published.QueryRate, ratio)
+	if ratio < 1-maxQueryRegression {
+		return fmt.Errorf("published-path query throughput regressed %.1f%% against %s (limit %.0f%%)",
+			(1-ratio)*100, path, maxQueryRegression*100)
+	}
 	return nil
 }

@@ -8,7 +8,16 @@
 //
 //	fewwd -n 1000000 -d 5000 -alpha 2 -addr :8080 -checkpoint /var/lib/feww.ckpt
 //	fewwd -restore /var/lib/feww.ckpt -addr :8080 -checkpoint /var/lib/feww.ckpt
-//	fewwd -turnstile -n 100000 -m 400000 -d 500 -scale 0.05 -addr :8080
+//	fewwd -algo turnstile -n 100000 -m 400000 -d 500 -scale 0.05 -addr :8080
+//	fewwd -algo star -n 100000 -eps 0.5 -alpha 2 -addr :8080
+//	fewwd -algo star -n 25000 -m 100000 -addr :8081   (cluster member: 25k-vertex range of a 100k-vertex graph)
+//
+// All three engine kinds are façades over the same sharded runtime, so
+// the endpoint surface, consistency contract (?fresh=1), checkpointing
+// and cluster behaviour are identical; -algo picks the algorithm.  The
+// star engine consumes directed half-edges (cmd/fewwgen -kind star
+// writes the double cover) and answers with the best star: a vertex plus
+// a rung-annotated set of its genuine neighbours.
 //
 // With -restore the engine kind, universe, seed and shard layout all come
 // from the snapshot file; the engine flags are ignored.  On SIGINT/SIGTERM
@@ -37,11 +46,13 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
-		turnstile  = flag.Bool("turnstile", false, "serve the insertion-deletion engine instead of insertion-only")
-		n          = flag.Int64("n", 1_000_000, "item universe size |A|")
-		m          = flag.Int64("m", 0, "witness universe size |B| (turnstile; default 4n)")
-		d          = flag.Int64("d", 5000, "degree/frequency threshold")
+		algo       = flag.String("algo", "", "engine kind: insert (default) | turnstile | star")
+		turnstile  = flag.Bool("turnstile", false, "deprecated alias for -algo turnstile")
+		n          = flag.Int64("n", 1_000_000, "item universe size |A| (star: vertices this node owns as star centers)")
+		m          = flag.Int64("m", 0, "witness universe size |B| (turnstile: default 4n; star: total graph vertices, default n)")
+		d          = flag.Int64("d", 5000, "degree/frequency threshold (unused by star, whose guess ladder covers all degrees)")
 		alpha      = flag.Int("alpha", 2, "approximation factor")
+		eps        = flag.Float64("eps", 0, "star guess-ladder density (0 = 0.5; final ratio is (1+eps)*alpha)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		scale      = flag.Float64("scale", 0, "scale factor (0 = paper constants; turnstile runs usually need 0.01-0.1)")
 		shards     = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
@@ -53,7 +64,19 @@ func main() {
 	)
 	flag.Parse()
 
-	backend, err := buildBackend(*restore, *turnstile, *n, *m, *d, *alpha, *seed, *scale, *shards, *batch, *queue)
+	kind := *algo
+	if kind == "" {
+		kind = "insert"
+		if *turnstile {
+			kind = "turnstile"
+		}
+	} else if *turnstile && kind != "turnstile" {
+		// A migration leftover must fail fast, not silently boot the
+		// -algo kind and surface as ingest 400s later.
+		log.Fatalf("fewwd: -turnstile conflicts with -algo %s (drop the deprecated -turnstile flag)", kind)
+	}
+
+	backend, err := buildBackend(*restore, kind, *n, *m, *d, *alpha, *eps, *seed, *scale, *shards, *batch, *queue)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,7 +124,7 @@ func main() {
 
 // buildBackend restores from a snapshot file or constructs a fresh engine
 // of the requested kind.
-func buildBackend(restore string, turnstile bool, n, m int64, d int64, alpha int, seed uint64, scale float64, shards, batch, queue int) (server.Backend, error) {
+func buildBackend(restore, kind string, n, m, d int64, alpha int, eps float64, seed uint64, scale float64, shards, batch, queue int) (server.Backend, error) {
 	if restore != "" {
 		f, err := os.Open(restore)
 		if err != nil {
@@ -114,7 +137,8 @@ func buildBackend(restore string, turnstile bool, n, m int64, d int64, alpha int
 		}
 		return backend, nil
 	}
-	if turnstile {
+	switch kind {
+	case "turnstile":
 		if m == 0 {
 			m = 4 * n
 		}
@@ -128,13 +152,25 @@ func buildBackend(restore string, turnstile bool, n, m int64, d int64, alpha int
 			return nil, fmt.Errorf("fewwd: %w (turnstile instances usually need -scale 0.01-0.1)", err)
 		}
 		return server.NewTurnstileBackend(eng), nil
+	case "star":
+		eng, err := feww.NewStarEngine(feww.StarEngineConfig{
+			N: n, M: m, Alpha: alpha, Eps: eps, Seed: seed, ScaleFactor: scale,
+			Shards: shards, BatchSize: batch, QueueDepth: queue,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fewwd: %w", err)
+		}
+		return server.NewStarBackend(eng), nil
+	case "insert":
+		eng, err := feww.NewEngine(feww.EngineConfig{
+			Config: feww.Config{N: n, D: d, Alpha: alpha, Seed: seed, ScaleFactor: scale},
+			Shards: shards, BatchSize: batch, QueueDepth: queue,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fewwd: %w", err)
+		}
+		return server.NewInsertOnlyBackend(eng), nil
+	default:
+		return nil, fmt.Errorf("fewwd: unknown -algo %q (want insert, turnstile or star)", kind)
 	}
-	eng, err := feww.NewEngine(feww.EngineConfig{
-		Config: feww.Config{N: n, D: d, Alpha: alpha, Seed: seed, ScaleFactor: scale},
-		Shards: shards, BatchSize: batch, QueueDepth: queue,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fewwd: %w", err)
-	}
-	return server.NewInsertOnlyBackend(eng), nil
 }

@@ -12,6 +12,14 @@
 //	fewwgen -kind zipf -n 5000 -edges 100000 -d 200 -out items.feww
 //	fewwgen -kind churn -n 500 -d 50 -out turnstile.feww
 //	fewwgen -kind social -n 5000 -out friends.feww
+//	fewwgen -kind star -n 2000 -d 300 -out stars.feww       (fewwd -algo star)
+//	fewwgen -kind starchurn -n 2000 -d 300 -out starts.feww (turnstile ladder)
+//
+// The star kinds generate a general n-vertex graph with a planted
+// maximum-degree star, written as the directed double cover (both
+// orientations of every undirected edge), which is what the star tier
+// consumes; starchurn adds insert-then-delete noise, making a turnstile
+// stream for the TurnstileStarDetector.  The stream declares |A| = |B| = n.
 package main
 
 import (
@@ -25,7 +33,7 @@ import (
 
 func main() {
 	var (
-		kind     = flag.String("kind", "planted", "workload: planted | dos | zipf | dblog | churn | social")
+		kind     = flag.String("kind", "planted", "workload: planted | dos | zipf | dblog | churn | social | star | starchurn")
 		n        = flag.Int64("n", 10000, "item universe size |A| (vertices for social)")
 		m        = flag.Int64("m", 0, "witness universe size |B| (default 4n)")
 		d        = flag.Int64("d", 500, "heavy degree / frequency threshold")
@@ -38,6 +46,16 @@ func main() {
 	)
 	flag.Parse()
 
+	if *kind == "star" || *kind == "starchurn" {
+		// Star streams are directed half-edges over one vertex set: the
+		// witness universe IS the vertex universe.  An explicit -m that
+		// disagrees is a misunderstanding to surface, not to overwrite.
+		if *m != 0 && *m != *n {
+			fmt.Fprintf(os.Stderr, "fewwgen: -kind %s: -m %d conflicts with -n %d (star streams have |B| = |A| = n; drop -m)\n", *kind, *m, *n)
+			os.Exit(2)
+		}
+		*m = *n
+	}
 	if *m == 0 {
 		*m = 4 * *n
 	}
@@ -109,6 +127,15 @@ func generate(kind string, n, m, d int64, heavy, edges int, skew float64, maxNoi
 	case "social":
 		ups := workload.SocialGraph(seed, int(n), 4)
 		return &workload.Planted{Updates: ups}, nil
+	case "star":
+		return workload.NewStarGraph(workload.StarGraphConfig{
+			Vertices: n, Degree: d, NoiseEdges: edges, MaxNoise: maxNoise, Seed: seed,
+		})
+	case "starchurn":
+		return workload.NewStarGraph(workload.StarGraphConfig{
+			Vertices: n, Degree: d, NoiseEdges: edges, MaxNoise: maxNoise,
+			Churn: edges / 2, Seed: seed,
+		})
 	default:
 		return nil, fmt.Errorf("unknown kind %q", kind)
 	}

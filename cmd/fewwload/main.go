@@ -11,6 +11,7 @@
 //	fewwload -scenario dos -n 20000 -d 3000 -heavy 3 -edges 80000
 //	fewwload -scenario churn -n 500 -m 2000 -d 50 -edges 2000     (fewwd -turnstile)
 //	fewwload -scenario planted -checkpoint-every 20 -verify
+//	fewwload -scenario star -n 2000 -d 300 -edges 4000      (fewwd -algo star)
 //	fewwload -queryclients 8              # poll /best concurrently during replay
 //	fewwload -queryclients 8 -fresh       # same, on the ?fresh=1 barrier path
 //	fewwload -gateway -addr http://127.0.0.1:9000   # drive a fewwgate cluster
@@ -18,7 +19,11 @@
 // Scenarios: zipf (frequent items in a Zipf tail), planted (heavy
 // vertices in Zipf noise), dos (victims receiving distinct-source
 // floods), churn (planted structure under insert-then-delete noise;
-// requires a turnstile fewwd).
+// requires a turnstile fewwd), star (a general graph with a planted
+// maximum-degree star streamed as directed half-edges; requires
+// fewwd -algo star — or a fewwgate over star members, where the
+// half-edges range-route by center and the merged answer is verified
+// against the planted graph exactly like a single node).
 //
 // With -gateway the target is a fewwgate cluster instead of a single
 // node: the replay is unchanged (the gateway mirrors the fewwd endpoint
@@ -49,7 +54,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", "http://127.0.0.1:8080", "fewwd base URL")
-		scenario  = flag.String("scenario", "zipf", "workload: zipf | planted | dos | churn")
+		scenario  = flag.String("scenario", "zipf", "workload: zipf | planted | dos | churn | star")
 		n         = flag.Int64("n", 100000, "item universe size |A|")
 		m         = flag.Int64("m", 0, "witness universe size |B| (default 4n; zipf uses the stream length)")
 		d         = flag.Int64("d", 2000, "heavy degree / frequency threshold")
@@ -237,6 +242,13 @@ func generate(scenario string, n, m, d int64, heavy, edges int, skew float64, se
 			Seed:       seed,
 		})
 		return inst, n, m, err
+	case "star":
+		// A general graph streamed as its double cover: |A| = |B| = n
+		// vertices, the planted center's degree is the d promise.
+		inst, err := workload.NewStarGraph(workload.StarGraphConfig{
+			Vertices: n, Degree: d, NoiseEdges: edges, MaxNoise: d / 3, Seed: seed,
+		})
+		return inst, n, n, err
 	default:
 		return nil, 0, 0, fmt.Errorf("fewwload: unknown scenario %q", scenario)
 	}

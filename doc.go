@@ -35,18 +35,29 @@
 // (approximately) maximum degree together with its neighbourhood — via a
 // (1+eps) guess ladder (Lemma 3.3, Corollaries 3.4 and 5.5).
 //
-// Engine and TurnstileEngine shard the item universe across P independent
-// instances, each fed batches (ProcessEdges / ProcessUpdates) by its own
+// Engine, TurnstileEngine and StarEngine are three thin façades over one
+// generic sharded runtime (runtime.go): the item universe is partitioned
+// across P independent per-shard algorithm instances, each fed batches
+// (ProcessEdges / ProcessUpdates / ProcessHalfEdges) by its own
 // goroutine, so ingest scales with cores while each shard retains the
 // single-instance guarantees on its slice of the universe; a fixed seed
 // reproduces identical results regardless of scheduling or batch size.
-// Both engines are safe for concurrent producers and queriers.  Queries
+// All engines are safe for concurrent producers and queriers.  Queries
 // are barrier-free by default — each shard publishes an immutable result
 // view after applying batches, so Best/Results/Usage read the latest
 // published epoch without stalling ingest — while the Fresh variants
 // quiesce the shards for strict read-your-writes consistency; see
 // docs/ARCHITECTURE.md ("Query consistency") for the contract.  This is
 // what the network service layer builds on.
+//
+// StarEngine is the star tier: Star Detection at sharded-engine speed.
+// It partitions the Lemma 3.3 guess ladder by (star center, rung) — each
+// shard holds the full (1+eps) ladder over its vertex slice — and
+// consumes the bipartite double cover as directed half-edges, so star
+// streams route and cluster exactly like flat FEwW streams.  Answers are
+// rung-annotated (StarResult: center, neighbours, certifying guess), and
+// the winning-rung merge order is associative, so a cluster of star
+// members answers exactly like one full-universe StarEngine.
 //
 // # Checkpointing
 //
@@ -55,21 +66,24 @@
 // reservoirs, witnesses, sketch cells and RNG streams — so a restored
 // instance continues the very same random stream, and the snapshot bytes
 // are precisely the "message" of the paper's communication protocols
-// (see examples/partitioned).  Engine.Snapshot / RestoreEngine and
-// TurnstileEngine.Snapshot / RestoreTurnstileEngine compose the per-shard
-// snapshots into one container, quiescing the queues first so nothing in
-// flight is lost; see docs/ARCHITECTURE.md for the byte-level formats.
+// (see examples/partitioned).  Every engine's Snapshot / Restore pair
+// (RestoreEngine, RestoreTurnstileEngine, RestoreStarEngine) composes the
+// per-shard snapshots into one FEWWENG1 container — written by the shared
+// runtime, quiescing the queues first so nothing in flight is lost; see
+// docs/ARCHITECTURE.md for the byte-level formats.
 //
 // # The service
 //
-// The feww/server package and cmd/fewwd expose an engine over HTTP —
-// binary stream ingest, live witnessed-neighbourhood queries, stats and
-// checkpoint/restore — and cmd/fewwload replays workload scenarios
-// against it.  One tier up, the feww/cluster package and cmd/fewwgate
-// serve several fewwd nodes as one logical engine: contiguous ranges of
-// the universe, scatter-gather queries with the engine's own merge
-// rules, and range rebalancing by shipping snapshots — the paper's
-// state-as-message protocols operating across machines.  See
+// The feww/server package and cmd/fewwd expose any engine kind over HTTP
+// (fewwd -algo insert|turnstile|star) — binary stream ingest, live
+// witnessed-neighbourhood queries, stats and checkpoint/restore — and
+// cmd/fewwload replays workload scenarios against it (including
+// -scenario star with ground-truth verification).  One tier up, the
+// feww/cluster package and cmd/fewwgate serve several fewwd nodes as one
+// logical engine: contiguous ranges of the universe, scatter-gather
+// queries with the engine's own merge rules (including the star tier's
+// max-over-rungs), and range rebalancing by shipping snapshots — the
+// paper's state-as-message protocols operating across machines.  See
 // docs/OPERATIONS.md for both runbooks.
 //
 // # Quick start

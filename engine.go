@@ -1,4 +1,4 @@
-// The sharded engine lifts the single-threaded FEwW algorithms to a
+// The sharded engines lift the single-threaded FEwW algorithms to a
 // concurrent, batched ingest pipeline.  The paper's one-way communication
 // protocols already prove the state is partition-friendly — a Snapshot is a
 // complete, self-contained message — and a per-item partition is even
@@ -20,6 +20,12 @@
 // with other queries.  The Fresh variants keep the strict barrier
 // semantics: they quiesce the shards and reflect every element fed before
 // the call.
+//
+// All of that machinery lives once, in the generic runtime (runtime.go);
+// this file defines the two flat-engine façades — Engine for
+// insertion-only streams, TurnstileEngine for insertion-deletion streams —
+// each contributing its boundary validation and per-shard core algorithm.
+// StarEngine, the third façade, lives in starengine.go.
 
 package feww
 
@@ -27,7 +33,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 
 	"feww/internal/core"
 	"feww/internal/stream"
@@ -56,6 +61,26 @@ const (
 	defaultQueueDepth = 8
 )
 
+// resolveShardParams applies the shared Shards/BatchSize/QueueDepth
+// defaults and clamps, mutating the fields into the exact parameters the
+// runtime will run with (the form Snapshot persists).
+func resolveShardParams(name string, n int64, shards, batchSize, queueDepth *int) error {
+	if n < 1 {
+		return fmt.Errorf("feww: %s config: N = %d, want >= 1", name, n)
+	}
+	*shards = shardCount(*shards, n, runtime.GOMAXPROCS(0))
+	if *shards < 1 {
+		return fmt.Errorf("feww: %s config: Shards = %d, want >= 1", name, *shards)
+	}
+	if *batchSize <= 0 {
+		*batchSize = defaultBatchSize
+	}
+	if *queueDepth <= 0 {
+		*queueDepth = defaultQueueDepth
+	}
+	return nil
+}
+
 // EngineConfig parameterises the sharded insertion-only engine.  The
 // embedded Config describes the global problem (full universe size N,
 // threshold D, Alpha, master Seed); the engine derives per-shard universes
@@ -74,6 +99,11 @@ type EngineConfig struct {
 	// QueueDepth is the per-shard queue capacity in batches (default 8);
 	// it bounds how far the producer may run ahead of a slow shard.
 	QueueDepth int
+}
+
+// resolve applies defaults and clamps.
+func (cfg *EngineConfig) resolve() error {
+	return resolveShardParams("Engine", cfg.N, &cfg.Shards, &cfg.BatchSize, &cfg.QueueDepth)
 }
 
 // Engine is a sharded, batched front-end to the insertion-only FEwW
@@ -108,28 +138,8 @@ type EngineConfig struct {
 // After Drain or Close the two consistencies coincide.  Queries of either
 // kind remain valid after Close.
 type Engine struct {
-	cfg    EngineConfig
-	shards []*shard
-	f      *fanout[Edge]
-}
-
-// resolve applies defaults and clamps; it mutates the config into the
-// exact parameters the engine will run with (the form Snapshot persists).
-func (cfg *EngineConfig) resolve() error {
-	if cfg.N < 1 {
-		return fmt.Errorf("feww: Engine config: N = %d, want >= 1", cfg.N)
-	}
-	cfg.Shards = shardCount(cfg.Shards, cfg.N, runtime.GOMAXPROCS(0))
-	if cfg.Shards < 1 {
-		return fmt.Errorf("feww: Engine config: Shards = %d, want >= 1", cfg.Shards)
-	}
-	if cfg.BatchSize <= 0 {
-		cfg.BatchSize = defaultBatchSize
-	}
-	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = defaultQueueDepth
-	}
-	return nil
+	cfg EngineConfig
+	rt  *engineRuntime[Edge]
 }
 
 // NewEngine constructs a sharded engine and starts its shard goroutines.
@@ -143,13 +153,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	seeds := xrand.New(cfg.Seed)
 	inners := make([]*core.InsertOnly, cfg.Shards)
 	for i := range inners {
-		inner, err := core.NewInsertOnly(core.InsertOnlyConfig{
-			N:           (cfg.N - int64(i) + p - 1) / p,
-			D:           cfg.D,
-			Alpha:       cfg.Alpha,
-			Seed:        seeds.Uint64(),
-			ScaleFactor: cfg.ScaleFactor,
-		})
+		inner, err := core.NewInsertOnly(cfg.shardConfig(i, p, seeds.Uint64()))
 		if err != nil {
 			return nil, fmt.Errorf("feww: Engine shard %d: %w", i, err)
 		}
@@ -158,45 +162,38 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	return newEngineFromInners(cfg, inners), nil
 }
 
+// shardConfig derives shard i's InsertOnly configuration from the
+// resolved engine configuration; snapshot restore verifies shard
+// snapshots against exactly this derivation.
+func (cfg *EngineConfig) shardConfig(i int, p int64, seed uint64) core.InsertOnlyConfig {
+	return core.InsertOnlyConfig{
+		N:           shardUniverse(cfg.N, p, i),
+		D:           cfg.D,
+		Alpha:       cfg.Alpha,
+		Seed:        seed,
+		ScaleFactor: cfg.ScaleFactor,
+	}
+}
+
 // newEngineFromInners assembles the engine around existing per-shard
 // algorithm instances — freshly constructed by NewEngine, or restored
 // from a snapshot by RestoreEngine — and starts the shard goroutines.
-// Each shard's epoch-0 view is published before any worker starts, so the
-// barrier-free query path is valid from the first instant (and, after a
-// restore, already reflects the restored state).
 func newEngineFromInners(cfg EngineConfig, inners []*core.InsertOnly) *Engine {
-	p := int64(cfg.Shards)
-	shards := make([]*shard, cfg.Shards)
-	apply := make([]func([]Edge), cfg.Shards)
-	publish := make([]func(), cfg.Shards)
+	algos := make([]shardAlgo[Edge], len(inners))
 	for i, inner := range inners {
-		sh := &shard{idx: i, stride: p, inner: inner}
-		sh.view.Store(&publishedView{View: inner.View()})
-		shards[i] = sh
-		// The worker remaps the batch to local ids in place (it owns the
-		// buffer) and feeds the batched path of the inner algorithm.
-		apply[i] = func(batch []stream.Edge) {
-			for j := range batch {
-				batch[j].A = sh.local(batch[j].A)
-			}
-			sh.inner.ProcessEdges(batch)
-		}
-		// Only shard i's worker calls this, so the read-modify-write of
-		// the epoch counter is single-writer and the inner state is quiet.
-		publish[i] = func() {
-			sh.view.Store(&publishedView{View: sh.inner.View(), Epoch: sh.view.Load().Epoch + 1})
-		}
+		algos[i] = insertOnlyAlgo{inner}
 	}
 	return &Engine{
-		cfg:    cfg,
-		shards: shards,
-		f: newFanout("Engine", cfg.BatchSize, cfg.QueueDepth,
-			func(e Edge) int64 { return e.A }, apply, publish),
+		cfg: cfg,
+		rt: newRuntime("Engine", cfg.BatchSize, cfg.QueueDepth, engineSnapHeaderBytes,
+			func(e Edge) int64 { return e.A },
+			func(e *Edge, a int64) { e.A = a },
+			algos),
 	}
 }
 
 // Shards returns the number of partitions in use.
-func (e *Engine) Shards() int { return len(e.shards) }
+func (e *Engine) Shards() int { return len(e.rt.shards) }
 
 // Config returns the resolved configuration the engine runs with:
 // defaults applied, shard count clamped.  It is also the configuration a
@@ -227,7 +224,7 @@ func (e *Engine) ProcessEdge(a, b int64) error {
 	if err := e.checkEdge(0, 1, a, b); err != nil {
 		return err
 	}
-	return e.f.add(Edge{A: a, B: b})
+	return e.rt.f.add(Edge{A: a, B: b})
 }
 
 // ProcessEdges feeds a batch of occurrences in order.  The slice is copied
@@ -240,65 +237,40 @@ func (e *Engine) ProcessEdges(edges []Edge) error {
 			return err
 		}
 	}
-	return e.f.addBatch(edges)
+	return e.rt.f.addBatch(edges)
 }
 
 // Flush hands every buffered edge to its shard queue without waiting for
 // the shards to apply them.  The published views catch up as soon as the
 // workers drain the handed-off batches.
-func (e *Engine) Flush() error { return e.f.flush() }
+func (e *Engine) Flush() error { return e.rt.f.flush() }
 
 // Drain flushes and blocks until every shard has applied everything queued
 // so far; afterwards all previously fed edges are reflected in queries of
 // both consistencies (the workers republish before acknowledging).
-func (e *Engine) Drain() error { return e.f.drain() }
+func (e *Engine) Drain() error { return e.rt.f.drain() }
 
 // Close flushes buffered edges, waits for the shards to apply them, and
 // stops the shard goroutines.  The engine stays queryable after Close
 // (the final published epochs reflect the complete stream); feeding
 // further edges returns ErrClosed.  Close is idempotent.
-func (e *Engine) Close() { e.f.close() }
+func (e *Engine) Close() { e.rt.f.close() }
 
 // Closed reports whether Close has run — i.e. whether the engine still
 // accepts the stream.  Queries remain valid either way; the service
 // health probe exposes this as its serving flag.
-func (e *Engine) Closed() bool { return e.f.isClosed() }
+func (e *Engine) Closed() bool { return e.rt.f.isClosed() }
 
 // Result returns a frequent item with at least ceil(D/Alpha) witnesses
 // from the latest published epochs, or ErrNoWitness if no shard has
 // published one.  The choice is deterministic: the smallest-id frequent
 // item of the lowest-index shard holding one — the same selection
 // ResultFresh makes, so the two consistencies agree on quiescent state.
-func (e *Engine) Result() (Neighbourhood, error) {
-	for _, sh := range e.shards {
-		if v := sh.view.Load(); len(v.Results) > 0 {
-			nb := v.Results[0]
-			nb.A = sh.global(nb.A)
-			return nb, nil
-		}
-	}
-	return Neighbourhood{}, ErrNoWitness
-}
+func (e *Engine) Result() (Neighbourhood, error) { return e.rt.result(false) }
 
 // ResultFresh is Result under the strict barrier: it quiesces the shards
-// first, so the answer reflects every edge fed before the call.  It
-// selects like Result — the smallest-id frequent item of the
-// lowest-index shard holding one — so published and fresh answers
-// coincide once the shards are drained.
-func (e *Engine) ResultFresh() (Neighbourhood, error) {
-	nb, err := Neighbourhood{}, error(ErrNoWitness)
-	e.f.query(func() {
-		for _, sh := range e.shards {
-			if results := sh.inner.Results(); len(results) > 0 {
-				got := results[0]
-				got.A = sh.global(got.A)
-				nb, err = got, nil
-				return
-			}
-		}
-	})
-	return nb, err
-}
+// first, so the answer reflects every edge fed before the call.
+func (e *Engine) ResultFresh() (Neighbourhood, error) { return e.rt.result(true) }
 
 // Results returns every distinct frequent element in the latest published
 // epochs, sorted by global item id.  The per-item partition guarantees no
@@ -307,129 +279,55 @@ func (e *Engine) ResultFresh() (Neighbourhood, error) {
 // The returned neighbourhoods stay valid forever, but their witness
 // slices are shared with the published view (and with other callers on
 // the same epoch) — treat them as read-only.
-func (e *Engine) Results() []Neighbourhood {
-	var out []Neighbourhood
-	for _, sh := range e.shards {
-		for _, nb := range sh.view.Load().Results {
-			nb.A = sh.global(nb.A)
-			out = append(out, nb)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].A < out[j].A })
-	return out
-}
+func (e *Engine) Results() []Neighbourhood { return e.rt.results(false) }
 
-// ResultsFresh is Results under the strict barrier; witnesses are
-// returned exactly as the owning shard collected them.
-func (e *Engine) ResultsFresh() []Neighbourhood {
-	var out []Neighbourhood
-	e.f.query(func() {
-		for _, sh := range e.shards {
-			for _, nb := range sh.inner.Results() {
-				nb.A = sh.global(nb.A)
-				out = append(out, nb)
-			}
-		}
-	})
-	sort.Slice(out, func(i, j int) bool { return out[i].A < out[j].A })
-	return out
-}
+// ResultsFresh is Results under the strict barrier.
+func (e *Engine) ResultsFresh() []Neighbourhood { return e.rt.results(true) }
 
 // Best max-selects the largest neighbourhood across the latest published
 // epochs, even if below the ceil(D/Alpha) target; found is false only if
 // no shard has published anything.  Ties break toward the lower shard
 // index.  Barrier-free; see Results.
-func (e *Engine) Best() (Neighbourhood, bool) {
-	var best Neighbourhood
-	found := false
-	for _, sh := range e.shards {
-		if v := sh.view.Load(); v.BestOK && (!found || v.Best.Size() > best.Size()) {
-			nb := v.Best
-			nb.A = sh.global(nb.A)
-			best, found = nb, true
-		}
-	}
-	return best, found
-}
+func (e *Engine) Best() (Neighbourhood, bool) { return e.rt.best(false) }
 
 // BestFresh is Best under the strict barrier.
-func (e *Engine) BestFresh() (Neighbourhood, bool) {
-	var best Neighbourhood
-	found := false
-	e.f.query(func() {
-		for _, sh := range e.shards {
-			if nb, ok := sh.inner.Best(); ok && (!found || nb.Size() > best.Size()) {
-				nb.A = sh.global(nb.A)
-				best, found = nb, true
-			}
-		}
-	})
-	return best, found
-}
+func (e *Engine) BestFresh() (Neighbourhood, bool) { return e.rt.best(true) }
 
 // WitnessTarget returns ceil(D/Alpha), the guaranteed output size.
-func (e *Engine) WitnessTarget() int64 { return e.shards[0].inner.WitnessTarget() }
+func (e *Engine) WitnessTarget() int64 { return e.rt.witnessTarget() }
 
 // EdgesProcessed returns the number of edges fed to the engine.  The
 // counter is maintained on the producer side, so no shard synchronisation
 // is needed: polling it mid-stream is free.
-func (e *Engine) EdgesProcessed() int64 { return e.f.count.Load() }
+func (e *Engine) EdgesProcessed() int64 { return e.rt.f.count.Load() }
 
 // QueueDepths samples the number of batches waiting in each shard queue.
 // A persistently full queue (== the configured QueueDepth) marks the
 // shard as the ingest bottleneck — typically an item-skew hot spot.  The
 // numbers are instantaneous: no barrier is taken, so they may be stale by
 // the time they are read.
-func (e *Engine) QueueDepths() []int { return e.f.queueDepths() }
+func (e *Engine) QueueDepths() []int { return e.rt.f.queueDepths() }
 
 // ViewEpochs reports each shard's published epoch number — 0 before the
 // first publication, then incremented every time the shard's worker
 // republishes its view.  Monotonically non-decreasing per shard; a shard
 // whose epoch stops advancing under load is applying batches without ever
 // idling (publication coalesces under backlog).
-func (e *Engine) ViewEpochs() []uint64 {
-	epochs := make([]uint64, len(e.shards))
-	for i, sh := range e.shards {
-		epochs[i] = sh.view.Load().Epoch
-	}
-	return epochs
-}
+func (e *Engine) ViewEpochs() []uint64 { return e.rt.viewEpochs() }
 
 // SpaceWords reports the state size summed over the latest published
 // epochs.  Sharding pays the O(n log n) degree-table term once in total
 // (each shard tracks only its own items) while the n^(1/Alpha) reservoir
 // term is paid per shard on a universe P times smaller.
-func (e *Engine) SpaceWords() int {
-	words := 0
-	for _, sh := range e.shards {
-		words += sh.view.Load().SpaceWords
-	}
-	return words
-}
+func (e *Engine) SpaceWords() int { return e.rt.spaceWords(false) }
 
 // SpaceWordsFresh is SpaceWords under the strict barrier.
-func (e *Engine) SpaceWordsFresh() int {
-	words := 0
-	e.f.query(func() {
-		for _, sh := range e.shards {
-			words += sh.inner.SpaceWords()
-		}
-	})
-	return words
-}
+func (e *Engine) SpaceWordsFresh() int { return e.rt.spaceWords(true) }
 
 // Usage reports SpaceWords and SnapshotSize from the latest published
 // epochs — what a periodic stats poll should call, since it costs a few
 // atomic loads and never quiesces the shards.
-func (e *Engine) Usage() (spaceWords, snapshotBytes int) {
-	snapshotBytes = engineSnapHeaderBytes
-	for _, sh := range e.shards {
-		v := sh.view.Load()
-		spaceWords += v.SpaceWords
-		snapshotBytes += 8 + v.SnapshotBytes
-	}
-	return spaceWords, snapshotBytes
-}
+func (e *Engine) Usage() (spaceWords, snapshotBytes int) { return e.rt.usage(false) }
 
 // TurnstileEngineConfig parameterises the sharded insertion-deletion
 // engine.  MaxSamplers in the embedded config caps each shard separately.
@@ -442,6 +340,11 @@ type TurnstileEngineConfig struct {
 	QueueDepth int
 }
 
+// resolve applies defaults and clamps, mirroring EngineConfig.resolve.
+func (cfg *TurnstileEngineConfig) resolve() error {
+	return resolveShardParams("TurnstileEngine", cfg.N, &cfg.Shards, &cfg.BatchSize, &cfg.QueueDepth)
+}
+
 // TurnstileEngine is the sharded front-end to the insertion-deletion FEwW
 // algorithm: the same per-item partition and batched hand-off as Engine,
 // with per-shard InsertDelete instances.  The same concurrency,
@@ -450,27 +353,8 @@ type TurnstileEngineConfig struct {
 // order, queries barrier-free against published epochs by default with
 // Fresh variants for the strict barrier.
 type TurnstileEngine struct {
-	cfg    TurnstileEngineConfig
-	shards []*tShard
-	f      *fanout[Update]
-}
-
-// resolve applies defaults and clamps, mirroring EngineConfig.resolve.
-func (cfg *TurnstileEngineConfig) resolve() error {
-	if cfg.N < 1 {
-		return fmt.Errorf("feww: TurnstileEngine config: N = %d, want >= 1", cfg.N)
-	}
-	cfg.Shards = shardCount(cfg.Shards, cfg.N, runtime.GOMAXPROCS(0))
-	if cfg.Shards < 1 {
-		return fmt.Errorf("feww: TurnstileEngine config: Shards = %d, want >= 1", cfg.Shards)
-	}
-	if cfg.BatchSize <= 0 {
-		cfg.BatchSize = defaultBatchSize
-	}
-	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = defaultQueueDepth
-	}
-	return nil
+	cfg TurnstileEngineConfig
+	rt  *engineRuntime[Update]
 }
 
 // NewTurnstileEngine constructs a sharded turnstile engine and starts its
@@ -484,15 +368,7 @@ func NewTurnstileEngine(cfg TurnstileEngineConfig) (*TurnstileEngine, error) {
 	seeds := xrand.New(cfg.Seed)
 	inners := make([]*core.InsertDelete, cfg.Shards)
 	for i := range inners {
-		inner, err := core.NewInsertDelete(core.InsertDeleteConfig{
-			N:           (cfg.N - int64(i) + p - 1) / p,
-			M:           cfg.M,
-			D:           cfg.D,
-			Alpha:       cfg.Alpha,
-			Seed:        seeds.Uint64(),
-			ScaleFactor: cfg.ScaleFactor,
-			MaxSamplers: cfg.MaxSamplers,
-		})
+		inner, err := core.NewInsertDelete(cfg.shardConfig(i, p, seeds.Uint64()))
 		if err != nil {
 			return nil, fmt.Errorf("feww: TurnstileEngine shard %d: %w", i, err)
 		}
@@ -501,38 +377,38 @@ func NewTurnstileEngine(cfg TurnstileEngineConfig) (*TurnstileEngine, error) {
 	return newTurnstileFromInners(cfg, inners), nil
 }
 
+// shardConfig derives shard i's InsertDelete configuration; see
+// (*EngineConfig).shardConfig.
+func (cfg *TurnstileEngineConfig) shardConfig(i int, p int64, seed uint64) core.InsertDeleteConfig {
+	return core.InsertDeleteConfig{
+		N:           shardUniverse(cfg.N, p, i),
+		M:           cfg.M,
+		D:           cfg.D,
+		Alpha:       cfg.Alpha,
+		Seed:        seed,
+		ScaleFactor: cfg.ScaleFactor,
+		MaxSamplers: cfg.MaxSamplers,
+	}
+}
+
 // newTurnstileFromInners assembles the engine around existing per-shard
-// instances and starts the shard goroutines; epoch-0 views are published
-// before any worker starts, as in newEngineFromInners.
+// instances and starts the shard goroutines.
 func newTurnstileFromInners(cfg TurnstileEngineConfig, inners []*core.InsertDelete) *TurnstileEngine {
-	p := int64(cfg.Shards)
-	shards := make([]*tShard, cfg.Shards)
-	apply := make([]func([]Update), cfg.Shards)
-	publish := make([]func(), cfg.Shards)
+	algos := make([]shardAlgo[Update], len(inners))
 	for i, inner := range inners {
-		sh := &tShard{idx: i, stride: p, inner: inner}
-		sh.view.Store(&publishedView{View: inner.View()})
-		shards[i] = sh
-		apply[i] = func(batch []stream.Update) {
-			for j := range batch {
-				batch[j].A = sh.local(batch[j].A)
-			}
-			sh.inner.ApplyUpdates(batch)
-		}
-		publish[i] = func() {
-			sh.view.Store(&publishedView{View: sh.inner.View(), Epoch: sh.view.Load().Epoch + 1})
-		}
+		algos[i] = turnstileAlgo{inner}
 	}
 	return &TurnstileEngine{
-		cfg:    cfg,
-		shards: shards,
-		f: newFanout("TurnstileEngine", cfg.BatchSize, cfg.QueueDepth,
-			func(u Update) int64 { return u.A }, apply, publish),
+		cfg: cfg,
+		rt: newRuntime("TurnstileEngine", cfg.BatchSize, cfg.QueueDepth, turnstileSnapHeaderBytes,
+			func(u Update) int64 { return u.A },
+			func(u *Update, a int64) { u.A = a },
+			algos),
 	}
 }
 
 // Shards returns the number of partitions in use.
-func (e *TurnstileEngine) Shards() int { return len(e.shards) }
+func (e *TurnstileEngine) Shards() int { return len(e.rt.shards) }
 
 // Config returns the resolved configuration the engine runs with; see
 // (*Engine).Config.
@@ -562,7 +438,7 @@ func (e *TurnstileEngine) Insert(a, b int64) error {
 	if err := e.checkUpdate(0, 1, u); err != nil {
 		return err
 	}
-	return e.f.add(u)
+	return e.rt.f.add(u)
 }
 
 // Delete feeds the deletion of edge (a, b); the edge must currently exist
@@ -572,7 +448,7 @@ func (e *TurnstileEngine) Delete(a, b int64) error {
 	if err := e.checkUpdate(0, 1, u); err != nil {
 		return err
 	}
-	return e.f.add(u)
+	return e.rt.f.add(u)
 }
 
 // ProcessUpdates feeds a batch of signed updates in order.  The slice is
@@ -584,104 +460,55 @@ func (e *TurnstileEngine) ProcessUpdates(ups []Update) error {
 			return err
 		}
 	}
-	return e.f.addBatch(ups)
+	return e.rt.f.addBatch(ups)
 }
 
 // Flush hands every buffered update to its shard queue without waiting.
-func (e *TurnstileEngine) Flush() error { return e.f.flush() }
+func (e *TurnstileEngine) Flush() error { return e.rt.f.flush() }
 
 // Drain flushes and blocks until every shard has applied everything queued.
-func (e *TurnstileEngine) Drain() error { return e.f.drain() }
+func (e *TurnstileEngine) Drain() error { return e.rt.f.drain() }
 
 // Close flushes, waits for the shards to drain, and stops them.  The
 // engine stays queryable after Close; feeding further updates returns
 // ErrClosed.  Close is idempotent.
-func (e *TurnstileEngine) Close() { e.f.close() }
+func (e *TurnstileEngine) Close() { e.rt.f.close() }
 
 // Closed reports whether Close has run; see (*Engine).Closed.
-func (e *TurnstileEngine) Closed() bool { return e.f.isClosed() }
+func (e *TurnstileEngine) Closed() bool { return e.rt.f.isClosed() }
 
 // Result returns a frequent item of the final graph with at least
 // ceil(D/Alpha) live witnesses from the latest published epochs, or
 // ErrNoWitness if no shard has published one.  Shards are consulted in
 // index order.  Barrier-free; see (*Engine).Results for the contract.
-func (e *TurnstileEngine) Result() (Neighbourhood, error) {
-	for _, sh := range e.shards {
-		if v := sh.view.Load(); len(v.Results) > 0 {
-			nb := v.Results[0]
-			nb.A = sh.global(nb.A)
-			return nb, nil
-		}
-	}
-	return Neighbourhood{}, ErrNoWitness
-}
+func (e *TurnstileEngine) Result() (Neighbourhood, error) { return e.rt.result(false) }
 
 // ResultFresh is Result under the strict barrier: it quiesces the shards
 // first, so the answer reflects every update fed before the call.
-func (e *TurnstileEngine) ResultFresh() (Neighbourhood, error) {
-	nb, err := Neighbourhood{}, error(ErrNoWitness)
-	e.f.query(func() {
-		for _, sh := range e.shards {
-			if got, gotErr := sh.inner.Result(); gotErr == nil {
-				got.A = sh.global(got.A)
-				nb, err = got, nil
-				return
-			}
-		}
-	})
-	return nb, err
-}
+func (e *TurnstileEngine) ResultFresh() (Neighbourhood, error) { return e.rt.result(true) }
 
 // WitnessTarget returns ceil(D/Alpha).
-func (e *TurnstileEngine) WitnessTarget() int64 { return e.shards[0].inner.WitnessTarget() }
+func (e *TurnstileEngine) WitnessTarget() int64 { return e.rt.witnessTarget() }
 
 // UpdatesProcessed returns the number of updates fed to the engine.  The
 // counter is maintained on the producer side, so polling it is free.
-func (e *TurnstileEngine) UpdatesProcessed() int64 { return e.f.count.Load() }
+func (e *TurnstileEngine) UpdatesProcessed() int64 { return e.rt.f.count.Load() }
 
 // QueueDepths samples the number of batches waiting in each shard queue;
 // see (*Engine).QueueDepths.
-func (e *TurnstileEngine) QueueDepths() []int { return e.f.queueDepths() }
+func (e *TurnstileEngine) QueueDepths() []int { return e.rt.f.queueDepths() }
 
 // ViewEpochs reports each shard's published epoch number; see
 // (*Engine).ViewEpochs.
-func (e *TurnstileEngine) ViewEpochs() []uint64 {
-	epochs := make([]uint64, len(e.shards))
-	for i, sh := range e.shards {
-		epochs[i] = sh.view.Load().Epoch
-	}
-	return epochs
-}
+func (e *TurnstileEngine) ViewEpochs() []uint64 { return e.rt.viewEpochs() }
 
 // SpaceWords reports the state size summed over the latest published
 // epochs; barrier-free.
-func (e *TurnstileEngine) SpaceWords() int {
-	words := 0
-	for _, sh := range e.shards {
-		words += sh.view.Load().SpaceWords
-	}
-	return words
-}
+func (e *TurnstileEngine) SpaceWords() int { return e.rt.spaceWords(false) }
 
 // SpaceWordsFresh is SpaceWords under the strict barrier.
-func (e *TurnstileEngine) SpaceWordsFresh() int {
-	words := 0
-	e.f.query(func() {
-		for _, sh := range e.shards {
-			words += sh.inner.SpaceWords()
-		}
-	})
-	return words
-}
+func (e *TurnstileEngine) SpaceWordsFresh() int { return e.rt.spaceWords(true) }
 
 // Usage reports SpaceWords and SnapshotSize from the latest published
 // epochs; see (*Engine).Usage.
-func (e *TurnstileEngine) Usage() (spaceWords, snapshotBytes int) {
-	snapshotBytes = turnstileSnapHeaderBytes
-	for _, sh := range e.shards {
-		v := sh.view.Load()
-		spaceWords += v.SpaceWords
-		snapshotBytes += 8 + v.SnapshotBytes
-	}
-	return spaceWords, snapshotBytes
-}
+func (e *TurnstileEngine) Usage() (spaceWords, snapshotBytes int) { return e.rt.usage(false) }

@@ -35,6 +35,65 @@ type StarDetector struct {
 	runs    []Algorithm
 }
 
+// MinStarEps is the smallest accepted ladder density.  The ladder loop
+// runs ~log_{1+eps}(maxDeg) iterations, so a vanishingly small eps makes
+// the *derivation itself* unbounded work (and below ~2^-52 the float
+// product 1*(1+eps) rounds to 1 and never terminates at all) — and eps
+// values that small buy nothing: the approximation ratio (1+eps)*alpha
+// is indistinguishable from alpha long before this floor.  Validation
+// enforces the floor so a hostile snapshot header cannot stall a
+// restoring server.
+const MinStarEps = 1e-4
+
+// StarGuesses returns the (1+eps) guess ladder of Lemma 3.3 for maximum
+// degrees up to maxDeg: the distinct values ceil((1+eps)^i) in [1, maxDeg],
+// ascending.  Every star-detection container — the single-threaded
+// StarDetector and the sharded StarShard alike — derives its rungs from
+// this one function, so a cluster of shards over the same maxDeg agrees on
+// the ladder no matter how the vertex universe is partitioned.
+func StarGuesses(maxDeg int64, eps float64) ([]int64, error) {
+	if maxDeg < 1 {
+		return nil, fmt.Errorf("core: StarGuesses with maxDeg = %d", maxDeg)
+	}
+	// The comparison is written so NaN fails it (NaN >= x is false), and
+	// Inf is rejected explicitly: either would keep the ladder loop below
+	// from ever reaching its exit condition — a corrupt snapshot header
+	// must fail validation, not hang the restorer.
+	if !(eps >= MinStarEps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("core: StarGuesses with eps = %g, want a finite value >= %g", eps, MinStarEps)
+	}
+	// Cap the ceiling at 2^62: degrees beyond it are unreachable in any
+	// stream, and the cap keeps every float-to-int64 conversion below
+	// exact in-range values — a maxDeg near MaxInt64 (e.g. a hostile
+	// snapshot header's M) would otherwise overflow the conversion into
+	// implementation-specific garbage and stall the loop.  All callers
+	// over one graph derive the ladder through this same cap, so shards
+	// and members stay consistent.
+	if maxDeg > 1<<62 {
+		maxDeg = 1 << 62
+	}
+	var guesses []int64
+	prev := int64(0)
+	for g := 1.0; ; g *= 1 + eps {
+		// Compare in float space first: g may be far above the int64
+		// range (huge eps sends it to +Inf), where converting would be
+		// undefined; once past the ceiling the ladder is done either way.
+		if g > float64(maxDeg) {
+			break
+		}
+		guess := int64(math.Ceil(g))
+		if guess <= prev {
+			continue
+		}
+		if guess > maxDeg {
+			break
+		}
+		guesses = append(guesses, guess)
+		prev = guess
+	}
+	return guesses, nil
+}
+
 // NewStarDetector builds the guess ladder for an n-vertex general graph.
 // eps > 0 controls the ladder density (and the extra (1+eps) approximation
 // loss); factory builds the per-guess FEwW algorithm.
@@ -42,26 +101,18 @@ func NewStarDetector(n int64, eps float64, factory AlgorithmFactory) (*StarDetec
 	if n < 1 {
 		return nil, fmt.Errorf("core: NewStarDetector with n = %d", n)
 	}
-	if eps <= 0 {
-		return nil, fmt.Errorf("core: NewStarDetector with eps = %f, want > 0", eps)
+	guesses, err := StarGuesses(n, eps)
+	if err != nil {
+		return nil, fmt.Errorf("core: NewStarDetector: %w", err)
 	}
 	sd := &StarDetector{n: n}
-	prev := int64(0)
-	for g := 1.0; ; g *= 1 + eps {
-		guess := int64(math.Ceil(g))
-		if guess <= prev {
-			continue
-		}
-		if guess > n {
-			break
-		}
+	for _, guess := range guesses {
 		algo, err := factory(guess)
 		if err != nil {
 			return nil, fmt.Errorf("core: StarDetector guess %d: %w", guess, err)
 		}
 		sd.guesses = append(sd.guesses, guess)
 		sd.runs = append(sd.runs, algo)
-		prev = guess
 	}
 	return sd, nil
 }

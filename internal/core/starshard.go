@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"feww/internal/stream"
+	"feww/internal/xrand"
+)
+
+// StarShard is one shard's slice of a sharded Star Detection ladder: the
+// full (1+eps) guess ladder of Lemma 3.3 instantiated over a sub-universe
+// of star centers.  Where the single-threaded StarDetector owns the whole
+// vertex set and mirrors each undirected edge itself, a StarShard consumes
+// already-directed half-edges (a, b) — "center candidate a gained
+// neighbour b" — whose center ids have been remapped into [0, N) by the
+// engine's shard router; the bipartite double cover is materialised
+// upstream (by the stream producer or the engine's undirected feed), so a
+// half-edge lands in exactly the one shard owning its center.
+//
+// Every rung is an unmodified InsertOnly instance with threshold
+// D = Guesses[rung] on the shard's sub-universe.  The per-item degree
+// promise transfers exactly as for the flat engines, and the ladder is
+// shared (StarGuesses over the *global* degree ceiling), so merging shard
+// answers is a max over rung indices — the sharded analogue of the
+// StarDetector's scan from the largest guess down.
+type StarShard struct {
+	cfg  StarShardConfig
+	runs []*InsertOnly
+}
+
+// StarShardConfig parameterises one shard of a sharded star ladder.
+type StarShardConfig struct {
+	// N is the shard's star-center sub-universe size.
+	N int64
+	// Guesses is the global ladder, from StarGuesses(maxDeg, eps); it is
+	// identical across all shards of one engine (and all members of one
+	// cluster), which is what makes rung indices comparable in the merge.
+	Guesses []int64
+	// Alpha is the per-guess FEwW approximation factor (>= 1).
+	Alpha int
+	// Seed derives the per-rung seeds; distinct shards get distinct seeds
+	// from their engine.
+	Seed uint64
+	// ScaleFactor scales every rung's reservoir (see InsertOnlyConfig).
+	ScaleFactor float64
+}
+
+func (cfg *StarShardConfig) validate() error {
+	if cfg.N < 1 {
+		return fmt.Errorf("core: StarShard config: N = %d, want >= 1", cfg.N)
+	}
+	if len(cfg.Guesses) == 0 {
+		return fmt.Errorf("core: StarShard config: empty guess ladder")
+	}
+	prev := int64(0)
+	for i, g := range cfg.Guesses {
+		if g <= prev {
+			return fmt.Errorf("core: StarShard config: guess[%d] = %d not ascending from %d", i, g, prev)
+		}
+		prev = g
+	}
+	return nil
+}
+
+// rungConfig derives rung i's InsertOnly configuration; restore verifies
+// shard snapshots against exactly this derivation.
+func (cfg *StarShardConfig) rungConfig(i int, seed uint64) InsertOnlyConfig {
+	return InsertOnlyConfig{
+		N:           cfg.N,
+		D:           cfg.Guesses[i],
+		Alpha:       cfg.Alpha,
+		Seed:        seed,
+		ScaleFactor: cfg.ScaleFactor,
+	}
+}
+
+// NewStarShard builds the ladder: one InsertOnly run per guess, seeds
+// derived from cfg.Seed.
+func NewStarShard(cfg StarShardConfig) (*StarShard, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	seeds := xrand.New(cfg.Seed)
+	ss := &StarShard{cfg: cfg, runs: make([]*InsertOnly, len(cfg.Guesses))}
+	for i := range ss.runs {
+		run, err := NewInsertOnly(cfg.rungConfig(i, seeds.Uint64()))
+		if err != nil {
+			return nil, fmt.Errorf("core: StarShard rung %d (guess %d): %w", i, cfg.Guesses[i], err)
+		}
+		ss.runs[i] = run
+	}
+	return ss, nil
+}
+
+// Config returns the configuration the shard was built (or restored) with.
+func (ss *StarShard) Config() StarShardConfig { return ss.cfg }
+
+// Guesses returns the ladder, for reporting.
+func (ss *StarShard) Guesses() []int64 { return ss.cfg.Guesses }
+
+// ProcessEdges feeds a batch of directed half-edges, in order, to every
+// rung.  The rungs are mutually independent, so iterating rung-major
+// commutes with the edge order exactly as in InsertOnly.ProcessEdges.
+func (ss *StarShard) ProcessEdges(edges []stream.Edge) {
+	for _, run := range ss.runs {
+		run.ProcessEdges(edges)
+	}
+}
+
+// EdgesProcessed returns the number of half-edges consumed.
+func (ss *StarShard) EdgesProcessed() int64 { return ss.runs[0].EdgesProcessed() }
+
+// WitnessTarget returns the topmost rung's target ceil(maxGuess/alpha) —
+// the static upper bound on any answer's guaranteed size, identical on
+// every shard (and every cluster member) built over the same ladder.
+func (ss *StarShard) WitnessTarget() int64 { return ss.runs[len(ss.runs)-1].WitnessTarget() }
+
+// View builds the shard's immutable query surface: the scan from the
+// largest guess down, stopping at the first rung with a full-target
+// result.  Results then holds every neighbourhood that rung certified
+// (deep-copied, sorted by center id — each of size exactly the rung's
+// target), Best its first (smallest center id), and Rung/Guess/Target
+// identify the rung so cross-shard and cross-member merges can compare
+// ladders.  An untouched shard publishes Rung == -1 with BestOK false.
+func (ss *StarShard) View() View {
+	v := ss.QueryResults()
+	v.SpaceWords = ss.SpaceWords()
+	v.SnapshotBytes = ss.SnapshotSize()
+	v.Elements = ss.EdgesProcessed()
+	if len(v.Results) > 0 {
+		cloned := make([]Neighbourhood, len(v.Results))
+		for j, nb := range v.Results {
+			cloned[j] = cloneNeighbourhood(nb)
+		}
+		v.Results = cloned
+		v.Best = v.Results[0]
+	}
+	return v
+}
+
+// QueryResults is the barrier-read form of View — the same winning-rung
+// scan without the deep copies or size accounting; see
+// (*InsertOnly).QueryBest for the contract.  The winning rung is probed
+// with the cheap Result (first success) before its full Results set is
+// aggregated.
+func (ss *StarShard) QueryResults() View {
+	v := View{Rung: -1}
+	for i := len(ss.runs) - 1; i >= 0; i-- {
+		if _, err := ss.runs[i].Result(); err != nil {
+			continue
+		}
+		results := ss.runs[i].Results()
+		v.Rung, v.Guess, v.Target = i, ss.cfg.Guesses[i], ss.runs[i].WitnessTarget()
+		v.Results = results
+		v.Best, v.BestOK = results[0], true
+		break
+	}
+	return v
+}
+
+// QueryBest is the Best half of the barrier read.  The shard's best is
+// its winning rung's smallest-id center — Results[0] of that rung — so
+// the winning rung's result set is aggregated either way; only the
+// deep copies are skipped.
+func (ss *StarShard) QueryBest() View {
+	v := ss.QueryResults()
+	v.Results = nil
+	return v
+}
+
+// SpaceWords sums the live state of every rung.
+func (ss *StarShard) SpaceWords() int {
+	words := 0
+	for _, run := range ss.runs {
+		words += run.SpaceWords()
+	}
+	return words
+}
+
+// Snapshot writes the shard's complete state: each rung's InsertOnly
+// snapshot, length-prefixed, in ladder order.  The ladder itself is not
+// serialised — it is derived from the restoring container's configuration
+// and cross-checked against every rung snapshot.
+func (ss *StarShard) Snapshot(w io.Writer) error {
+	enc := &encoder{w: w}
+	for _, run := range ss.runs {
+		enc.i64(int64(run.SnapshotSize()))
+		if enc.err == nil {
+			enc.err = run.Snapshot(w)
+		}
+	}
+	return enc.err
+}
+
+// SnapshotSize returns the exact byte length Snapshot would write.
+func (ss *StarShard) SnapshotSize() int {
+	size := 0
+	for _, run := range ss.runs {
+		size += 8 + run.SnapshotSize()
+	}
+	return size
+}
+
+// RestoreStarShard reads a snapshot written by Snapshot and returns a
+// shard that continues exactly where the snapshotted one stopped.  cfg
+// must be the configuration the restoring container derived for this
+// shard; every rung snapshot is verified against it, so a snapshot from a
+// different ladder, universe slice or seed fails as ErrBadSnapshot
+// instead of silently corrupting the rung/center mapping.
+func RestoreStarShard(r io.Reader, cfg StarShardConfig) (*StarShard, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	seeds := xrand.New(cfg.Seed)
+	dec := &decoder{r: r}
+	ss := &StarShard{cfg: cfg, runs: make([]*InsertOnly, len(cfg.Guesses))}
+	for i := range ss.runs {
+		size := dec.i64()
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if size < 0 {
+			return nil, fmt.Errorf("%w: rung %d snapshot length %d", ErrBadSnapshot, i, size)
+		}
+		lr := io.LimitReader(r, size)
+		run, err := RestoreInsertOnly(lr)
+		if err != nil {
+			return nil, fmt.Errorf("rung %d: %w", i, err)
+		}
+		if left, _ := io.Copy(io.Discard, lr); left != 0 {
+			return nil, fmt.Errorf("%w: rung %d snapshot has %d trailing bytes", ErrBadSnapshot, i, left)
+		}
+		if got, want := run.Config(), cfg.rungConfig(i, seeds.Uint64()); got != want {
+			return nil, fmt.Errorf("%w: rung %d config %+v does not match ladder derivation %+v",
+				ErrBadSnapshot, i, got, want)
+		}
+		ss.runs[i] = run
+	}
+	// The ladder length is derived from cfg, not the bytes: a snapshot of
+	// a longer ladder must fail here rather than leave rungs unread.
+	if n, _ := r.Read(make([]byte, 1)); n != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes after %d rungs", ErrBadSnapshot, len(cfg.Guesses))
+	}
+	return ss, nil
+}

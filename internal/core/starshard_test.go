@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"feww/internal/stream"
+)
+
+// starShardConfig builds a small deterministic shard: alpha = 1 keeps
+// every rung in the all-candidates regime, so the view depends only on
+// the half-edge sub-streams.
+func starShardConfig(t *testing.T, n, maxDeg int64) StarShardConfig {
+	t.Helper()
+	guesses, err := StarGuesses(maxDeg, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return StarShardConfig{N: n, Guesses: guesses, Alpha: 1, Seed: 7}
+}
+
+// directedStar returns the half-edges of a planted star: center c gains
+// neighbours base..base+deg-1.
+func directedStar(c int64, deg int64, base int64) []stream.Edge {
+	out := make([]stream.Edge, 0, deg)
+	for j := int64(0); j < deg; j++ {
+		out = append(out, stream.Edge{A: c, B: base + j})
+	}
+	return out
+}
+
+func TestStarGuessesLadder(t *testing.T) {
+	guesses, err := StarGuesses(20, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 3, 4, 6, 8, 12, 18}
+	if !reflect.DeepEqual(guesses, want) {
+		t.Fatalf("StarGuesses(20, 0.5) = %v, want %v", guesses, want)
+	}
+	if _, err := StarGuesses(0, 0.5); err == nil {
+		t.Fatal("StarGuesses(0, ...) accepted")
+	}
+	// Every non-positive, non-finite or vanishingly small eps must be
+	// rejected: NaN passes naive `eps <= 0` checks, Inf stalls the ladder
+	// at its first rung, and eps below the floor makes the derivation
+	// itself unbounded work (below ~2^-52 the float product never grows
+	// at all) — each would hang the loop instead of erroring (a hostile
+	// snapshot header reaches this code via RestoreStarEngine).
+	for _, eps := range []float64{0, -1, 1e-17, 1e-9, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := StarGuesses(10, eps); err == nil {
+			t.Fatalf("StarGuesses(10, %g) accepted", eps)
+		}
+	}
+	// A ceiling near MaxInt64 (a hostile header's M) must terminate: the
+	// conversion-overflow region is capped away, and a huge eps that
+	// sends the float product to +Inf breaks out before converting.
+	for _, tc := range []struct {
+		maxDeg int64
+		eps    float64
+	}{
+		{math.MaxInt64, 0.5},
+		{math.MaxInt64, 1e300},
+		{1 << 62, 0.5},
+	} {
+		guesses, err := StarGuesses(tc.maxDeg, tc.eps)
+		if err != nil || len(guesses) == 0 {
+			t.Fatalf("StarGuesses(%d, %g) = %d rungs, %v", tc.maxDeg, tc.eps, len(guesses), err)
+		}
+		if top := guesses[len(guesses)-1]; top < 1 || top > tc.maxDeg {
+			t.Fatalf("StarGuesses(%d, %g) top rung %d out of range", tc.maxDeg, tc.eps, top)
+		}
+	}
+}
+
+func TestStarShardViewPicksHighestRung(t *testing.T) {
+	cfg := starShardConfig(t, 8, 20)
+	ss, err := NewStarShard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty shard: no rung has anything.
+	if v := ss.View(); v.Rung != -1 || v.BestOK || len(v.Results) != 0 {
+		t.Fatalf("empty shard view = %+v, want rung -1 and no results", v)
+	}
+
+	// Center 3 reaches degree 13: the winning rung is the largest guess
+	// <= 13, i.e. guess 12 at rung index 6, certified with 12 witnesses
+	// (alpha = 1).  Center 5 reaches degree 4 — certified at rung 3 only,
+	// so it must NOT appear in the winning rung's results.
+	ss.ProcessEdges(directedStar(3, 13, 100))
+	ss.ProcessEdges(directedStar(5, 4, 300))
+
+	v := ss.View()
+	if v.Rung != 6 || v.Guess != 12 || v.Target != 12 {
+		t.Fatalf("view rung/guess/target = %d/%d/%d, want 6/12/12", v.Rung, v.Guess, v.Target)
+	}
+	if !v.BestOK || v.Best.A != 3 || v.Best.Size() != 12 {
+		t.Fatalf("view best = %+v, want center 3 with 12 witnesses", v.Best)
+	}
+	if len(v.Results) != 1 || v.Results[0].A != 3 {
+		t.Fatalf("view results = %+v, want exactly center 3", v.Results)
+	}
+	for i, w := range v.Best.Witnesses {
+		if w != 100+int64(i) {
+			t.Fatalf("witnesses = %v, want the first 12 in arrival order", v.Best.Witnesses)
+		}
+	}
+}
+
+func TestStarShardSnapshotRoundTrip(t *testing.T) {
+	cfg := starShardConfig(t, 8, 20)
+	ss, err := NewStarShard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := directedStar(2, 7, 50)
+	post := directedStar(2, 6, 57)
+	ss.ProcessEdges(pre)
+
+	var snap bytes.Buffer
+	if err := ss.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != ss.SnapshotSize() {
+		t.Fatalf("snapshot wrote %d bytes, SnapshotSize said %d", snap.Len(), ss.SnapshotSize())
+	}
+
+	restored, err := RestoreStarShard(bytes.NewReader(snap.Bytes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Continue both and compare the full view byte-for-byte.
+	ss.ProcessEdges(post)
+	restored.ProcessEdges(post)
+	if got, want := restored.View(), ss.View(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored continuation diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	// A snapshot restored against a different ladder must be refused.
+	other := cfg
+	other.Guesses = other.Guesses[:len(other.Guesses)-1]
+	if _, err := RestoreStarShard(bytes.NewReader(snap.Bytes()), other); err == nil {
+		t.Fatal("RestoreStarShard accepted a mismatched ladder")
+	}
+	wrongSeed := cfg
+	wrongSeed.Seed++
+	if _, err := RestoreStarShard(bytes.NewReader(snap.Bytes()), wrongSeed); err == nil {
+		t.Fatal("RestoreStarShard accepted a mismatched seed derivation")
+	}
+}

@@ -22,6 +22,15 @@ type View struct {
 	// Elements is the number of stream elements applied when the view was
 	// built (edges for InsertOnly, updates for InsertDelete).
 	Elements int64
+	// Rung, Guess and Target describe a star-ladder view (StarShard): Rung
+	// is the index of the highest ladder rung holding a full-target result
+	// (-1 when none has one yet), Guess the rung's degree guess Delta', and
+	// Target its witness target ceil(Guess/Alpha) — the size every
+	// neighbourhood in Results then has.  Non-ladder views (InsertOnly,
+	// InsertDelete) always carry Rung == -1, Guess == 0, Target == 0.
+	Rung   int
+	Guess  int64
+	Target int64
 }
 
 // cloneNeighbourhood deep-copies a neighbourhood so the returned value
@@ -30,6 +39,49 @@ func cloneNeighbourhood(nb Neighbourhood) Neighbourhood {
 	w := make([]int64, len(nb.Witnesses))
 	copy(w, nb.Witnesses)
 	return Neighbourhood{A: nb.A, Witnesses: w}
+}
+
+// QueryBest and QueryResults build the two halves of a View's query
+// surface — Best/BestOK and Results respectively, plus the star rung
+// fields — without the deep copies or the snapshot-size/space
+// accounting View performs, and without computing the half the caller
+// did not ask for.  They are what the runtime's fresh (barrier) queries
+// read: the caller holds the barrier for the duration of the read,
+// witness slices alias live state exactly as the single-threaded
+// algorithms hand them out, and the skipped fields stay zero.
+// Publication must keep using View: a published view outlives the
+// barrier and must share no memory with the mutating owner.
+func (io_ *InsertOnly) QueryBest() View {
+	v := View{Rung: -1}
+	if nb, ok := io_.Best(); ok {
+		v.Best, v.BestOK = nb, true
+	}
+	return v
+}
+
+// QueryResults is the Results half of the barrier read; see QueryBest.
+func (io_ *InsertOnly) QueryResults() View {
+	return View{Rung: -1, Results: io_.Results()}
+}
+
+// QueryBest is the barrier-read form of View's Best half; the turnstile
+// algorithm only certifies full-target neighbourhoods, so both halves
+// derive from Result.
+func (id *InsertDelete) QueryBest() View {
+	v := View{Rung: -1}
+	if nb, err := id.Result(); err == nil {
+		v.Best, v.BestOK = nb, true
+	}
+	return v
+}
+
+// QueryResults is the Results half of the barrier read; see QueryBest.
+func (id *InsertDelete) QueryResults() View {
+	v := View{Rung: -1}
+	if nb, err := id.Result(); err == nil {
+		v.Results = []Neighbourhood{nb}
+	}
+	return v
 }
 
 // View builds an immutable snapshot of the instance's query surface.  It
@@ -41,6 +93,7 @@ func (io_ *InsertOnly) View() View {
 		SpaceWords:    io_.SpaceWords(),
 		SnapshotBytes: io_.SnapshotSize(),
 		Elements:      io_.edges,
+		Rung:          -1,
 	}
 	if nb, ok := io_.Best(); ok {
 		v.Best, v.BestOK = cloneNeighbourhood(nb), true
@@ -65,6 +118,7 @@ func (id *InsertDelete) View() View {
 		SpaceWords:    id.SpaceWords(),
 		SnapshotBytes: id.SnapshotSize(),
 		Elements:      id.updates,
+		Rung:          -1,
 	}
 	if nb, err := id.Result(); err == nil {
 		v.Best, v.BestOK = nb, true

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+
+	"feww/internal/stream"
+	"feww/internal/xrand"
+)
+
+// StarGraphConfig describes a general n-vertex graph with one planted
+// maximum-degree star — the Star Detection workload (paper Problem 2).
+// The generated stream is the bipartite double cover materialised: every
+// undirected edge {u, v} appears as the two directed half-edges (u, v)
+// and (v, u), back to back, which is exactly what the star tier (the
+// StarEngine, fewwd -algo star, and a fewwgate star cluster) consumes —
+// half-edges route by their center like any other FEwW stream.
+type StarGraphConfig struct {
+	// Vertices is the vertex universe size n; the stream declares
+	// |A| = |B| = n.
+	Vertices int64
+	// Degree is the planted center's exact degree Delta — the unique
+	// maximum degree of the final graph.
+	Degree int64
+	// NoiseEdges is the number of undirected background edges.
+	NoiseEdges int
+	// MaxNoise caps every non-center vertex's final degree
+	// (0 = Degree/2); it must stay below Degree so the planted center is
+	// the unique maximum.
+	MaxNoise int64
+	// Churn adds this many extra undirected edges that are inserted and
+	// later deleted again — net zero in the final graph.  A non-zero
+	// Churn makes the stream a turnstile stream (Corollary 5.5 territory:
+	// TurnstileStarDetector); zero keeps it insertion-only, servable by
+	// the star engine tier.
+	Churn int
+	// Seed makes the instance reproducible.
+	Seed uint64
+}
+
+// NewStarGraph generates a planted-star general-graph instance.  The
+// returned Planted carries the ground truth in directed half-edge form:
+// HeavyA holds the planted center, and Truth contains both orientations
+// of every final live edge, so Verify(center, witnesses) checks served
+// star witnesses exactly like the bipartite scenarios.
+func NewStarGraph(cfg StarGraphConfig) (*Planted, error) {
+	if cfg.Vertices < 3 {
+		return nil, fmt.Errorf("workload: star: Vertices=%d, want >= 3", cfg.Vertices)
+	}
+	if cfg.Degree < 1 || cfg.Degree >= cfg.Vertices {
+		return nil, fmt.Errorf("workload: star: Degree=%d with Vertices=%d", cfg.Degree, cfg.Vertices)
+	}
+	maxNoise := cfg.MaxNoise
+	if maxNoise == 0 {
+		maxNoise = cfg.Degree / 2
+	}
+	if maxNoise >= cfg.Degree {
+		return nil, fmt.Errorf("workload: star: MaxNoise=%d must stay below Degree=%d", maxNoise, cfg.Degree)
+	}
+
+	rng := xrand.New(cfg.Seed)
+	p := &Planted{Truth: make(map[stream.Edge]bool)}
+
+	// The center and its Degree distinct neighbours.
+	center := rng.Int64n(cfg.Vertices)
+	p.HeavyA = []int64{center}
+	deg := make(map[int64]int64) // final undirected degree per vertex
+	var undirected [][2]int64
+	addEdge := func(u, v int64) {
+		undirected = append(undirected, [2]int64{u, v})
+		p.Truth[stream.Edge{A: u, B: v}] = true
+		p.Truth[stream.Edge{A: v, B: u}] = true
+		deg[u]++
+		deg[v]++
+	}
+	for _, w := range rng.Subset(int(cfg.Vertices-1), int(cfg.Degree)) {
+		// Map [0, n-1) onto [0, n) \ {center}.
+		v := int64(w)
+		if v >= center {
+			v++
+		}
+		addEdge(center, v)
+	}
+
+	// Noise: uniform undirected edges between non-center vertices, under
+	// the degree cap and without duplicates, so no vertex approaches the
+	// planted maximum.
+	attempts := 0
+	planted := len(undirected)
+	for len(undirected)-planted < cfg.NoiseEdges && attempts < 20*cfg.NoiseEdges+100 {
+		attempts++
+		u, v := rng.Int64n(cfg.Vertices), rng.Int64n(cfg.Vertices)
+		if u == v || u == center || v == center {
+			continue
+		}
+		if deg[u] >= maxNoise || deg[v] >= maxNoise {
+			continue
+		}
+		if p.Truth[stream.Edge{A: u, B: v}] {
+			continue
+		}
+		addEdge(u, v)
+	}
+
+	// Churn: extra edges between non-center vertices, inserted now and
+	// deleted at the tail — absent from Truth (they are not live at the
+	// end) and invisible to the final degrees.
+	var churn [][2]int64
+	attempts = 0
+	for len(churn) < cfg.Churn && attempts < 20*cfg.Churn+100 {
+		attempts++
+		u, v := rng.Int64n(cfg.Vertices), rng.Int64n(cfg.Vertices)
+		if u == v || u == center || v == center {
+			continue
+		}
+		if p.Truth[stream.Edge{A: u, B: v}] || p.Truth[stream.Edge{A: v, B: u}] {
+			continue
+		}
+		// Mark as used so churn edges stay distinct; unmarked again below.
+		p.Truth[stream.Edge{A: u, B: v}] = true
+		p.Truth[stream.Edge{A: v, B: u}] = true
+		churn = append(churn, [2]int64{u, v})
+	}
+	for _, e := range churn {
+		delete(p.Truth, stream.Edge{A: e[0], B: e[1]})
+		delete(p.Truth, stream.Edge{A: e[1], B: e[0]})
+	}
+
+	// Arrival order: live and churn insertions shuffled together (each
+	// undirected edge's two orientations kept adjacent), churn deletions
+	// at the tail in random order.
+	inserts := make([][2]int64, 0, len(undirected)+len(churn))
+	inserts = append(inserts, undirected...)
+	inserts = append(inserts, churn...)
+	rng.Shuffle(len(inserts), func(i, j int) { inserts[i], inserts[j] = inserts[j], inserts[i] })
+	for _, e := range inserts {
+		p.Updates = append(p.Updates, stream.Ins(e[0], e[1]), stream.Ins(e[1], e[0]))
+	}
+	rng.Shuffle(len(churn), func(i, j int) { churn[i], churn[j] = churn[j], churn[i] })
+	for _, e := range churn {
+		p.Updates = append(p.Updates, stream.Del(e[0], e[1]), stream.Del(e[1], e[0]))
+	}
+	return p, nil
+}

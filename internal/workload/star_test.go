@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"testing"
+
+	"feww/internal/stream"
+)
+
+func TestStarGraphInsertOnly(t *testing.T) {
+	const n, deg = 200, 30
+	inst, err := NewStarGraph(StarGraphConfig{
+		Vertices: n, Degree: deg, NoiseEdges: 150, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.HeavyA) != 1 {
+		t.Fatalf("HeavyA = %v, want exactly the planted center", inst.HeavyA)
+	}
+	center := inst.HeavyA[0]
+
+	// The stream is a valid insertion-only simple-graph stream over the
+	// doubled universe |A| = |B| = n.
+	if i, err := stream.Validate(inst.Updates, n, n); err != nil {
+		t.Fatalf("update %d: %v", i, err)
+	}
+	st := stream.Summarize(inst.Updates)
+	if st.Deletes != 0 {
+		t.Fatalf("insert-only variant carries %d deletes", st.Deletes)
+	}
+	// Each undirected edge appears as both orientations, so the directed
+	// A-degree equals the undirected degree.
+	v, d := stream.MaxDegree(inst.Updates)
+	if v != center || d != deg {
+		t.Fatalf("max degree = vertex %d at %d, want planted center %d at %d", v, d, center, deg)
+	}
+	// Every noise vertex stays below the default cap deg/2.
+	for vtx, dd := range stream.Degrees(inst.Updates) {
+		if vtx != center && dd >= deg/2+1 {
+			t.Fatalf("noise vertex %d reached degree %d (cap %d)", vtx, dd, deg/2)
+		}
+	}
+	// Ground truth carries both orientations of every live edge.
+	count := 0
+	for e := range inst.Truth {
+		count++
+		if !inst.Truth[stream.Edge{A: e.B, B: e.A}] {
+			t.Fatalf("truth is not symmetric: %v present, mirror absent", e)
+		}
+	}
+	if count != st.LiveEdges {
+		t.Fatalf("truth has %d directed edges, stream materialises %d", count, st.LiveEdges)
+	}
+}
+
+func TestStarGraphChurnVariant(t *testing.T) {
+	const n, deg = 120, 20
+	inst, err := NewStarGraph(StarGraphConfig{
+		Vertices: n, Degree: deg, NoiseEdges: 60, Churn: 40, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := inst.HeavyA[0]
+	if i, err := stream.Validate(inst.Updates, n, n); err != nil {
+		t.Fatalf("update %d: %v", i, err)
+	}
+	st := stream.Summarize(inst.Updates)
+	if st.Deletes == 0 {
+		t.Fatal("churn variant carries no deletes")
+	}
+	if st.Deletes != 2*40 {
+		t.Fatalf("churn variant has %d deletes, want %d (both orientations of every churn edge)", st.Deletes, 2*40)
+	}
+	// The churn cancels: final degrees are as if it never happened.
+	v, d := stream.MaxDegree(inst.Updates)
+	if v != center || d != deg {
+		t.Fatalf("max final degree = vertex %d at %d, want center %d at %d", v, d, center, deg)
+	}
+	// No churn edge survives into the ground truth.
+	live := stream.Materialize(inst.Updates)
+	if len(live) != len(inst.Truth) {
+		t.Fatalf("truth has %d directed edges, stream materialises %d", len(inst.Truth), len(live))
+	}
+	for e := range live {
+		if !inst.Truth[e] {
+			t.Fatalf("live edge %v missing from truth", e)
+		}
+	}
+}

@@ -7,7 +7,12 @@
 #   3. checkpoint the cluster, kill one node with SIGKILL,
 #   4. observe the gateway report the degradation,
 #   5. restart the node from its checkpoint file,
-#   6. assert the cluster's fresh results reconverge byte-for-byte.
+#   6. assert the cluster's fresh results reconverge byte-for-byte,
+#   7. star tier: boot three fewwd -algo star range members behind a
+#      gateway plus one full-universe star node, replay the same planted
+#      star workload into both (ground-truth verified), and assert the
+#      cluster's fresh /best and /results are byte-identical to the
+#      single node's (the alpha=1 deterministic regime).
 #
 # Usage: scripts/cluster_e2e.sh   (from anywhere inside the repo)
 set -euo pipefail
@@ -74,4 +79,30 @@ echo "== asserting fresh results reconverged byte-for-byte"
 curl -fsS "$GATE/results?fresh=1" >"$workdir/after.json"
 diff "$workdir/before.json" "$workdir/after.json"
 
-echo "PASS: cluster served, survived a node kill, and reconverged after restore"
+echo "== star tier: 3 fewwd -algo star members + gateway vs one full-universe star node"
+SGATE=http://127.0.0.1:9414
+SINGLE=http://127.0.0.1:9410
+# Seeds and shard counts deliberately differ everywhere: with alpha=1 the
+# star answers depend only on each center's half-edge sub-stream.
+"$bins/fewwd" -algo star -addr 127.0.0.1:9410 -n $N -alpha 1 -seed 21 -shards 2 >"$workdir/s-single.log" 2>&1 &
+"$bins/fewwd" -algo star -addr 127.0.0.1:9411 -n 300 -m $N -alpha 1 -seed 22 -shards 1 >"$workdir/s0.log" 2>&1 &
+"$bins/fewwd" -algo star -addr 127.0.0.1:9412 -n 300 -m $N -alpha 1 -seed 23 -shards 2 >"$workdir/s1.log" 2>&1 &
+"$bins/fewwd" -algo star -addr 127.0.0.1:9413 -n 300 -m $N -alpha 1 -seed 24 -shards 3 >"$workdir/s2.log" 2>&1 &
+"$bins/fewwgate" -addr 127.0.0.1:9414 \
+    -members http://127.0.0.1:9411,http://127.0.0.1:9412,http://127.0.0.1:9413 \
+    -wait 30s >"$workdir/sgate.log" 2>&1 &
+wait_http "$SINGLE/healthz" 200
+wait_http "$SGATE/healthz" 200
+
+echo "== replaying the same planted star workload into both (with ground-truth verify)"
+"$bins/fewwload" -addr "$SINGLE" -scenario star -n $N -d $D -edges 3000 -reqsize 500 -verify
+"$bins/fewwload" -gateway -addr "$SGATE" -scenario star -n $N -d $D -edges 3000 -reqsize 500 -verify
+
+echo "== asserting the star cluster answers byte-identically to the single node"
+for path in "best?fresh=1" "results?fresh=1"; do
+    curl -fsS "$SINGLE/$path" >"$workdir/star-single.json"
+    curl -fsS "$SGATE/$path" >"$workdir/star-cluster.json"
+    diff "$workdir/star-single.json" "$workdir/star-cluster.json"
+done
+
+echo "PASS: cluster served, survived a node kill, reconverged after restore, and the star tier matched a single engine byte-for-byte"

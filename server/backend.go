@@ -8,10 +8,11 @@ import (
 	"feww"
 )
 
-// Backend is the engine surface fewwd serves: either the insertion-only
-// Engine or the TurnstileEngine behind one adapter interface.  Both
-// engines are internally safe for concurrent use, so Backend methods may
-// be called from any number of request handlers at once.
+// Backend is the engine surface fewwd serves: the insertion-only Engine,
+// the TurnstileEngine, or the StarEngine behind one adapter interface.
+// All engines are façades over the same generic sharded runtime and are
+// internally safe for concurrent use, so Backend methods may be called
+// from any number of request handlers at once.
 //
 // Queries take a fresh flag selecting the consistency: false reads the
 // shards' latest published result epochs (barrier-free — never stalls
@@ -20,23 +21,27 @@ import (
 // takes the strict barrier and reflects every update accepted before
 // the call.
 type Backend interface {
-	// Kind is "insert-only" or "turnstile", reported by /stats.
+	// Kind is "insert-only", "turnstile" or "star", reported by /stats
+	// and /healthz (where the cluster gateway verifies it per member).
 	Kind() string
 	// Ingest applies a batch of updates in order.  The engine validates
 	// every update against its universe before feeding anything, so a
 	// rejected batch leaves the engine untouched; the error wraps
 	// feww.ErrOutOfUniverse for out-of-range elements, feww.ErrInvalidOp
 	// for a bad op, and feww.ErrClosed when the engine is shutting down.
+	// Star backends consume the stream as directed half-edges (the
+	// double cover is materialised by the producer).
 	Ingest(ups []feww.Update) error
 	// Flush hands buffered updates to the shard queues without waiting,
 	// bounding how far the published epochs lag a completed request.
 	Flush()
 	// Best returns the largest neighbourhood collected so far (for the
-	// turnstile engine: the Result neighbourhood, which is only available
-	// once it reaches the witness target).
-	Best(fresh bool) (feww.Neighbourhood, bool)
-	// Results returns every full-target neighbourhood found.
-	Results(fresh bool) []feww.Neighbourhood
+	// turnstile engine: the Result neighbourhood; for the star engine:
+	// the best star, rung-annotated).
+	Best(fresh bool) BestAnswer
+	// Results returns every full-target neighbourhood found (for the
+	// star engine: every center certified at the winning rung).
+	Results(fresh bool) ResultsAnswer
 	// Processed returns the number of stream elements accepted.
 	Processed() int64
 	// Shards, QueueDepths, ViewEpochs, WitnessTarget and Usage feed the
@@ -48,10 +53,11 @@ type Backend interface {
 	WitnessTarget() int64
 	Usage(fresh bool) (spaceWords, snapshotBytes int)
 	// Universe reports the configured universe sizes: the item universe n
-	// and, for the turnstile engine, the witness universe m (0 for the
-	// insertion-only engine, whose witnesses are unbounded).  The /healthz
-	// endpoint reports both so a cluster gateway can verify a member's
-	// engine matches the range it is supposed to serve.
+	// and the witness universe m (0 for the insertion-only engine, whose
+	// witnesses are unbounded; the global vertex count for the star
+	// engine).  The /healthz endpoint reports both so a cluster gateway
+	// can verify a member's engine matches the range it is supposed to
+	// serve.
 	Universe() (n, m int64)
 	// Closed reports whether the engine has stopped accepting the stream
 	// (Close has run); queries stay valid either way.
@@ -62,13 +68,81 @@ type Backend interface {
 	Close()
 }
 
+// BestAnswer is a backend's /best reply.  WitnessTarget is the target
+// the answer is judged against: the engine's static ceil(D/Alpha) for
+// the flat engines; for the star engine the winning rung's target when
+// Found, the ladder ceiling otherwise.  Rung and Guess annotate star
+// answers with the certifying ladder position; Rung is -1 for the flat
+// engines.
+type BestAnswer struct {
+	Neighbourhood feww.Neighbourhood
+	Found         bool
+	WitnessTarget int64
+	Rung          int
+	Guess         int64
+}
+
+// ResultsAnswer is a backend's /results reply; Rung and Guess are -1/0
+// for the flat engines, the winning rung for the star engine.
+type ResultsAnswer struct {
+	Neighbourhoods []feww.Neighbourhood
+	Rung           int
+	Guess          int64
+}
+
+// engineOps is the surface every engine façade shares, courtesy of the
+// generic runtime; commonBackend adapts it once so the per-kind backends
+// carry only the methods that genuinely differ (kind, ingest validation,
+// and the query merge shape).
+type engineOps interface {
+	Flush() error
+	Shards() int
+	QueueDepths() []int
+	ViewEpochs() []uint64
+	WitnessTarget() int64
+	Usage() (int, int)
+	UsageFresh() (int, int)
+	Closed() bool
+	Snapshot(w io.Writer) error
+	Close()
+}
+
+type commonBackend struct {
+	ops engineOps
+}
+
+func (b commonBackend) Flush()                     { b.ops.Flush() }
+func (b commonBackend) Shards() int                { return b.ops.Shards() }
+func (b commonBackend) QueueDepths() []int         { return b.ops.QueueDepths() }
+func (b commonBackend) ViewEpochs() []uint64       { return b.ops.ViewEpochs() }
+func (b commonBackend) WitnessTarget() int64       { return b.ops.WitnessTarget() }
+func (b commonBackend) Closed() bool               { return b.ops.Closed() }
+func (b commonBackend) Snapshot(w io.Writer) error { return b.ops.Snapshot(w) }
+func (b commonBackend) Close()                     { b.ops.Close() }
+func (b commonBackend) Usage(fresh bool) (int, int) {
+	if fresh {
+		return b.ops.UsageFresh()
+	}
+	return b.ops.Usage()
+}
+
 // NewInsertOnlyBackend wraps a sharded insertion-only engine.
-func NewInsertOnlyBackend(e *feww.Engine) Backend { return &insertBackend{e} }
+func NewInsertOnlyBackend(e *feww.Engine) Backend {
+	return &insertBackend{commonBackend{e}, e}
+}
 
 // NewTurnstileBackend wraps a sharded insertion-deletion engine.
-func NewTurnstileBackend(e *feww.TurnstileEngine) Backend { return &turnstileBackend{e} }
+func NewTurnstileBackend(e *feww.TurnstileEngine) Backend {
+	return &turnstileBackend{commonBackend{e}, e}
+}
+
+// NewStarBackend wraps a sharded star-detection engine.
+func NewStarBackend(e *feww.StarEngine) Backend {
+	return &starBackend{commonBackend{e}, e}
+}
 
 type insertBackend struct {
+	commonBackend
 	e *feww.Engine
 }
 
@@ -78,52 +152,38 @@ func (b *insertBackend) Ingest(ups []feww.Update) error {
 	// The op check lives here (the edge type the engine feeds on has no
 	// sign); universe validation is the engine's own boundary check, so a
 	// hostile id can never reach the shard router no matter who calls.
-	for i, u := range ups {
-		if u.Op != feww.Insert {
-			return fmt.Errorf("update %d of %d: %v: insertion-only engine cannot apply deletions (run the service in turnstile mode)", i, len(ups), u)
-		}
-	}
-	edges := make([]feww.Edge, len(ups))
-	for i, u := range ups {
-		edges[i] = u.Edge
+	edges, err := insertEdges(ups, "insertion-only engine")
+	if err != nil {
+		return err
 	}
 	return b.e.ProcessEdges(edges)
 }
 
-func (b *insertBackend) Flush() { b.e.Flush() }
-
-func (b *insertBackend) Best(fresh bool) (feww.Neighbourhood, bool) {
+func (b *insertBackend) Best(fresh bool) BestAnswer {
+	var (
+		nb feww.Neighbourhood
+		ok bool
+	)
 	if fresh {
-		return b.e.BestFresh()
+		nb, ok = b.e.BestFresh()
+	} else {
+		nb, ok = b.e.Best()
 	}
-	return b.e.Best()
+	return BestAnswer{Neighbourhood: nb, Found: ok, WitnessTarget: b.e.WitnessTarget(), Rung: -1}
 }
 
-func (b *insertBackend) Results(fresh bool) []feww.Neighbourhood {
+func (b *insertBackend) Results(fresh bool) ResultsAnswer {
 	if fresh {
-		return b.e.ResultsFresh()
+		return ResultsAnswer{Neighbourhoods: b.e.ResultsFresh(), Rung: -1}
 	}
-	return b.e.Results()
+	return ResultsAnswer{Neighbourhoods: b.e.Results(), Rung: -1}
 }
 
-func (b *insertBackend) Usage(fresh bool) (spaceWords, snapBytes int) {
-	if fresh {
-		return b.e.UsageFresh()
-	}
-	return b.e.Usage()
-}
-
-func (b *insertBackend) Processed() int64           { return b.e.EdgesProcessed() }
-func (b *insertBackend) Shards() int                { return b.e.Shards() }
-func (b *insertBackend) QueueDepths() []int         { return b.e.QueueDepths() }
-func (b *insertBackend) ViewEpochs() []uint64       { return b.e.ViewEpochs() }
-func (b *insertBackend) WitnessTarget() int64       { return b.e.WitnessTarget() }
-func (b *insertBackend) Universe() (int64, int64)   { return b.e.Config().N, 0 }
-func (b *insertBackend) Closed() bool               { return b.e.Closed() }
-func (b *insertBackend) Snapshot(w io.Writer) error { return b.e.Snapshot(w) }
-func (b *insertBackend) Close()                     { b.e.Close() }
+func (b *insertBackend) Processed() int64         { return b.e.EdgesProcessed() }
+func (b *insertBackend) Universe() (int64, int64) { return b.e.Config().N, 0 }
 
 type turnstileBackend struct {
+	commonBackend
 	e *feww.TurnstileEngine
 }
 
@@ -135,21 +195,20 @@ func (b *turnstileBackend) Ingest(ups []feww.Update) error {
 	return b.e.ProcessUpdates(ups)
 }
 
-func (b *turnstileBackend) Flush() { b.e.Flush() }
-
 // Best for the turnstile engine is its Result: the L0-sampler queries
 // only certify neighbourhoods once they reach the witness target, so
 // there is no meaningful "largest partial" to report.
-func (b *turnstileBackend) Best(fresh bool) (feww.Neighbourhood, bool) {
+func (b *turnstileBackend) Best(fresh bool) BestAnswer {
 	nb, err := b.result(fresh)
-	return nb, err == nil
+	return BestAnswer{Neighbourhood: nb, Found: err == nil, WitnessTarget: b.e.WitnessTarget(), Rung: -1}
 }
 
-func (b *turnstileBackend) Results(fresh bool) []feww.Neighbourhood {
+func (b *turnstileBackend) Results(fresh bool) ResultsAnswer {
+	out := ResultsAnswer{Rung: -1}
 	if nb, err := b.result(fresh); err == nil {
-		return []feww.Neighbourhood{nb}
+		out.Neighbourhoods = []feww.Neighbourhood{nb}
 	}
-	return nil
+	return out
 }
 
 func (b *turnstileBackend) result(fresh bool) (feww.Neighbourhood, error) {
@@ -159,22 +218,81 @@ func (b *turnstileBackend) result(fresh bool) (feww.Neighbourhood, error) {
 	return b.e.Result()
 }
 
-func (b *turnstileBackend) Usage(fresh bool) (spaceWords, snapBytes int) {
-	if fresh {
-		return b.e.UsageFresh()
-	}
-	return b.e.Usage()
+func (b *turnstileBackend) Processed() int64         { return b.e.UpdatesProcessed() }
+func (b *turnstileBackend) Universe() (int64, int64) { return b.e.Config().N, b.e.Config().M }
+
+type starBackend struct {
+	commonBackend
+	e *feww.StarEngine
 }
 
-func (b *turnstileBackend) Processed() int64           { return b.e.UpdatesProcessed() }
-func (b *turnstileBackend) Shards() int                { return b.e.Shards() }
-func (b *turnstileBackend) QueueDepths() []int         { return b.e.QueueDepths() }
-func (b *turnstileBackend) ViewEpochs() []uint64       { return b.e.ViewEpochs() }
-func (b *turnstileBackend) WitnessTarget() int64       { return b.e.WitnessTarget() }
-func (b *turnstileBackend) Universe() (int64, int64)   { return b.e.Config().N, b.e.Config().M }
-func (b *turnstileBackend) Closed() bool               { return b.e.Closed() }
-func (b *turnstileBackend) Snapshot(w io.Writer) error { return b.e.Snapshot(w) }
-func (b *turnstileBackend) Close()                     { b.e.Close() }
+func (b *starBackend) Kind() string { return "star" }
+
+// Ingest feeds directed half-edges: the stream carries the double cover
+// (both orientations of every undirected edge), so a cluster gateway can
+// range-route it by center like any other stream.  Deletions are
+// rejected here, as for the insert-only engine.
+func (b *starBackend) Ingest(ups []feww.Update) error {
+	edges, err := insertEdges(ups, "star engine")
+	if err != nil {
+		return err
+	}
+	return b.e.ProcessHalfEdges(edges)
+}
+
+func (b *starBackend) Best(fresh bool) BestAnswer {
+	var (
+		sr feww.StarResult
+		ok bool
+	)
+	if fresh {
+		sr, ok = b.e.BestFresh()
+	} else {
+		sr, ok = b.e.Best()
+	}
+	if !ok {
+		return BestAnswer{WitnessTarget: b.e.WitnessTarget(), Rung: -1}
+	}
+	return BestAnswer{
+		Neighbourhood: sr.Neighbourhood,
+		Found:         true,
+		WitnessTarget: sr.Target,
+		Rung:          sr.Rung,
+		Guess:         sr.Guess,
+	}
+}
+
+func (b *starBackend) Results(fresh bool) ResultsAnswer {
+	var res feww.StarResults
+	if fresh {
+		res = b.e.ResultsFresh()
+	} else {
+		res = b.e.Results()
+	}
+	return ResultsAnswer{Neighbourhoods: res.Neighbourhoods, Rung: res.Rung, Guess: res.Guess}
+}
+
+func (b *starBackend) Processed() int64         { return b.e.EdgesProcessed() }
+func (b *starBackend) Universe() (int64, int64) { return b.e.Config().N, b.e.Config().M }
+
+// Rungs reports the ladder length for the health probe; cluster members
+// must agree on it for their rung indices to merge.
+func (b *starBackend) Rungs() int { return len(b.e.Guesses()) }
+
+// insertEdges strips the op sign off an insertion-only batch, rejecting
+// deletions with a pointer at the turnstile mode.
+func insertEdges(ups []feww.Update, engine string) ([]feww.Edge, error) {
+	for i, u := range ups {
+		if u.Op != feww.Insert {
+			return nil, fmt.Errorf("update %d of %d: %v: %s cannot apply deletions (run the service in turnstile mode)", i, len(ups), u, engine)
+		}
+	}
+	edges := make([]feww.Edge, len(ups))
+	for i, u := range ups {
+		edges[i] = u.Edge
+	}
+	return edges, nil
+}
 
 // RestoreBackend reads an engine snapshot — a checkpoint file, or the
 // bytes of GET /snapshot — sniffs which engine kind it holds, and returns
@@ -193,6 +311,12 @@ func RestoreBackend(r io.Reader) (Backend, error) {
 			return nil, err
 		}
 		return NewTurnstileBackend(e), nil
+	case 2: // star kind byte
+		e, err := feww.RestoreStarEngine(br)
+		if err != nil {
+			return nil, err
+		}
+		return NewStarBackend(e), nil
 	default:
 		e, err := feww.RestoreEngine(br)
 		if err != nil {

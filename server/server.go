@@ -180,15 +180,30 @@ func (s *Server) Checkpoint() (int64, error) {
 	return size, nil
 }
 
-// NeighbourhoodJSON is the wire form of a witnessed neighbourhood.
+// NeighbourhoodJSON is the wire form of a witnessed neighbourhood.  Rung
+// is set by star backends only: the ladder index of the guess that
+// certified this neighbourhood, which a cluster gateway needs to merge
+// member answers (max over rungs); flat backends omit it.
 type NeighbourhoodJSON struct {
 	Vertex    int64   `json:"vertex"`
 	Size      int     `json:"size"`
 	Witnesses []int64 `json:"witnesses"`
+	Rung      *int    `json:"rung,omitempty"`
 }
 
 func toJSON(nb feww.Neighbourhood) NeighbourhoodJSON {
 	return NeighbourhoodJSON{Vertex: nb.A, Size: nb.Size(), Witnesses: nb.Witnesses}
+}
+
+// rungJSON annotates a neighbourhood with its star ladder rung; rung < 0
+// (a flat engine's answer) leaves the field absent.
+func rungJSON(nb feww.Neighbourhood, rung int) NeighbourhoodJSON {
+	j := toJSON(nb)
+	if rung >= 0 {
+		r := rung
+		j.Rung = &r
+	}
+	return j
 }
 
 // IngestResponse reports an /ingest outcome.  On a 400 it still carries
@@ -199,10 +214,15 @@ type IngestResponse struct {
 	Error    string `json:"error,omitempty"`
 }
 
-// BestResponse is the /best payload.
+// BestResponse is the /best payload.  For star backends WitnessTarget is
+// the winning rung's target (the size the answer certifies), and Guess
+// the rung's degree guess Delta'; the rung index itself rides on the
+// neighbourhood.  Flat backends report their static ceil(D/Alpha) target
+// and omit Guess.
 type BestResponse struct {
 	Found         bool               `json:"found"`
 	WitnessTarget int64              `json:"witness_target"`
+	Guess         int64              `json:"guess,omitempty"`
 	Neighbourhood *NeighbourhoodJSON `json:"neighbourhood,omitempty"`
 }
 
@@ -306,20 +326,20 @@ func wantFresh(r *http.Request) bool {
 }
 
 func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
-	be := s.be()
-	resp := BestResponse{WitnessTarget: be.WitnessTarget()}
-	if nb, ok := be.Best(wantFresh(r)); ok {
-		j := toJSON(nb)
+	ans := s.be().Best(wantFresh(r))
+	resp := BestResponse{WitnessTarget: ans.WitnessTarget, Guess: ans.Guess}
+	if ans.Found {
+		j := rungJSON(ans.Neighbourhood, ans.Rung)
 		resp.Found, resp.Neighbourhood = true, &j
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
-	nbs := s.be().Results(wantFresh(r))
-	out := make([]NeighbourhoodJSON, len(nbs))
-	for i, nb := range nbs {
-		out[i] = toJSON(nb)
+	ans := s.be().Results(wantFresh(r))
+	out := make([]NeighbourhoodJSON, len(ans.Neighbourhoods))
+	for i, nb := range ans.Neighbourhoods {
+		out[i] = rungJSON(nb, ans.Rung)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -362,12 +382,16 @@ type HealthResponse struct {
 	WitnessTarget int64  `json:"witness_target"`
 	Shards        int    `json:"shards"`
 	Elements      int64  `json:"elements"`
+	// Rungs is the star backend's guess-ladder length (absent for the
+	// flat engines).  Cluster members must agree on it, or their rung
+	// indices would not be comparable in the gateway merge.
+	Rungs int `json:"rungs,omitempty"`
 }
 
 func (s *Server) healthResponse() HealthResponse {
 	be := s.be()
 	n, m := be.Universe()
-	return HealthResponse{
+	h := HealthResponse{
 		Service:       "fewwd",
 		Engine:        be.Kind(),
 		Serving:       !be.Closed(),
@@ -377,6 +401,10 @@ func (s *Server) healthResponse() HealthResponse {
 		Shards:        be.Shards(),
 		Elements:      be.Processed(),
 	}
+	if sb, ok := be.(interface{ Rungs() int }); ok {
+		h.Rungs = sb.Rungs()
+	}
+	return h
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -8,41 +8,15 @@ import (
 	"feww/internal/core"
 )
 
-// The engine partitions the item universe [0, N) across P shards by
+// The runtime partitions the item universe [0, N) across P shards by
 // residue: shard p owns every global item a with a % P == p, stored inside
 // the shard's algorithm instance under the local id a / P.  The mapping is
 // a bijection between the shard's slice of the universe and [0, ceil((N-p)/P)),
 // so each shard runs the unmodified single-threaded algorithm on a smaller
 // universe and the per-item degree promise transfers exactly: every edge of
-// a global item lands in the one shard that owns it.
-
-// shard is one partition of the insertion-only Engine; tShard is the
-// turnstile counterpart.  They carry what the query-side merge needs: the
-// residue class, the stride P, the inner algorithm instance, and the
-// shard's latest published result epoch.
-type shard struct {
-	idx    int   // residue class this shard owns
-	stride int64 // P, the total shard count
-	inner  *core.InsertOnly
-	view   atomic.Pointer[publishedView]
-}
-
-// local converts a global item id owned by this shard to its local id.
-func (sh *shard) local(a int64) int64 { return a / sh.stride }
-
-// global converts a shard-local item id back to the global id.
-func (sh *shard) global(local int64) int64 { return local*sh.stride + int64(sh.idx) }
-
-type tShard struct {
-	idx    int
-	stride int64
-	inner  *core.InsertDelete
-	view   atomic.Pointer[publishedView]
-}
-
-func (sh *tShard) local(a int64) int64 { return a / sh.stride }
-
-func (sh *tShard) global(local int64) int64 { return local*sh.stride + int64(sh.idx) }
+// a global item lands in the one shard that owns it.  The shard type itself
+// (rtShard) lives in runtime.go; this file holds the concurrency skeleton —
+// published view epochs and the fanout worker machinery.
 
 // publishedView is one result epoch of one shard: an immutable core.View
 // built by the shard's worker from quiescent state, plus the epoch number
@@ -77,8 +51,9 @@ type msg[E any] struct {
 	ack   chan<- struct{}
 }
 
-// fanout is the concurrency skeleton shared by Engine and TurnstileEngine:
-// per-shard fill buffers, bounded FIFO batch queues, one worker goroutine
+// fanout is the concurrency skeleton under the generic runtime (and hence
+// every engine façade — Engine, TurnstileEngine, StarEngine): per-shard
+// fill buffers, bounded FIFO batch queues, one worker goroutine
 // per shard, an ack barrier, and buffer recycling through a sync.Pool (of
 // *[]E, so recycling does not re-box the slice header).  Each worker
 // drains its queue in FIFO order, so every shard consumes its sub-stream

@@ -15,15 +15,18 @@ import (
 // one container.  The container records the resolved engine configuration
 // (so a restored engine re-creates the identical partitioning and queue
 // tuning), the producer-side element counter, and each shard's
-// length-prefixed core snapshot in shard order.  Because a snapshot is
-// taken after an internal barrier, the queues are empty at the instant of
-// serialisation and nothing in flight can be lost: every edge the engine
-// accepted is inside some shard's state.
+// length-prefixed core snapshot in shard order.  The serialisation loop
+// itself is the generic runtime's (runtime.go): a snapshot is taken after
+// an internal barrier, so the queues are empty at the instant of
+// serialisation and nothing in flight can be lost — every element the
+// engine accepted is inside some shard's state.  This file contributes
+// the kind-specific headers and their decode/validate halves.
 //
 // Layout (all fixed-width fields little-endian uint64 unless noted):
 //
 //	magic   [8]byte "FEWWENG1"
-//	kind    byte    0 = insertion-only Engine, 1 = TurnstileEngine
+//	kind    byte    0 = insertion-only Engine, 1 = TurnstileEngine,
+//	                2 = StarEngine
 //	header  kind-specific configuration + element count (see below)
 //	shards  Shards times: byte length, then that shard's core snapshot
 var engineSnapMagic = [8]byte{'F', 'E', 'W', 'W', 'E', 'N', 'G', '1'}
@@ -31,12 +34,14 @@ var engineSnapMagic = [8]byte{'F', 'E', 'W', 'W', 'E', 'N', 'G', '1'}
 const (
 	engineKindInsertOnly = 0
 	engineKindTurnstile  = 1
+	engineKindStar       = 2
 
 	// Container header sizes: magic + kind byte + the fixed uint64 fields
 	// each Snapshot writes before the per-shard payloads.  Usage and
 	// UsageFresh must agree with Snapshot on these.
 	engineSnapHeaderBytes    = 8 + 1 + 9*8
 	turnstileSnapHeaderBytes = 8 + 1 + 11*8
+	starSnapHeaderBytes      = 8 + 1 + 10*8
 )
 
 // Snapshot writes the engine's complete state to w: resolved
@@ -46,34 +51,16 @@ const (
 // serialisation finishes.  Restoring with RestoreEngine and feeding the
 // same stream suffix reproduces the uninterrupted run exactly.
 func (e *Engine) Snapshot(w io.Writer) error {
-	var err error
-	e.f.query(func() {
-		bw := bufio.NewWriter(w)
-		enc := &wordEncoder{w: bw}
-		enc.bytes(engineSnapMagic[:])
-		enc.bytes([]byte{engineKindInsertOnly})
-		enc.u64(uint64(e.cfg.N))
-		enc.u64(uint64(e.cfg.D))
-		enc.u64(uint64(e.cfg.Alpha))
-		enc.u64(e.cfg.Seed)
-		enc.u64(math.Float64bits(e.cfg.ScaleFactor))
-		enc.u64(uint64(e.cfg.Shards))
-		enc.u64(uint64(e.cfg.BatchSize))
-		enc.u64(uint64(e.cfg.QueueDepth))
-		enc.u64(uint64(e.f.count.Load()))
-		for _, sh := range e.shards {
-			enc.u64(uint64(sh.inner.SnapshotSize()))
-			if enc.err == nil {
-				enc.err = sh.inner.Snapshot(bw)
-			}
-		}
-		if enc.err != nil {
-			err = enc.err
-			return
-		}
-		err = bw.Flush()
+	return e.rt.snapshot(w, engineKindInsertOnly, []uint64{
+		uint64(e.cfg.N),
+		uint64(e.cfg.D),
+		uint64(e.cfg.Alpha),
+		e.cfg.Seed,
+		math.Float64bits(e.cfg.ScaleFactor),
+		uint64(e.cfg.Shards),
+		uint64(e.cfg.BatchSize),
+		uint64(e.cfg.QueueDepth),
 	})
-	return err
 }
 
 // SnapshotSize returns the exact byte length Snapshot would write, under
@@ -86,22 +73,14 @@ func (e *Engine) SnapshotSize() int {
 // UsageFresh reports SpaceWords and SnapshotSize together under a single
 // quiesce — exact at the barrier, at the cost of stalling ingest once.
 // Periodic stats polls should prefer the barrier-free Usage.
-func (e *Engine) UsageFresh() (spaceWords, snapshotBytes int) {
-	e.f.query(func() {
-		snapshotBytes = engineSnapHeaderBytes
-		for _, sh := range e.shards {
-			spaceWords += sh.inner.SpaceWords()
-			snapshotBytes += 8 + sh.inner.SnapshotSize()
-		}
-	})
-	return spaceWords, snapshotBytes
-}
+func (e *Engine) UsageFresh() (spaceWords, snapshotBytes int) { return e.rt.usage(true) }
 
 // RestoreEngine reads a snapshot written by (*Engine).Snapshot and returns
 // a running engine that continues exactly where the snapshotted one
 // stopped, including its shard partitioning and batch/queue tuning.  It
-// fails with ErrBadSnapshot if the bytes hold a TurnstileEngine snapshot
-// (use RestoreTurnstileEngine) or are corrupt.
+// fails with ErrBadSnapshot if the bytes hold another engine kind's
+// snapshot (use RestoreTurnstileEngine / RestoreStarEngine) or are
+// corrupt.
 func RestoreEngine(r io.Reader) (*Engine, error) {
 	br := bufio.NewReader(r)
 	kind, err := readEngineSnapKind(br)
@@ -109,7 +88,7 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 		return nil, err
 	}
 	if kind != engineKindInsertOnly {
-		return nil, fmt.Errorf("%w: snapshot holds a TurnstileEngine; use RestoreTurnstileEngine", ErrBadSnapshot)
+		return nil, fmt.Errorf("%w: snapshot holds engine kind %d, not an insertion-only Engine", ErrBadSnapshot, kind)
 	}
 	dec := &wordDecoder{r: br}
 	cfg := EngineConfig{
@@ -142,56 +121,31 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 		// what NewEngine would derive from the container's, or the
 		// local/global id mapping (and the universe checks above the
 		// engine) are wrong for this shard.
-		want := core.InsertOnlyConfig{
-			N:           (cfg.N - int64(i) + p - 1) / p,
-			D:           cfg.D,
-			Alpha:       cfg.Alpha,
-			Seed:        seeds.Uint64(),
-			ScaleFactor: cfg.ScaleFactor,
-		}
-		if got := inners[i].Config(); got != want {
+		if got, want := inners[i].Config(), cfg.shardConfig(i, p, seeds.Uint64()); got != want {
 			return nil, fmt.Errorf("%w: shard %d config %+v does not match container derivation %+v",
 				ErrBadSnapshot, i, got, want)
 		}
 	}
 	eng := newEngineFromInners(cfg, inners)
-	eng.f.count.Store(count)
+	eng.rt.f.count.Store(count)
 	return eng, nil
 }
 
 // Snapshot writes the turnstile engine's complete state to w; the same
 // quiescing and exactness guarantees as (*Engine).Snapshot apply.
 func (e *TurnstileEngine) Snapshot(w io.Writer) error {
-	var err error
-	e.f.query(func() {
-		bw := bufio.NewWriter(w)
-		enc := &wordEncoder{w: bw}
-		enc.bytes(engineSnapMagic[:])
-		enc.bytes([]byte{engineKindTurnstile})
-		enc.u64(uint64(e.cfg.N))
-		enc.u64(uint64(e.cfg.M))
-		enc.u64(uint64(e.cfg.D))
-		enc.u64(uint64(e.cfg.Alpha))
-		enc.u64(e.cfg.Seed)
-		enc.u64(math.Float64bits(e.cfg.ScaleFactor))
-		enc.u64(uint64(e.cfg.MaxSamplers))
-		enc.u64(uint64(e.cfg.Shards))
-		enc.u64(uint64(e.cfg.BatchSize))
-		enc.u64(uint64(e.cfg.QueueDepth))
-		enc.u64(uint64(e.f.count.Load()))
-		for _, sh := range e.shards {
-			enc.u64(uint64(sh.inner.SnapshotSize()))
-			if enc.err == nil {
-				enc.err = sh.inner.Snapshot(bw)
-			}
-		}
-		if enc.err != nil {
-			err = enc.err
-			return
-		}
-		err = bw.Flush()
+	return e.rt.snapshot(w, engineKindTurnstile, []uint64{
+		uint64(e.cfg.N),
+		uint64(e.cfg.M),
+		uint64(e.cfg.D),
+		uint64(e.cfg.Alpha),
+		e.cfg.Seed,
+		math.Float64bits(e.cfg.ScaleFactor),
+		uint64(e.cfg.MaxSamplers),
+		uint64(e.cfg.Shards),
+		uint64(e.cfg.BatchSize),
+		uint64(e.cfg.QueueDepth),
 	})
-	return err
 }
 
 // SnapshotSize returns the exact byte length Snapshot would write, under
@@ -203,16 +157,7 @@ func (e *TurnstileEngine) SnapshotSize() int {
 
 // UsageFresh reports SpaceWords and SnapshotSize together under a single
 // quiesce; see (*Engine).UsageFresh.
-func (e *TurnstileEngine) UsageFresh() (spaceWords, snapshotBytes int) {
-	e.f.query(func() {
-		snapshotBytes = turnstileSnapHeaderBytes
-		for _, sh := range e.shards {
-			spaceWords += sh.inner.SpaceWords()
-			snapshotBytes += 8 + sh.inner.SnapshotSize()
-		}
-	})
-	return spaceWords, snapshotBytes
-}
+func (e *TurnstileEngine) UsageFresh() (spaceWords, snapshotBytes int) { return e.rt.usage(true) }
 
 // RestoreTurnstileEngine reads a snapshot written by
 // (*TurnstileEngine).Snapshot and returns a running engine that continues
@@ -224,7 +169,7 @@ func RestoreTurnstileEngine(r io.Reader) (*TurnstileEngine, error) {
 		return nil, err
 	}
 	if kind != engineKindTurnstile {
-		return nil, fmt.Errorf("%w: snapshot holds an insertion-only Engine; use RestoreEngine", ErrBadSnapshot)
+		return nil, fmt.Errorf("%w: snapshot holds engine kind %d, not a TurnstileEngine", ErrBadSnapshot, kind)
 	}
 	dec := &wordDecoder{r: br}
 	cfg := TurnstileEngineConfig{
@@ -255,22 +200,13 @@ func RestoreTurnstileEngine(r io.Reader) (*TurnstileEngine, error) {
 		if inners[i], err = restoreShard(dec, core.RestoreInsertDelete, i); err != nil {
 			return nil, err
 		}
-		want := core.InsertDeleteConfig{
-			N:           (cfg.N - int64(i) + p - 1) / p,
-			M:           cfg.M,
-			D:           cfg.D,
-			Alpha:       cfg.Alpha,
-			Seed:        seeds.Uint64(),
-			ScaleFactor: cfg.ScaleFactor,
-			MaxSamplers: cfg.MaxSamplers,
-		}
-		if got := inners[i].Config(); got != want {
+		if got, want := inners[i].Config(), cfg.shardConfig(i, p, seeds.Uint64()); got != want {
 			return nil, fmt.Errorf("%w: shard %d config %+v does not match container derivation %+v",
 				ErrBadSnapshot, i, got, want)
 		}
 	}
 	eng := newTurnstileFromInners(cfg, inners)
-	eng.f.count.Store(count)
+	eng.rt.f.count.Store(count)
 	return eng, nil
 }
 
@@ -285,7 +221,7 @@ func readEngineSnapKind(br *bufio.Reader) (byte, error) {
 		return 0, fmt.Errorf("%w: bad engine magic %q", ErrBadSnapshot, head[:8])
 	}
 	kind := head[8]
-	if kind != engineKindInsertOnly && kind != engineKindTurnstile {
+	if kind != engineKindInsertOnly && kind != engineKindTurnstile && kind != engineKindStar {
 		return 0, fmt.Errorf("%w: unknown engine kind %d", ErrBadSnapshot, kind)
 	}
 	return kind, nil

@@ -21,7 +21,9 @@ type StarConfig struct {
 // StarDetector solves Star Detection (paper Problem 2) on insertion-only
 // general graph streams: it outputs a vertex together with at least
 // Delta/((1+Eps)*Alpha) of its neighbours, where Delta is the maximum
-// degree (Lemma 3.3, Corollary 3.4).  It is not safe for concurrent use.
+// degree (Lemma 3.3, Corollary 3.4).  It is not safe for concurrent use —
+// the sharded, concurrent, snapshot-capable form of the same algorithm is
+// StarEngine (starengine.go), which fewwd serves over the network.
 type StarDetector struct {
 	inner *core.StarDetector
 }

@@ -122,6 +122,93 @@ func TestTurnstileStarDetectorChurnWorkload(t *testing.T) {
 	}
 }
 
+// TestStarEngineOnGeneratedWorkload closes the loop between the workload
+// generator and the sharded star tier: the fewwgen -kind star stream (a
+// directed double cover with a planted max-degree star) fed to a
+// StarEngine must certify the planted center with genuine neighbours —
+// the same check cmd/fewwload -scenario star performs over HTTP.
+func TestStarEngineOnGeneratedWorkload(t *testing.T) {
+	const n, deg = 150, 24
+	inst, err := workload.NewStarGraph(workload.StarGraphConfig{
+		Vertices: n, Degree: deg, NoiseEdges: 100, MaxNoise: 8, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewStarEngine(StarEngineConfig{
+		N: n, Alpha: 1, Eps: 0.5, Seed: 4, Shards: 3, BatchSize: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	edges := make([]Edge, len(inst.Updates))
+	for i, u := range inst.Updates {
+		edges[i] = u.Edge
+	}
+	if err := eng.ProcessHalfEdges(edges); err != nil {
+		t.Fatal(err)
+	}
+
+	best, ok := eng.BestFresh()
+	if !ok {
+		t.Fatal("no star certified on a planted instance")
+	}
+	// Noise degrees are capped at 8 < every guess above 8, so the top
+	// certified rung belongs to the planted center alone (alpha = 1).
+	if best.A != inst.HeavyA[0] {
+		t.Fatalf("best center %d, want the planted %d", best.A, inst.HeavyA[0])
+	}
+	if int64(best.Size()) < deg/2 {
+		t.Fatalf("star size %d below the (1+eps) guarantee %d", best.Size(), deg/2)
+	}
+	if err := inst.Verify(best.A, best.Witnesses); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTurnstileStarDetectorOnStarChurnWorkload drives the generator's
+// turnstile variant (fewwgen -kind starchurn) through the
+// insertion-deletion ladder: churned edges must not survive into the
+// answer.
+func TestTurnstileStarDetectorOnStarChurnWorkload(t *testing.T) {
+	const n, deg = 40, 12
+	inst, err := workload.NewStarGraph(workload.StarGraphConfig{
+		Vertices: n, Degree: deg, NoiseEdges: 20, MaxNoise: 4, Churn: 25, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := NewTurnstileStarDetector(TurnstileStarConfig{
+		N: n, Alpha: 2, Seed: 2, ScaleFactor: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generator's stream is the double cover already; the detector
+	// mirrors internally, so feed each undirected edge once (the first
+	// orientation of each adjacent pair).
+	for i := 0; i < len(inst.Updates); i += 2 {
+		u := inst.Updates[i]
+		var err error
+		if u.Op == stream.Delete {
+			err = sd.Delete(u.A, u.B)
+		} else {
+			err = sd.Insert(u.A, u.B)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	nb, err := sd.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(nb.A, nb.Witnesses); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestTurnstileStarDetectorRejectsOversized(t *testing.T) {
 	_, err := NewTurnstileStarDetector(TurnstileStarConfig{
 		N: 1 << 20, Alpha: 1, MaxSamplers: 10,
