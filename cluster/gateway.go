@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -27,12 +28,21 @@ type Config struct {
 	// of a scatter-gather instead of wedging the whole fan-out.
 	MemberTimeout time.Duration
 	// MaxBodyBytes caps an /ingest request body; 0 means 256 MiB.  The
-	// default is smaller than a node's (1 GiB) because the gateway's
-	// all-or-nothing contract buffers the request *decoded* — roughly
-	// 3-4x the varint-encoded size — before anything is forwarded.
-	// Producers should chunk large replays into multiple requests, as
-	// cmd/fewwload does.
+	// streaming path holds only one decode window regardless of body
+	// size, so the cap is a request-size sanity bound there; the
+	// ?atomic=1 path buffers the request *decoded* — roughly 3-4x the
+	// varint-encoded size — before anything is forwarded, which is why
+	// the default stays smaller than a node's (1 GiB).  Producers using
+	// atomic ingest should chunk large replays into multiple requests,
+	// as cmd/fewwload does.
 	MaxBodyBytes int64
+	// ChunkUpdates is the streaming-ingest window: the gateway decodes,
+	// validates, and splits this many updates at a time, then forwards
+	// each member's share as one frame into its already-open member
+	// request (default 8192).  Larger windows amortise frame headers and
+	// syscalls; smaller ones tighten the reject-before-forward boundary
+	// and the gateway's resident window.
+	ChunkUpdates int
 }
 
 // member is one node of the cluster: an immutable range plus the client
@@ -106,6 +116,9 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 256 << 20
+	}
+	if cfg.ChunkUpdates <= 0 {
+		cfg.ChunkUpdates = 8192
 	}
 	g := &Gateway{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
 	lo := int64(0)
@@ -232,20 +245,184 @@ func wantFresh(r *http.Request) bool {
 	return err == nil && fresh
 }
 
-// handleIngest accepts a FEWW binary stream over the full universe,
-// validates it whole, splits it by range, and forwards each sub-stream
-// (items remapped to range-local ids, order preserved) to its member.
+// wantAtomic mirrors the ?atomic=1 opt-in to buffer-whole ingest.
+func wantAtomic(r *http.Request) bool {
+	atomic, err := strconv.ParseBool(r.URL.Query().Get("atomic"))
+	return err == nil && atomic
+}
+
+// handleIngest accepts a FEWW binary stream over the full universe and
+// splits it by member range (items remapped to range-local ids, order
+// preserved).
 //
-// The engine's all-or-nothing boundary contract (PR 3) holds at the
-// gateway boundary: the entire request is decoded and validated before a
-// single update is forwarded, so a malformed stream, an out-of-universe
-// id, or a deletion sent to an insert-only cluster is rejected with HTTP
-// 400 and no member sees anything.  A member failure mid-fan-out is
-// reported as HTTP 502 with the accepted count — sub-streams forwarded
-// to healthy members were genuinely applied (ranges are independent
-// engines; there is no cross-range state to un-apply).
+// The default path is *streaming*: the gateway decodes one bounded
+// window (Config.ChunkUpdates) at a time, validates it, and forwards
+// each member's share as one frame into that member's already-open
+// /ingest request — decode of window k+1 overlaps the members applying
+// window k, and gateway memory stays one window regardless of body
+// size.  The all-or-nothing contract of PR 3 then holds per window
+// rather than per request: nothing from a window containing a malformed
+// or out-of-universe update is forwarded (HTTP 400), but earlier
+// windows were already applied, and the response's Accepted count says
+// how much.  A member failing mid-stream stops the forward loop (HTTP
+// 502), again with Accepted reporting the partial progress — ranges are
+// independent engines; there is no cross-range state to un-apply.
+//
+// ?atomic=1 restores the whole-request boundary: the entire request is
+// decoded and validated before a single update is forwarded, so a
+// rejected stream leaves every member untouched.  It costs the decoded
+// buffer (roughly 3-4x the encoded size) and a serial decode-then-send.
 func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	if wantAtomic(r) {
+		g.ingestAtomic(w, body)
+		return
+	}
+	g.ingestStreaming(w, body)
+}
+
+// memberStream is the gateway side of one member's in-flight streaming
+// ingest: the pipe feeding the member's request body, the frame writer
+// encoding windows into it, and the member's eventual response.
+type memberStream struct {
+	pw     *io.PipeWriter
+	fw     *stream.FrameWriter
+	frames int
+	resp   server.IngestResponse
+	err    error
+	done   chan struct{}
+}
+
+func (g *Gateway) ingestStreaming(w http.ResponseWriter, body io.Reader) {
+	sc, err := stream.NewScanner(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, server.IngestResponse{Error: err.Error()})
+		return
+	}
+	headerM := g.m
+	if headerM == 0 {
+		headerM = sc.M()
+	}
+
+	// Open one streaming request per member before touching the body.  A
+	// pipe write blocks until the member's transport consumes it, so a
+	// slow member back-pressures the whole forward loop instead of
+	// growing a gateway-side buffer; a dead member closes its read end,
+	// failing the next write immediately.
+	streams := make([]*memberStream, len(g.members))
+	for j := range g.members {
+		pr, pw := io.Pipe()
+		ms := &memberStream{pw: pw, fw: stream.NewFrameWriter(pw), done: make(chan struct{})}
+		streams[j] = ms
+		go func(m *member, ms *memberStream, pr *io.PipeReader) {
+			defer close(ms.done)
+			// The shared ingest lock spans the member's whole request,
+			// ordering it against any concurrent rebalance of the range
+			// exactly as the atomic path does: the stream lands on the
+			// donor before the snapshot is cut, or on the new node after
+			// the repoint — never in between.
+			m.ingestMu.RLock()
+			defer m.ingestMu.RUnlock()
+			ms.resp, ms.err = m.client().IngestStream(pr)
+			pr.CloseWithError(ms.err)
+		}(g.members[j], ms, pr)
+	}
+
+	// finish closes every member stream — first writing one empty frame
+	// to any member that never received data, so its body decodes and a
+	// dead member surfaces even when no traffic reached its range — then
+	// gathers the responses into cluster-wide totals.
+	finish := func() (server.IngestResponse, error) {
+		var out server.IngestResponse
+		errs := make([]error, len(streams))
+		for j, ms := range streams {
+			if ms.frames == 0 {
+				_ = ms.fw.WriteFrame(g.members[j].rng.Len(), headerM, nil)
+			}
+			ms.pw.Close()
+		}
+		for j, ms := range streams {
+			<-ms.done
+			errs[j] = ms.err
+			out.Accepted += ms.resp.Accepted
+			out.Total += ms.resp.Total
+		}
+		return out, g.firstError(errs)
+	}
+
+	per := make([][]feww.Update, len(g.members))
+	flush := func() (int, error) {
+		for j, ups := range per {
+			if len(ups) == 0 {
+				continue
+			}
+			ms := streams[j]
+			if err := ms.fw.WriteFrame(g.members[j].rng.Len(), headerM, ups); err != nil {
+				return j, err
+			}
+			ms.frames++
+			per[j] = ups[:0]
+		}
+		return 0, nil
+	}
+
+	var (
+		badReq  error // malformed or invalid stream: HTTP 400
+		sendErr error // a member request died mid-forward: HTTP 502
+	)
+	i, window := 0, 0
+	for badReq == nil && sendErr == nil && sc.Scan() {
+		u := sc.Update()
+		if err := g.checkUpdate(i, u); err != nil {
+			// Reject-before-forward holds per window: the window holding
+			// the invalid update is dropped whole; nothing at or past it
+			// is ever forwarded.
+			badReq = err
+			break
+		}
+		j := g.memberFor(u.A)
+		u.A -= g.members[j].rng.Lo
+		per[j] = append(per[j], u)
+		i++
+		window++
+		if window >= g.cfg.ChunkUpdates {
+			if fj, err := flush(); err != nil {
+				sendErr = fmt.Errorf("member %d (%s): writing frame: %v", fj, g.memberURL(fj), err)
+			}
+			window = 0
+		}
+	}
+	if badReq == nil && sendErr == nil {
+		if err := sc.Err(); err != nil {
+			badReq = err
+		} else if fj, err := flush(); err != nil {
+			sendErr = fmt.Errorf("member %d (%s): writing frame: %v", fj, g.memberURL(fj), err)
+		}
+	}
+
+	out, gatherErr := finish()
+	switch {
+	case badReq != nil:
+		out.Error = badReq.Error()
+		writeJSON(w, http.StatusBadRequest, out)
+	case sendErr != nil || gatherErr != nil:
+		// The member's own response error names the root cause when it
+		// exists; the pipe-write error is the fallback.
+		if gatherErr != nil {
+			out.Error = gatherErr.Error()
+		} else {
+			out.Error = sendErr.Error()
+		}
+		writeJSON(w, http.StatusBadGateway, out)
+	default:
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+// ingestAtomic is the ?atomic=1 path: decode and validate the entire
+// request, then fan the per-member sub-streams out concurrently.  A
+// rejected stream leaves every member untouched.
+func (g *Gateway) ingestAtomic(w http.ResponseWriter, body io.Reader) {
 	sc, err := stream.NewScanner(body)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, server.IngestResponse{Error: err.Error()})
@@ -762,7 +939,7 @@ func (g *Gateway) handleIndex(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{
 		"service":          "fewwgate",
 		"engine":           g.kind,
-		"POST /ingest":     "FEWW binary stream body, split across member ranges",
+		"POST /ingest":     "FEWW binary stream body, split across member ranges (streamed in windows; ?atomic=1 to buffer and validate whole)",
 		"GET /best":        "max-merged best neighbourhood (?fresh=1 for barrier consistency)",
 		"GET /results":     "concatenated full-target neighbourhoods (?fresh=1 for barrier consistency)",
 		"GET /stats":       "summed cluster stats with per-member breakdown",

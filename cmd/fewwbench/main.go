@@ -38,12 +38,13 @@ func main() {
 		full     = flag.Bool("full", false, "full instance sizes (the docs/EXPERIMENTS.md setting; minutes instead of seconds)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		showTime = flag.Bool("time", false, "print wall-clock time per experiment")
-		mode     = flag.String("mode", "", "benchmark mode: mixed (full-rate ingest + concurrent queries, published vs. barrier)")
-		shards   = flag.Int("shards", 0, "run the sharded-ingest throughput benchmark with this many shards instead of the experiments (also the shard count for -mode mixed; 0 = GOMAXPROCS)")
-		edges    = flag.Int("edges", 4_000_000, "stream length for the -shards and -mode mixed benchmarks")
+		mode     = flag.String("mode", "", "benchmark mode: mixed (full-rate ingest + concurrent queries), scaling (shard-count ingest sweep), cluster (gateway streaming vs ?atomic=1)")
+		shards   = flag.Int("shards", 0, "run the sharded-ingest throughput benchmark with this many shards instead of the experiments (also the shard count for -mode mixed and the sweep ceiling for -mode scaling; 0 = GOMAXPROCS)")
+		edges    = flag.Int("edges", 4_000_000, "stream length for the -shards and -mode benchmarks")
 		clients  = flag.Int("clients", 8, "concurrent query clients for -mode mixed")
-		out      = flag.String("out", "BENCH_mixed.json", "machine-readable output path for -mode mixed")
+		out      = flag.String("out", "BENCH_mixed.json", "machine-readable trajectory path; each -mode updates its own section")
 		baseline = flag.String("baseline", "", "committed BENCH_mixed.json to gate -mode mixed against: fail if published-path queries/s regresses more than 15%")
+		gateway  = flag.String("gateway", "", "external fewwgate base URL for -mode cluster (default: boot 3 in-process members)")
 	)
 	flag.Parse()
 
@@ -54,9 +55,21 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	case "scaling":
+		if err := runScaling(*shards, *edges, *seed, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "fewwbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "cluster":
+		if err := runCluster(*edges, *seed, *out, *gateway); err != nil {
+			fmt.Fprintf(os.Stderr, "fewwbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	case "":
 	default:
-		fmt.Fprintf(os.Stderr, "fewwbench: unknown -mode %q (want mixed)\n", *mode)
+		fmt.Fprintf(os.Stderr, "fewwbench: unknown -mode %q (want mixed, scaling or cluster)\n", *mode)
 		os.Exit(2)
 	}
 

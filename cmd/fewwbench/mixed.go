@@ -46,6 +46,12 @@ type mixedReport struct {
 	Fresh            phaseStats `json:"fresh"`
 	QuerySpeedup     float64    `json:"query_speedup"`
 	ResultsIdentical bool       `json:"results_identical"`
+
+	// MultiShard and Cluster are the -mode scaling and -mode cluster
+	// trajectory sections (see scale.go); each mode rewrites only its own
+	// section, so the committed document carries all three.
+	MultiShard []shardPoint  `json:"multi_shard,omitempty"`
+	Cluster    *clusterBench `json:"cluster,omitempty"`
 }
 
 // runMixed executes both phases, writes the report, and — when a
@@ -156,6 +162,11 @@ func runMixed(shards, clients, edgeCount int, seed uint64, outPath, baselinePath
 		Fresh:            frs,
 		ResultsIdentical: fpPub == fpFrs,
 	}
+	// Carry over the sections the other modes own, so re-running the
+	// mixed benchmark does not erase the committed scaling trajectory.
+	old := loadReport(outPath)
+	rep.MultiShard = old.MultiShard
+	rep.Cluster = old.Cluster
 	if frs.QueryRate > 0 {
 		rep.QuerySpeedup = pub.QueryRate / frs.QueryRate
 	}
@@ -170,17 +181,7 @@ func runMixed(shards, clients, edgeCount int, seed uint64, outPath, baselinePath
 		return fmt.Errorf("fewwbench: mixed phases diverged — published-path reads perturbed the engine state")
 	}
 
-	f, err := os.Create(outPath)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := saveReport(rep, outPath); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", outPath)

@@ -1,0 +1,317 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"feww"
+	"feww/cluster"
+	"feww/internal/stream"
+	"feww/internal/xrand"
+	"feww/server"
+)
+
+// The scaling and cluster modes extend the BENCH_mixed.json trajectory
+// beyond the single-engine mixed benchmark: -mode scaling sweeps the
+// sharded engine across shard counts, and -mode cluster measures the
+// gateway's streaming ingest against the ?atomic=1 buffer-whole path on
+// a 3-member in-process cluster (or an external gateway via -gateway).
+// Both update their own section of the -out document and leave every
+// other section — in particular the mixed numbers the -baseline gate
+// reads — untouched, so the committed file accumulates one trajectory
+// per dimension.
+
+// shardPoint is one -mode scaling measurement.
+type shardPoint struct {
+	Shards        int     `json:"shards"`
+	IngestSeconds float64 `json:"ingest_seconds"`
+	IngestRate    float64 `json:"ingest_updates_per_sec"`
+}
+
+// clusterBench is the -mode cluster section: the same stream pushed
+// through the gateway's streaming path and its ?atomic=1 path.
+type clusterBench struct {
+	Members          int     `json:"members"`
+	ChunkUpdates     int     `json:"chunk_updates"`
+	Edges            int     `json:"edges"`
+	Seed             uint64  `json:"seed"`
+	StreamingSeconds float64 `json:"streaming_seconds"`
+	StreamingRate    float64 `json:"streaming_updates_per_sec"`
+	AtomicSeconds    float64 `json:"atomic_seconds"`
+	AtomicRate       float64 `json:"atomic_updates_per_sec"`
+	StreamingSpeedup float64 `json:"streaming_speedup"`
+	ResultsIdentical bool    `json:"results_identical"`
+}
+
+// loadReport reads an existing trajectory document so a mode can update
+// its section in place; a missing or unparsable file yields a zero
+// report to start from.
+func loadReport(path string) mixedReport {
+	var rep mixedReport
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return mixedReport{}
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return mixedReport{}
+	}
+	return rep
+}
+
+// saveReport writes the trajectory document.
+func saveReport(rep mixedReport, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runScaling measures sharded-engine ingest throughput across shard
+// counts (1, 2, 4, ... up to maxShards) on the same Zipf workload as
+// the mixed benchmark, and records the sweep in the out document's
+// multi_shard section.
+func runScaling(maxShards, edgeCount int, seed uint64, outPath string) error {
+	const (
+		n     = int64(1) << 18
+		d     = 1000
+		alpha = 2
+		chunk = 4096
+	)
+	if maxShards <= 0 {
+		maxShards = runtime.GOMAXPROCS(0)
+	}
+	counts := []int{1}
+	for s := 2; s < maxShards; s *= 2 {
+		counts = append(counts, s)
+	}
+	if maxShards > 1 {
+		counts = append(counts, maxShards)
+	}
+
+	rng := xrand.New(seed + 1)
+	zipf := xrand.NewZipf(rng, 1.2, int(n))
+	edges := make([]feww.Edge, edgeCount)
+	for i := range edges {
+		edges[i] = feww.Edge{A: int64(zipf.Next()), B: int64(i)}
+	}
+	fmt.Printf("shard-scaling benchmark: %d Zipf(1.2) edges over n = %d, d = %d, alpha = %d\n\n",
+		edgeCount, n, d, alpha)
+
+	var points []shardPoint
+	base := 0.0
+	for _, s := range counts {
+		eng, err := feww.NewEngine(feww.EngineConfig{
+			Config: feww.Config{N: n, D: d, Alpha: alpha, Seed: seed},
+			Shards: s,
+		})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		for off := 0; off < len(edges); off += chunk {
+			end := min(off+chunk, len(edges))
+			if err := eng.ProcessEdges(edges[off:end]); err != nil {
+				eng.Close()
+				return err
+			}
+		}
+		if err := eng.Drain(); err != nil {
+			eng.Close()
+			return err
+		}
+		elapsed := time.Since(start)
+		eng.Close()
+		rate := float64(edgeCount) / elapsed.Seconds()
+		if base == 0 {
+			base = rate
+		}
+		points = append(points, shardPoint{
+			Shards:        s,
+			IngestSeconds: elapsed.Seconds(),
+			IngestRate:    rate,
+		})
+		fmt.Printf("%3d shard(s)  %10.0f updates/s in %6.2fs  (%.2fx of 1 shard)\n",
+			s, rate, elapsed.Seconds(), rate/base)
+	}
+
+	rep := loadReport(outPath)
+	rep.MultiShard = points
+	if err := saveReport(rep, outPath); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote multi_shard section of %s\n", outPath)
+	return nil
+}
+
+// runCluster measures gateway ingest throughput — the streaming default
+// against the ?atomic=1 buffer-whole path — and records the pair in the
+// out document's cluster section.  With no -gateway it boots two
+// identically-seeded 3-member in-process clusters (one per path) so it
+// can also assert the two paths leave identical engine state; against
+// an external gateway it only measures, sequentially, on live state.
+func runCluster(edgeCount int, seed uint64, outPath, gatewayURL string) error {
+	const (
+		n       = int64(1) << 18
+		d       = 1000
+		alpha   = 2
+		members = 3
+	)
+	rng := xrand.New(seed + 1)
+	zipf := xrand.NewZipf(rng, 1.2, int(n))
+	ups := make([]feww.Update, edgeCount)
+	for i := range ups {
+		ups[i] = stream.Ins(int64(zipf.Next()), int64(i))
+	}
+	var body bytes.Buffer
+	if err := stream.WriteFile(&body, n, 0, ups); err != nil {
+		return err
+	}
+	raw := body.Bytes()
+
+	cb := clusterBench{Members: members, Edges: edgeCount, Seed: seed}
+
+	post := func(base, query string) (float64, error) {
+		start := time.Now()
+		resp, err := http.Post(base+"/ingest"+query, "application/octet-stream", bytes.NewReader(raw))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		var out server.IngestResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return 0, fmt.Errorf("ingest%s: decoding response (HTTP %d): %w", query, resp.StatusCode, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("ingest%s: HTTP %d after %d accepted: %s", query, resp.StatusCode, out.Accepted, out.Error)
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	results := func(base string) ([]byte, error) {
+		resp, err := http.Get(base + "/results?fresh=1")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET /results?fresh=1: HTTP %d: %s", resp.StatusCode, buf.Bytes())
+		}
+		return buf.Bytes(), nil
+	}
+
+	if gatewayURL != "" {
+		fmt.Printf("cluster benchmark: %d Zipf(1.2) updates against external gateway %s\n\n", edgeCount, gatewayURL)
+		var err error
+		if cb.StreamingSeconds, err = post(gatewayURL, ""); err != nil {
+			return err
+		}
+		if cb.AtomicSeconds, err = post(gatewayURL, "?atomic=1"); err != nil {
+			return err
+		}
+		// External state accumulates across the two runs; identity between
+		// the paths is only checkable on fresh in-process clusters.
+		cb.ResultsIdentical = false
+		cb.ChunkUpdates = 0 // whatever the external gateway was started with
+	} else {
+		fmt.Printf("cluster benchmark: %d Zipf(1.2) updates over n = %d, d = %d, alpha = %d; %d in-process members\n\n",
+			edgeCount, n, d, alpha, members)
+		shardsPer := max(1, runtime.GOMAXPROCS(0)/members)
+		boot := func() (*httptest.Server, func(), error) {
+			var closers []func()
+			urls := make([]string, members)
+			for j, rng := range cluster.Split(n, members) {
+				eng, err := feww.NewEngine(feww.EngineConfig{
+					Config: feww.Config{N: rng.Len(), D: d, Alpha: alpha, Seed: seed + uint64(j)},
+					Shards: shardsPer,
+				})
+				if err != nil {
+					for _, c := range closers {
+						c()
+					}
+					return nil, nil, err
+				}
+				be := server.NewInsertOnlyBackend(eng)
+				ts := httptest.NewServer(server.New(be, server.Config{}).Handler())
+				closers = append(closers, ts.Close, func() { be.Close() })
+				urls[j] = ts.URL
+			}
+			g, err := cluster.New(cluster.Config{Members: urls})
+			if err != nil {
+				for _, c := range closers {
+					c()
+				}
+				return nil, nil, err
+			}
+			gts := httptest.NewServer(g.Handler())
+			closers = append(closers, gts.Close)
+			return gts, func() {
+				for i := len(closers) - 1; i >= 0; i-- {
+					closers[i]()
+				}
+			}, nil
+		}
+
+		gwStream, closeStream, err := boot()
+		if err != nil {
+			return err
+		}
+		defer closeStream()
+		gwAtomic, closeAtomic, err := boot()
+		if err != nil {
+			return err
+		}
+		defer closeAtomic()
+
+		cb.ChunkUpdates = 8192 // the gateway default
+		if cb.StreamingSeconds, err = post(gwStream.URL, ""); err != nil {
+			return err
+		}
+		if cb.AtomicSeconds, err = post(gwAtomic.URL, "?atomic=1"); err != nil {
+			return err
+		}
+		a, err := results(gwStream.URL)
+		if err != nil {
+			return err
+		}
+		b, err := results(gwAtomic.URL)
+		if err != nil {
+			return err
+		}
+		cb.ResultsIdentical = bytes.Equal(a, b)
+		if !cb.ResultsIdentical {
+			return fmt.Errorf("fewwbench: streaming and atomic ingest left different cluster state")
+		}
+	}
+
+	cb.StreamingRate = float64(edgeCount) / cb.StreamingSeconds
+	cb.AtomicRate = float64(edgeCount) / cb.AtomicSeconds
+	cb.StreamingSpeedup = cb.StreamingRate / cb.AtomicRate
+	fmt.Printf("streaming  %10.0f updates/s in %6.2fs\n", cb.StreamingRate, cb.StreamingSeconds)
+	fmt.Printf("atomic     %10.0f updates/s in %6.2fs\n", cb.AtomicRate, cb.AtomicSeconds)
+	fmt.Printf("\nstreaming speedup over atomic: %.2fx; results identical: %v\n",
+		cb.StreamingSpeedup, cb.ResultsIdentical)
+
+	rep := loadReport(outPath)
+	rep.Cluster = &cb
+	if err := saveReport(rep, outPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote cluster section of %s\n", outPath)
+	return nil
+}

@@ -45,7 +45,8 @@ func main() {
 		members = flag.String("members", "", "comma-separated fewwd base URLs in range order (required)")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-member request timeout")
 		wait    = flag.Duration("wait", 30*time.Second, "how long to wait for every member to become ready at startup")
-		maxBody = flag.Int64("maxbody", 0, "max /ingest body bytes (0 = 256 MiB; the gateway buffers requests decoded)")
+		maxBody = flag.Int64("maxbody", 0, "max /ingest body bytes (0 = 256 MiB; only ?atomic=1 buffers requests decoded)")
+		chunk   = flag.Int("chunk", 0, "streaming-ingest window in updates (0 = 8192): decoded, validated and forwarded per window")
 	)
 	flag.Parse()
 
@@ -59,7 +60,7 @@ func main() {
 		log.Fatal("fewwgate: -members is required (comma-separated fewwd base URLs)")
 	}
 
-	cfg := cluster.Config{Members: urls, MemberTimeout: *timeout, MaxBodyBytes: *maxBody}
+	cfg := cluster.Config{Members: urls, MemberTimeout: *timeout, MaxBodyBytes: *maxBody, ChunkUpdates: *chunk}
 
 	// Bootstrap: the members may still be starting (or restoring large
 	// checkpoints), so construction — which probes every /healthz —

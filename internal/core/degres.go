@@ -50,6 +50,7 @@ type DegRes struct {
 	d1, d2 int64
 	res    *reservoir.Reservoir[*candidate]
 	pos    map[int64]*candidate // vertex -> its live reservoir entry
+	spare  *candidate           // recycled offer struct; see Process
 }
 
 // NewDegRes returns a Deg-Res-Sampling run with thresholds d1, d2 and
@@ -79,15 +80,35 @@ func NewDegRes(rng *xrand.RNG, d1, d2 int64, s int) *DegRes {
 // if a currently occupies the reservoir and has fewer than d2 witnesses,
 // the edge is collected — including the triggering edge itself, so a vertex
 // of final degree deg collects min(d2, deg - d1 + 1) witnesses.
+//
+// The offer path is engineered to stay allocation-free once the stream is
+// past its ramp-up: a rejected offer (the overwhelmingly common outcome,
+// probability 1 - s/x) recycles its candidate struct through dr.spare, and
+// an eviction recycles the displaced struct — witness buffer included,
+// truncated to length zero with its grown capacity kept — the same way.
+// An admission therefore reuses the previous eviction's buffer and only
+// allocates while the reservoir is still filling (or when a recycled
+// buffer has not yet grown to d2 capacity).  Reusing evicted buffers means
+// their old contents are overwritten in place, which is why Result,
+// Results and Best below copy witnesses out instead of aliasing them.
 func (dr *DegRes) Process(a, b int64, degA int64) {
 	if degA == dr.d1 {
-		cand := &candidate{a: a}
-		admitted, evicted, didEvict := dr.res.Offer(cand)
-		if didEvict {
-			delete(dr.pos, evicted.a)
+		cand := dr.spare
+		if cand == nil {
+			cand = &candidate{}
 		}
+		cand.a = a
+		admitted, evicted, didEvict := dr.res.Offer(cand)
 		if admitted {
+			dr.spare = nil
 			dr.pos[a] = cand
+			if didEvict {
+				delete(dr.pos, evicted.a)
+				evicted.witnesses = evicted.witnesses[:0]
+				dr.spare = evicted
+			}
+		} else {
+			dr.spare = cand
 		}
 	}
 	if cand, ok := dr.pos[a]; ok && int64(len(cand.witnesses)) < dr.d2 {
@@ -106,12 +127,24 @@ func (dr *DegRes) ProcessEdges(edges []stream.Edge, degs []int64) {
 	}
 }
 
+// expose copies a candidate's first nw witnesses into a fresh
+// neighbourhood.  Every query method copies rather than aliasing live
+// buffers: Process recycles evicted witness buffers in place, so an
+// aliased result could be silently rewritten by later stream elements.
+// The copy also makes returned neighbourhoods plain values the caller
+// owns outright, whatever it does with them afterwards.
+func expose(cand *candidate, nw int64) Neighbourhood {
+	w := make([]int64, nw)
+	copy(w, cand.witnesses)
+	return Neighbourhood{A: cand.a, Witnesses: w}
+}
+
 // Result returns an arbitrary stored neighbourhood of size d2, per line 15
 // of Algorithm 1, or ok = false if the run failed.
 func (dr *DegRes) Result() (Neighbourhood, bool) {
 	for _, cand := range dr.res.Items() {
 		if int64(len(cand.witnesses)) >= dr.d2 {
-			return Neighbourhood{A: cand.a, Witnesses: cand.witnesses[:dr.d2]}, true
+			return expose(cand, dr.d2), true
 		}
 	}
 	return Neighbourhood{}, false
@@ -123,7 +156,7 @@ func (dr *DegRes) Results() []Neighbourhood {
 	var out []Neighbourhood
 	for _, cand := range dr.res.Items() {
 		if int64(len(cand.witnesses)) >= dr.d2 {
-			out = append(out, Neighbourhood{A: cand.a, Witnesses: cand.witnesses[:dr.d2]})
+			out = append(out, expose(cand, dr.d2))
 		}
 	}
 	return out
@@ -141,7 +174,7 @@ func (dr *DegRes) Best() (Neighbourhood, bool) {
 	if best == nil {
 		return Neighbourhood{}, false
 	}
-	return Neighbourhood{A: best.a, Witnesses: best.witnesses}, true
+	return expose(best, int64(len(best.witnesses))), true
 }
 
 // Thresholds returns (d1, d2) for reporting.

@@ -144,13 +144,19 @@ func (io *InsertOnly) Result() (Neighbourhood, error) {
 // returned slice is sorted by vertex id; it is empty when Result would
 // return ErrNoWitness.
 func (io *InsertOnly) Results() []Neighbourhood {
-	byVertex := make(map[int64]Neighbourhood)
+	var byVertex map[int64]Neighbourhood // lazily: most calls find nothing
 	for _, run := range io.runs {
 		for _, nb := range run.Results() {
+			if byVertex == nil {
+				byVertex = make(map[int64]Neighbourhood)
+			}
 			if _, dup := byVertex[nb.A]; !dup {
 				byVertex[nb.A] = nb
 			}
 		}
+	}
+	if len(byVertex) == 0 {
+		return nil
 	}
 	out := make([]Neighbourhood, 0, len(byVertex))
 	for _, nb := range byVertex {

@@ -119,31 +119,22 @@ func (ss *StarShard) WitnessTarget() int64 { return ss.runs[len(ss.runs)-1].Witn
 // View builds the shard's immutable query surface: the scan from the
 // largest guess down, stopping at the first rung with a full-target
 // result.  Results then holds every neighbourhood that rung certified
-// (deep-copied, sorted by center id — each of size exactly the rung's
-// target), Best its first (smallest center id), and Rung/Guess/Target
-// identify the rung so cross-shard and cross-member merges can compare
-// ladders.  An untouched shard publishes Rung == -1 with BestOK false.
+// (sorted by center id — each of size exactly the rung's target), Best
+// its first (smallest center id), and Rung/Guess/Target identify the
+// rung so cross-shard and cross-member merges can compare ladders.  An
+// untouched shard publishes Rung == -1 with BestOK false.
 func (ss *StarShard) View() View {
 	v := ss.QueryResults()
 	v.SpaceWords = ss.SpaceWords()
 	v.SnapshotBytes = ss.SnapshotSize()
 	v.Elements = ss.EdgesProcessed()
-	if len(v.Results) > 0 {
-		cloned := make([]Neighbourhood, len(v.Results))
-		for j, nb := range v.Results {
-			cloned[j] = cloneNeighbourhood(nb)
-		}
-		v.Results = cloned
-		v.Best = v.Results[0]
-	}
 	return v
 }
 
 // QueryResults is the barrier-read form of View — the same winning-rung
-// scan without the deep copies or size accounting; see
-// (*InsertOnly).QueryBest for the contract.  The winning rung is probed
-// with the cheap Result (first success) before its full Results set is
-// aggregated.
+// scan without the size accounting; see (*InsertOnly).QueryBest for the
+// contract.  The winning rung is probed with the cheap Result (first
+// success) before its full Results set is aggregated.
 func (ss *StarShard) QueryResults() View {
 	v := View{Rung: -1}
 	for i := len(ss.runs) - 1; i >= 0; i-- {
@@ -162,7 +153,7 @@ func (ss *StarShard) QueryResults() View {
 // QueryBest is the Best half of the barrier read.  The shard's best is
 // its winning rung's smallest-id center — Results[0] of that rung — so
 // the winning rung's result set is aggregated either way; only the
-// deep copies are skipped.
+// Results field is dropped.
 func (ss *StarShard) QueryBest() View {
 	v := ss.QueryResults()
 	v.Results = nil

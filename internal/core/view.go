@@ -3,11 +3,11 @@ package core
 // View is an immutable summary of an algorithm instance's query surface,
 // exported so a concurrent container (the sharded engines) can publish it
 // through an atomic pointer and serve queries without quiescing the
-// instance's owner.  Everything inside is deep-copied from the live state:
-// witness slices in particular are cloned, because DegRes hands out
-// neighbourhoods that alias its reservoir candidates, which the owning
-// goroutine keeps appending to.  A View therefore never changes after it
-// is built — readers may hold it indefinitely and share it freely.
+// instance's owner.  Everything inside shares no memory with live state:
+// the algorithms' query methods copy witness slices out of their
+// reservoirs (DegRes recycles evicted buffers in place, so nothing may
+// alias them).  A View therefore never changes after it is built —
+// readers may hold it indefinitely and share it freely.
 type View struct {
 	// Best is the largest neighbourhood collected so far, possibly below
 	// the witness target; BestOK is false when nothing was collected.
@@ -33,24 +33,13 @@ type View struct {
 	Target int64
 }
 
-// cloneNeighbourhood deep-copies a neighbourhood so the returned value
-// shares no memory with live algorithm state.
-func cloneNeighbourhood(nb Neighbourhood) Neighbourhood {
-	w := make([]int64, len(nb.Witnesses))
-	copy(w, nb.Witnesses)
-	return Neighbourhood{A: nb.A, Witnesses: w}
-}
-
 // QueryBest and QueryResults build the two halves of a View's query
 // surface — Best/BestOK and Results respectively, plus the star rung
-// fields — without the deep copies or the snapshot-size/space
-// accounting View performs, and without computing the half the caller
-// did not ask for.  They are what the runtime's fresh (barrier) queries
-// read: the caller holds the barrier for the duration of the read,
-// witness slices alias live state exactly as the single-threaded
-// algorithms hand them out, and the skipped fields stay zero.
-// Publication must keep using View: a published view outlives the
-// barrier and must share no memory with the mutating owner.
+// fields — without the snapshot-size/space accounting View performs,
+// and without computing the half the caller did not ask for.  They are
+// what the runtime's fresh (barrier) queries read; the neighbourhoods
+// are copies the caller owns (see DegRes), so they stay valid after the
+// barrier releases, and the skipped fields stay zero.
 func (io_ *InsertOnly) QueryBest() View {
 	v := View{Rung: -1}
 	if nb, ok := io_.Best(); ok {
@@ -96,13 +85,10 @@ func (io_ *InsertOnly) View() View {
 		Rung:          -1,
 	}
 	if nb, ok := io_.Best(); ok {
-		v.Best, v.BestOK = cloneNeighbourhood(nb), true
+		v.Best, v.BestOK = nb, true
 	}
 	if results := io_.Results(); len(results) > 0 {
-		v.Results = make([]Neighbourhood, len(results))
-		for i, nb := range results {
-			v.Results[i] = cloneNeighbourhood(nb)
-		}
+		v.Results = results
 	}
 	return v
 }

@@ -62,6 +62,44 @@ func WriteFile(w io.Writer, n, m int64, ups []Update) error {
 	return bw.Flush()
 }
 
+// FrameWriter encodes FEWW frames — complete stream files, written back
+// to back — reusing one internal buffer across frames, so a long-lived
+// forwarding path (the cluster gateway's chunked split-forward loop) pays
+// no per-frame allocation once the buffer has grown to the chunk size.
+// Each frame is handed to the underlying writer as a single Write, which
+// keeps io.Pipe hand-offs at one per frame.  A FrameWriter is not safe
+// for concurrent use.
+type FrameWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewFrameWriter returns a FrameWriter emitting frames to w.
+func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+
+// WriteFrame encodes one complete frame (header plus the updates) and
+// writes it to the underlying writer.  The result is byte-identical to
+// WriteFile with the same arguments; a sequence of WriteFrame calls is
+// what NewFrameScanner consumes.
+func (fw *FrameWriter) WriteFrame(n, m int64, ups []Update) error {
+	buf := append(fw.buf[:0], fileMagic[:]...)
+	for _, v := range []uint64{fileVersion, uint64(n), uint64(m), uint64(len(ups))} {
+		buf = binary.AppendUvarint(buf, v)
+	}
+	for _, u := range ups {
+		op := byte(0)
+		if u.Op == Delete {
+			op = 1
+		}
+		buf = append(buf, op)
+		buf = binary.AppendUvarint(buf, uint64(u.A))
+		buf = binary.AppendUvarint(buf, uint64(u.B))
+	}
+	fw.buf = buf
+	_, err := fw.w.Write(buf)
+	return err
+}
+
 // maxPreallocUpdates caps the slice capacity ReadFile trusts the header
 // with.  A header is attacker-controlled input on a network ingest path,
 // and its count field can claim 2^64-1 updates; beyond the cap the slice

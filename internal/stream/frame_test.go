@@ -1,0 +1,176 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// scanAll drains a scanner, returning the updates and the terminal error.
+func scanAll(sc *Scanner) ([]Update, error) {
+	var got []Update
+	for sc.Scan() {
+		got = append(got, sc.Update())
+	}
+	return got, sc.Err()
+}
+
+func TestFrameWriterMatchesWriteFile(t *testing.T) {
+	ups := sampleUpdates(3, 257)
+	var whole, framed bytes.Buffer
+	if err := WriteFile(&whole, 1000, 5000, ups); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewFrameWriter(&framed).WriteFrame(1000, 5000, ups); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole.Bytes(), framed.Bytes()) {
+		t.Fatalf("WriteFrame diverged from WriteFile: %d vs %d bytes", framed.Len(), whole.Len())
+	}
+}
+
+func TestFrameScannerConcatenatedFrames(t *testing.T) {
+	ups := sampleUpdates(4, 1000)
+	var body bytes.Buffer
+	fw := NewFrameWriter(&body)
+	// Uneven chunking, including an empty frame in the middle.
+	for _, span := range [][2]int{{0, 400}, {400, 400}, {999, 999}, {400, 1000}} {
+		if err := fw.WriteFrame(1000, 5000, ups[span[0]:span[1]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc, err := NewFrameScanner(bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scanAll(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ups) {
+		t.Fatalf("scanned %d updates across frames, want %d", len(got), len(ups))
+	}
+	for i := range ups {
+		if got[i] != ups[i] {
+			t.Fatalf("update %d: got %v want %v", i, got[i], ups[i])
+		}
+	}
+	if sc.Total() != int64(len(ups)) {
+		t.Fatalf("Total = %d after all frames, want %d", sc.Total(), len(ups))
+	}
+	if sc.N() != 1000 || sc.M() != 5000 {
+		t.Fatalf("universe n=%d m=%d", sc.N(), sc.M())
+	}
+}
+
+func TestFrameScannerSingleFrameMatchesScanner(t *testing.T) {
+	ups := sampleUpdates(5, 300)
+	var body bytes.Buffer
+	if err := WriteFile(&body, 1000, 5000, ups); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewScanner(bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	framed, err := NewFrameScanner(bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, errA := scanAll(plain)
+	b, errB := scanAll(framed)
+	if errA != nil || errB != nil {
+		t.Fatalf("errs: %v, %v", errA, errB)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("plain scanned %d, framed %d", len(a), len(b))
+	}
+}
+
+func TestFrameScannerRejectsUniverseChange(t *testing.T) {
+	var body bytes.Buffer
+	fw := NewFrameWriter(&body)
+	if err := fw.WriteFrame(1000, 5000, []Update{Ins(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteFrame(999, 5000, []Update{Ins(3, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewFrameScanner(bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scanAll(sc)
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("universe change across frames: err = %v, want ErrBadFormat", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("scanned %d updates before the bad frame, want 1", len(got))
+	}
+}
+
+func TestFrameScannerRejectsTruncatedLaterFrame(t *testing.T) {
+	var body bytes.Buffer
+	fw := NewFrameWriter(&body)
+	if err := fw.WriteFrame(1000, 5000, []Update{Ins(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteFrame(1000, 5000, []Update{Ins(3, 4), Ins(5, 6)}); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewFrameScanner(bytes.NewReader(body.Bytes()[:body.Len()-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scanAll(sc); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("truncated second frame: err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestFrameScannerRejectsGarbageBetweenFrames(t *testing.T) {
+	var body bytes.Buffer
+	fw := NewFrameWriter(&body)
+	if err := fw.WriteFrame(1000, 5000, []Update{Ins(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	body.WriteString("garbage")
+	sc, err := NewFrameScanner(bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scanAll(sc); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("garbage between frames: err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestPlainScannerStillRejectsSecondFrame(t *testing.T) {
+	var body bytes.Buffer
+	fw := NewFrameWriter(&body)
+	for i := 0; i < 2; i++ {
+		if err := fw.WriteFrame(1000, 5000, []Update{Ins(1, 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc, err := NewScanner(bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scanAll(sc); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("NewScanner accepted a concatenated frame: err = %v", err)
+	}
+}
+
+func TestFrameScannerEmptyOnlyFrame(t *testing.T) {
+	var body bytes.Buffer
+	if err := NewFrameWriter(&body).WriteFrame(1000, 5000, nil); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewFrameScanner(bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scanAll(sc)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty frame: got %d updates, err %v", len(got), err)
+	}
+}

@@ -20,8 +20,11 @@ import (
 type Scanner struct {
 	or       *offsetReader
 	n, m     int64
-	total    uint64 // updates declared in the header
-	read     uint64
+	total    uint64 // updates declared in the current frame's header
+	read     uint64 // updates read from the current frame
+	declared uint64 // updates declared across all frames seen so far
+	frames   bool   // accept concatenated frames after the first
+	frame    int    // index of the current frame (0-based)
 	current  Update
 	err      error
 	eofCheck bool // trailing-data probe already done
@@ -29,14 +32,35 @@ type Scanner struct {
 
 // NewScanner validates the header of a stream file and positions the
 // scanner before the first update.  Header errors wrap ErrBadFormat with
-// the byte offset of the fault.
+// the byte offset of the fault.  The input must be exactly one frame:
+// bytes after the declared update count are rejected (see NewFrameScanner
+// for the multi-frame ingest variant).
 func NewScanner(r io.Reader) (*Scanner, error) {
+	return newScanner(r, false)
+}
+
+// NewFrameScanner is NewScanner for framed input: one or more complete
+// FEWW streams concatenated back to back, scanned as one logical sequence
+// of updates.  Every frame must declare the same universe sizes as the
+// first — frames are a transport chunking, not a way to smuggle a second
+// stream — and each frame is validated exactly as a standalone file
+// (truncation, over-counts and bad ops are still errors with byte
+// offsets).  A single-frame body behaves identically to NewScanner except
+// that trailing data starting with a valid header is consumed as the next
+// frame instead of rejected.  This is the wire format the cluster gateway
+// streams to members: per-chunk frames written while the inbound request
+// is still being parsed.
+func NewFrameScanner(r io.Reader) (*Scanner, error) {
+	return newScanner(r, true)
+}
+
+func newScanner(r io.Reader, frames bool) (*Scanner, error) {
 	or := &offsetReader{br: bufio.NewReader(r)}
 	n, m, total, err := readHeader(or)
 	if err != nil {
 		return nil, err
 	}
-	return &Scanner{or: or, n: n, m: m, total: total}, nil
+	return &Scanner{or: or, n: n, m: m, total: total, declared: total, frames: frames}, nil
 }
 
 // N returns |A| from the header.
@@ -45,8 +69,10 @@ func (s *Scanner) N() int64 { return s.n }
 // M returns |B| from the header.
 func (s *Scanner) M() int64 { return s.m }
 
-// Total returns the number of updates the header declares.
-func (s *Scanner) Total() int64 { return int64(s.total) }
+// Total returns the number of updates declared by the headers seen so
+// far — for a single-frame stream, exactly the header's count; for a
+// frame scanner, the running sum over the frames consumed.
+func (s *Scanner) Total() int64 { return int64(s.declared) }
 
 // Scan advances to the next update; it returns false at the end of the
 // stream or on error (distinguish with Err).  A stream that ends before
@@ -58,9 +84,14 @@ func (s *Scanner) Scan() bool {
 	if s.err != nil {
 		return false
 	}
-	if s.read == s.total {
-		s.checkTrailing()
-		return false
+	for s.read == s.total {
+		if !s.frames {
+			s.checkTrailing()
+			return false
+		}
+		if !s.nextFrame() {
+			return false
+		}
 	}
 	u, err := readUpdate(s.or, s.read, s.total)
 	if err != nil {
@@ -69,6 +100,35 @@ func (s *Scanner) Scan() bool {
 	}
 	s.current = u
 	s.read++
+	return true
+}
+
+// nextFrame advances a frame scanner past the current frame's declared
+// count: a clean EOF ends the stream, anything else must be the next
+// frame's header, declaring the same universe sizes.  It returns false at
+// the end of input or on error (recorded in s.err).
+func (s *Scanner) nextFrame() bool {
+	if _, err := s.or.br.Peek(1); err == io.EOF {
+		return false
+	} else if err != nil {
+		s.err = fmt.Errorf("%w: at byte %d: %v", ErrBadFormat, s.or.off, err)
+		return false
+	}
+	frameStart := s.or.off
+	n, m, total, err := readHeader(s.or)
+	if err != nil {
+		s.err = err
+		return false
+	}
+	if n != s.n || m != s.m {
+		s.err = fmt.Errorf("%w: frame %d at byte %d declares universe n=%d m=%d, frame 0 declared n=%d m=%d",
+			ErrBadFormat, s.frame+1, frameStart, n, m, s.n, s.m)
+		return false
+	}
+	s.frame++
+	s.total = total
+	s.read = 0
+	s.declared += total
 	return true
 }
 

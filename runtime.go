@@ -40,9 +40,9 @@ type shardAlgo[E any] interface {
 	Apply(batch []E)
 	View() core.View
 	// QueryBest and QueryResults are the cheap barrier-read halves of
-	// View: the same Best/Results/rung surface, no deep copies, no size
-	// accounting, and nothing the caller did not ask for.  Only ever
-	// read under the runtime's barrier, within its critical section.
+	// View: the same Best/Results/rung surface, no size accounting, and
+	// nothing the caller did not ask for.  Only ever read under the
+	// runtime's barrier, within its critical section.
 	QueryBest() core.View
 	QueryResults() core.View
 	SpaceWords() int
@@ -140,7 +140,7 @@ func newRuntime[E any](name string, batchSize, queueDepth, headerBytes int,
 // barrier and reads each shard with the given accessor (QueryBest or
 // QueryResults) from quiescent state, so the visit reflects every
 // element fed before the call without paying the publication path's
-// deep copies and size accounting inside the barrier.  Both paths hand
+// size accounting inside the barrier.  Both paths hand
 // fn the same View shape, which is what makes published and fresh
 // answers coincide byte-for-byte on drained state.
 func (rt *engineRuntime[E]) forEachView(fresh bool, read func(shardAlgo[E]) core.View, fn func(sh *rtShard[E], v *core.View)) {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sync"
 
 	"feww"
 )
@@ -156,7 +157,9 @@ func (b *insertBackend) Ingest(ups []feww.Update) error {
 	if err != nil {
 		return err
 	}
-	return b.e.ProcessEdges(edges)
+	err = b.e.ProcessEdges(*edges)
+	putEdgeBuf(edges)
+	return err
 }
 
 func (b *insertBackend) Best(fresh bool) BestAnswer {
@@ -237,7 +240,9 @@ func (b *starBackend) Ingest(ups []feww.Update) error {
 	if err != nil {
 		return err
 	}
-	return b.e.ProcessHalfEdges(edges)
+	err = b.e.ProcessHalfEdges(*edges)
+	putEdgeBuf(edges)
+	return err
 }
 
 func (b *starBackend) Best(fresh bool) BestAnswer {
@@ -279,19 +284,36 @@ func (b *starBackend) Universe() (int64, int64) { return b.e.Config().N, b.e.Con
 // must agree on it for their rung indices to merge.
 func (b *starBackend) Rungs() int { return len(b.e.Guesses()) }
 
+// edgeBufPool recycles the []Edge conversion buffers of the insert-only
+// and star ingest paths (mirroring the *[]E batch recycling inside the
+// engine fanout), so a sustained ingest stream stops allocating a batch-
+// sized slice per request chunk.  The engines copy batches into their own
+// per-shard buffers before ProcessEdges/ProcessHalfEdges returns, which
+// is what makes returning the buffer immediately afterwards safe.
+var edgeBufPool = sync.Pool{New: func() any { buf := make([]feww.Edge, 0, 4096); return &buf }}
+
+func putEdgeBuf(buf *[]feww.Edge) {
+	*buf = (*buf)[:0]
+	edgeBufPool.Put(buf)
+}
+
 // insertEdges strips the op sign off an insertion-only batch, rejecting
-// deletions with a pointer at the turnstile mode.
-func insertEdges(ups []feww.Update, engine string) ([]feww.Edge, error) {
+// deletions with a pointer at the turnstile mode.  The returned buffer
+// comes from edgeBufPool; the caller hands it back with putEdgeBuf once
+// the engine has consumed it.
+func insertEdges(ups []feww.Update, engine string) (*[]feww.Edge, error) {
 	for i, u := range ups {
 		if u.Op != feww.Insert {
 			return nil, fmt.Errorf("update %d of %d: %v: %s cannot apply deletions (run the service in turnstile mode)", i, len(ups), u, engine)
 		}
 	}
-	edges := make([]feww.Edge, len(ups))
-	for i, u := range ups {
-		edges[i] = u.Edge
+	bufp := edgeBufPool.Get().(*[]feww.Edge)
+	edges := (*bufp)[:0]
+	for _, u := range ups {
+		edges = append(edges, u.Edge)
 	}
-	return edges, nil
+	*bufp = edges
+	return bufp, nil
 }
 
 // RestoreBackend reads an engine snapshot — a checkpoint file, or the

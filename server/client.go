@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"syscall"
@@ -15,10 +16,39 @@ import (
 	"feww/internal/stream"
 )
 
+// DefaultTransport is the shared connection pool every zero-HTTPClient
+// Client rides.  http.DefaultTransport keeps only two idle connections
+// per host (DefaultMaxIdleConnsPerHost), so a gateway scatter-gathering
+// over its members — several concurrent requests to the *same* member
+// base URL per fan-out — would redial on almost every burst.  This
+// transport keeps enough idle connections per host to cover a wide
+// fan-out plus concurrent ingest streams, and enough in total for a
+// many-member cluster.
+var DefaultTransport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   30 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	ForceAttemptHTTP2:     true,
+	MaxIdleConns:          512,
+	MaxIdleConnsPerHost:   64,
+	IdleConnTimeout:       90 * time.Second,
+	TLSHandshakeTimeout:   10 * time.Second,
+	ExpectContinueTimeout: 1 * time.Second,
+}
+
+// defaultHTTPClient is what the zero Client uses instead of
+// http.DefaultClient, so sequential and concurrent requests to the same
+// host reuse pooled connections rather than redialing.
+var defaultHTTPClient = &http.Client{Transport: DefaultTransport}
+
 // Client talks to a fewwd instance (or to a fewwgate gateway, which
 // mirrors the fewwd endpoints).  It is what cmd/fewwload, the cluster
 // gateway's member fan-out, and the end-to-end tests drive; the zero
-// HTTPClient means http.DefaultClient.
+// HTTPClient means a shared client over DefaultTransport, whose
+// keep-alive pool is tuned for scatter-gather fan-outs (see
+// DefaultTransport).
 //
 // Timeout bounds each request end to end (connect, send, read): a member
 // node that hangs mid-response fails the call instead of wedging the
@@ -32,7 +62,8 @@ import (
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8080".
 	Base string
-	// HTTPClient overrides the transport (nil = http.DefaultClient).
+	// HTTPClient overrides the transport (nil = a shared client over
+	// DefaultTransport).
 	HTTPClient *http.Client
 	// Timeout bounds each request end to end; 0 means no client-side
 	// deadline (whatever the transport does).
@@ -48,7 +79,7 @@ type Client struct {
 func (c *Client) http() *http.Client {
 	base := c.HTTPClient
 	if base == nil {
-		base = http.DefaultClient
+		base = defaultHTTPClient
 	}
 	if c.Timeout <= 0 {
 		return base

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"feww"
+	"feww/internal/stream"
+)
+
+// TestClientReusesConnections pins the regression the tuned
+// DefaultTransport exists to prevent: a zero-HTTPClient Client must ride
+// a keep-alive pool, so sequential requests to the same host reuse one
+// TCP connection instead of redialing per call (which is what riding a
+// per-call or pool-less client would do, and what the gateway's member
+// fan-out cannot afford).
+func TestClientReusesConnections(t *testing.T) {
+	eng, err := feww.NewEngine(feww.EngineConfig{
+		Config: feww.Config{N: 64, D: 4, Alpha: 2, Seed: 1},
+		Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := NewInsertOnlyBackend(eng)
+	defer be.Close()
+	srv := New(be, Config{})
+
+	var dials atomic.Int64
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	ts.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			dials.Add(1)
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+
+	cl := &Client{Base: ts.URL}
+	// A mix of bodyless GETs and an ingest POST: every request shape the
+	// gateway issues against a member must reuse the pooled connection.
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Stats(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Health(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Ingest(64, 0, []feww.Update{stream.Ins(int64(i), int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("15 sequential requests dialed %d connections, want 1 (keep-alive pool not in use)", got)
+	}
+}

@@ -12,7 +12,9 @@
 //
 // Endpoints:
 //
-//	POST /ingest      body: FEWW binary stream (internal/stream format)
+//	POST /ingest      body: FEWW binary stream, or several complete
+//	                  streams concatenated back to back (framed ingest;
+//	                  internal/stream format)
 //	GET  /best        largest witnessed neighbourhood so far, as JSON
 //	GET  /results     every full-target neighbourhood, as JSON
 //	GET  /stats       per-shard queue depths, counters, snapshot size
@@ -58,6 +60,11 @@ import (
 // ingestChunk is how many decoded updates are validated and handed to the
 // engine at a time while an /ingest body is scanned.
 const ingestChunk = 8192
+
+// chunkBufPool recycles the per-request decode buffers of handleIngest,
+// so steady-state ingest allocates nothing per request on the decode
+// side.  Buffers are fixed at ingestChunk capacity.
+var chunkBufPool = sync.Pool{New: func() any { buf := make([]feww.Update, 0, ingestChunk); return &buf }}
 
 // Config parameterises the HTTP layer (the engine itself is configured at
 // construction and carried by the Backend).
@@ -257,13 +264,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// must not split one request's chunks across two engines.
 	be := s.be()
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	sc, err := stream.NewScanner(body)
+	// The frame scanner accepts one stream *or* several complete streams
+	// concatenated back to back (all declaring the same universe) — the
+	// chunked wire format a cluster gateway emits while splitting an
+	// inbound request on the fly.  A single-frame body behaves exactly as
+	// before; every frame is validated as strictly as a standalone file.
+	sc, err := stream.NewFrameScanner(body)
 	if err != nil {
 		s.ingestError(w, be, 0, err)
 		return
 	}
 	var accepted int64
-	batch := make([]feww.Update, 0, ingestChunk)
+	bufp := chunkBufPool.Get().(*[]feww.Update)
+	defer func() {
+		*bufp = (*bufp)[:0]
+		chunkBufPool.Put(bufp)
+	}()
+	batch := (*bufp)[:0]
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil

@@ -144,6 +144,7 @@ func (f *fanout[E]) run(i int) {
 	defer f.wg.Done()
 	dirty := false
 	var last time.Time // most recent publication
+	var timer *time.Timer
 	publish := func() {
 		if f.publish[i] != nil {
 			f.publish[i]()
@@ -157,9 +158,23 @@ func (f *fanout[E]) run(i int) {
 		if dirty && len(f.chans[i]) == 0 {
 			// A throttled publication is pending and no work is queued:
 			// wait for more, but only until the throttle window closes.
+			// The timer is reused across waits — time.After here would
+			// allocate a fresh timer every time the worker goes idle,
+			// which the ingest allocation gate counts against the hot
+			// path.  After a Stop that loses the race with expiry the
+			// channel holds a stale tick; drain it so the next Reset
+			// starts clean.
+			if timer == nil {
+				timer = time.NewTimer(publishMinInterval - time.Since(last))
+			} else {
+				timer.Reset(publishMinInterval - time.Since(last))
+			}
 			select {
 			case m, ok = <-f.chans[i]:
-			case <-time.After(publishMinInterval - time.Since(last)):
+				if !timer.Stop() {
+					<-timer.C
+				}
+			case <-timer.C:
 				publish()
 				continue
 			}
