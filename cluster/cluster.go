@@ -19,13 +19,24 @@
 //     performs across its in-process shards, lifted one tier up;
 //   - rebalance is messaging: moving a range to a new node ships the
 //     donor's snapshot bytes into the recipient's restore path, and the
-//     gateway repoints the range when the recipient confirms the state.
+//     gateway repoints the range when the recipient confirms the state;
+//   - replication is fan-out: with Config.Replicas = R each range is one
+//     group of R identical members, every ingest window forwarded to all
+//     live replicas, so the window is the unit of replication as well as
+//     of validation.  A reconciler loop (StartReconciler) probes members,
+//     promotes a follower when a primary dies, re-seeds failed replicas
+//     and adopts spares by snapshot shipping, and records every action in
+//     a decision log served at GET /reconciler — no operator in the loop.
 //
 // The gateway mirrors the fewwd endpoint surface (ingest, best, results,
 // stats, healthz, checkpoint), so clients — including server.Client and
 // cmd/fewwload — talk to a cluster exactly as they talk to a node.  The
 // ?fresh=1 consistency opt-in fans out to the members' strict-barrier
-// path; the default reads their barrier-free published views.
+// path, pinned to each group's primary so its byte-identity contract
+// holds under replication; the default reads the members' barrier-free
+// published views, rotating across a group's live replicas and failing
+// over between them, so published reads keep answering through a
+// member's death.
 package cluster
 
 import "fmt"

@@ -40,14 +40,14 @@ func TestSplit(t *testing.T) {
 	}
 }
 
-func TestMemberFor(t *testing.T) {
+func TestGroupFor(t *testing.T) {
 	g := &Gateway{}
-	for _, rng := range []Range{{0, 4}, {4, 7}, {7, 10}} {
-		g.members = append(g.members, &member{rng: rng})
+	for i, rng := range []Range{{0, 4}, {4, 7}, {7, 10}} {
+		g.groups = append(g.groups, &group{idx: i, rng: rng})
 	}
 	for a, want := range map[int64]int{0: 0, 3: 0, 4: 1, 6: 1, 7: 2, 9: 2} {
-		if got := g.memberFor(a); got != want {
-			t.Errorf("memberFor(%d) = %d, want %d", a, got, want)
+		if got := g.groupFor(a); got != want {
+			t.Errorf("groupFor(%d) = %d, want %d", a, got, want)
 		}
 	}
 }

@@ -1,0 +1,302 @@
+package cluster
+
+// The in-process version of the acceptance criterion: a replicated
+// cluster (one range, two replicas, one spare) survives the death of
+// ANY single member — follower, primary, or spare — with no operator
+// action, for all three algorithm kinds.  Published reads hammer the
+// gateway throughout and must never fail; ingest posted immediately
+// after the kill must be fully accepted; and once the reconciler
+// converges, fresh results are byte-identical to a single full-universe
+// engine fed the same stream.  The multi-process SIGKILL variant runs in
+// scripts/cluster_e2e.sh (chaos section).
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"feww"
+	"feww/server"
+)
+
+// failoverKind describes one algorithm kind for the failover matrix: a
+// full-universe backend constructor (every member holds the whole
+// universe — one range, R copies) and a planted deterministic workload.
+type failoverKind struct {
+	name    string
+	n       int64
+	headerM int64 // m for the stream header (0 = derive)
+	backend func(t *testing.T, seed uint64, shards int) server.Backend
+	ups     []feww.Update
+}
+
+func insertFailoverKind() failoverKind {
+	const n = 1000
+	// Exactly one vertex reaches the witness target (padding adds at most
+	// two witnesses per vertex, planted noise stays below d) — the best
+	// answer must be a unique maximum, because tie-breaks at the cap are
+	// an engine-internal order that range partitioning does not preserve.
+	ups := interleavedInserts(map[int64]int{
+		25: 20, 60: 5, 10: 3, 90: 2, 440: 2, 777: 2,
+	})
+	// Padding so each piece spans several streaming windows.
+	for i := 0; i < 1500; i++ {
+		ups = append(ups, ins(int64(i)%n, int64(100000+i)))
+	}
+	return failoverKind{
+		name: "insert-only", n: n, headerM: 0, ups: ups,
+		backend: func(t *testing.T, seed uint64, shards int) server.Backend {
+			eng, err := feww.NewEngine(feww.EngineConfig{
+				Config: feww.Config{N: n, D: 8, Alpha: 1, Seed: seed},
+				Shards: shards, BatchSize: 16,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return server.NewInsertOnlyBackend(eng)
+		},
+	}
+}
+
+func turnstileFailoverKind() failoverKind {
+	const (
+		n     = 48
+		m     = 128
+		d     = 4
+		scale = 0.3
+	)
+	// The planted regime of the turnstile equivalence test: one vertex at
+	// exactly d live witnesses, noise strictly below d, churn cancelling
+	// inside the sketches.
+	heavy, heavyWitnesses := int64(25), []int64{3, 50, 77, 120}
+	var ups []feww.Update
+	for k, b := range heavyWitnesses {
+		ups = append(ups, ins(heavy, b))
+		for _, v := range []int64{1, 8, 17, 30, 40, 47} {
+			if k < 3 {
+				ups = append(ups, ins(v, (v*7+int64(k))%m))
+			}
+		}
+	}
+	for _, v := range []int64{5, 20, 36} {
+		ups = append(ups, ins(v, v+60), ins(v, v+70))
+	}
+	for _, v := range []int64{5, 20, 36} {
+		ups = append(ups, del(v, v+60), del(v, v+70))
+	}
+	return failoverKind{
+		name: "turnstile", n: n, headerM: m, ups: ups,
+		backend: func(t *testing.T, seed uint64, shards int) server.Backend {
+			eng, err := feww.NewTurnstileEngine(feww.TurnstileEngineConfig{
+				TurnstileConfig: feww.TurnstileConfig{N: n, M: m, D: d, Alpha: 1, Seed: seed, ScaleFactor: scale},
+				Shards:          shards, BatchSize: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return server.NewTurnstileBackend(eng)
+		},
+	}
+}
+
+func starFailoverKind() failoverKind {
+	const n = 60
+	// A planted star at 25 (degree 20, winning guess 18) plus background
+	// structure — the star equivalence test's graph.
+	neighbours := []int64{
+		2, 41, 21, 58, 7, 33, 48, 11, 55, 17,
+		39, 3, 29, 51, 9, 44, 23, 13, 36, 57,
+	}
+	var edges [][2]int64
+	for _, v := range neighbours {
+		edges = append(edges, [2]int64{25, v})
+	}
+	for _, v := range []int64{1, 12, 31} {
+		edges = append(edges, [2]int64{50, v})
+	}
+	edges = append(edges, [2]int64{5, 45}, [2]int64{28, 59}, [2]int64{40, 8})
+	return failoverKind{
+		name: "star", n: n, headerM: n, ups: doubleCover(edges),
+		backend: func(t *testing.T, seed uint64, shards int) server.Backend {
+			eng, err := feww.NewStarEngine(feww.StarEngineConfig{
+				N: n, Alpha: 1, Eps: 0.5, Seed: seed, Shards: shards, BatchSize: 16,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return server.NewStarBackend(eng)
+		},
+	}
+}
+
+// hammer issues published reads against the gateway in a loop until
+// stopped, counting every transport error or non-200 — the "published
+// reads never error during failover" clock.
+type hammer struct {
+	fails atomic.Int64
+	reqs  atomic.Int64
+	stopc chan struct{}
+	wg    sync.WaitGroup
+}
+
+func startHammer(gwURL string) *hammer {
+	h := &hammer{stopc: make(chan struct{})}
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		cl := &http.Client{Timeout: 15 * time.Second}
+		for {
+			select {
+			case <-h.stopc:
+				return
+			default:
+			}
+			for _, path := range []string{"/best", "/results", "/stats"} {
+				resp, err := cl.Get(gwURL + path)
+				h.reqs.Add(1)
+				if err != nil {
+					h.fails.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					h.fails.Add(1)
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	return h
+}
+
+func (h *hammer) stop() (reqs, fails int64) {
+	close(h.stopc)
+	h.wg.Wait()
+	return h.reqs.Load(), h.fails.Load()
+}
+
+func TestFailoverMatrix(t *testing.T) {
+	kinds := []failoverKind{insertFailoverKind(), turnstileFailoverKind(), starFailoverKind()}
+	victims := []string{"follower", "primary", "spare"}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.name, func(t *testing.T) {
+			if kind.name == "turnstile" && testing.Short() {
+				// Turnstile snapshots at these parameters are tens of MB;
+				// re-seeding ships them twice per case.  The full matrix runs
+				// in the long mode (and in CI's named replication step).
+				t.Skip("turnstile failover ships large snapshots; skipped in -short")
+			}
+			for _, victim := range victims {
+				victim := victim
+				t.Run("kill-"+victim, func(t *testing.T) {
+					runFailoverCase(t, kind, victim)
+				})
+			}
+		})
+	}
+}
+
+func runFailoverCase(t *testing.T, kind failoverKind, victim string) {
+	dir := t.TempDir()
+	// Reference: a single full-universe engine fed the identical stream.
+	ref := startNode(t, kind.backend(t, 42, 4), dir, 99)
+	// The cluster: one group of two replicas (A primary, B follower) and
+	// one spare C.  Seeds and shard counts differ everywhere: in the
+	// alpha=1 regime results must not depend on them.
+	a := startNode(t, kind.backend(t, 7, 1), dir, 0)
+	b := startNode(t, kind.backend(t, 8, 2), dir, 1)
+	c := startNode(t, kind.backend(t, 9, 3), dir, 2)
+	g, err := New(Config{
+		Members:      []string{a.ts.URL, b.ts.URL, c.ts.URL},
+		Replicas:     2,
+		ChunkUpdates: 64, // small windows: the kill lands between windows of one request
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := serveGateway(t, g)
+	rec := g.StartReconciler(ReconcilerConfig{Interval: 25 * time.Millisecond, FailAfter: 2, ProbeTimeout: time.Second})
+	defer rec.Stop()
+
+	victimNode := map[string]*node{"follower": b, "primary": a, "spare": c}[victim]
+	victimURL := victimNode.ts.URL
+
+	hm := startHammer(gw.URL)
+
+	third := len(kind.ups) / 3
+	piece1, piece2, piece3 := kind.ups[:third], kind.ups[third:2*third], kind.ups[2*third:]
+
+	// Piece 1 lands everywhere; then the victim dies.
+	postStream(t, gw.URL, kind.n, kind.headerM, piece1)
+	victimNode.close()
+
+	// Piece 2 is posted immediately — before the reconciler can have
+	// noticed — and must be fully accepted: a dead replica drops out of
+	// the fan-out mid-request, it does not fail the request.
+	code, out := postIngest(t, gw.URL, encodeUpdates(t, kind.n, kind.headerM, piece2))
+	if code != http.StatusOK || out.Accepted != int64(len(piece2)) {
+		t.Fatalf("ingest right after killing the %s: HTTP %d accepted %d (%s), want 200/%d",
+			victim, code, out.Accepted, out.Error, len(piece2))
+	}
+
+	// Autonomous convergence: every group replica live again and the
+	// primary not the victim.  For a killed spare nothing needs doing and
+	// the predicate holds immediately.
+	st := waitStatus(t, g, 15*time.Second, "group back at full strength", func(st ReconcilerStatus) bool {
+		gs := st.Groups[0]
+		if gs.Primary == victimURL {
+			return false
+		}
+		if len(gs.Replicas) < 2 {
+			return false
+		}
+		for _, rs := range gs.Replicas {
+			if rs.State != "live" {
+				return false
+			}
+		}
+		return true
+	})
+	switch victim {
+	case "follower", "primary":
+		// The dead member must have been replaced by the spare, and for a
+		// dead primary a follower promoted — all visible in the decision
+		// log.
+		want := map[string]bool{"adopt-spare": false}
+		if victim == "primary" {
+			want["promote"] = true
+		}
+		for _, dec := range st.Decisions {
+			if _, ok := want[dec.Action]; ok {
+				delete(want, dec.Action)
+			}
+		}
+		for action := range want {
+			t.Fatalf("no %q decision after killing the %s; decisions: %+v", action, victim, st.Decisions)
+		}
+	case "spare":
+		if len(st.Spares) != 1 {
+			t.Fatalf("spare pool = %v after killing the spare, want the (dead) spare still listed", st.Spares)
+		}
+	}
+
+	// Piece 3 lands on the reconverged membership.
+	postStream(t, gw.URL, kind.n, kind.headerM, piece3)
+
+	if reqs, fails := hm.stop(); fails != 0 {
+		t.Fatalf("%d of %d published reads failed during failover, want 0", fails, reqs)
+	}
+
+	// Feed the reference the same three pieces and require byte-identical
+	// fresh answers: the failover lost nothing and invented nothing.
+	postStream(t, ref.ts.URL, kind.n, kind.headerM, kind.ups[:third])
+	postStream(t, ref.ts.URL, kind.n, kind.headerM, piece2)
+	postStream(t, ref.ts.URL, kind.n, kind.headerM, piece3)
+	freshEqual(t, &httptestURL{ref.ts.URL}, &httptestURL{gw.URL}, "/best")
+	freshEqual(t, &httptestURL{ref.ts.URL}, &httptestURL{gw.URL}, "/results")
+}

@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,10 +18,19 @@ import (
 
 // Config parameterises a Gateway.
 type Config struct {
-	// Members lists the fewwd base URLs in range order: member j serves
-	// the j-th contiguous range of the item universe, whose length is
-	// discovered from the member's /healthz at construction.
+	// Members lists the fewwd base URLs in range order.  With Replicas R,
+	// consecutive runs of R members form one replica group: members
+	// [j*R, (j+1)*R) all serve copies of the j-th contiguous range, whose
+	// length is discovered from the group's first member's /healthz at
+	// construction (every replica must report the same universe).  Members
+	// beyond the last full group are spares: idle nodes the reconciler
+	// re-seeds into a group when a replica dies.
 	Members []string
+	// Replicas is the number of copies kept of each range (default 1, the
+	// unreplicated layout of earlier versions).  Every ingest window fans
+	// out to all live replicas of the owning group synchronously, so the
+	// copies stay byte-identical; published reads rotate across them.
+	Replicas int
 	// MemberTimeout bounds each member request end to end (default 30s;
 	// negative disables the deadline).  One slow node then fails its slice
 	// of a scatter-gather instead of wedging the whole fan-out.
@@ -38,58 +46,42 @@ type Config struct {
 	MaxBodyBytes int64
 	// ChunkUpdates is the streaming-ingest window: the gateway decodes,
 	// validates, and splits this many updates at a time, then forwards
-	// each member's share as one frame into its already-open member
+	// each replica's share as one frame into its already-open member
 	// request (default 8192).  Larger windows amortise frame headers and
 	// syscalls; smaller ones tighten the reject-before-forward boundary
 	// and the gateway's resident window.
 	ChunkUpdates int
 }
 
-// member is one node of the cluster: an immutable range plus the client
-// currently serving it.
-type member struct {
-	rng Range
-	// ingestMu serialises ingest for the range against rebalance: ingest
-	// holds it shared, rebalance exclusively — so no update can land on a
-	// donor after its snapshot is cut.  Queries do not take it: they keep
-	// answering from whichever node currently serves the range (the donor,
-	// until the repoint), so a rebalance shipping a large snapshot never
-	// blocks reads.
-	ingestMu sync.RWMutex
-	// clMu guards the client pointer, which rebalance swaps at repoint.
-	clMu sync.RWMutex
-	cl   *server.Client
-}
-
-// client returns the client currently serving the member's range.
-func (m *member) client() *server.Client {
-	m.clMu.RLock()
-	defer m.clMu.RUnlock()
-	return m.cl
-}
-
-// setClient repoints the range to a new node.
-func (m *member) setClient(cl *server.Client) {
-	m.clMu.Lock()
-	defer m.clMu.Unlock()
-	m.cl = cl
-}
-
 // Gateway is the cluster front-end: one logical FEwW engine over the
 // member nodes.  It is an http.Handler factory (Handler) mirroring the
 // fewwd endpoint surface, plus a rebalance operation for moving ranges
-// between nodes.  All handlers are safe for concurrent use.
+// between nodes and an optional autonomous Reconciler.  All handlers are
+// safe for concurrent use.
 type Gateway struct {
 	cfg    Config
 	kind   string // members' engine kind: "insert-only", "turnstile" or "star"
-	n      int64  // total item universe: sum of member ranges
+	n      int64  // total item universe: sum of group ranges
 	m      int64  // witness universe (turnstile/star members; 0 otherwise)
 	target int64  // the members' witness target, identical on every member
 	rungs  int    // star guess-ladder length (0 for the flat kinds)
 
-	members []*member
-	mux     *http.ServeMux
-	start   time.Time
+	groups []*group
+	mux    *http.ServeMux
+	start  time.Time
+
+	// spare pool: reachable nodes not currently serving a range, adoptable
+	// by the reconciler when a group loses a replica.
+	spareMu sync.Mutex
+	spares  []*replica
+
+	// decision ring: the last decisionCap autonomous membership actions.
+	decMu     sync.Mutex
+	decisions []Decision
+
+	// reconMu guards the reconciler pointer (GET /reconciler reads it).
+	reconMu sync.Mutex
+	recon   *Reconciler
 
 	// rebalanceMu serialises rebalance operations gateway-wide: the
 	// duplicate-target guard scans current membership, so two concurrent
@@ -104,12 +96,16 @@ type Gateway struct {
 // /healthz to discover its universe size and verify the cluster is
 // coherent: every member must serve the same engine kind with the same
 // witness target (and, for turnstile engines, the same witness universe
-// m).  Member j's range is [sum of earlier sizes, + its own size).  A
+// m), and the replicas of one group must report the same universe size.
+// Group j's range is [sum of earlier group sizes, + its own size).  A
 // member that is down or draining fails construction — callers that want
 // to wait for a bootstrapping cluster retry New (see cmd/fewwgate -wait).
 func New(cfg Config) (*Gateway, error) {
 	if len(cfg.Members) == 0 {
 		return nil, errors.New("cluster: no members configured")
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
 	}
 	if cfg.MemberTimeout == 0 {
 		cfg.MemberTimeout = 30 * time.Second
@@ -120,27 +116,60 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.ChunkUpdates <= 0 {
 		cfg.ChunkUpdates = 8192
 	}
+	nGroups := len(cfg.Members) / cfg.Replicas
+	if nGroups == 0 {
+		return nil, fmt.Errorf("cluster: %d members cannot hold %d replicas of even one range", len(cfg.Members), cfg.Replicas)
+	}
 	g := &Gateway{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
 	lo := int64(0)
-	for j, url := range cfg.Members {
+	for j := 0; j < nGroups; j++ {
+		gr := &group{idx: j}
+		var groupN int64
+		for k := 0; k < cfg.Replicas; k++ {
+			idx := j*cfg.Replicas + k
+			url := cfg.Members[idx]
+			cl := g.newClient(url)
+			h, err := cl.Health()
+			if err != nil {
+				return nil, fmt.Errorf("cluster: member %d (%s): %w", idx, url, err)
+			}
+			if !h.Serving {
+				return nil, fmt.Errorf("cluster: member %d (%s) is draining", idx, url)
+			}
+			if j == 0 && k == 0 {
+				g.kind, g.m, g.target, g.rungs = h.Engine, h.M, h.WitnessTarget, h.Rungs
+			} else if h.Engine != g.kind || h.M != g.m || h.WitnessTarget != g.target || h.Rungs != g.rungs {
+				return nil, fmt.Errorf("cluster: member %d (%s) is incoherent: engine %s m %d target %d rungs %d, cluster has engine %s m %d target %d rungs %d",
+					idx, url, h.Engine, h.M, h.WitnessTarget, h.Rungs, g.kind, g.m, g.target, g.rungs)
+			}
+			if k == 0 {
+				groupN = h.N
+				gr.rng = Range{Lo: lo, Hi: lo + groupN}
+			} else if h.N != groupN {
+				return nil, fmt.Errorf("cluster: member %d (%s): replica universe %d, range %d's other replicas hold %d — replicas of one range must be sized identically",
+					idx, url, h.N, j, groupN)
+			}
+			gr.replicas = append(gr.replicas, &replica{cl: cl})
+		}
+		g.groups = append(g.groups, gr)
+		lo += groupN
+	}
+	g.n = lo
+	// Leftover members are spares.  They must be reachable and serving —
+	// whatever engine they hold is a placeholder the first re-seed
+	// replaces wholesale through POST /restore.
+	for idx := nGroups * cfg.Replicas; idx < len(cfg.Members); idx++ {
+		url := cfg.Members[idx]
 		cl := g.newClient(url)
 		h, err := cl.Health()
 		if err != nil {
-			return nil, fmt.Errorf("cluster: member %d (%s): %w", j, url, err)
+			return nil, fmt.Errorf("cluster: spare %s: %w", url, err)
 		}
 		if !h.Serving {
-			return nil, fmt.Errorf("cluster: member %d (%s) is draining", j, url)
+			return nil, fmt.Errorf("cluster: spare %s is draining", url)
 		}
-		if j == 0 {
-			g.kind, g.m, g.target, g.rungs = h.Engine, h.M, h.WitnessTarget, h.Rungs
-		} else if h.Engine != g.kind || h.M != g.m || h.WitnessTarget != g.target || h.Rungs != g.rungs {
-			return nil, fmt.Errorf("cluster: member %d (%s) is incoherent: engine %s m %d target %d rungs %d, cluster has engine %s m %d target %d rungs %d",
-				j, url, h.Engine, h.M, h.WitnessTarget, h.Rungs, g.kind, g.m, g.target, g.rungs)
-		}
-		g.members = append(g.members, &member{rng: Range{Lo: lo, Hi: lo + h.N}, cl: cl})
-		lo += h.N
+		g.spares = append(g.spares, &replica{cl: cl})
 	}
-	g.n = lo
 	// A star cluster's ranges are slices of the vertex set whose total
 	// must be exactly the graph the members' ladders (and witness
 	// universes) were sized for — anything else silently mis-scopes the
@@ -153,6 +182,7 @@ func New(cfg Config) (*Gateway, error) {
 	g.mux.HandleFunc("GET /results", g.handleResults)
 	g.mux.HandleFunc("GET /stats", g.handleStats)
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.mux.HandleFunc("GET /reconciler", g.handleReconciler)
 	g.mux.HandleFunc("POST /checkpoint", g.handleCheckpoint)
 	g.mux.HandleFunc("POST /rebalance", g.handleRebalance)
 	g.mux.HandleFunc("GET /{$}", g.handleIndex)
@@ -177,23 +207,26 @@ func (g *Gateway) Universe() (n, m int64) { return g.n, g.m }
 // Kind returns the members' engine kind.
 func (g *Gateway) Kind() string { return g.kind }
 
-// Ranges returns the static range partition in member order.
+// Replicas returns the configured copies per range.
+func (g *Gateway) Replicas() int { return g.cfg.Replicas }
+
+// Ranges returns the static range partition in group order.
 func (g *Gateway) Ranges() []Range {
-	out := make([]Range, len(g.members))
-	for i, m := range g.members {
-		out[i] = m.rng
+	out := make([]Range, len(g.groups))
+	for i, gr := range g.groups {
+		out[i] = gr.rng
 	}
 	return out
 }
 
-// memberFor returns the index of the member whose range holds global
-// item a.  Ranges are contiguous and ascending, so this is a binary
-// search over the lower bounds.
-func (g *Gateway) memberFor(a int64) int {
-	lo, hi := 0, len(g.members)-1
+// groupFor returns the index of the group whose range holds global item
+// a.  Ranges are contiguous and ascending, so this is a binary search
+// over the lower bounds.
+func (g *Gateway) groupFor(a int64) int {
+	lo, hi := 0, len(g.groups)-1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		if g.members[mid].rng.Lo <= a {
+		if g.groups[mid].rng.Lo <= a {
 			lo = mid
 		} else {
 			hi = mid - 1
@@ -202,41 +235,58 @@ func (g *Gateway) memberFor(a int64) int {
 	return lo
 }
 
-// scatter runs fn against every member concurrently with the client
-// currently serving its range, and returns the per-member errors.  It
-// takes no locks beyond the client-pointer read, so queries proceed even
-// while a rebalance is shipping that member's state.
-func (g *Gateway) scatter(fn func(i int, rng Range, cl *server.Client) error) []error {
-	errs := make([]error, len(g.members))
+// scatterGroups runs fn against every group concurrently and returns the
+// per-group errors.
+func (g *Gateway) scatterGroups(fn func(j int, gr *group) error) []error {
+	errs := make([]error, len(g.groups))
 	var wg sync.WaitGroup
-	for i, m := range g.members {
+	for j, gr := range g.groups {
 		wg.Add(1)
-		go func(i int, m *member) {
+		go func(j int, gr *group) {
 			defer wg.Done()
-			errs[i] = fn(i, m.rng, m.client())
-		}(i, m)
+			errs[j] = fn(j, gr)
+		}(j, gr)
 	}
 	wg.Wait()
 	return errs
 }
 
-// firstError joins per-member errors into one message naming the members
-// at fault (by the URL currently serving each range), or returns nil.
+// groupRead serves one group's slice of a read.  A published read tries
+// the replicas in rotation order until one answers — a dead or stalled
+// replica costs the caller one member timeout, not the response — while
+// ?fresh=1 pins to the primary and does not fail over: fresh answers are
+// the byte-identity contract, and only the primary is guaranteed to have
+// every accepted window at the moment of the call.
+func (g *Gateway) groupRead(gr *group, fresh bool, fn func(cl *server.Client) error) error {
+	if fresh {
+		return fn(gr.primaryReplica().client())
+	}
+	var firstErr error
+	for _, rep := range gr.readOrder() {
+		if err := fn(rep.client()); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return nil
+	}
+	return firstErr
+}
+
+// firstError joins per-group errors into one message naming the ranges
+// at fault (by the URL of each group's current primary), or returns nil.
 func (g *Gateway) firstError(errs []error) error {
 	var msgs []string
-	for i, err := range errs {
+	for j, err := range errs {
 		if err != nil {
-			msgs = append(msgs, fmt.Sprintf("member %d (%s): %v", i, g.memberURL(i), err))
+			msgs = append(msgs, fmt.Sprintf("range %d (%s): %v", j, g.groupURL(j), err))
 		}
 	}
 	if len(msgs) == 0 {
 		return nil
 	}
-	msg := msgs[0]
-	for _, m := range msgs[1:] {
-		msg += "; " + m
-	}
-	return errors.New(msg)
+	return errors.New(strings.Join(msgs, "; "))
 }
 
 // wantFresh mirrors the server's ?fresh=1 opt-in.
@@ -252,21 +302,31 @@ func wantAtomic(r *http.Request) bool {
 }
 
 // handleIngest accepts a FEWW binary stream over the full universe and
-// splits it by member range (items remapped to range-local ids, order
-// preserved).
+// splits it by range (items remapped to range-local ids, order
+// preserved), fanning each range's share out to every live replica of
+// the owning group.
 //
 // The default path is *streaming*: the gateway decodes one bounded
 // window (Config.ChunkUpdates) at a time, validates it, and forwards
-// each member's share as one frame into that member's already-open
+// each replica's share as one frame into that replica's already-open
 // /ingest request — decode of window k+1 overlaps the members applying
 // window k, and gateway memory stays one window regardless of body
-// size.  The all-or-nothing contract of PR 3 then holds per window
-// rather than per request: nothing from a window containing a malformed
-// or out-of-universe update is forwarded (HTTP 400), but earlier
-// windows were already applied, and the response's Accepted count says
-// how much.  A member failing mid-stream stops the forward loop (HTTP
-// 502), again with Accepted reporting the partial progress — ranges are
-// independent engines; there is no cross-range state to un-apply.
+// size.  The window is also the unit of replication: every live replica
+// of a group receives the same frames in the same order, so replicas
+// that saw every window hold byte-identical engine state (the window is
+// the epoch delta of the paper's one-way protocol).  A replica whose
+// stream dies mid-request is marked failed and dropped from the fan-out
+// — the request continues on the survivors and still succeeds, which is
+// what lets a loader stream through a node kill without retrying (and
+// therefore without the double-apply a retry could cause).  Only when a
+// group loses *all* its replicas does the request fail (HTTP 502), with
+// Accepted reporting the partial progress.
+//
+// The all-or-nothing contract of PR 3 holds per window rather than per
+// request: nothing from a window containing a malformed or
+// out-of-universe update is forwarded (HTTP 400), but earlier windows
+// were already applied, and the response's Accepted count says how
+// much.
 //
 // ?atomic=1 restores the whole-request boundary: the entire request is
 // decoded and validated before a single update is forwarded, so a
@@ -281,16 +341,45 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 	g.ingestStreaming(w, body)
 }
 
-// memberStream is the gateway side of one member's in-flight streaming
-// ingest: the pipe feeding the member's request body, the frame writer
-// encoding windows into it, and the member's eventual response.
-type memberStream struct {
+// replicaStream is the gateway side of one replica's in-flight streaming
+// ingest: the pipe feeding the replica's request body, the frame writer
+// encoding windows into it, and the replica's eventual response.
+type replicaStream struct {
+	rep    *replica
 	pw     *io.PipeWriter
 	fw     *stream.FrameWriter
 	frames int
+	broken bool // a frame write failed; the replica was marked failed
 	resp   server.IngestResponse
 	err    error
 	done   chan struct{}
+}
+
+// groupIngest is one group's fan-out of a streaming ingest request.
+type groupIngest struct {
+	gr      *group
+	streams []*replicaStream
+}
+
+// exhausted reports whether every replica stream of the group is broken.
+func (gi *groupIngest) exhausted() bool {
+	for _, rs := range gi.streams {
+		if !rs.broken {
+			return false
+		}
+	}
+	return true
+}
+
+// failStream marks a replica stream broken after a write error, marks
+// the replica failed (its state is now missing a window — only a re-seed
+// may bring it back), and records the decision once.
+func (g *Gateway) failStream(gi *groupIngest, rs *replicaStream, err error) {
+	rs.broken = true
+	rs.pw.CloseWithError(err)
+	if rs.rep.markFailed() {
+		g.recordDecision("fail", gi.gr, rs.rep.client().Base, "ingest stream: "+err.Error())
+	}
 }
 
 func (g *Gateway) ingestStreaming(w http.ResponseWriter, body io.Reader) {
@@ -304,71 +393,109 @@ func (g *Gateway) ingestStreaming(w http.ResponseWriter, body io.Reader) {
 		headerM = sc.M()
 	}
 
-	// Open one streaming request per member before touching the body.  A
-	// pipe write blocks until the member's transport consumes it, so a
-	// slow member back-pressures the whole forward loop instead of
-	// growing a gateway-side buffer; a dead member closes its read end,
-	// failing the next write immediately.
-	streams := make([]*memberStream, len(g.members))
-	for j := range g.members {
-		pr, pw := io.Pipe()
-		ms := &memberStream{pw: pw, fw: stream.NewFrameWriter(pw), done: make(chan struct{})}
-		streams[j] = ms
-		go func(m *member, ms *memberStream, pr *io.PipeReader) {
-			defer close(ms.done)
-			// The shared ingest lock spans the member's whole request,
-			// ordering it against any concurrent rebalance of the range
-			// exactly as the atomic path does: the stream lands on the
-			// donor before the snapshot is cut, or on the new node after
-			// the repoint — never in between.
-			m.ingestMu.RLock()
-			defer m.ingestMu.RUnlock()
-			ms.resp, ms.err = m.client().IngestStream(pr)
-			pr.CloseWithError(ms.err)
-		}(g.members[j], ms, pr)
+	// Open one streaming request per live replica before touching the
+	// body.  A pipe write blocks until the replica's transport consumes
+	// it, so a slow replica back-pressures the whole forward loop instead
+	// of growing a gateway-side buffer; a dead replica closes its read
+	// end, failing the next write immediately.
+	gis := make([]*groupIngest, len(g.groups))
+	for j, gr := range g.groups {
+		targets := gr.ingestTargets()
+		gi := &groupIngest{gr: gr, streams: make([]*replicaStream, len(targets))}
+		gis[j] = gi
+		for k, rep := range targets {
+			pr, pw := io.Pipe()
+			rs := &replicaStream{rep: rep, pw: pw, fw: stream.NewFrameWriter(pw), done: make(chan struct{})}
+			gi.streams[k] = rs
+			go func(gr *group, rs *replicaStream, pr *io.PipeReader) {
+				defer close(rs.done)
+				// The shared ingest lock spans the replica's whole request,
+				// ordering it against any concurrent rebalance or re-seed of
+				// the range exactly as the atomic path does: the stream lands
+				// before the snapshot is cut, or after the repoint — never in
+				// between.
+				gr.ingestMu.RLock()
+				defer gr.ingestMu.RUnlock()
+				rs.resp, rs.err = rs.rep.client().IngestStream(pr)
+				pr.CloseWithError(rs.err)
+			}(gr, rs, pr)
+		}
 	}
 
-	// finish closes every member stream — first writing one empty frame
-	// to any member that never received data, so its body decodes and a
-	// dead member surfaces even when no traffic reached its range — then
-	// gathers the responses into cluster-wide totals.
+	// finish closes every replica stream — first writing one empty frame
+	// to any replica that never received data, so its body decodes and a
+	// dead replica surfaces even when no traffic reached its range — then
+	// gathers the responses.  Replicas of a group that answered received
+	// identical frames, so their accepted counts agree; the group's
+	// contribution is the max over its replicas (never the sum, which
+	// would count replication as throughput).  A replica whose request
+	// errored is marked failed; the group only fails the request when
+	// every replica errored.
 	finish := func() (server.IngestResponse, error) {
 		var out server.IngestResponse
-		errs := make([]error, len(streams))
-		for j, ms := range streams {
-			if ms.frames == 0 {
-				_ = ms.fw.WriteFrame(g.members[j].rng.Len(), headerM, nil)
+		groupErrs := make([]error, len(gis))
+		for _, gi := range gis {
+			for _, rs := range gi.streams {
+				if !rs.broken && rs.frames == 0 {
+					_ = rs.fw.WriteFrame(gi.gr.rng.Len(), headerM, nil)
+				}
+				rs.pw.Close()
 			}
-			ms.pw.Close()
 		}
-		for j, ms := range streams {
-			<-ms.done
-			errs[j] = ms.err
-			out.Accepted += ms.resp.Accepted
-			out.Total += ms.resp.Total
+		for j, gi := range gis {
+			var accepted, total int64
+			var errs []string
+			ok := false
+			for _, rs := range gi.streams {
+				<-rs.done
+				if rs.err != nil {
+					if rs.rep.markFailed() {
+						g.recordDecision("fail", gi.gr, rs.rep.client().Base, "ingest response: "+rs.err.Error())
+					}
+					errs = append(errs, fmt.Sprintf("%s: %v", rs.rep.client().Base, rs.err))
+				} else {
+					ok = true
+				}
+				accepted = max(accepted, rs.resp.Accepted)
+				total = max(total, rs.resp.Total)
+			}
+			out.Accepted += accepted
+			out.Total += total
+			if !ok {
+				groupErrs[j] = errors.New(strings.Join(errs, "; "))
+			}
 		}
-		return out, g.firstError(errs)
+		return out, g.firstError(groupErrs)
 	}
 
-	per := make([][]feww.Update, len(g.members))
-	flush := func() (int, error) {
+	per := make([][]feww.Update, len(g.groups))
+	flush := func() error {
 		for j, ups := range per {
 			if len(ups) == 0 {
 				continue
 			}
-			ms := streams[j]
-			if err := ms.fw.WriteFrame(g.members[j].rng.Len(), headerM, ups); err != nil {
-				return j, err
+			gi := gis[j]
+			for _, rs := range gi.streams {
+				if rs.broken {
+					continue
+				}
+				if err := rs.fw.WriteFrame(gi.gr.rng.Len(), headerM, ups); err != nil {
+					g.failStream(gi, rs, err)
+				} else {
+					rs.frames++
+				}
 			}
-			ms.frames++
 			per[j] = ups[:0]
+			if gi.exhausted() {
+				return fmt.Errorf("range %d (%s): every replica failed mid-stream", j, gi.gr.rng)
+			}
 		}
-		return 0, nil
+		return nil
 	}
 
 	var (
 		badReq  error // malformed or invalid stream: HTTP 400
-		sendErr error // a member request died mid-forward: HTTP 502
+		sendErr error // a whole group died mid-forward: HTTP 502
 	)
 	i, window := 0, 0
 	for badReq == nil && sendErr == nil && sc.Scan() {
@@ -380,23 +507,21 @@ func (g *Gateway) ingestStreaming(w http.ResponseWriter, body io.Reader) {
 			badReq = err
 			break
 		}
-		j := g.memberFor(u.A)
-		u.A -= g.members[j].rng.Lo
+		j := g.groupFor(u.A)
+		u.A -= g.groups[j].rng.Lo
 		per[j] = append(per[j], u)
 		i++
 		window++
 		if window >= g.cfg.ChunkUpdates {
-			if fj, err := flush(); err != nil {
-				sendErr = fmt.Errorf("member %d (%s): writing frame: %v", fj, g.memberURL(fj), err)
-			}
+			sendErr = flush()
 			window = 0
 		}
 	}
 	if badReq == nil && sendErr == nil {
 		if err := sc.Err(); err != nil {
 			badReq = err
-		} else if fj, err := flush(); err != nil {
-			sendErr = fmt.Errorf("member %d (%s): writing frame: %v", fj, g.memberURL(fj), err)
+		} else {
+			sendErr = flush()
 		}
 	}
 
@@ -406,8 +531,8 @@ func (g *Gateway) ingestStreaming(w http.ResponseWriter, body io.Reader) {
 		out.Error = badReq.Error()
 		writeJSON(w, http.StatusBadRequest, out)
 	case sendErr != nil || gatherErr != nil:
-		// The member's own response error names the root cause when it
-		// exists; the pipe-write error is the fallback.
+		// The replicas' own response errors name the root cause when they
+		// exist; the pipe-write error is the fallback.
 		if gatherErr != nil {
 			out.Error = gatherErr.Error()
 		} else {
@@ -420,15 +545,17 @@ func (g *Gateway) ingestStreaming(w http.ResponseWriter, body io.Reader) {
 }
 
 // ingestAtomic is the ?atomic=1 path: decode and validate the entire
-// request, then fan the per-member sub-streams out concurrently.  A
-// rejected stream leaves every member untouched.
+// request, then fan the per-range sub-streams out concurrently to every
+// live replica.  A rejected stream leaves every member untouched; a
+// replica that fails is marked failed, and the request only errors when
+// a whole group failed.
 func (g *Gateway) ingestAtomic(w http.ResponseWriter, body io.Reader) {
 	sc, err := stream.NewScanner(body)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, server.IngestResponse{Error: err.Error()})
 		return
 	}
-	per := make([][]feww.Update, len(g.members))
+	per := make([][]feww.Update, len(g.groups))
 	i := 0
 	for sc.Scan() {
 		u := sc.Update()
@@ -436,8 +563,8 @@ func (g *Gateway) ingestAtomic(w http.ResponseWriter, body io.Reader) {
 			writeJSON(w, http.StatusBadRequest, server.IngestResponse{Error: err.Error()})
 			return
 		}
-		j := g.memberFor(u.A)
-		u.A -= g.members[j].rng.Lo
+		j := g.groupFor(u.A)
+		u.A -= g.groups[j].rng.Lo
 		per[j] = append(per[j], u)
 		i++
 	}
@@ -446,37 +573,56 @@ func (g *Gateway) ingestAtomic(w http.ResponseWriter, body io.Reader) {
 		return
 	}
 
-	// Forward every sub-stream concurrently.  Members with no updates in
+	// Forward every sub-stream concurrently.  Groups with no updates in
 	// this request still get an empty stream: the response's Total then
-	// reflects the whole cluster, and a dead member surfaces here rather
+	// reflects the whole cluster, and a dead replica surfaces here rather
 	// than silently once traffic reaches its range.
 	headerM := g.m
 	if headerM == 0 {
 		headerM = sc.M()
 	}
-	resps := make([]server.IngestResponse, len(g.members))
-	errs := make([]error, len(g.members))
-	var wg sync.WaitGroup
-	for j, m := range g.members {
-		wg.Add(1)
-		go func(j int, m *member) {
-			defer wg.Done()
-			// The shared ingest lock orders this request against any
-			// concurrent rebalance of the range: either it lands on the
-			// donor before the snapshot is cut, or on the new node after
-			// the repoint — never in between.
-			m.ingestMu.RLock()
-			defer m.ingestMu.RUnlock()
-			resps[j], errs[j] = m.client().Ingest(m.rng.Len(), headerM, per[j])
-		}(j, m)
-	}
-	wg.Wait()
 	var out server.IngestResponse
-	for _, resp := range resps {
-		out.Accepted += resp.Accepted
-		out.Total += resp.Total
-	}
-	if err := g.firstError(errs); err != nil {
+	var outMu sync.Mutex
+	groupErrs := g.scatterGroups(func(j int, gr *group) error {
+		targets := gr.ingestTargets()
+		resps := make([]server.IngestResponse, len(targets))
+		errs := make([]error, len(targets))
+		var wg sync.WaitGroup
+		for k, rep := range targets {
+			wg.Add(1)
+			go func(k int, rep *replica) {
+				defer wg.Done()
+				gr.ingestMu.RLock()
+				defer gr.ingestMu.RUnlock()
+				resps[k], errs[k] = rep.client().Ingest(gr.rng.Len(), headerM, per[j])
+			}(k, rep)
+		}
+		wg.Wait()
+		var accepted, total int64
+		var msgs []string
+		ok := false
+		for k, rep := range targets {
+			if errs[k] != nil {
+				if rep.markFailed() {
+					g.recordDecision("fail", gr, rep.client().Base, "atomic ingest: "+errs[k].Error())
+				}
+				msgs = append(msgs, fmt.Sprintf("%s: %v", rep.client().Base, errs[k]))
+			} else {
+				ok = true
+			}
+			accepted = max(accepted, resps[k].Accepted)
+			total = max(total, resps[k].Total)
+		}
+		outMu.Lock()
+		out.Accepted += accepted
+		out.Total += total
+		outMu.Unlock()
+		if !ok {
+			return errors.New(strings.Join(msgs, "; "))
+		}
+		return nil
+	})
+	if err := g.firstError(groupErrs); err != nil {
 		out.Error = err.Error()
 		writeJSON(w, http.StatusBadGateway, out)
 		return
@@ -539,27 +685,29 @@ func (g *Gateway) checkAnswerRung(rung int) error {
 
 func (g *Gateway) handleBest(w http.ResponseWriter, r *http.Request) {
 	fresh := wantFresh(r)
-	bests := make([]server.BestResponse, len(g.members))
-	errs := g.scatter(func(j int, rng Range, cl *server.Client) error {
-		var (
-			b   server.BestResponse
-			err error
-		)
-		if fresh {
-			b, err = cl.BestFresh()
-		} else {
-			b, err = cl.Best()
-		}
-		if err != nil {
-			return err
-		}
-		if b.Found {
-			if err := g.checkAnswerRung(respRung(b)); err != nil {
+	bests := make([]server.BestResponse, len(g.groups))
+	errs := g.scatterGroups(func(j int, gr *group) error {
+		return g.groupRead(gr, fresh, func(cl *server.Client) error {
+			var (
+				b   server.BestResponse
+				err error
+			)
+			if fresh {
+				b, err = cl.BestFresh()
+			} else {
+				b, err = cl.Best()
+			}
+			if err != nil {
 				return err
 			}
-		}
-		bests[j] = remapBest(b, rng.Lo)
-		return nil
+			if b.Found {
+				if err := g.checkAnswerRung(respRung(b)); err != nil {
+					return err
+				}
+			}
+			bests[j] = remapBest(b, gr.rng.Lo)
+			return nil
+		})
 	})
 	if err := g.firstError(errs); err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
@@ -570,27 +718,29 @@ func (g *Gateway) handleBest(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) handleResults(w http.ResponseWriter, r *http.Request) {
 	fresh := wantFresh(r)
-	lists := make([][]server.NeighbourhoodJSON, len(g.members))
-	errs := g.scatter(func(j int, rng Range, cl *server.Client) error {
-		var (
-			nbs []server.NeighbourhoodJSON
-			err error
-		)
-		if fresh {
-			nbs, err = cl.ResultsFresh()
-		} else {
-			nbs, err = cl.Results()
-		}
-		if err != nil {
-			return err
-		}
-		if len(nbs) > 0 {
-			if err := g.checkAnswerRung(listRung(nbs)); err != nil {
+	lists := make([][]server.NeighbourhoodJSON, len(g.groups))
+	errs := g.scatterGroups(func(j int, gr *group) error {
+		return g.groupRead(gr, fresh, func(cl *server.Client) error {
+			var (
+				nbs []server.NeighbourhoodJSON
+				err error
+			)
+			if fresh {
+				nbs, err = cl.ResultsFresh()
+			} else {
+				nbs, err = cl.Results()
+			}
+			if err != nil {
 				return err
 			}
-		}
-		lists[j] = remapResults(nbs, rng.Lo)
-		return nil
+			if len(nbs) > 0 {
+				if err := g.checkAnswerRung(listRung(nbs)); err != nil {
+					return err
+				}
+			}
+			lists[j] = remapResults(nbs, gr.rng.Lo)
+			return nil
+		})
 	})
 	if err := g.firstError(errs); err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
@@ -599,23 +749,32 @@ func (g *Gateway) handleResults(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, mergeResults(lists))
 }
 
-// MemberStats is one member's slice of the cluster /stats payload.
+// MemberStats is one replica's slice of the cluster /stats payload.
 type MemberStats struct {
-	URL   string                `json:"url"`
-	Range Range                 `json:"range"`
+	URL   string `json:"url"`
+	Range Range  `json:"range"`
+	// Group is the replica group serving the range (-1 for spares), Role
+	// "primary", "replica" or "spare", State the gateway's live/failed
+	// judgement of the replica.
+	Group int                   `json:"group"`
+	Role  string                `json:"role"`
+	State string                `json:"state"`
 	Error string                `json:"error,omitempty"`
 	Stats *server.StatsResponse `json:"stats,omitempty"`
 }
 
-// StatsResponse is the cluster /stats payload: the members' numbers
-// summed (the same merge the engine applies across shards) plus the
-// per-member breakdown.  The summed field names match the node payload,
-// so a client that understands fewwd /stats can read the aggregate.
+// StatsResponse is the cluster /stats payload: the primaries' numbers
+// summed (the same merge the engine applies across shards — replicas are
+// copies, so summing them would double-count) plus the per-replica
+// breakdown.  The summed field names match the node payload, so a client
+// that understands fewwd /stats can read the aggregate.
 type StatsResponse struct {
 	Service       string        `json:"service"`
 	Engine        string        `json:"engine"`
 	Consistency   string        `json:"consistency"`
 	Members       int           `json:"members"`
+	Groups        int           `json:"groups"`
+	Replicas      int           `json:"replicas"`
 	Degraded      bool          `json:"degraded"`
 	N             int64         `json:"n"`
 	M             int64         `json:"m,omitempty"`
@@ -626,6 +785,7 @@ type StatsResponse struct {
 	SnapshotBytes int           `json:"snapshot_bytes"`
 	UptimeSeconds float64       `json:"uptime_seconds"`
 	PerMember     []MemberStats `json:"per_member"`
+	Spares        []MemberStats `json:"spares,omitempty"`
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -634,34 +794,63 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	if fresh {
 		consistency = "fresh"
 	}
-	stats := make([]server.StatsResponse, len(g.members))
-	errs := g.scatter(func(j int, _ Range, cl *server.Client) error {
-		var err error
-		if fresh {
-			stats[j], err = cl.StatsFresh()
-		} else {
-			stats[j], err = cl.Stats()
+	// Flatten the current membership, then fan the stats fetches out over
+	// every replica at once.
+	type slot struct {
+		gr      *group
+		rep     *replica
+		primary bool
+	}
+	var slots []slot
+	for _, gr := range g.groups {
+		reps, prim := gr.snapshot()
+		for _, rep := range reps {
+			slots = append(slots, slot{gr: gr, rep: rep, primary: rep == prim})
 		}
-		return err
-	})
+	}
+	stats := make([]server.StatsResponse, len(slots))
+	errs := make([]error, len(slots))
+	var wg sync.WaitGroup
+	for i, s := range slots {
+		wg.Add(1)
+		go func(i int, s slot) {
+			defer wg.Done()
+			if fresh {
+				stats[i], errs[i] = s.rep.client().StatsFresh()
+			} else {
+				stats[i], errs[i] = s.rep.client().Stats()
+			}
+		}(i, s)
+	}
+	wg.Wait()
+
 	out := StatsResponse{
 		Service:       "fewwgate",
 		Engine:        g.kind,
 		Consistency:   consistency,
-		Members:       len(g.members),
+		Members:       len(slots),
+		Groups:        len(g.groups),
+		Replicas:      g.cfg.Replicas,
 		N:             g.n,
 		M:             g.m,
 		WitnessTarget: g.target,
 		UptimeSeconds: time.Since(g.start).Seconds(),
-		PerMember:     make([]MemberStats, len(g.members)),
+		PerMember:     make([]MemberStats, len(slots)),
 	}
-	for j, m := range g.members {
-		ms := MemberStats{URL: g.memberURL(j), Range: m.rng}
-		if errs[j] != nil {
-			ms.Error = errs[j].Error()
+	for i, s := range slots {
+		role := "replica"
+		if s.primary {
+			role = "primary"
+		}
+		ms := MemberStats{
+			URL: s.rep.client().Base, Range: s.gr.rng, Group: s.gr.idx,
+			Role: role, State: stateName(s.rep.state.Load()),
+		}
+		if errs[i] != nil {
+			ms.Error = errs[i].Error()
 			out.Degraded = true
-		} else if st := stats[j]; st.Engine != g.kind {
-			// A member serving another engine kind (a foreign /restore
+		} else if st := stats[i]; st.Engine != g.kind {
+			// A replica serving another engine kind (a foreign /restore
 			// slipped in) must surface as degraded here too, not only on
 			// the next /healthz poll — its numbers would corrupt the sums.
 			ms.Error = fmt.Sprintf("engine kind %q, cluster is %q", st.Engine, g.kind)
@@ -669,22 +858,36 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 			out.Degraded = true
 		} else {
 			ms.Stats = &st
-			out.Shards += st.Shards
-			out.Elements += st.Elements
-			out.SpaceWords += st.SpaceWords
-			out.SnapshotBytes += st.SnapshotBytes
+			if s.primary {
+				out.Shards += st.Shards
+				out.Elements += st.Elements
+				out.SpaceWords += st.SpaceWords
+				out.SnapshotBytes += st.SnapshotBytes
+			}
 		}
-		out.PerMember[j] = ms
+		out.PerMember[i] = ms
+	}
+	for _, rep := range g.spareList() {
+		// Spares hold placeholder engines; they are listed, not verified,
+		// and never count toward the sums or degrade the cluster.
+		out.Spares = append(out.Spares, MemberStats{
+			URL: rep.client().Base, Group: -1, Role: "spare", State: stateName(rep.state.Load()),
+		})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// MemberHealth is one member's slice of the cluster /healthz payload.
-// Ready means the member answered, is serving, and its engine matches
-// the range and cluster parameters it is supposed to hold.
+// MemberHealth is one replica's slice of the cluster /healthz payload.
+// Ready means the replica answered the probe, is serving, and its engine
+// matches the range and cluster parameters it is supposed to hold; State
+// is the gateway's independent live/failed judgement (a stale replica
+// awaiting re-seed probes Ready but is failed).
 type MemberHealth struct {
 	URL    string                 `json:"url"`
 	Range  Range                  `json:"range"`
+	Group  int                    `json:"group"`
+	Role   string                 `json:"role"`
+	State  string                 `json:"state"`
 	Ready  bool                   `json:"ready"`
 	Error  string                 `json:"error,omitempty"`
 	Health *server.HealthResponse `json:"health,omitempty"`
@@ -694,6 +897,9 @@ type MemberHealth struct {
 // names mirror the node payload (service, engine, serving, n, m,
 // witness_target, shards), so server.Client.Health reads a gateway
 // exactly as it reads a node — the cluster presents as one big fewwd.
+// Serving requires every group's *primary* to be ready: with replication
+// a dead follower degrades redundancy (visible per member below) without
+// taking the cluster out of service.
 type HealthzResponse struct {
 	Service       string         `json:"service"`
 	Engine        string         `json:"engine"`
@@ -703,7 +909,10 @@ type HealthzResponse struct {
 	WitnessTarget int64          `json:"witness_target"`
 	Shards        int            `json:"shards"`
 	Elements      int64          `json:"elements"`
+	Groups        int            `json:"groups"`
+	Replicas      int            `json:"replicas"`
 	Members       []MemberHealth `json:"members"`
+	Spares        []MemberHealth `json:"spares,omitempty"`
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -714,35 +923,74 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		N:             g.n,
 		M:             g.m,
 		WitnessTarget: g.target,
-		Members:       make([]MemberHealth, len(g.members)),
+		Groups:        len(g.groups),
+		Replicas:      g.cfg.Replicas,
 	}
-	healths := make([]server.HealthResponse, len(g.members))
-	errs := g.scatter(func(j int, _ Range, cl *server.Client) error {
-		var err error
-		healths[j], err = cl.Health()
-		return err
-	})
-	for j, m := range g.members {
-		mh := MemberHealth{URL: g.memberURL(j), Range: m.rng}
-		if errs[j] != nil {
-			mh.Error = errs[j].Error()
+	type slot struct {
+		gr      *group
+		rep     *replica
+		primary bool
+	}
+	var slots []slot
+	for _, gr := range g.groups {
+		reps, prim := gr.snapshot()
+		for _, rep := range reps {
+			slots = append(slots, slot{gr: gr, rep: rep, primary: rep == prim})
+		}
+	}
+	healths := make([]server.HealthResponse, len(slots))
+	errs := make([]error, len(slots))
+	var wg sync.WaitGroup
+	for i, s := range slots {
+		wg.Add(1)
+		go func(i int, s slot) {
+			defer wg.Done()
+			healths[i], errs[i] = s.rep.client().Health()
+		}(i, s)
+	}
+	wg.Wait()
+	out.Members = make([]MemberHealth, len(slots))
+	for i, s := range slots {
+		role := "replica"
+		if s.primary {
+			role = "primary"
+		}
+		mh := MemberHealth{
+			URL: s.rep.client().Base, Range: s.gr.rng, Group: s.gr.idx,
+			Role: role, State: stateName(s.rep.state.Load()),
+		}
+		if errs[i] != nil {
+			mh.Error = errs[i].Error()
 		} else {
-			h := healths[j]
+			h := healths[i]
 			mh.Health = &h
 			if !h.Serving {
 				mh.Error = "draining"
-			} else if err := g.verifyMember(h, m.rng); err != nil {
+			} else if err := g.verifyMember(h, s.gr.rng); err != nil {
 				mh.Error = err.Error()
 			} else {
 				mh.Ready = true
-				out.Elements += h.Elements
-				out.Shards += h.Shards
+				if s.primary {
+					out.Elements += h.Elements
+					out.Shards += h.Shards
+				}
 			}
 		}
-		if !mh.Ready {
+		if s.primary && !mh.Ready {
 			out.Serving = false
 		}
-		out.Members[j] = mh
+		out.Members[i] = mh
+	}
+	for _, rep := range g.spareList() {
+		mh := MemberHealth{URL: rep.client().Base, Group: -1, Role: "spare", State: stateName(rep.state.Load())}
+		if h, err := rep.client().Health(); err != nil {
+			mh.Error = err.Error()
+		} else {
+			hh := h
+			mh.Health = &hh
+			mh.Ready = h.Serving
+		}
+		out.Spares = append(out.Spares, mh)
 	}
 	code := http.StatusOK
 	if !out.Serving {
@@ -777,13 +1025,12 @@ func (g *Gateway) verifyMember(h server.HealthResponse, rng Range) error {
 	return nil
 }
 
-// memberURL returns the base URL currently serving member j (rebalance
-// may have moved it off the bootstrap URL).
-func (g *Gateway) memberURL(j int) string {
-	return g.members[j].client().Base
+// groupURL returns the base URL of group j's current primary.
+func (g *Gateway) groupURL(j int) string {
+	return g.groups[j].primaryReplica().client().Base
 }
 
-// MemberCheckpoint is one member's slice of the cluster /checkpoint
+// MemberCheckpoint is one replica's slice of the cluster /checkpoint
 // payload.
 type MemberCheckpoint struct {
 	URL   string `json:"url"`
@@ -798,25 +1045,42 @@ type CheckpointResponse struct {
 }
 
 func (g *Gateway) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	resps := make([]server.CheckpointResponse, len(g.members))
-	errs := g.scatter(func(j int, _ Range, cl *server.Client) error {
-		var err error
-		resps[j], err = cl.Checkpoint()
-		return err
+	// Checkpoints fan out to the live replicas only: a failed replica's
+	// state is stale by definition, and checkpointing a dead node cannot
+	// succeed — redundancy on disk comes from each live replica writing
+	// its own file.
+	var mu sync.Mutex
+	var out CheckpointResponse
+	errs := g.scatterGroups(func(j int, gr *group) error {
+		targets := gr.ingestTargets()
+		var msgs []string
+		for _, rep := range targets {
+			resp, err := rep.client().Checkpoint()
+			if err != nil {
+				msgs = append(msgs, fmt.Sprintf("%s: %v", rep.client().Base, err))
+				continue
+			}
+			mu.Lock()
+			out.Members = append(out.Members, MemberCheckpoint{URL: rep.client().Base, Path: resp.Path, Bytes: resp.Bytes})
+			out.TotalBytes += resp.Bytes
+			mu.Unlock()
+		}
+		if len(msgs) > 0 {
+			return errors.New(strings.Join(msgs, "; "))
+		}
+		return nil
 	})
 	if err := g.firstError(errs); err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	out := CheckpointResponse{Members: make([]MemberCheckpoint, len(g.members))}
-	for j, resp := range resps {
-		out.Members[j] = MemberCheckpoint{URL: g.memberURL(j), Path: resp.Path, Bytes: resp.Bytes}
-		out.TotalBytes += resp.Bytes
-	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 // RebalanceRequest asks the gateway to move a range to a different node.
+// Rebalance is the manual membership tool for *unreplicated* groups; a
+// replicated group's membership is owned by the reconciler (promote,
+// re-seed, spare adoption), and a rebalance against one is refused.
 //
 // Mode "ship" (the default) is the live path: the donor currently
 // serving the range streams its snapshot — the complete engine state,
@@ -851,8 +1115,8 @@ func (g *Gateway) handleRebalance(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "rebalance: decoding request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if req.Range < 0 || req.Range >= len(g.members) {
-		http.Error(w, fmt.Sprintf("rebalance: range %d not in [0, %d)", req.Range, len(g.members)), http.StatusBadRequest)
+	if req.Range < 0 || req.Range >= len(g.groups) {
+		http.Error(w, fmt.Sprintf("rebalance: range %d not in [0, %d)", req.Range, len(g.groups)), http.StatusBadRequest)
 		return
 	}
 	if req.Target == "" {
@@ -872,49 +1136,65 @@ func (g *Gateway) handleRebalance(w http.ResponseWriter, r *http.Request) {
 	g.rebalanceMu.Lock()
 	defer g.rebalanceMu.Unlock()
 
-	// A target already serving a *different* range must be refused:
-	// restoring into it would Close that range's engine and destroy its
-	// state — and with equal-length ranges verifyMember could not tell.
-	// (Re-targeting the donor's own URL is a harmless no-op repoint.)
+	gr := g.groups[req.Range]
+	reps, _ := gr.snapshot()
+	if len(reps) > 1 {
+		http.Error(w, fmt.Sprintf("rebalance: range %d is served by %d replicas; replicated membership is reconciler-owned (see GET /reconciler)", req.Range, len(reps)), http.StatusConflict)
+		return
+	}
+	rep := reps[0]
+
+	// A target already serving a *different* range (or waiting as a
+	// spare) must be refused: restoring into it would Close that node's
+	// engine and destroy its state — and with equal-length ranges
+	// verifyMember could not tell.  (Re-targeting the donor's own URL is
+	// a harmless no-op repoint.)
 	target := strings.TrimRight(req.Target, "/")
-	for j := range g.members {
-		if j != req.Range && strings.TrimRight(g.memberURL(j), "/") == target {
-			http.Error(w, fmt.Sprintf("rebalance: target %s already serves range %d (%s)", req.Target, j, g.members[j].rng), http.StatusConflict)
+	for j, other := range g.groups {
+		if j == req.Range {
+			continue
+		}
+		others, _ := other.snapshot()
+		for _, or := range others {
+			if strings.TrimRight(or.client().Base, "/") == target {
+				http.Error(w, fmt.Sprintf("rebalance: target %s already serves range %d (%s)", req.Target, j, other.rng), http.StatusConflict)
+				return
+			}
+		}
+	}
+	for _, sp := range g.spareList() {
+		if strings.TrimRight(sp.client().Base, "/") == target {
+			http.Error(w, fmt.Sprintf("rebalance: target %s is a reconciler spare", req.Target), http.StatusConflict)
 			return
 		}
 	}
 
-	m := g.members[req.Range]
 	tcl := g.newClient(req.Target)
 
 	// The exclusive ingest lock pauses writes for this range: no update
 	// can land on the donor after the snapshot is cut, so the shipped
 	// state is exactly the range's accepted stream.  Queries are not
 	// blocked — they keep answering from the donor until the repoint.
-	m.ingestMu.Lock()
-	defer m.ingestMu.Unlock()
+	gr.ingestMu.Lock()
+	defer gr.ingestMu.Unlock()
 
-	donor := m.client()
-	out := RebalanceResponse{Range: m.rng, From: donor.Base, To: req.Target, Mode: mode}
+	donor := rep.client()
+	out := RebalanceResponse{Range: gr.rng, From: donor.Base, To: req.Target, Mode: mode}
 	var health server.HealthResponse
 	switch mode {
 	case "ship":
-		// The snapshot is buffered in gateway memory rather than piped:
-		// a replayable body is what lets Restore survive a refused
+		// The snapshot is buffered in gateway memory rather than piped: a
+		// replayable body is what lets the restore survive a refused
 		// connection, and the size is bounded by the donor's body cap.
-		// Rebalance is a rare admin operation; the transient buffer is
-		// the simpler trade.
-		var snap bytes.Buffer
-		size, err := donor.Snapshot(&snap)
-		if err != nil {
-			http.Error(w, fmt.Sprintf("rebalance: donor snapshot: %v", err), http.StatusBadGateway)
+		// Rebalance is a rare admin operation; the transient buffer is the
+		// simpler trade (ShipSnapshot makes the same one for re-seeds).
+		var err error
+		var size int64
+		if health, size, err = donor.ShipSnapshot(tcl); err != nil {
+			http.Error(w, fmt.Sprintf("rebalance: %v", err), http.StatusBadGateway)
 			return
 		}
 		out.SnapshotBytes = size
-		if health, err = tcl.Restore(snap.Bytes()); err != nil {
-			http.Error(w, fmt.Sprintf("rebalance: target restore: %v", err), http.StatusBadGateway)
-			return
-		}
 	case "adopt":
 		var err error
 		if health, err = tcl.Health(); err != nil {
@@ -926,12 +1206,13 @@ func (g *Gateway) handleRebalance(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if err := g.verifyMember(health, m.rng); err != nil {
-		http.Error(w, fmt.Sprintf("rebalance: target %s does not match range %s: %v", req.Target, m.rng, err), http.StatusConflict)
+	if err := g.verifyMember(health, gr.rng); err != nil {
+		http.Error(w, fmt.Sprintf("rebalance: target %s does not match range %s: %v", req.Target, gr.rng, err), http.StatusConflict)
 		return
 	}
 	out.Elements = health.Elements
-	m.setClient(tcl)
+	rep.setClient(tcl)
+	rep.markLive()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -939,13 +1220,14 @@ func (g *Gateway) handleIndex(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{
 		"service":          "fewwgate",
 		"engine":           g.kind,
-		"POST /ingest":     "FEWW binary stream body, split across member ranges (streamed in windows; ?atomic=1 to buffer and validate whole)",
-		"GET /best":        "max-merged best neighbourhood (?fresh=1 for barrier consistency)",
-		"GET /results":     "concatenated full-target neighbourhoods (?fresh=1 for barrier consistency)",
-		"GET /stats":       "summed cluster stats with per-member breakdown",
-		"GET /healthz":     "cluster readiness: every member serving its range",
-		"POST /checkpoint": "fan out a checkpoint to every member",
-		"POST /rebalance":  `{"range": i, "target": url, "mode": "ship"|"adopt"} — move a range`,
+		"POST /ingest":     "FEWW binary stream body, split across ranges and fanned to every live replica (streamed in windows; ?atomic=1 to buffer and validate whole)",
+		"GET /best":        "max-merged best neighbourhood (?fresh=1 for barrier consistency, pinned to primaries)",
+		"GET /results":     "concatenated full-target neighbourhoods (?fresh=1 for barrier consistency, pinned to primaries)",
+		"GET /stats":       "summed cluster stats with per-replica breakdown",
+		"GET /healthz":     "cluster readiness: every range's primary serving",
+		"GET /reconciler":  "replica states, spare pool, and the autonomous failover decision log",
+		"POST /checkpoint": "fan out a checkpoint to every live replica",
+		"POST /rebalance":  `{"range": i, "target": url, "mode": "ship"|"adopt"} — move an unreplicated range`,
 	})
 }
 

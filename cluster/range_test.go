@@ -1,0 +1,156 @@
+package cluster
+
+// Table-driven edge cases for the partition primitives: single-vertex
+// ranges, degenerate universes, the ceil sizing rule's invariants, and
+// the star-kind ranges-must-cover-m check under replication.
+
+import (
+	"strings"
+	"testing"
+
+	"feww"
+	"feww/server"
+)
+
+func TestSplitEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n    int64
+		k    int
+		want []Range
+	}{
+		{name: "degenerate-universe", n: 1, k: 1, want: []Range{{0, 1}}},
+		{name: "one-item-many-nodes", n: 1, k: 7, want: []Range{{0, 1}}},
+		{name: "all-single-vertex", n: 4, k: 4, want: []Range{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+		{name: "k-clamped-to-n", n: 3, k: 9, want: []Range{{0, 1}, {1, 2}, {2, 3}}},
+		{name: "one-node-whole-universe", n: 17, k: 1, want: []Range{{0, 17}}},
+		{name: "remainder-to-first-ranges", n: 10, k: 4, want: []Range{{0, 3}, {3, 6}, {6, 8}, {8, 10}}},
+		{name: "even-split", n: 12, k: 3, want: []Range{{0, 4}, {4, 8}, {8, 12}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Split(tc.n, tc.k)
+			if len(got) != len(tc.want) {
+				t.Fatalf("Split(%d, %d) = %v, want %v", tc.n, tc.k, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Split(%d, %d) = %v, want %v", tc.n, tc.k, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestSplitInvariants checks the properties every partition must hold
+// regardless of the exact sizes: full disjoint coverage of [0, n), no
+// empty ranges, sizes within one of each other and non-increasing (the
+// ceil rule), for a sweep of shapes including n == k and k > n.
+func TestSplitInvariants(t *testing.T) {
+	for _, tc := range []struct {
+		n int64
+		k int
+	}{
+		{1, 1}, {1, 5}, {2, 2}, {2, 3}, {5, 2}, {7, 3}, {100, 7}, {100, 100}, {101, 100}, {1 << 20, 13},
+	} {
+		got := Split(tc.n, tc.k)
+		wantLen := tc.k
+		if int64(tc.k) > tc.n {
+			wantLen = int(tc.n)
+		}
+		if len(got) != wantLen {
+			t.Fatalf("Split(%d, %d) has %d ranges, want %d", tc.n, tc.k, len(got), wantLen)
+		}
+		var covered int64
+		for i, r := range got {
+			if r.Len() < 1 {
+				t.Fatalf("Split(%d, %d)[%d] = %s is empty", tc.n, tc.k, i, r)
+			}
+			if r.Lo != covered {
+				t.Fatalf("Split(%d, %d)[%d] = %s leaves a gap at %d", tc.n, tc.k, i, r, covered)
+			}
+			if i > 0 && r.Len() > got[i-1].Len() {
+				t.Fatalf("Split(%d, %d) sizes grow at %d: %v", tc.n, tc.k, i, got)
+			}
+			if got[0].Len()-r.Len() > 1 {
+				t.Fatalf("Split(%d, %d) sizes differ by more than one: %v", tc.n, tc.k, got)
+			}
+			covered = r.Hi
+		}
+		if covered != tc.n {
+			t.Fatalf("Split(%d, %d) covers [0, %d), want [0, %d)", tc.n, tc.k, covered, tc.n)
+		}
+	}
+}
+
+func TestSplitPanicsOnDegenerateArgs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n    int64
+		k    int
+	}{
+		{name: "zero-universe", n: 0, k: 3},
+		{name: "negative-universe", n: -5, k: 3},
+		{name: "zero-nodes", n: 10, k: 0},
+		{name: "negative-nodes", n: 10, k: -1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Split(%d, %d) did not panic", tc.n, tc.k)
+				}
+			}()
+			Split(tc.n, tc.k)
+		})
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	for _, tc := range []struct {
+		r    Range
+		a    int64
+		want bool
+	}{
+		{Range{0, 1}, 0, true},   // single-vertex range holds its vertex
+		{Range{0, 1}, 1, false},  // ...and nothing else
+		{Range{0, 1}, -1, false}, // negative ids are never in range
+		{Range{5, 9}, 5, true},   // inclusive low bound
+		{Range{5, 9}, 8, true},
+		{Range{5, 9}, 9, false}, // exclusive high bound
+		{Range{5, 9}, 4, false},
+	} {
+		if got := tc.r.Contains(tc.a); got != tc.want {
+			t.Errorf("%s.Contains(%d) = %v, want %v", tc.r, tc.a, got, tc.want)
+		}
+	}
+	if got := (Range{3, 4}).Len(); got != 1 {
+		t.Errorf("single-vertex range Len = %d, want 1", got)
+	}
+	if got := (Range{5, 9}).String(); got != "[5,9)" {
+		t.Errorf("String = %q, want %q", got, "[5,9)")
+	}
+}
+
+// TestReplicatedStarRangesMustCoverGraph: the star coverage check (range
+// lengths must sum to the graph's vertex count) applies to the *group*
+// partition, not the member count — four members as two replicated
+// groups of 20 vertices each cover 40 of 60 and are refused.
+func TestReplicatedStarRangesMustCoverGraph(t *testing.T) {
+	dir := t.TempDir()
+	var urls []string
+	for j := 0; j < 4; j++ {
+		eng, err := feww.NewStarEngine(feww.StarEngineConfig{
+			N: 20, M: 60, Alpha: 1, Seed: uint64(j + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		urls = append(urls, startNode(t, server.NewStarBackend(eng), dir, j).ts.URL)
+	}
+	_, err := New(Config{Members: urls, Replicas: 2})
+	if err == nil {
+		t.Fatal("gateway accepted replicated star ranges that do not cover the graph")
+	}
+	if !strings.Contains(err.Error(), "cover") {
+		t.Fatalf("err = %v, want a coverage error", err)
+	}
+}

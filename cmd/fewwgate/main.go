@@ -7,6 +7,17 @@
 // a range between nodes by shipping the donor's snapshot into the
 // target's restore path.
 //
+// With -replicas R the gateway keeps R copies of every range:
+// consecutive runs of R members form one replica group, every ingest
+// window fans out to all live replicas of the owning group, published
+// reads rotate across replicas, and ?fresh=1 pins to each group's
+// primary.  Members beyond the last full group are spares.  A
+// reconciler loop (on by default, -reconcile-interval 0 disables)
+// probes every node, marks dead replicas failed, promotes a follower
+// when a primary dies, and re-seeds stale replicas or adopts spares by
+// shipping the primary's snapshot — no operator action; GET /reconciler
+// serves the decision log.
+//
 // Usage:
 //
 //	# three nodes, universe 0..999 split 334/333/333 (cluster.Split order)
@@ -15,14 +26,22 @@
 //	fewwd -n 333 -d 50 -addr :9003 &
 //	fewwgate -addr :9000 -members http://127.0.0.1:9001,http://127.0.0.1:9002,http://127.0.0.1:9003
 //
-// Member ranges are discovered from each node's /healthz: member j
-// serves the j-th contiguous range, of length equal to its engine's
-// universe.  Size the nodes with cluster.Split semantics — the first
-// n mod k nodes get one extra item — or pick any sizes; the gateway's
+//	# one range, two replicas, one spare: survives any single SIGKILL
+//	fewwd -n 600 -d 50 -addr :9001 &
+//	fewwd -n 600 -d 50 -addr :9002 &
+//	fewwd -n 600 -d 50 -addr :9003 &
+//	fewwgate -addr :9000 -replicas 2 \
+//	    -members http://127.0.0.1:9001,http://127.0.0.1:9002,http://127.0.0.1:9003
+//
+// Member ranges are discovered from each node's /healthz: group j
+// (members j*R .. j*R+R-1) serves the j-th contiguous range, of length
+// equal to its engines' universe (replicas of a range must be sized
+// identically).  Size the nodes with cluster.Split semantics — the first
+// n mod k groups get one extra item — or pick any sizes; the gateway's
 // universe is simply their sum, in order.
 //
 // See docs/OPERATIONS.md for the cluster runbook (bootstrap, rebalance,
-// node replacement).
+// failover, node replacement).
 package main
 
 import (
@@ -41,12 +60,17 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":9000", "listen address")
-		members = flag.String("members", "", "comma-separated fewwd base URLs in range order (required)")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-member request timeout")
-		wait    = flag.Duration("wait", 30*time.Second, "how long to wait for every member to become ready at startup")
-		maxBody = flag.Int64("maxbody", 0, "max /ingest body bytes (0 = 256 MiB; only ?atomic=1 buffers requests decoded)")
-		chunk   = flag.Int("chunk", 0, "streaming-ingest window in updates (0 = 8192): decoded, validated and forwarded per window")
+		addr     = flag.String("addr", ":9000", "listen address")
+		members  = flag.String("members", "", "comma-separated fewwd base URLs in range order (required)")
+		replicas = flag.Int("replicas", 1, "copies kept of every range; consecutive runs of this many members form one replica group, leftovers are spares")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-member request timeout")
+		wait     = flag.Duration("wait", 30*time.Second, "how long to wait for every member to become ready at startup")
+		maxBody  = flag.Int64("maxbody", 0, "max /ingest body bytes (0 = 256 MiB; only ?atomic=1 buffers requests decoded)")
+		chunk    = flag.Int("chunk", 0, "streaming-ingest window in updates (0 = 8192): decoded, validated and forwarded per window")
+
+		reconcile    = flag.Duration("reconcile-interval", time.Second, "reconciler tick interval (0 disables autonomous failover)")
+		failAfter    = flag.Int("fail-after", 3, "consecutive probe failures before a replica is marked failed")
+		probeTimeout = flag.Duration("probe-timeout", 2*time.Second, "reconciler health-probe timeout")
 	)
 	flag.Parse()
 
@@ -60,7 +84,7 @@ func main() {
 		log.Fatal("fewwgate: -members is required (comma-separated fewwd base URLs)")
 	}
 
-	cfg := cluster.Config{Members: urls, MemberTimeout: *timeout, MaxBodyBytes: *maxBody, ChunkUpdates: *chunk}
+	cfg := cluster.Config{Members: urls, Replicas: *replicas, MemberTimeout: *timeout, MaxBodyBytes: *maxBody, ChunkUpdates: *chunk}
 
 	// Bootstrap: the members may still be starting (or restoring large
 	// checkpoints), so construction — which probes every /healthz —
@@ -83,8 +107,17 @@ func main() {
 	}
 
 	n, m := g.Universe()
-	log.Printf("fewwgate: %s cluster, %d members, universe n=%d m=%d, ranges %v, listening on %s (GET /healthz for readiness)",
-		g.Kind(), len(urls), n, m, g.Ranges(), *addr)
+	log.Printf("fewwgate: %s cluster, %d members, %d replicas per range, universe n=%d m=%d, ranges %v, listening on %s (GET /healthz for readiness, GET /reconciler for failover state)",
+		g.Kind(), len(urls), g.Replicas(), n, m, g.Ranges(), *addr)
+
+	var recon *cluster.Reconciler
+	if *reconcile > 0 {
+		recon = g.StartReconciler(cluster.ReconcilerConfig{
+			Interval: *reconcile, FailAfter: *failAfter, ProbeTimeout: *probeTimeout,
+		})
+	} else {
+		log.Printf("fewwgate: reconciler disabled (-reconcile-interval 0): failover is manual via POST /rebalance")
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: g.Handler()}
 	errc := make(chan error, 1)
@@ -97,6 +130,9 @@ func main() {
 		log.Fatal(err)
 	case sig := <-sigc:
 		log.Printf("fewwgate: %v: draining", sig)
+	}
+	if recon != nil {
+		recon.Stop()
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

@@ -82,9 +82,11 @@
 // feww/cluster package and cmd/fewwgate serve several fewwd nodes as one
 // logical engine: contiguous ranges of the universe, scatter-gather
 // queries with the engine's own merge rules (including the star tier's
-// max-over-rungs), and range rebalancing by shipping snapshots — the
-// paper's state-as-message protocols operating across machines.  See
-// docs/OPERATIONS.md for both runbooks.
+// max-over-rungs), range rebalancing by shipping snapshots, and
+// R-way replicated ranges with autonomous failover (fewwgate -replicas:
+// a reconciler promotes, re-seeds and adopts spares with no operator in
+// the loop) — the paper's state-as-message protocols operating across
+// machines.  See docs/OPERATIONS.md for both runbooks.
 //
 // # Quick start
 //

@@ -1,21 +1,39 @@
 #!/usr/bin/env bash
-# End-to-end cluster exercise (also the CI cluster-e2e job):
+# End-to-end cluster exercise (also the CI cluster-e2e job), in three
+# sections selectable by the first argument:
 #
-#   1. boot three fewwd nodes and a fewwgate over them,
-#   2. replay a planted workload through the gateway with fewwload
-#      -gateway, verifying the served witnesses against the ground truth,
-#   3. checkpoint the cluster, kill one node with SIGKILL,
-#   4. observe the gateway report the degradation,
-#   5. restart the node from its checkpoint file,
-#   6. assert the cluster's fresh results reconverge byte-for-byte,
-#   7. star tier: boot three fewwd -algo star range members behind a
-#      gateway plus one full-universe star node, replay the same planted
-#      star workload into both (ground-truth verified), and assert the
-#      cluster's fresh /best and /results are byte-identical to the
-#      single node's (the alpha=1 deterministic regime).
+#   base  — 3 fewwd range members + fewwgate: planted workload through
+#           the gateway (ground-truth verified), checkpoint, SIGKILL one
+#           node, observe the degradation, restore from the checkpoint
+#           file, assert fresh results reconverge byte-for-byte.
+#   star  — 3 fewwd -algo star range members behind a gateway plus one
+#           full-universe star node, the same planted star workload into
+#           both (ground-truth verified), and the cluster's fresh /best
+#           and /results byte-identical to the single node's (the
+#           alpha=1 deterministic regime).
+#   chaos — a replicated gateway (-replicas 2, one spare) streaming a
+#           large planted workload while published reads hammer it:
+#           SIGKILL the follower mid-ingest (reconciler adopts the
+#           spare), then SIGKILL the primary mid-ingest (reconciler
+#           promotes), loader and hammer must see zero failures, and the
+#           post-recovery fresh results must be byte-identical to a
+#           single full-universe engine fed the identical stream.
 #
-# Usage: scripts/cluster_e2e.sh   (from anywhere inside the repo)
+# Usage: scripts/cluster_e2e.sh [base|star|chaos|all]   (default: all)
+#
+# Set E2E_ARTIFACTS to a directory to keep the node/gateway logs and the
+# reconciler decision log (reconciler.json) after the run — CI uploads
+# these as build artifacts.
 set -euo pipefail
+
+section="${1:-all}"
+case "$section" in
+base | star | chaos | all) ;;
+*)
+    echo "usage: $0 [base|star|chaos|all]" >&2
+    exit 2
+    ;;
+esac
 
 cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
@@ -25,6 +43,11 @@ cleanup() {
     # shellcheck disable=SC2046
     kill $(jobs -p) 2>/dev/null || true
     wait 2>/dev/null || true
+    if [ -n "${E2E_ARTIFACTS:-}" ]; then
+        mkdir -p "$E2E_ARTIFACTS"
+        cp "$workdir"/*.log "$E2E_ARTIFACTS"/ 2>/dev/null || true
+        cp "$workdir"/reconciler.json "$E2E_ARTIFACTS"/ 2>/dev/null || true
+    fi
     rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -32,8 +55,7 @@ trap cleanup EXIT
 echo "== building binaries"
 go build -o "$bins" ./cmd/fewwd ./cmd/fewwgate ./cmd/fewwload
 
-GATE=http://127.0.0.1:9400
-N=900 D=40   # universe 900 over three nodes of 300 (cluster.Split sizing)
+N=900 D=40 # universe 900 over three nodes of 300 (cluster.Split sizing)
 
 wait_http() { # url code tries
     local url=$1 code=$2 tries=${3:-60}
@@ -47,62 +69,201 @@ wait_http() { # url code tries
     return 1
 }
 
-echo "== booting 3 fewwd nodes + fewwgate"
-"$bins/fewwd" -addr 127.0.0.1:9401 -n 300 -d $D -seed 11 -checkpoint "$workdir/n0.ckpt" >"$workdir/n0.log" 2>&1 &
-"$bins/fewwd" -addr 127.0.0.1:9402 -n 300 -d $D -seed 12 -checkpoint "$workdir/n1.ckpt" >"$workdir/n1.log" 2>&1 &
-"$bins/fewwd" -addr 127.0.0.1:9403 -n 300 -d $D -seed 13 -checkpoint "$workdir/n2.ckpt" >"$workdir/n2.log" 2>&1 &
-victim=$!
-"$bins/fewwgate" -addr 127.0.0.1:9400 \
-    -members http://127.0.0.1:9401,http://127.0.0.1:9402,http://127.0.0.1:9403 \
-    -wait 30s >"$workdir/gate.log" 2>&1 &
-wait_http "$GATE/healthz" 200
+run_base() {
+    GATE=http://127.0.0.1:9400
 
-echo "== replaying a planted workload through the gateway (with ground-truth verify)"
-"$bins/fewwload" -gateway -addr "$GATE" -scenario planted \
-    -n $N -d $D -heavy 3 -edges 20000 -reqsize 2000 -verify
+    echo "== base: booting 3 fewwd nodes + fewwgate"
+    "$bins/fewwd" -addr 127.0.0.1:9401 -n 300 -d $D -seed 11 -checkpoint "$workdir/n0.ckpt" >"$workdir/n0.log" 2>&1 &
+    "$bins/fewwd" -addr 127.0.0.1:9402 -n 300 -d $D -seed 12 -checkpoint "$workdir/n1.ckpt" >"$workdir/n1.log" 2>&1 &
+    "$bins/fewwd" -addr 127.0.0.1:9403 -n 300 -d $D -seed 13 -checkpoint "$workdir/n2.ckpt" >"$workdir/n2.log" 2>&1 &
+    victim=$!
+    "$bins/fewwgate" -addr 127.0.0.1:9400 \
+        -members http://127.0.0.1:9401,http://127.0.0.1:9402,http://127.0.0.1:9403 \
+        -wait 30s >"$workdir/gate.log" 2>&1 &
+    wait_http "$GATE/healthz" 200
 
-echo "== checkpointing the cluster"
-curl -fsS -X POST "$GATE/checkpoint" >/dev/null
-curl -fsS "$GATE/results?fresh=1" >"$workdir/before.json"
-[ -s "$workdir/before.json" ]
+    echo "== replaying a planted workload through the gateway (with ground-truth verify)"
+    "$bins/fewwload" -gateway -addr "$GATE" -scenario planted \
+        -n $N -d $D -heavy 3 -edges 20000 -reqsize 2000 -verify
 
-echo "== killing node 2 (SIGKILL)"
-kill -9 "$victim"
-wait_http "$GATE/healthz" 503
+    echo "== checkpointing the cluster"
+    curl -fsS -X POST "$GATE/checkpoint" >/dev/null
+    curl -fsS "$GATE/results?fresh=1" >"$workdir/before.json"
+    [ -s "$workdir/before.json" ]
 
-echo "== restoring node 2 from its checkpoint"
-"$bins/fewwd" -addr 127.0.0.1:9403 -restore "$workdir/n2.ckpt" \
-    -checkpoint "$workdir/n2.ckpt" >"$workdir/n2-restored.log" 2>&1 &
-wait_http "$GATE/healthz" 200
+    echo "== killing node 2 (SIGKILL)"
+    kill -9 "$victim"
+    wait_http "$GATE/healthz" 503
 
-echo "== asserting fresh results reconverged byte-for-byte"
-curl -fsS "$GATE/results?fresh=1" >"$workdir/after.json"
-diff "$workdir/before.json" "$workdir/after.json"
+    echo "== restoring node 2 from its checkpoint"
+    "$bins/fewwd" -addr 127.0.0.1:9403 -restore "$workdir/n2.ckpt" \
+        -checkpoint "$workdir/n2.ckpt" >"$workdir/n2-restored.log" 2>&1 &
+    wait_http "$GATE/healthz" 200
 
-echo "== star tier: 3 fewwd -algo star members + gateway vs one full-universe star node"
-SGATE=http://127.0.0.1:9414
-SINGLE=http://127.0.0.1:9410
-# Seeds and shard counts deliberately differ everywhere: with alpha=1 the
-# star answers depend only on each center's half-edge sub-stream.
-"$bins/fewwd" -algo star -addr 127.0.0.1:9410 -n $N -alpha 1 -seed 21 -shards 2 >"$workdir/s-single.log" 2>&1 &
-"$bins/fewwd" -algo star -addr 127.0.0.1:9411 -n 300 -m $N -alpha 1 -seed 22 -shards 1 >"$workdir/s0.log" 2>&1 &
-"$bins/fewwd" -algo star -addr 127.0.0.1:9412 -n 300 -m $N -alpha 1 -seed 23 -shards 2 >"$workdir/s1.log" 2>&1 &
-"$bins/fewwd" -algo star -addr 127.0.0.1:9413 -n 300 -m $N -alpha 1 -seed 24 -shards 3 >"$workdir/s2.log" 2>&1 &
-"$bins/fewwgate" -addr 127.0.0.1:9414 \
-    -members http://127.0.0.1:9411,http://127.0.0.1:9412,http://127.0.0.1:9413 \
-    -wait 30s >"$workdir/sgate.log" 2>&1 &
-wait_http "$SINGLE/healthz" 200
-wait_http "$SGATE/healthz" 200
+    echo "== asserting fresh results reconverged byte-for-byte"
+    curl -fsS "$GATE/results?fresh=1" >"$workdir/after.json"
+    diff "$workdir/before.json" "$workdir/after.json"
 
-echo "== replaying the same planted star workload into both (with ground-truth verify)"
-"$bins/fewwload" -addr "$SINGLE" -scenario star -n $N -d $D -edges 3000 -reqsize 500 -verify
-"$bins/fewwload" -gateway -addr "$SGATE" -scenario star -n $N -d $D -edges 3000 -reqsize 500 -verify
+    echo "PASS base: cluster served, survived a node kill, reconverged after restore"
+}
 
-echo "== asserting the star cluster answers byte-identically to the single node"
-for path in "best?fresh=1" "results?fresh=1"; do
-    curl -fsS "$SINGLE/$path" >"$workdir/star-single.json"
-    curl -fsS "$SGATE/$path" >"$workdir/star-cluster.json"
-    diff "$workdir/star-single.json" "$workdir/star-cluster.json"
-done
+run_star() {
+    echo "== star tier: 3 fewwd -algo star members + gateway vs one full-universe star node"
+    SGATE=http://127.0.0.1:9414
+    SINGLE=http://127.0.0.1:9410
+    # Seeds and shard counts deliberately differ everywhere: with alpha=1 the
+    # star answers depend only on each center's half-edge sub-stream.
+    "$bins/fewwd" -algo star -addr 127.0.0.1:9410 -n $N -alpha 1 -seed 21 -shards 2 >"$workdir/s-single.log" 2>&1 &
+    "$bins/fewwd" -algo star -addr 127.0.0.1:9411 -n 300 -m $N -alpha 1 -seed 22 -shards 1 >"$workdir/s0.log" 2>&1 &
+    "$bins/fewwd" -algo star -addr 127.0.0.1:9412 -n 300 -m $N -alpha 1 -seed 23 -shards 2 >"$workdir/s1.log" 2>&1 &
+    "$bins/fewwd" -algo star -addr 127.0.0.1:9413 -n 300 -m $N -alpha 1 -seed 24 -shards 3 >"$workdir/s2.log" 2>&1 &
+    "$bins/fewwgate" -addr 127.0.0.1:9414 \
+        -members http://127.0.0.1:9411,http://127.0.0.1:9412,http://127.0.0.1:9413 \
+        -wait 30s >"$workdir/sgate.log" 2>&1 &
+    wait_http "$SINGLE/healthz" 200
+    wait_http "$SGATE/healthz" 200
 
-echo "PASS: cluster served, survived a node kill, reconverged after restore, and the star tier matched a single engine byte-for-byte"
+    echo "== replaying the same planted star workload into both (with ground-truth verify)"
+    "$bins/fewwload" -addr "$SINGLE" -scenario star -n $N -d $D -edges 3000 -reqsize 500 -verify
+    "$bins/fewwload" -gateway -addr "$SGATE" -scenario star -n $N -d $D -edges 3000 -reqsize 500 -verify
+
+    echo "== asserting the star cluster answers byte-identically to the single node"
+    for path in "best?fresh=1" "results?fresh=1"; do
+        curl -fsS "$SINGLE/$path" >"$workdir/star-single.json"
+        curl -fsS "$SGATE/$path" >"$workdir/star-cluster.json"
+        diff "$workdir/star-single.json" "$workdir/star-cluster.json"
+    done
+
+    echo "PASS star: star tier matched a single engine byte-for-byte"
+}
+
+# Chaos-section helpers.  All poll the replicated gateway at $CGATE.
+
+published_elements() {
+    # Top-level "elements" precedes the per-member blocks in /stats.
+    curl -s "$CGATE/stats" | grep -o '"elements": [0-9]*' | head -1 | grep -o '[0-9]*' || echo 0
+}
+
+wait_elements() { # threshold
+    for _ in $(seq 300); do
+        # The loader finishing early is not a failure — the kill then
+        # simply lands after the stream instead of inside it.
+        if ! kill -0 "$loader" 2>/dev/null; then return 0; fi
+        if [ "$(published_elements)" -ge "$1" ]; then return 0; fi
+        sleep 0.1
+    done
+    echo "timed out waiting for $1 published elements" >&2
+    return 1
+}
+
+wait_decision() { # action
+    for _ in $(seq 150); do
+        if curl -s "$CGATE/reconciler" | grep -q "\"action\": \"$1\""; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "timed out waiting for a \"$1\" reconciler decision" >&2
+    curl -s "$CGATE/reconciler" >&2 || true
+    return 1
+}
+
+run_chaos() {
+    echo "== chaos tier: replicated gateway (R=2 + spare) vs SIGKILL of follower then primary mid-ingest"
+    CGATE=http://127.0.0.1:9424
+    CREF=http://127.0.0.1:9420
+    CN=100000 CE=600000
+    # One full-universe range held by two replicas (A primary, B follower)
+    # plus spare C; the reference holds the same universe alone.  Seeds and
+    # shard counts differ everywhere — alpha=1 makes them irrelevant — and
+    # with a single group every member sees the reference's exact stream
+    # order, so fresh answers must match byte-for-byte.  A single planted
+    # heavy vertex keeps the best answer a unique maximum (the generator
+    # caps noise degrees at d/2): tie-breaks at the witness cap are
+    # engine-internal order, which byte-diffing two engines cannot assume.
+    "$bins/fewwd" -addr 127.0.0.1:9420 -n $CN -d $D -alpha 1 -seed 31 -shards 2 >"$workdir/c-ref.log" 2>&1 &
+    "$bins/fewwd" -addr 127.0.0.1:9421 -n $CN -d $D -alpha 1 -seed 32 -shards 1 >"$workdir/c-a.log" 2>&1 &
+    apid=$!
+    "$bins/fewwd" -addr 127.0.0.1:9422 -n $CN -d $D -alpha 1 -seed 33 -shards 2 >"$workdir/c-b.log" 2>&1 &
+    bpid=$!
+    "$bins/fewwd" -addr 127.0.0.1:9423 -n $CN -d $D -alpha 1 -seed 34 -shards 3 >"$workdir/c-c.log" 2>&1 &
+    "$bins/fewwgate" -addr 127.0.0.1:9424 \
+        -members http://127.0.0.1:9421,http://127.0.0.1:9422,http://127.0.0.1:9423 \
+        -replicas 2 -reconcile-interval 100ms -fail-after 2 -probe-timeout 2s \
+        -wait 30s >"$workdir/c-gate.log" 2>&1 &
+    wait_http "$CREF/healthz" 200
+    wait_http "$CGATE/healthz" 200
+
+    echo "== hammering published reads (must never fail across both failovers)"
+    hammer_stop="$workdir/hammer.stop"
+    hammer_fails="$workdir/hammer.fails"
+    : >"$hammer_fails"
+    (
+        while [ ! -f "$hammer_stop" ]; do
+            for path in best results stats; do
+                code=$(curl -s -o /dev/null -w '%{http_code}' "$CGATE/$path" || true)
+                if [ "$code" != "200" ]; then
+                    echo "$path -> ${code:-000}" >>"$hammer_fails"
+                fi
+            done
+            sleep 0.05
+        done
+    ) &
+    hammer_pid=$!
+
+    echo "== streaming a large planted workload through the gateway"
+    "$bins/fewwload" -gateway -addr "$CGATE" -scenario planted \
+        -n $CN -d $D -heavy 1 -edges $CE -reqsize 500 -verify >"$workdir/c-load.log" 2>&1 &
+    loader=$!
+
+    wait_elements 100000
+    echo "== SIGKILL follower (127.0.0.1:9422) mid-ingest"
+    kill -9 "$bpid"
+    echo "== waiting for the reconciler to adopt the spare"
+    wait_decision adopt-spare
+
+    wait_elements 300000
+    echo "== SIGKILL primary (127.0.0.1:9421) mid-ingest"
+    kill -9 "$apid"
+    echo "== waiting for the reconciler to promote a follower"
+    wait_decision promote
+
+    echo "== waiting for the loader (every request must have been accepted)"
+    if ! wait "$loader"; then
+        echo "loader failed through the failovers; its log:" >&2
+        tail -30 "$workdir/c-load.log" >&2
+        exit 1
+    fi
+
+    touch "$hammer_stop"
+    wait "$hammer_pid" 2>/dev/null || true
+    if [ -s "$hammer_fails" ]; then
+        echo "published reads failed during failover:" >&2
+        sort "$hammer_fails" | uniq -c >&2
+        exit 1
+    fi
+    echo "== zero failed published reads across both failovers"
+
+    echo "== replaying the identical workload into a single full-universe engine"
+    "$bins/fewwload" -addr "$CREF" -scenario planted \
+        -n $CN -d $D -heavy 1 -edges $CE -reqsize 500 -verify >"$workdir/c-refload.log" 2>&1
+
+    echo "== asserting post-recovery fresh results are byte-identical to the reference"
+    for path in "best?fresh=1" "results?fresh=1"; do
+        curl -fsS "$CREF/$path" >"$workdir/chaos-ref.json"
+        curl -fsS "$CGATE/$path" >"$workdir/chaos-cluster.json"
+        diff "$workdir/chaos-ref.json" "$workdir/chaos-cluster.json"
+    done
+
+    curl -fsS "$CGATE/reconciler" >"$workdir/reconciler.json"
+    echo "== reconciler decisions:"
+    grep -o '"action": "[a-z-]*"' "$workdir/reconciler.json" | sort | uniq -c
+
+    echo "PASS chaos: survived SIGKILL of follower and primary mid-ingest with zero failed published reads and byte-identical recovery"
+}
+
+if [ "$section" = base ] || [ "$section" = all ]; then run_base; fi
+if [ "$section" = star ] || [ "$section" = all ]; then run_star; fi
+if [ "$section" = chaos ] || [ "$section" = all ]; then run_chaos; fi
+
+echo "PASS: cluster e2e ($section) complete"

@@ -311,6 +311,27 @@ func (c *Client) Restore(snapshot []byte) (HealthResponse, error) {
 	return out, json.NewDecoder(resp.Body).Decode(&out)
 }
 
+// ShipSnapshot copies this server's engine state into dst: GET
+// /snapshot here, POST /restore there — the one whole-state message the
+// paper's protocols are built on, and the primitive behind cluster
+// rebalance and replica re-seeding.  The snapshot is buffered in memory
+// so the restore body is replayable (a refused connection can be
+// retried); the buffer is bounded by the donor's engine size.  It
+// returns dst's post-restore health for verification plus the snapshot
+// byte count.
+func (c *Client) ShipSnapshot(dst *Client) (HealthResponse, int64, error) {
+	var snap bytes.Buffer
+	size, err := c.Snapshot(&snap)
+	if err != nil {
+		return HealthResponse{}, 0, fmt.Errorf("snapshot from %s: %w", c.Base, err)
+	}
+	h, err := dst.Restore(snap.Bytes())
+	if err != nil {
+		return HealthResponse{}, 0, fmt.Errorf("restore into %s: %w", dst.Base, err)
+	}
+	return h, size, nil
+}
+
 func (c *Client) getJSON(path string, v any) error {
 	resp, err := c.do(http.MethodGet, path, "", true, nil)
 	if err != nil {

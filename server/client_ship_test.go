@@ -1,0 +1,66 @@
+package server
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestClientShipSnapshot pins the snapshot-shipping primitive the
+// cluster tier builds rebalance and replica re-seeding on: one call
+// copies a donor's complete engine state into a destination node and
+// returns the destination's post-restore health for verification.
+func TestClientShipSnapshot(t *testing.T) {
+	donorSrv, donorEng := newHealthServer(t, 80, 3)
+	donorTS := httptest.NewServer(donorSrv.Handler())
+	defer donorTS.Close()
+	defer donorEng.Close()
+	donor := &Client{Base: donorTS.URL}
+	for b := int64(0); b < 5; b++ {
+		if err := donorEng.ProcessEdge(7, 100+b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recipSrv, recipEng := newHealthServer(t, 2, 1) // placeholder, replaced wholesale
+	recipTS := httptest.NewServer(recipSrv.Handler())
+	defer recipTS.Close()
+	defer recipEng.Close()
+	recip := &Client{Base: recipTS.URL}
+
+	h, size, err := donor.ShipSnapshot(recip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size <= 0 {
+		t.Fatalf("shipped %d bytes, want > 0", size)
+	}
+	if h.N != 80 || h.Elements != 5 || !h.Serving {
+		t.Fatalf("post-ship health = %+v, want the donor's N=80, Elements=5, serving", h)
+	}
+
+	wantBest, err := donor.BestFresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBest, err := recip.BestFresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantBest, gotBest) {
+		t.Fatalf("shipped best = %+v, donor best = %+v", gotBest, wantBest)
+	}
+
+	// Shipping into a dead destination reports the restore leg, and the
+	// donor is untouched.
+	recipTS.Close()
+	if _, _, err := donor.ShipSnapshot(recip); err == nil {
+		t.Fatal("shipping into a dead destination succeeded")
+	} else if !strings.Contains(err.Error(), "restore into") {
+		t.Fatalf("err = %v, want the restore leg named", err)
+	}
+	if h, err := donor.Health(); err != nil || h.Elements != 5 {
+		t.Fatalf("failed ship disturbed the donor: %+v, %v", h, err)
+	}
+}
