@@ -394,12 +394,21 @@ func (g *Gateway) ingestStreaming(w http.ResponseWriter, body io.Reader) {
 	}
 
 	// Open one streaming request per live replica before touching the
-	// body.  A pipe write blocks until the replica's transport consumes
-	// it, so a slow replica back-pressures the whole forward loop instead
-	// of growing a gateway-side buffer; a dead replica closes its read
-	// end, failing the next write immediately.
+	// body.  The group's shared ingest lock is taken *before* target
+	// selection and held (one reader hold per group, released in finish
+	// once the group's responses are gathered) across the whole request:
+	// a rebalance or reconciler re-seed takes the lock exclusively, so it
+	// either completes before the targets are chosen or waits until every
+	// stream has landed — never in between, where it could seed a failed
+	// replica from the primary's pre-request state and mark it live while
+	// this request's windows bypass it, silently diverging the copies.
+	// A pipe write blocks until the replica's transport consumes it, so a
+	// slow replica back-pressures the whole forward loop instead of
+	// growing a gateway-side buffer; a dead replica closes its read end,
+	// failing the next write immediately.
 	gis := make([]*groupIngest, len(g.groups))
 	for j, gr := range g.groups {
+		gr.ingestMu.RLock()
 		targets := gr.ingestTargets()
 		gi := &groupIngest{gr: gr, streams: make([]*replicaStream, len(targets))}
 		gis[j] = gi
@@ -407,25 +416,19 @@ func (g *Gateway) ingestStreaming(w http.ResponseWriter, body io.Reader) {
 			pr, pw := io.Pipe()
 			rs := &replicaStream{rep: rep, pw: pw, fw: stream.NewFrameWriter(pw), done: make(chan struct{})}
 			gi.streams[k] = rs
-			go func(gr *group, rs *replicaStream, pr *io.PipeReader) {
+			go func(rs *replicaStream, pr *io.PipeReader) {
 				defer close(rs.done)
-				// The shared ingest lock spans the replica's whole request,
-				// ordering it against any concurrent rebalance or re-seed of
-				// the range exactly as the atomic path does: the stream lands
-				// before the snapshot is cut, or after the repoint — never in
-				// between.
-				gr.ingestMu.RLock()
-				defer gr.ingestMu.RUnlock()
 				rs.resp, rs.err = rs.rep.client().IngestStream(pr)
 				pr.CloseWithError(rs.err)
-			}(gr, rs, pr)
+			}(rs, pr)
 		}
 	}
 
 	// finish closes every replica stream — first writing one empty frame
 	// to any replica that never received data, so its body decodes and a
 	// dead replica surfaces even when no traffic reached its range — then
-	// gathers the responses.  Replicas of a group that answered received
+	// gathers the responses, releasing each group's ingest lock once its
+	// last stream has landed.  Replicas of a group that answered received
 	// identical frames, so their accepted counts agree; the group's
 	// contribution is the max over its replicas (never the sum, which
 	// would count replication as throughput).  A replica whose request
@@ -459,6 +462,7 @@ func (g *Gateway) ingestStreaming(w http.ResponseWriter, body io.Reader) {
 				accepted = max(accepted, rs.resp.Accepted)
 				total = max(total, rs.resp.Total)
 			}
+			gi.gr.ingestMu.RUnlock()
 			out.Accepted += accepted
 			out.Total += total
 			if !ok {
@@ -584,6 +588,12 @@ func (g *Gateway) ingestAtomic(w http.ResponseWriter, body io.Reader) {
 	var out server.IngestResponse
 	var outMu sync.Mutex
 	groupErrs := g.scatterGroups(func(j int, gr *group) error {
+		// As on the streaming path, the shared ingest lock is taken before
+		// target selection and held until every replica request has landed,
+		// so an exclusive-lock re-seed cannot slip between choosing the
+		// targets and the replicas seeing the request.
+		gr.ingestMu.RLock()
+		defer gr.ingestMu.RUnlock()
 		targets := gr.ingestTargets()
 		resps := make([]server.IngestResponse, len(targets))
 		errs := make([]error, len(targets))
@@ -592,8 +602,6 @@ func (g *Gateway) ingestAtomic(w http.ResponseWriter, body io.Reader) {
 			wg.Add(1)
 			go func(k int, rep *replica) {
 				defer wg.Done()
-				gr.ingestMu.RLock()
-				defer gr.ingestMu.RUnlock()
 				resps[k], errs[k] = rep.client().Ingest(gr.rng.Len(), headerM, per[j])
 			}(k, rep)
 		}
@@ -926,8 +934,12 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Groups:        len(g.groups),
 		Replicas:      g.cfg.Replicas,
 	}
+	// Spares join the same concurrent probe fan-out as the group members:
+	// one dead spare then costs the response a single member timeout in
+	// parallel with everything else, instead of stalling /healthz for a
+	// full timeout per spare after the members have answered.
 	type slot struct {
-		gr      *group
+		gr      *group // nil for spares
 		rep     *replica
 		primary bool
 	}
@@ -937,6 +949,9 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		for _, rep := range reps {
 			slots = append(slots, slot{gr: gr, rep: rep, primary: rep == prim})
 		}
+	}
+	for _, rep := range g.spareList() {
+		slots = append(slots, slot{rep: rep})
 	}
 	healths := make([]server.HealthResponse, len(slots))
 	errs := make([]error, len(slots))
@@ -949,8 +964,19 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}(i, s)
 	}
 	wg.Wait()
-	out.Members = make([]MemberHealth, len(slots))
 	for i, s := range slots {
+		if s.gr == nil {
+			mh := MemberHealth{URL: s.rep.client().Base, Group: -1, Role: "spare", State: stateName(s.rep.state.Load())}
+			if errs[i] != nil {
+				mh.Error = errs[i].Error()
+			} else {
+				h := healths[i]
+				mh.Health = &h
+				mh.Ready = h.Serving
+			}
+			out.Spares = append(out.Spares, mh)
+			continue
+		}
 		role := "replica"
 		if s.primary {
 			role = "primary"
@@ -979,18 +1005,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		if s.primary && !mh.Ready {
 			out.Serving = false
 		}
-		out.Members[i] = mh
-	}
-	for _, rep := range g.spareList() {
-		mh := MemberHealth{URL: rep.client().Base, Group: -1, Role: "spare", State: stateName(rep.state.Load())}
-		if h, err := rep.client().Health(); err != nil {
-			mh.Error = err.Error()
-		} else {
-			hh := h
-			mh.Health = &hh
-			mh.Ready = h.Serving
-		}
-		out.Spares = append(out.Spares, mh)
+		out.Members = append(out.Members, mh)
 	}
 	code := http.StatusOK
 	if !out.Serving {

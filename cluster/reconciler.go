@@ -51,10 +51,11 @@ type ReconcilerConfig struct {
 // /reconciler) with a timestamp and cause, so a failover can be audited
 // after the fact.
 type Reconciler struct {
-	g     *Gateway
-	cfg   ReconcilerConfig
-	stopc chan struct{}
-	donec chan struct{}
+	g        *Gateway
+	cfg      ReconcilerConfig
+	stopOnce sync.Once
+	stopc    chan struct{}
+	donec    chan struct{}
 }
 
 // StartReconciler starts the failover loop and returns it.  If one is
@@ -80,9 +81,11 @@ func (g *Gateway) StartReconciler(cfg ReconcilerConfig) *Reconciler {
 	return r
 }
 
-// Stop halts the loop and waits for the in-flight tick to finish.
+// Stop halts the loop and waits for the in-flight tick to finish.  It
+// is idempotent: repeated or concurrent Stops all wait for the same
+// shutdown.
 func (r *Reconciler) Stop() {
-	close(r.stopc)
+	r.stopOnce.Do(func() { close(r.stopc) })
 	<-r.donec
 	r.g.reconMu.Lock()
 	if r.g.recon == r {
@@ -156,10 +159,8 @@ func (r *Reconciler) tick() {
 			pr := probeResult{h: h, err: err}
 			if err == nil {
 				if t.gr != nil {
-					pr.ok = g.verifyMember(h, t.gr.rng) == nil
-					if !pr.ok {
-						pr.err = g.verifyMember(h, t.gr.rng)
-					}
+					pr.err = g.verifyMember(h, t.gr.rng)
+					pr.ok = pr.err == nil
 				} else {
 					pr.ok = true
 				}
@@ -214,19 +215,23 @@ func (r *Reconciler) tick() {
 			} else {
 				// 3. Nothing live: promote a reachable failed replica so the
 				// range serves again — e.g. the dead node restarted from its
-				// checkpoint.  Anything accepted after that checkpoint is
-				// gone; say so in the log.
+				// checkpoint.  Stale copies differ only by the windows each
+				// missed, so the one holding the most elements loses the
+				// least — the same rule as live promotion.  Anything past
+				// that state is gone; say so in the log.
+				var stale *replica
+				var staleElems int64 = -1
 				for _, rep := range reps {
-					if pr := probes[rep]; pr.ok {
-						if gr.promote(rep) {
-							rep.fails = 0
-							rep.markLive()
-							g.recordDecision("promote-degraded", gr, rep.client().Base,
-								fmt.Sprintf("no live replica for range %s; promoting reachable stale replica with %d elements — windows since its last state are lost", gr.rng, pr.h.Elements))
-							prim = rep
-						}
-						break
+					if pr := probes[rep]; pr.ok && pr.h.Elements > staleElems {
+						stale, staleElems = rep, pr.h.Elements
 					}
+				}
+				if stale != nil && gr.promote(stale) {
+					stale.fails = 0
+					stale.markLive()
+					g.recordDecision("promote-degraded", gr, stale.client().Base,
+						fmt.Sprintf("no live replica for range %s; promoting reachable stale replica with %d elements — windows since its last state are lost", gr.rng, staleElems))
+					prim = stale
 				}
 			}
 		}

@@ -75,11 +75,14 @@ type group struct {
 	rng Range
 
 	// ingestMu serialises ingest for the range against state shipping:
-	// ingest holds it shared (each replica's in-flight request goroutine
-	// holds it for the whole request), rebalance and reconciler re-seeds
-	// hold it exclusively — so a shipped snapshot is an exact prefix of
-	// the accepted stream, and a re-seeded replica joins before the next
-	// window can flow.  Queries do not take it.
+	// an ingest request holds it shared from *before* target selection
+	// (ingestTargets) until every replica request of the group has
+	// landed, while rebalance and reconciler re-seeds hold it exclusively
+	// — so a shipped snapshot is an exact prefix of the accepted stream,
+	// a re-seeded replica joins before the next window can flow, and a
+	// re-seed can never slip between a request choosing its targets and
+	// the replicas seeing it (which would revive a replica that then
+	// silently misses the in-flight windows).  Queries do not take it.
 	ingestMu sync.RWMutex
 
 	// mu guards the replica set and the primary index.
