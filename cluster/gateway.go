@@ -1067,6 +1067,13 @@ func (g *Gateway) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	var mu sync.Mutex
 	var out CheckpointResponse
 	errs := g.scatterGroups(func(j int, gr *group) error {
+		// As on the ingest paths, the shared ingest lock is taken before
+		// target selection and held across the replica requests: a re-seed
+		// (exclusive lock) could otherwise revive a replica between
+		// selection and the request, and its mid-seed checkpoint would
+		// capture partial state.
+		gr.ingestMu.RLock()
+		defer gr.ingestMu.RUnlock()
 		targets := gr.ingestTargets()
 		var msgs []string
 		for _, rep := range targets {

@@ -158,6 +158,14 @@ func (gr *group) remove(rep *replica) bool {
 // with the members' real errors (and a resurrected node can keep
 // absorbing traffic in the fully-degraded regime) rather than hitting an
 // empty fan-out.
+//
+// Callers must hold ingestMu (shared) before selecting targets and keep
+// it across the replica responses: a re-seed runs under the exclusive
+// lock and can revive a replica between an unlocked selection and the
+// request, silently missing in-flight windows.  fewwvet's lockorder
+// analyzer enforces the acquire-before-select half at every call site.
+//
+//fewwvet:requires ingestMu
 func (gr *group) ingestTargets() []*replica {
 	reps, _ := gr.snapshot()
 	live := make([]*replica, 0, len(reps))

@@ -1,0 +1,154 @@
+// Command fewwvet runs the repo's project-specific analyzers over the
+// module.  It is a miniature multichecker built on the standard library
+// (see internal/analysis): packages named by go-list patterns are
+// typechecked from source with imports resolved from gc export data, and
+// each analyzer inspects the typed syntax.
+//
+// Usage:
+//
+//	go run ./cmd/fewwvet ./...
+//	go run ./cmd/fewwvet -run viewimmut,lockorder ./cluster
+//	go run ./cmd/fewwvet -run fieldalign ./...   # advisory layout report
+//
+// With no -run flag the five invariant analyzers run: viewimmut,
+// epochstore, poolescape, lockorder, retrysafe.  fieldalign is advisory
+// and only runs when named.  Findings print as file:line:col: message
+// [analyzer] and make the command exit 1; suppress a deliberate
+// exception with `//fewwvet:ignore <analyzer> <reason>` on or above the
+// flagged line (docs/ANALYSIS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"feww/internal/analysis"
+	"feww/internal/analysis/epochstore"
+	"feww/internal/analysis/fieldalign"
+	"feww/internal/analysis/load"
+	"feww/internal/analysis/lockorder"
+	"feww/internal/analysis/poolescape"
+	"feww/internal/analysis/retrysafe"
+	"feww/internal/analysis/viewimmut"
+)
+
+// defaultAnalyzers run without -run; optInAnalyzers only when named.
+var (
+	defaultAnalyzers = []*analysis.Analyzer{
+		viewimmut.Analyzer,
+		epochstore.Analyzer,
+		poolescape.Analyzer,
+		lockorder.Analyzer,
+		retrysafe.Analyzer,
+	}
+	optInAnalyzers = []*analysis.Analyzer{
+		fieldalign.Analyzer,
+	}
+)
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all invariant analyzers)")
+	listFlag := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = usage
+	flag.Parse()
+
+	all := append(append([]*analysis.Analyzer(nil), defaultAnalyzers...), optInAnalyzers...)
+	if *listFlag {
+		for _, a := range all {
+			optin := ""
+			if isOptIn(a) {
+				optin = " (opt-in)"
+			}
+			fmt.Printf("%-12s %s%s\n", a.Name, a.Doc, optin)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(all, *runFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fewwvet:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fewwvet: load:", err)
+		os.Exit(2)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fewwvet: %s: %v\n", pkg.ImportPath, err)
+			os.Exit(2)
+		}
+		diags = append(diags, ds...)
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func isOptIn(a *analysis.Analyzer) bool {
+	for _, o := range optInAnalyzers {
+		if o == a {
+			return true
+		}
+	}
+	return false
+}
+
+// selectAnalyzers resolves the -run flag against the registry.
+func selectAnalyzers(all []*analysis.Analyzer, runFlag string) ([]*analysis.Analyzer, error) {
+	if runFlag == "" {
+		return defaultAnalyzers, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(runFlag, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (run -list for the registry)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-run selected no analyzers")
+	}
+	return out, nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: fewwvet [-run name,name] [-list] [packages]\n\n")
+	fmt.Fprintf(os.Stderr, "Runs feww's project-specific invariant analyzers (docs/ANALYSIS.md).\n\n")
+	flag.PrintDefaults()
+}

@@ -1,0 +1,286 @@
+// Package analysis is the miniature go/analysis framework under
+// cmd/fewwvet.  The module cannot depend on golang.org/x/tools, so this
+// package supplies the three pieces fewwvet needs from it: an Analyzer /
+// Pass API for writing type-aware checkers, a runner that executes
+// analyzers over a loaded package (internal/analysis/load) and filters
+// suppressed findings, and the comment-directive conventions the
+// analyzers and the suppression mechanism share:
+//
+//	//fewwvet:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the flagged line (or the line above it) suppresses those analyzers'
+// findings there — the reason is mandatory, a bare ignore is itself
+// reported — and
+//
+//	//fewwvet:requires <lockfield>
+//
+// on a method declaration declares a lock-ordering contract the
+// lockorder analyzer enforces at every call site (see that package).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"feww/internal/analysis/load"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in output and ignore directives.
+	Name string
+	// Doc is the one-paragraph description -list prints.
+	Doc string
+	// Run inspects a package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over pkg and returns the surviving
+// diagnostics sorted by position: findings suppressed by a well-formed
+// ignore directive are dropped, and malformed directives (no analyzer
+// name, or no reason) are reported as findings themselves so a bare
+// "//fewwvet:ignore" cannot silently disable checking.
+func Run(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ignores, bad := ignoreIndex(pkg)
+	var out []Diagnostic
+	out = append(out, bad...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			TypesSizes: pkg.Sizes,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		for _, d := range pass.diags {
+			if !ignores.suppressed(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// ignoreKey addresses one source line of one file.
+type ignoreKey struct {
+	file string
+	line int
+}
+
+type ignoreSet map[ignoreKey]map[string]bool
+
+// suppressed reports whether d is covered by an ignore directive on its
+// own line or on the line directly above.
+func (s ignoreSet) suppressed(d Diagnostic) bool {
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if names := s[ignoreKey{d.Pos.Filename, line}]; names[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+const (
+	ignorePrefix   = "//fewwvet:ignore"
+	requiresPrefix = "//fewwvet:requires"
+)
+
+// ignoreIndex scans every comment of the package for ignore directives,
+// returning the per-line suppression index plus diagnostics for
+// malformed directives.
+func ignoreIndex(pkg *load.Package) (ignoreSet, []Diagnostic) {
+	set := make(ignoreSet)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Analyzer: "fewwvet",
+						Message:  "malformed ignore directive: want //fewwvet:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := ignoreKey{pos.Filename, pos.Line}
+				if set[key] == nil {
+					set[key] = make(map[string]bool)
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					set[key][name] = true
+				}
+			}
+		}
+	}
+	return set, bad
+}
+
+// Requires returns the lock fields a //fewwvet:requires directive on
+// decl declares (empty when the declaration carries none).
+func Requires(decl *ast.FuncDecl) []string {
+	if decl.Doc == nil {
+		return nil
+	}
+	var fields []string
+	for _, c := range decl.Doc.List {
+		if !strings.HasPrefix(c.Text, requiresPrefix) {
+			continue
+		}
+		fields = append(fields, strings.Fields(strings.TrimPrefix(c.Text, requiresPrefix))...)
+	}
+	return fields
+}
+
+// Named unwraps pointers and aliases down to the named type beneath t,
+// or nil when there is none.
+func Named(t types.Type) *types.Named {
+	for {
+		switch tt := types.Unalias(t).(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// IsNamed reports whether t (possibly behind pointers or aliases, and
+// possibly an instantiated generic) is the named type pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	n := Named(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// ReceiverOf returns the method call's receiver expression and the
+// method name for a call of the form <recv>.<name>(...), or nil.
+func ReceiverOf(call *ast.CallExpr) (ast.Expr, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	return sel.X, sel.Sel.Name
+}
+
+// ExprString renders e the way the parser saw it — the canonical form
+// the analyzers use to compare "the same lock / buffer expression".
+func ExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return ExprString(e.X)
+	case *ast.StarExpr:
+		return "*" + ExprString(e.X)
+	case *ast.IndexExpr:
+		return ExprString(e.X) + "[" + ExprString(e.Index) + "]"
+	case *ast.CallExpr:
+		return ExprString(e.Fun) + "()"
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.TypeAssertExpr:
+		return ExprString(e.X) + ".(type)"
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// RootIdent returns the identifier at the base of a selector / index /
+// dereference chain (x in x.f[i].g), or nil for more complex roots.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return t
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// FuncDecls visits every function declaration with a body in the pass.
+func (p *Pass) FuncDecls(fn func(*ast.FuncDecl)) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

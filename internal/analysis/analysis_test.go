@@ -1,0 +1,112 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"feww/internal/analysis"
+	"feww/internal/analysis/load"
+)
+
+// directiveSrc seeds one suppressed line, one unsuppressed line, and one
+// malformed directive (bare, no analyzer or reason).
+const directiveSrc = `package p
+
+func f() int {
+	x := 1 //fewwvet:ignore fake deliberate exception with a reason
+	_ = x
+	y := 2
+	return y
+}
+
+//fewwvet:ignore
+func g() {}
+`
+
+// parse builds a load.Package by hand; the directive machinery only
+// needs syntax, so no typechecking is involved.
+func parse(t *testing.T, src string) *load.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing: %v", err)
+	}
+	return &load.Package{ImportPath: "p", Fset: fset, Files: []*ast.File{f}}
+}
+
+// fake reports one finding on every short-var assignment it sees.
+var fake = &analysis.Analyzer{
+	Name: "fake",
+	Doc:  "reports every := statement",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+					pass.Reportf(as.Pos(), "assignment")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	pkg := parse(t, directiveSrc)
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{fake})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var malformed, suppressedLine, keptLine bool
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "malformed ignore directive"):
+			malformed = true
+		case d.Analyzer == "fake" && d.Pos.Line == 4:
+			suppressedLine = true
+		case d.Analyzer == "fake" && d.Pos.Line == 6:
+			keptLine = true
+		}
+	}
+	if !malformed {
+		t.Errorf("bare //fewwvet:ignore not reported as malformed; got %v", diags)
+	}
+	if suppressedLine {
+		t.Errorf("well-formed ignore did not suppress the line-4 finding; got %v", diags)
+	}
+	if !keptLine {
+		t.Errorf("unsuppressed line-6 finding missing; got %v", diags)
+	}
+}
+
+// requiresSrc exercises the requires-directive parser.
+const requiresSrc = `package p
+
+// doc text.
+//
+//fewwvet:requires mu
+//fewwvet:requires other
+func f() {}
+
+func g() {}
+`
+
+func TestRequires(t *testing.T) {
+	pkg := parse(t, requiresSrc)
+	var got [][]string
+	for _, decl := range pkg.Files[0].Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			got = append(got, analysis.Requires(fd))
+		}
+	}
+	if len(got) != 2 || len(got[0]) != 2 || got[0][0] != "mu" || got[0][1] != "other" {
+		t.Errorf("Requires on f: got %v, want [mu other]", got[0])
+	}
+	if len(got[1]) != 0 {
+		t.Errorf("Requires on g: got %v, want none", got[1])
+	}
+}

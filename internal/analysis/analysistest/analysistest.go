@@ -1,0 +1,142 @@
+// Package analysistest runs a fewwvet analyzer over a seeded testdata
+// package and checks its findings against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the module's own
+// framework.  A testdata package lives in testdata/src/<name> beside the
+// analyzer's test, is invisible to the go tool (testdata directories are
+// never built), and type-checks against the real module packages through
+// the export-data importer, so seeded violations exercise the analyzer
+// on the genuine types (core.View, atomic.Pointer, server.Client, ...).
+//
+// Expectations are trailing comments of the form
+//
+//	x = bad() // want "regexp"
+//	y = worse() // want "first" "second"
+//
+// Each diagnostic the analyzer reports must match an unconsumed want
+// pattern on its line, and every want pattern must be consumed; either
+// mismatch fails the test with the full finding list.  Suppression via
+// //fewwvet:ignore is active, so a testdata file can also prove the
+// escape hatch works (a suppressed line simply carries no want).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"feww/internal/analysis"
+	"feww/internal/analysis/load"
+)
+
+// want is one expectation: a compiled pattern at a file line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads testdata/src/<pkg> (relative to the calling test's package
+// directory), applies the analyzer, and reports mismatches between its
+// findings and the package's // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	p, err := load.Dir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	wants := collectWants(t, p)
+	diags, err := analysis.Run(p, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	for _, d := range diags {
+		if !match(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("%s: unexpected finding: %s", pkg, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: no finding matched want %q", pkg, filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// match consumes the first unconsumed want on the diagnostic's line that
+// matches its message.
+func match(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != line {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts every // want expectation from the package's
+// comments.
+func collectWants(t *testing.T, p *load.Package) []*want {
+	t.Helper()
+	var wants []*want
+	addFile := func(f *ast.File) {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if !strings.HasPrefix(strings.TrimSpace(text), "want ") {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				specs := wantRE.FindAllStringSubmatch(text[idx:], -1)
+				if len(specs) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range specs {
+					re, err := regexp.Compile(unquote(m[1]))
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, f := range p.Files {
+		addFile(f)
+	}
+	return wants
+}
+
+// unquote undoes the \" escapes the want grammar allows inside patterns.
+func unquote(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) && s[i+1] == '"' {
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// Findings formats diagnostics for failure messages.
+func Findings(diags []analysis.Diagnostic) string {
+	var lines []string
+	for _, d := range diags {
+		lines = append(lines, fmt.Sprintf("  %s", d))
+	}
+	return strings.Join(lines, "\n")
+}

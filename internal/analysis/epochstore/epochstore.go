@@ -1,0 +1,215 @@
+// Package epochstore checks the single-writer publication protocol of
+// atomic.Pointer epoch fields (docs/ANALYSIS.md §epochstore).  The
+// runtime's published-view epochs (rtShard.view) rely on three rules the
+// type system cannot express:
+//
+//   - Only plain Store publishes.  Swap and CompareAndSwap imply
+//     multiple writers racing for the pointer; the epoch protocol has
+//     exactly one writer (the owning shard worker), whose read-modify-
+//     write of the epoch counter is only sound because nothing else can
+//     intervene.  Both are flagged unconditionally.
+//
+//   - Store publishes a freshly built value.  Re-storing a pointer that
+//     was ever shared (a previous Load, a field, a parameter) republishes
+//     memory some reader may hold, resurrecting the aliasing bugs the
+//     immutable-view design exists to prevent.  The argument must be a
+//     &T{...} literal, directly or through a local bound to one.
+//
+//   - Stores live beside the field.  The publication path is part of the
+//     field's definition: a Store in another file (or package) is a
+//     second writer path reviewers will not find.  The analyzer requires
+//     every Store of an atomic.Pointer field to sit in the file that
+//     declares the field.
+//
+// Loads are free — that is the point of the design — but a pointer
+// obtained from Load is read-only: assignments through it are flagged
+// (the generic half of viewimmut's view-specific rule, applied to every
+// atomic.Pointer pointee).
+package epochstore
+
+import (
+	"go/ast"
+	"go/types"
+
+	"feww/internal/analysis"
+)
+
+// Analyzer is the epochstore checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "epochstore",
+	Doc:  "enforces the single-writer fresh-value protocol on atomic.Pointer epoch fields",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.FuncDecls(func(fd *ast.FuncDecl) {
+		check(pass, fd)
+	})
+	return nil
+}
+
+// pointerField resolves the object a Store/Swap/CAS receiver denotes —
+// `sh.view` yields the `view` field object — when its type is an
+// atomic.Pointer instantiation.
+func pointerField(pass *analysis.Pass, recv ast.Expr) types.Object {
+	if !analysis.IsNamed(pass.TypesInfo.TypeOf(recv), "sync/atomic", "Pointer") {
+		return nil
+	}
+	switch e := recv.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return pass.TypesInfo.Uses[e.Sel]
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.ParenExpr:
+		return pointerField(pass, e.X)
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl) {
+	loaded := make(map[types.Object]bool) // locals holding Load results
+
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			recv, name := analysis.ReceiverOf(n)
+			if recv == nil {
+				return true
+			}
+			switch name {
+			case "Swap", "CompareAndSwap":
+				if pointerField(pass, recv) != nil {
+					pass.Reportf(n.Pos(),
+						"%s on atomic.Pointer %s: epoch pointers are single-writer; publish with Store of a fresh value from the owning path",
+						name, analysis.ExprString(recv))
+				}
+			case "Store":
+				obj := pointerField(pass, recv)
+				if obj == nil {
+					return true
+				}
+				checkLocality(pass, n, recv, obj)
+				if len(n.Args) == 1 && !freshPointer(pass, fd, n.Args[0]) {
+					pass.Reportf(n.Args[0].Pos(),
+						"Store of %s into atomic.Pointer %s: publish a freshly built &T{...}, never a shared or previously loaded pointer",
+						analysis.ExprString(n.Args[0]), analysis.ExprString(recv))
+				}
+			}
+		case *ast.AssignStmt:
+			// Track locals bound to Load results, and flag writes through
+			// them.
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if isPointerLoad(pass, n.Rhs[i]) {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							loaded[obj] = true
+						} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							loaded[obj] = true
+						}
+					}
+				}
+			}
+			for _, lhs := range n.Lhs {
+				flagWriteThroughLoad(pass, loaded, lhs)
+			}
+		case *ast.IncDecStmt:
+			flagWriteThroughLoad(pass, loaded, n.X)
+		}
+		return true
+	})
+}
+
+// checkLocality requires the Store to sit in the same file that declares
+// the pointer field.
+func checkLocality(pass *analysis.Pass, call *ast.CallExpr, recv ast.Expr, obj types.Object) {
+	if obj.Pkg() != pass.Pkg {
+		pass.Reportf(call.Pos(),
+			"Store of atomic.Pointer %s outside its declaring package %s: publication paths live beside the field",
+			analysis.ExprString(recv), obj.Pkg().Path())
+		return
+	}
+	declFile := pass.Fset.Position(obj.Pos()).Filename
+	storeFile := pass.Fset.Position(call.Pos()).Filename
+	if declFile != storeFile {
+		pass.Reportf(call.Pos(),
+			"Store of atomic.Pointer %s outside its declaring file %s: publication paths live beside the field",
+			analysis.ExprString(recv), declFile)
+	}
+}
+
+// isPointerLoad reports whether e is a Load() on an atomic.Pointer.
+func isPointerLoad(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	recv, name := analysis.ReceiverOf(call)
+	return name == "Load" && recv != nil && pointerField(pass, recv) != nil
+}
+
+// flagWriteThroughLoad reports assignments whose target path passes
+// through a local holding a Load result.
+func flagWriteThroughLoad(pass *analysis.Pass, loaded map[types.Object]bool, lhs ast.Expr) {
+	// Reassigning the local itself is fine; only paths through it write
+	// into the published pointee.
+	if _, isIdent := lhs.(*ast.Ident); isIdent {
+		return
+	}
+	root := analysis.RootIdent(lhs)
+	if root == nil {
+		return
+	}
+	if loaded[pass.TypesInfo.Uses[root]] {
+		pass.Reportf(lhs.Pos(),
+			"write through pointer loaded from an atomic.Pointer (%s); loaded values are read-only",
+			analysis.ExprString(lhs))
+	}
+}
+
+// freshPointer reports whether e is a freshly built &T{...} — directly,
+// or via a local every binding of which is one.
+func freshPointer(pass *analysis.Pass, fd *ast.FuncDecl, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		_, isLit := e.X.(*ast.CompositeLit)
+		return isLit
+	case *ast.ParenExpr:
+		return freshPointer(pass, fd, e.X)
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return false
+		}
+		found := false
+		ok := true
+		ast.Inspect(fd, func(n ast.Node) bool {
+			as, isAssign := n.(*ast.AssignStmt)
+			if !isAssign || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, isID := lhs.(*ast.Ident)
+				if !isID {
+					continue
+				}
+				if pass.TypesInfo.Defs[id] == obj || pass.TypesInfo.Uses[id] == obj {
+					found = true
+					if !freshPointer(pass, fd, as.Rhs[i]) {
+						ok = false
+					}
+				}
+			}
+			return true
+		})
+		return found && ok
+	default:
+		return false
+	}
+}

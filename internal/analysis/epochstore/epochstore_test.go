@@ -1,0 +1,12 @@
+package epochstore_test
+
+import (
+	"testing"
+
+	"feww/internal/analysis/analysistest"
+	"feww/internal/analysis/epochstore"
+)
+
+func TestEpochStore(t *testing.T) {
+	analysistest.Run(t, epochstore.Analyzer, "epochtest")
+}

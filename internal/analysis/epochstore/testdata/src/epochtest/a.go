@@ -1,0 +1,56 @@
+// Package epochtest seeds epochstore violations: non-Store publication,
+// republishing shared pointers, cross-file Stores, and writes through
+// loaded values.  The canonical publish idioms must pass unflagged.
+package epochtest
+
+import "sync/atomic"
+
+type payload struct {
+	n     int
+	items []int64
+}
+
+type shard struct {
+	view atomic.Pointer[payload]
+}
+
+// publish is the canonical single-writer idiom: Store of a fresh
+// literal, beside the field's declaration.
+func (s *shard) publish(n int) {
+	s.view.Store(&payload{n: n})
+}
+
+// publishVia builds the fresh value through a local first.
+func (s *shard) publishVia(n int) {
+	p := &payload{n: n}
+	p.items = append(p.items, int64(n))
+	s.view.Store(p)
+}
+
+// republish stores a pointer readers may already hold.
+func (s *shard) republish() {
+	p := s.view.Load()
+	s.view.Store(p) // want "freshly built"
+}
+
+// swap implies a second writer racing for the pointer.
+func (s *shard) swap(p *payload) *payload {
+	return s.view.Swap(p) // want "single-writer"
+}
+
+// cas likewise.
+func (s *shard) cas(old, next *payload) bool {
+	return s.view.CompareAndSwap(old, next) // want "single-writer"
+}
+
+// readThenWrite mutates the published pointee.
+func (s *shard) readThenWrite() {
+	p := s.view.Load()
+	p.n = 1 // want "read-only"
+}
+
+// readOnly is the whole point of the design: loads are free.
+func (s *shard) readOnly() int {
+	p := s.view.Load()
+	return p.n + len(p.items)
+}

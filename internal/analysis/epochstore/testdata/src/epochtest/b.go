@@ -1,0 +1,18 @@
+package epochtest
+
+import "sync/atomic"
+
+// crossFile stores into a field declared in a.go: a second publication
+// path reviewers will not find next to the field.
+func crossFile(s *shard) {
+	s.view.Store(&payload{}) // want "declaring file"
+}
+
+type local struct {
+	cur atomic.Pointer[payload]
+}
+
+// set stores beside its own field's declaration — clean.
+func (l *local) set() {
+	l.cur.Store(&payload{})
+}

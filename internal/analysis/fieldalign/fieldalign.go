@@ -1,0 +1,161 @@
+// Package fieldalign reports struct types whose fields could be
+// reordered to occupy less memory (docs/ANALYSIS.md §fieldalign).  The
+// hot-path structs — the shard's per-edge records, the reservoir slots,
+// the published view — are allocated in bulk, so padding wasted per
+// value multiplies by millions of elements; PR 6's profiling showed the
+// batch buffers dominated by element size.  The analyzer computes the gc
+// layout of every struct declared in the package and, when sorting the
+// fields largest-alignment-first would shrink the struct, reports the
+// current and achievable sizes with a suggested order.
+//
+// The check is advisory and opt-in (fewwvet -run fieldalign): field
+// order can be part of an API (struct literals without keys, cgo,
+// serialization) and reordering is a human decision.  Generic structs
+// whose layout depends on a type parameter are skipped — there is no
+// single answer to report.
+package fieldalign
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"feww/internal/analysis"
+)
+
+// Analyzer is the fieldalign checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "fieldalign",
+	Doc:  "reports struct field orderings that waste padding (advisory, opt-in)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := pass.TypesInfo.TypeOf(ts.Type).(*types.Struct)
+			if !ok {
+				return true
+			}
+			checkStruct(pass, ts, st)
+			return true
+		})
+	}
+	return nil
+}
+
+// sizable reports whether every field of st has a layout the target's
+// Sizes can compute — false for fields involving type parameters.
+func sizable(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if dependsOnTypeParam(st.Field(i).Type(), make(map[types.Type]bool)) {
+			return false
+		}
+	}
+	return true
+}
+
+func dependsOnTypeParam(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.TypeParam:
+		return true
+	case *types.Array:
+		return dependsOnTypeParam(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if dependsOnTypeParam(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+		return false
+	case *types.Named:
+		if t.TypeArgs() != nil {
+			for i := 0; i < t.TypeArgs().Len(); i++ {
+				if dependsOnTypeParam(t.TypeArgs().At(i), seen) {
+					return true
+				}
+			}
+		}
+		return dependsOnTypeParam(t.Underlying(), seen)
+	case *types.Alias:
+		return dependsOnTypeParam(types.Unalias(t), seen)
+	}
+	return false
+}
+
+// layoutSize computes the gc size of a struct with fields in the given
+// order, including trailing padding to the struct's alignment.
+func layoutSize(sizes types.Sizes, fields []*types.Var) int64 {
+	var off, maxAlign int64 = 0, 1
+	for _, f := range fields {
+		a := sizes.Alignof(f.Type())
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = roundUp(off, a)
+		off += sizes.Sizeof(f.Type())
+	}
+	return roundUp(off, maxAlign)
+}
+
+func roundUp(x, a int64) int64 {
+	if a <= 0 {
+		return x
+	}
+	return (x + a - 1) / a * a
+}
+
+// optimalOrder returns the fields sorted to minimize padding: descending
+// alignment, then descending size, then declaration order for stability.
+func optimalOrder(sizes types.Sizes, fields []*types.Var) []*types.Var {
+	idx := make(map[*types.Var]int, len(fields))
+	for i, f := range fields {
+		idx[f] = i
+	}
+	out := append([]*types.Var(nil), fields...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ai, aj := sizes.Alignof(out[i].Type()), sizes.Alignof(out[j].Type())
+		if ai != aj {
+			return ai > aj
+		}
+		si, sj := sizes.Sizeof(out[i].Type()), sizes.Sizeof(out[j].Type())
+		if si != sj {
+			return si > sj
+		}
+		return idx[out[i]] < idx[out[j]]
+	})
+	return out
+}
+
+func checkStruct(pass *analysis.Pass, ts *ast.TypeSpec, st *types.Struct) {
+	if st.NumFields() < 2 || !sizable(st) {
+		return
+	}
+	sizes := pass.TypesSizes
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	cur := layoutSize(sizes, fields)
+	best := optimalOrder(sizes, fields)
+	opt := layoutSize(sizes, best)
+	if opt >= cur {
+		return
+	}
+	names := make([]string, len(best))
+	for i, f := range best {
+		names[i] = f.Name()
+	}
+	pass.Reportf(ts.Pos(),
+		"struct %s is %d bytes; reordering fields to [%s] would make it %d",
+		ts.Name.Name, cur, strings.Join(names, ", "), opt)
+}

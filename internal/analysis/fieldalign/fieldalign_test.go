@@ -1,0 +1,12 @@
+package fieldalign_test
+
+import (
+	"testing"
+
+	"feww/internal/analysis/analysistest"
+	"feww/internal/analysis/fieldalign"
+)
+
+func TestFieldAlign(t *testing.T) {
+	analysistest.Run(t, fieldalign.Analyzer, "aligntest")
+}

@@ -1,0 +1,27 @@
+// Package aligntest seeds fieldalign cases: a padded struct that can
+// shrink, an already-optimal layout, and a generic struct whose layout
+// depends on a type parameter (skipped).
+package aligntest
+
+type padded struct { // want "reordering fields"
+	a bool
+	b int64
+	c bool
+}
+
+type tight struct {
+	b int64
+	a bool
+	c bool
+}
+
+type generic[T any] struct {
+	v    T
+	flag bool
+}
+
+var (
+	_ = padded{}
+	_ = tight{}
+	_ = generic[int]{}
+)

@@ -1,0 +1,257 @@
+// Package load type-checks the module's packages from source using only
+// the standard library, so the fewwvet analyzers (internal/analysis) can
+// run without golang.org/x/tools.  It is a miniature go/packages: one
+// `go list -export -deps -json` invocation discovers the package graph
+// and builds export data for every dependency into the build cache, the
+// listed targets are parsed and type-checked from source, and imports
+// resolve through the gc export-data importer — exactly how `go vet`
+// units see the world.  Dir loads a single directory the go tool ignores
+// (an analysistest testdata package) through the same importer, so
+// seeded-violation packages type-check against the real module types.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package: the parsed files plus the
+// go/types artifacts an analyzer pass consumes.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	Sizes      types.Sizes
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+}
+
+// loader is the shared process-wide state: the module root, the export
+// file index, and the importer cache.  All fewwvet analyzers and all
+// analysistest runs in one process share it, so export data is located
+// once per import path.
+type loader struct {
+	mu      sync.Mutex
+	root    string            // module root (directory of go.mod)
+	exports map[string]string // import path -> export data file
+	fset    *token.FileSet
+	imp     types.Importer
+	sizes   types.Sizes
+}
+
+var shared = &loader{
+	exports: make(map[string]string),
+	fset:    token.NewFileSet(),
+	sizes:   types.SizesFor("gc", runtime.GOARCH),
+}
+
+func init() {
+	shared.imp = importer.ForCompiler(shared.fset, "gc", shared.lookup)
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func (l *loader) moduleRoot() (string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.root != "" {
+		return l.root, nil
+	}
+	root, err := moduleRoot(".")
+	if err != nil {
+		return "", err
+	}
+	l.root = root
+	return root, nil
+}
+
+// goList runs `go list -export -json` with the given arguments in dir and
+// decodes the concatenated JSON package objects.
+func goList(dir string, args ...string) ([]*listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list", "-export", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var entries []*listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		e := new(listEntry)
+		if err := dec.Decode(e); err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+func (l *loader) record(entries []*listEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range entries {
+		if e.Export != "" {
+			l.exports[e.ImportPath] = e.Export
+		}
+	}
+}
+
+// lookup locates export data for one import path, invoking `go list` for
+// paths outside the graphs already indexed (a testdata-only import).  It
+// is the gc importer's resolver; returning an error surfaces as a type
+// error in the importing package.
+func (l *loader) lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	file, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok {
+		root, err := l.moduleRoot()
+		if err != nil {
+			return nil, err
+		}
+		entries, err := goList(root, path)
+		if err != nil {
+			return nil, fmt.Errorf("load: no export data for %q: %v", path, err)
+		}
+		l.record(entries)
+		l.mu.Lock()
+		file, ok = l.exports[path]
+		l.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("load: go list found no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// check parses files and type-checks them as one package.
+func (l *loader) check(importPath, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l.imp, Sizes: l.sizes}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		Sizes:      l.sizes,
+	}, nil
+}
+
+// Packages loads, parses, and type-checks the packages matched by the go
+// package patterns (e.g. "./..."), resolved relative to the current
+// directory exactly as the go tool would.  Dependencies — including the
+// module's own packages when imported — come from gc export data, which
+// the single `go list -export -deps` invocation builds as a side effect.
+func Packages(patterns ...string) ([]*Package, error) {
+	entries, err := goList(".", append([]string{"-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	shared.record(entries)
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.DepOnly || e.Standard || len(e.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := shared.check(e.ImportPath, e.Dir, e.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Dir loads the single package rooted at dir — a directory the go tool
+// does not see, such as an analysistest testdata package.  Every .go file
+// in the directory is included; imports resolve through the shared
+// export-data importer, so testdata may import the module's real
+// packages.  The synthetic import path is "testdata/" plus the directory
+// base name.
+func Dir(dir string) (*Package, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".go") {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	return shared.check("testdata/"+filepath.Base(dir), dir, names)
+}

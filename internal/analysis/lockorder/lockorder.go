@@ -1,0 +1,210 @@
+// Package lockorder enforces declared lock-before-call orderings
+// (docs/ANALYSIS.md §lockorder).  A method that must only run under a
+// lock declares it in its doc comment:
+//
+//	//fewwvet:requires ingestMu
+//	func (gr *group) ingestTargets() []*replica { ... }
+//
+// and the analyzer requires every call site to acquire that lock on the
+// same receiver — `gr.ingestMu.Lock()` or `.RLock()` — textually before
+// the call inside the enclosing function, with no non-deferred release
+// in between.  This is the mechanical form of the PR 7 review fix: the
+// cluster's ingest paths must take the group's shared ingest lock
+// *before* selecting fan-out targets and hold it across the replica
+// responses, or an exclusive-lock re-seed can revive a replica between
+// target selection and the request and silently miss in-flight windows
+// (the classic TOCTOU).  The analyzer proves the acquire-before-select
+// half on every path that exists in the source; that the lock spans the
+// responses remains a review obligation, documented at the declaration.
+//
+// The check is intra-package and textual about receivers: acquisition
+// and call must spell the receiver the same way (`gr`, `gi.gr`).  An
+// aliased receiver (`x := gi.gr; ... x.ingestTargets()` locked through
+// `gi.gr`) is a false positive — rewrite to one spelling, or suppress
+// with //fewwvet:ignore and a reason.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"feww/internal/analysis"
+)
+
+// Analyzer is the lockorder checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "requires //fewwvet:requires locks to be held on the path to every call site",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	required := collectRequirements(pass)
+	if len(required) == 0 {
+		return nil
+	}
+	pass.FuncDecls(func(fd *ast.FuncDecl) {
+		checkCalls(pass, fd, required)
+	})
+	return nil
+}
+
+// collectRequirements maps declared functions to their required lock
+// field names, validating that the receiver type actually has the field.
+func collectRequirements(pass *analysis.Pass) map[*types.Func][]string {
+	out := make(map[*types.Func][]string)
+	pass.FuncDecls(func(fd *ast.FuncDecl) {
+		locks := analysis.Requires(fd)
+		if len(locks) == 0 {
+			return
+		}
+		fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if fn == nil {
+			return
+		}
+		if recv := fn.Signature().Recv(); recv != nil {
+			for _, lock := range locks {
+				if !hasField(recv.Type(), lock) {
+					pass.Reportf(fd.Pos(),
+						"//fewwvet:requires %s: receiver type %s has no such field",
+						lock, recv.Type())
+				}
+			}
+		}
+		out[fn] = locks
+	})
+	return out
+}
+
+// hasField reports whether the (possibly pointer) struct type has a
+// field with the given name.
+func hasField(t types.Type, name string) bool {
+	n := analysis.Named(t)
+	if n == nil {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCalls verifies every call to a lock-requiring function inside fd.
+func checkCalls(pass *analysis.Pass, fd *ast.FuncDecl, required map[*types.Func][]string) {
+	self, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	deferredReleases := deferredNodes(fd)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(pass, call)
+		locks, ok := required[callee]
+		if !ok || callee == self {
+			return true
+		}
+		recv, _ := analysis.ReceiverOf(call)
+		base := ""
+		if recv != nil {
+			base = analysis.ExprString(recv)
+		}
+		for _, lock := range locks {
+			if !heldAt(pass, fd, base, lock, call.Pos(), deferredReleases) {
+				target := lock
+				if base != "" {
+					target = base + "." + lock
+				}
+				pass.Reportf(call.Pos(),
+					"call to %s without %s held on the path (acquire %s.Lock or .RLock before selecting targets; see //fewwvet:requires on the declaration)",
+					callee.Name(), target, target)
+			}
+		}
+		return true
+	})
+}
+
+// heldAt reports whether some acquisition of base.lock precedes pos in
+// fd with no non-deferred release in between.
+func heldAt(pass *analysis.Pass, fd *ast.FuncDecl, base, lock string, pos token.Pos, deferred map[ast.Node]bool) bool {
+	want := lock
+	if base != "" {
+		want = base + "." + lock
+	}
+	var acquisitions, releases []int
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name := analysis.ReceiverOf(call)
+		if recv == nil || analysis.ExprString(recv) != want {
+			return true
+		}
+		switch name {
+		case "Lock", "RLock":
+			acquisitions = append(acquisitions, int(call.Pos()))
+		case "Unlock", "RUnlock":
+			if !deferred[call] {
+				releases = append(releases, int(call.Pos()))
+			}
+		}
+		return true
+	})
+	p := int(pos)
+	for _, a := range acquisitions {
+		if a >= p {
+			continue
+		}
+		held := true
+		for _, r := range releases {
+			if a < r && r < p {
+				held = false
+				break
+			}
+		}
+		if held {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeOf resolves the called function object, if any.
+func calleeOf(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// deferredNodes marks nodes inside defer statements, so deferred
+// Unlocks (which run at exit) do not count as releases on the path.
+func deferredNodes(fd *ast.FuncDecl) map[ast.Node]bool {
+	marked := make(map[ast.Node]bool)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(d.Call, func(m ast.Node) bool {
+			if m != nil {
+				marked[m] = true
+			}
+			return true
+		})
+		return true
+	})
+	return marked
+}

@@ -1,0 +1,64 @@
+// Package locktest seeds lockorder violations against a miniature
+// replica group: calls to a //fewwvet:requires method without the lock,
+// a release before the call, and a misdeclared requirement.  Locked
+// callers (shared or exclusive, with deferred releases) must pass.
+package locktest
+
+import "sync"
+
+type group struct {
+	mu   sync.RWMutex
+	reps []int
+}
+
+// targets mirrors the cluster's ingestTargets contract.
+//
+//fewwvet:requires mu
+func (g *group) targets() []int {
+	return g.reps
+}
+
+// lockedShared is the canonical caller: RLock before selection, held
+// across use, deferred release.
+func lockedShared(g *group) []int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.targets()
+}
+
+// lockedExclusive also satisfies the contract.
+func lockedExclusive(g *group) []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.targets()
+}
+
+// unlocked never takes the lock.
+func unlocked(g *group) []int {
+	return g.targets() // want "without g.mu held"
+}
+
+// releasedTooEarly drops the lock before selecting.
+func releasedTooEarly(g *group) []int {
+	g.mu.RLock()
+	g.mu.RUnlock()
+	return g.targets() // want "without g.mu held"
+}
+
+// aliased spells the receiver differently from the acquisition; the
+// analyzer is textual, so this needs (and demonstrates) the escape
+// hatch.
+func aliased(g *group) []int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	h := g
+	//fewwvet:ignore lockorder h aliases g, which is read-locked above
+	return h.targets()
+}
+
+type bare struct{ n int }
+
+// misdeclared requirements are themselves findings.
+//
+//fewwvet:requires lock
+func (b *bare) touch() { b.n++ } // want "no such field"

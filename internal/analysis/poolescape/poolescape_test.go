@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"feww/internal/analysis/analysistest"
+	"feww/internal/analysis/poolescape"
+)
+
+func TestPoolEscape(t *testing.T) {
+	analysistest.Run(t, poolescape.Analyzer, "pooltest")
+}

@@ -1,0 +1,77 @@
+// Package pooltest seeds poolescape violations: use after Put, double
+// Put, and escape to package state.  The PR 6 idioms — get-wrappers,
+// put-wrappers, the deferred reset-and-Put, rebinding after Put — must
+// pass unflagged.
+package pooltest
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1024)
+	return &b
+}}
+
+var sticky *[]byte
+
+// newBuf is the get-wrapper idiom: returning the pooled buffer hands
+// ownership to the caller.
+func newBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// putBuf is the put-wrapper idiom: reset, then return to the pool.
+func putBuf(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// escape parks a pooled buffer in package state: a second long-lived
+// owner.
+func escape() {
+	sticky = bufPool.Get().(*[]byte) // want "package-level"
+}
+
+// useAfterPut reads a buffer whose ownership already ended.
+func useAfterPut() int {
+	buf := bufPool.Get().(*[]byte)
+	bufPool.Put(buf)
+	return len(*buf) // want "used after Put"
+}
+
+// wrapperUseAfter: a put-wrapper call kills the buffer just like Put.
+func wrapperUseAfter() int {
+	buf := newBuf()
+	putBuf(buf)
+	return len(*buf) // want "used after Put"
+}
+
+// doublePut returns the same buffer twice.
+func doublePut() {
+	buf := bufPool.Get().(*[]byte)
+	bufPool.Put(buf)
+	bufPool.Put(buf) // want "double Put"
+}
+
+// deferred is the canonical reset-and-Put at function exit; every
+// textual use precedes the dynamic Put.
+func deferred() int {
+	buf := newBuf()
+	defer func() {
+		*buf = (*buf)[:0]
+		bufPool.Put(buf)
+	}()
+	*buf = append(*buf, 1)
+	return len(*buf)
+}
+
+// rebound: a fresh Get after the Put starts a new ownership window.
+func rebound() int {
+	buf := bufPool.Get().(*[]byte)
+	bufPool.Put(buf)
+	buf = bufPool.Get().(*[]byte)
+	n := len(*buf)
+	bufPool.Put(buf)
+	return n
+}

@@ -1,0 +1,179 @@
+// Package retrysafe checks the client retry policy around the /ingest
+// family (docs/ANALYSIS.md §retrysafe).  server.Client retries a request
+// once on connection refused (nothing reached the server) and — only for
+// idempotent requests — on connection reset, which can strike after the
+// server applied part of the request.  Replaying /ingest after a reset
+// double-applies updates, and with replicated ranges would silently
+// diverge the copies; PR 4 established and PR 7's fault harness proved
+// the /ingest-never-reset-retries contract.  The analyzer keeps it true
+// structurally:
+//
+//   - a call that passes a path containing "/ingest" to any function
+//     with a bool parameter named "idempotent" must pass the literal
+//     false for it (the Client.do plumbing, and any future mirror of it);
+//
+//   - reset-retry decisions stay centralized: errors.Is(err,
+//     syscall.ECONNRESET) anywhere outside a function named "retryable"
+//     is flagged — scattered reset checks are how an /ingest replay
+//     sneaks in;
+//
+//   - outside package feww/server, raw net/http requests built against a
+//     "/ingest" URL (http.Post, http.NewRequest, ...) are flagged: the
+//     gateway and tools must reach /ingest through server.Client, where
+//     the no-reset-retry policy lives.  (Tests are not analyzed, so the
+//     fault-injection harness's raw requests are unaffected.)
+package retrysafe
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"feww/internal/analysis"
+)
+
+// Analyzer is the retrysafe checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "retrysafe",
+	Doc:  "keeps the /ingest family out of the connection-reset retry path",
+	Run:  run,
+}
+
+const serverPath = "feww/server"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		var enclosing []*ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				enclosing = append(enclosing, n)
+			case *ast.CallExpr:
+				checkIdempotentArg(pass, n)
+				checkResetCheck(pass, n, current(enclosing))
+				checkRawIngest(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func current(stack []*ast.FuncDecl) *ast.FuncDecl {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// stringConst returns the constant string value of e, if it has one.
+func stringConst(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// checkIdempotentArg flags calls that mark an /ingest-family request
+// idempotent.
+func checkIdempotentArg(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeOf(pass, call)
+	if fn == nil {
+		return
+	}
+	sig := fn.Signature()
+	idx := -1
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if p.Name() == "idempotent" {
+			if b, ok := p.Type().Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+				idx = i
+			}
+			break
+		}
+	}
+	if idx < 0 || idx >= len(call.Args) {
+		return
+	}
+	ingest := false
+	for i, arg := range call.Args {
+		if i == idx {
+			continue
+		}
+		if s, ok := stringConst(pass, arg); ok && strings.Contains(s, "/ingest") {
+			ingest = true
+			break
+		}
+	}
+	if !ingest {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[idx]]
+	if ok && tv.Value != nil && tv.Value.Kind() == constant.Bool && !constant.BoolVal(tv.Value) {
+		return
+	}
+	pass.Reportf(call.Args[idx].Pos(),
+		"/ingest request marked idempotent: a conn-reset retry could double-apply updates; pass false (PR 4 contract)")
+}
+
+// checkResetCheck flags decentralized ECONNRESET retry decisions.
+func checkResetCheck(pass *analysis.Pass, call *ast.CallExpr, fd *ast.FuncDecl) {
+	fn := calleeOf(pass, call)
+	if fn == nil || fn.Name() != "Is" || fn.Pkg() == nil || fn.Pkg().Path() != "errors" {
+		return
+	}
+	if len(call.Args) != 2 {
+		return
+	}
+	sel, ok := call.Args[1].(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "syscall" || obj.Name() != "ECONNRESET" {
+		return
+	}
+	if fd != nil && fd.Name.Name == "retryable" {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"conn-reset check outside retryable(): reset-retry decisions are centralized so the /ingest family can never replay")
+}
+
+// rawHTTPFuncs are the net/http request constructors the raw-ingest rule
+// watches.
+var rawHTTPFuncs = map[string]bool{"Post": true, "PostForm": true, "NewRequest": true, "NewRequestWithContext": true, "Get": true}
+
+// checkRawIngest flags raw net/http requests aimed at /ingest outside
+// the server package.
+func checkRawIngest(pass *analysis.Pass, call *ast.CallExpr) {
+	if pass.Pkg.Path() == serverPath {
+		return
+	}
+	fn := calleeOf(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" || !rawHTTPFuncs[fn.Name()] {
+		return
+	}
+	for _, arg := range call.Args {
+		if s, ok := stringConst(pass, arg); ok && strings.Contains(s, "/ingest") {
+			pass.Reportf(call.Pos(),
+				"raw net/http request to the /ingest family; go through server.Client so the no-reset-retry policy applies")
+			return
+		}
+	}
+}
+
+// calleeOf resolves the called function object, if any.
+func calleeOf(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

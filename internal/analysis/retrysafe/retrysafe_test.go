@@ -1,0 +1,12 @@
+package retrysafe_test
+
+import (
+	"testing"
+
+	"feww/internal/analysis/analysistest"
+	"feww/internal/analysis/retrysafe"
+)
+
+func TestRetrySafe(t *testing.T) {
+	analysistest.Run(t, retrysafe.Analyzer, "retrytest")
+}

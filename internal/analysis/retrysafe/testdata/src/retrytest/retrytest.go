@@ -1,0 +1,64 @@
+// Package retrytest seeds retrysafe violations: /ingest requests marked
+// idempotent, scattered conn-reset checks, and raw net/http requests to
+// the ingest family.  The legal shapes — false for /ingest, true for
+// genuinely idempotent endpoints, the reset check inside retryable —
+// must pass unflagged.
+package retrytest
+
+import (
+	"errors"
+	"net/http"
+	"syscall"
+)
+
+type client struct{}
+
+// do mirrors server.Client's request plumbing.
+func (c *client) do(method, path string, idempotent bool) error {
+	_ = method
+	_ = path
+	_ = idempotent
+	return nil
+}
+
+func sendRequests(c *client) {
+	_ = c.do("POST", "/ingest", false)
+	_ = c.do("POST", "/ingest/stream", false)
+	_ = c.do("POST", "/checkpoint", true)
+	_ = c.do("POST", "/ingest", true) // want "marked idempotent"
+}
+
+// dynamicIdempotent: a non-constant flag on an /ingest path cannot be
+// proven safe, so it is flagged too.
+func dynamicIdempotent(c *client, retry bool) {
+	_ = c.do("POST", "/ingest", retry) // want "marked idempotent"
+}
+
+// retryable is the one place reset-retry policy may live.
+func retryable(err error, idempotent bool) bool {
+	if errors.Is(err, syscall.ECONNREFUSED) {
+		return true
+	}
+	return idempotent && errors.Is(err, syscall.ECONNRESET)
+}
+
+// scattered re-derives the reset decision away from the policy point.
+func scattered(err error) bool {
+	return errors.Is(err, syscall.ECONNRESET) // want "outside retryable"
+}
+
+// rawIngest bypasses server.Client entirely.
+func rawIngest() {
+	resp, err := http.Post("http://node0/ingest", "application/octet-stream", nil) // want "raw net/http"
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// rawOther: non-ingest endpoints may use net/http freely.
+func rawOther() {
+	resp, err := http.Get("http://node0/stats")
+	if err == nil {
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,107 @@
+// Package viewtest seeds viewimmut violations against the real
+// core.View types: aliasing live buffers into views, and writing through
+// loaded views.  Clean idioms (make+copy, call results, elements of
+// fresh slices, scalar writes on copies) must pass unflagged.
+package viewtest
+
+import (
+	"sync/atomic"
+
+	"feww/internal/core"
+)
+
+type cand struct {
+	a         int64
+	witnesses []int64
+}
+
+type rt struct {
+	res  []cand
+	best core.Neighbourhood
+}
+
+// aliasWitnesses hands a live reservoir buffer to a view.
+func aliasWitnesses(c *cand) core.Neighbourhood {
+	return core.Neighbourhood{A: c.a, Witnesses: c.witnesses} // want "aliases live memory"
+}
+
+// aliasBest assigns a live field into a view's Best.
+func aliasBest(r *rt) core.View {
+	var v core.View
+	v.Best = r.best // want "aliases live memory"
+	v.BestOK = true
+	return v
+}
+
+// aliasViaLocal launders the alias through a local binding.
+func aliasViaLocal(c *cand) core.Neighbourhood {
+	w := c.witnesses
+	return core.Neighbourhood{A: c.a, Witnesses: w} // want "aliases live memory"
+}
+
+// deepCopy is the canonical clean idiom: make+copy owns the memory.
+func deepCopy(c *cand) core.Neighbourhood {
+	w := make([]int64, len(c.witnesses))
+	copy(w, c.witnesses)
+	return core.Neighbourhood{A: c.a, Witnesses: w}
+}
+
+// expose mirrors core's deep-copying accessor.
+func expose(c *cand) core.Neighbourhood {
+	return deepCopy(c)
+}
+
+// fromCalls builds a view from call results and elements of fresh
+// slices — all caller-owned, none flagged.
+func fromCalls(r *rt) core.View {
+	results := collect(r)
+	var v core.View
+	v.Results = results
+	v.Best = results[0]
+	v.BestOK = true
+	return v
+}
+
+func collect(r *rt) []core.Neighbourhood {
+	out := make([]core.Neighbourhood, 0, len(r.res))
+	for i := range r.res {
+		out = append(out, expose(&r.res[i]))
+	}
+	return out
+}
+
+// suppressed shows the escape hatch: a deliberate alias with a reason.
+func suppressed(r *rt) core.Neighbourhood {
+	//fewwvet:ignore viewimmut buffer is retired after the final window, never recycled
+	return core.Neighbourhood{A: r.res[0].a, Witnesses: r.res[0].witnesses}
+}
+
+type published struct {
+	view core.View
+}
+
+type shard struct {
+	p atomic.Pointer[published]
+}
+
+// readView only reads through the loaded pointer.
+func readView(s *shard) int64 {
+	v := s.p.Load()
+	return v.view.Best.A
+}
+
+// writeThroughLoad mutates the published pointee.
+func writeThroughLoad(s *shard) {
+	v := s.p.Load()
+	v.view.Rung = 3 // want "write through published view pointer"
+}
+
+// shallowCopyWrites: scalar writes on a copied value detach nothing and
+// pass; writes through the copy's shared backing array are flagged.
+func shallowCopyWrites(s *shard) int64 {
+	v := s.p.Load()
+	nb := v.view.Best
+	nb.A = 7
+	nb.Witnesses[0] = 9 // want "shares its backing array"
+	return nb.A
+}

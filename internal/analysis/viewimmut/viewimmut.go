@@ -1,0 +1,388 @@
+// Package viewimmut checks the published-view immutability contract
+// (docs/ANALYSIS.md §viewimmut): everything reachable from a core.View
+// shares no memory with live algorithm state, and nothing reachable from
+// a published view is ever written again.
+//
+// The contract has two failure modes, both seen in past PRs:
+//
+//   - Aliasing live buffers into a view.  DegRes recycles evicted witness
+//     buffers in place (see core.Process), so View/Neighbourhood fields
+//     must be built from deep copies — `Witnesses: cand.witnesses` would
+//     be silently rewritten by later stream elements (the PR 6 class).
+//     The analyzer flags View.Best / View.Results / Neighbourhood.Witnesses
+//     values that alias existing memory: field selectors, indexings and
+//     slicings of them, and locals bound to any of those.  Call results,
+//     fresh composites, make+copy locals, and elements of fresh slices
+//     pass.
+//
+//   - Writing through a loaded view.  Any goroutine may hold a pointer
+//     obtained from an atomic.Pointer Load; writes through it (or through
+//     slices reached from it) tear views out from under readers.  The
+//     analyzer taints Load results of atomic.Pointer types carrying a
+//     core.View, and flags assignments through the pointer — and, for
+//     struct values copied out of a tainted view, assignments that reach
+//     through a slice or map element (a copied Neighbourhood still shares
+//     its Witnesses backing array; writing nb.A detaches nothing needs, but
+//     writing nb.Witnesses[i] rewrites the published data).
+//
+// The analysis is per-function and does not follow values across calls;
+// the clean idioms (core.View's expose/copy discipline, the runtime's
+// read-only epoch loads) pass without annotations.
+package viewimmut
+
+import (
+	"go/ast"
+	"go/types"
+
+	"feww/internal/analysis"
+)
+
+const corePath = "feww/internal/core"
+
+// Analyzer is the viewimmut checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "viewimmut",
+	Doc:  "flags live buffers aliased into core.View/Neighbourhood and writes through published views",
+	Run:  run,
+}
+
+// invariantFields names the deep-copy-only fields per type.
+var invariantFields = map[string]map[string]bool{
+	"View":          {"Best": true, "Results": true},
+	"Neighbourhood": {"Witnesses": true},
+}
+
+func run(pass *analysis.Pass) error {
+	pass.FuncDecls(func(fd *ast.FuncDecl) {
+		checkAliasing(pass, fd)
+		checkLoadWrites(pass, fd)
+	})
+	return nil
+}
+
+// viewTypeName returns "View" or "Neighbourhood" when t is that core
+// type (behind pointers/aliases), else "".
+func viewTypeName(t types.Type) string {
+	for _, name := range []string{"View", "Neighbourhood"} {
+		if analysis.IsNamed(t, corePath, name) {
+			return name
+		}
+	}
+	return ""
+}
+
+// checkAliasing flags invariant fields built from aliasing expressions,
+// in composite literals and in direct field assignments.
+func checkAliasing(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			tn := viewTypeName(pass.TypesInfo.TypeOf(n))
+			if tn == "" {
+				return true
+			}
+			fields := invariantFields[tn]
+			st, ok := pass.TypesInfo.TypeOf(n).Underlying().(*types.Struct)
+			for i, elt := range n.Elts {
+				var name string
+				var value ast.Expr
+				if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+					if id, isID := kv.Key.(*ast.Ident); isID {
+						name, value = id.Name, kv.Value
+					}
+				} else if ok && i < st.NumFields() {
+					name, value = st.Field(i).Name(), elt
+				}
+				if fields[name] && !fresh(pass, fd, value) {
+					pass.Reportf(value.Pos(),
+						"%s.%s aliases live memory (%s); deep-copy before building a view",
+						tn, name, analysis.ExprString(value))
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					continue
+				}
+				tn := viewTypeName(pass.TypesInfo.TypeOf(sel.X))
+				if tn == "" || !invariantFields[tn][sel.Sel.Name] {
+					continue
+				}
+				// Multi-value RHS (a call) is fresh by definition.
+				if len(n.Rhs) != len(n.Lhs) {
+					continue
+				}
+				if !fresh(pass, fd, n.Rhs[i]) {
+					pass.Reportf(n.Rhs[i].Pos(),
+						"%s.%s aliases live memory (%s); deep-copy before building a view",
+						tn, sel.Sel.Name, analysis.ExprString(n.Rhs[i]))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// fresh reports whether e plausibly owns its memory: a call result, a
+// composite literal, nil, or a local whose every binding in fd is fresh.
+// Selectors, index expressions, and slicings of non-fresh values alias
+// existing objects.  Parameters and captured variables are treated as
+// fresh — their provenance is the caller's concern — so the analysis
+// stays precise on the real bug class: aliasing another object's field.
+func fresh(pass *analysis.Pass, fd *ast.FuncDecl, e ast.Expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return true
+	case *ast.CallExpr, *ast.CompositeLit, *ast.BasicLit, *ast.FuncLit:
+		return true
+	case *ast.UnaryExpr:
+		return fresh(pass, fd, e.X)
+	case *ast.ParenExpr:
+		return fresh(pass, fd, e.X)
+	case *ast.SliceExpr:
+		return fresh(pass, fd, e.X)
+	case *ast.IndexExpr:
+		// An element of a fresh slice is as caller-owned as the slice:
+		// results[0] where results came from a deep-copying call.
+		return fresh(pass, fd, e.X)
+	case *ast.SelectorExpr:
+		// Selecting through a package name is not field aliasing.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+				return true
+			}
+		}
+		return false
+	case *ast.StarExpr:
+		return false
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return true
+		}
+		bindings := bindingsOf(pass, fd, obj)
+		if len(bindings) == 0 {
+			return true // parameter, captured, or package-level: caller's concern
+		}
+		for _, b := range bindings {
+			if !fresh(pass, fd, b) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// bindingsOf collects every expression assigned to obj inside fd.  A
+// multi-value binding (x, err := f()) counts as fresh and contributes no
+// expression.
+func bindingsOf(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object) []ast.Expr {
+	var out []ast.Expr
+	ast.Inspect(fd, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if pass.TypesInfo.Defs[id] == obj || pass.TypesInfo.Uses[id] == obj {
+				out = append(out, as.Rhs[i])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// taint levels for load-derived values.
+const (
+	taintPtr     = 1 // pointer into a published view: no writes at all
+	taintShallow = 2 // struct copied out of one: no writes through slices
+)
+
+// checkLoadWrites implements the mutation-after-Load half.
+func checkLoadWrites(pass *analysis.Pass, fd *ast.FuncDecl) {
+	taint := make(map[types.Object]int)
+
+	// isLoad reports whether e is a Load() call on an atomic.Pointer
+	// whose pointee carries a core.View.
+	isLoad := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		recv, name := analysis.ReceiverOf(call)
+		if name != "Load" || recv == nil {
+			return false
+		}
+		t := pass.TypesInfo.TypeOf(recv)
+		if !analysis.IsNamed(t, "sync/atomic", "Pointer") {
+			return false
+		}
+		return carriesView(pass.TypesInfo.TypeOf(call))
+	}
+
+	// rootedInTaint returns the taint level of the value e derives from
+	// (walking selectors/indexes/derefs down to a tainted object or Load
+	// call), or 0.
+	var rootedInTaint func(e ast.Expr) int
+	rootedInTaint = func(e ast.Expr) int {
+		switch e := e.(type) {
+		case *ast.Ident:
+			return taint[pass.TypesInfo.Uses[e]]
+		case *ast.SelectorExpr:
+			return rootedInTaint(e.X)
+		case *ast.IndexExpr:
+			return rootedInTaint(e.X)
+		case *ast.StarExpr:
+			return rootedInTaint(e.X)
+		case *ast.ParenExpr:
+			return rootedInTaint(e.X)
+		case *ast.SliceExpr:
+			return rootedInTaint(e.X)
+		case *ast.CallExpr:
+			if isLoad(e) {
+				return taintPtr
+			}
+		}
+		return 0
+	}
+
+	// Pass 1: propagate taint through single-value bindings.
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				rhs := n.Rhs[i]
+				if isLoad(rhs) {
+					taint[obj] = taintPtr
+				} else if lvl := rootedInTaint(rhs); lvl != 0 {
+					// A pointer stays a pointer; a struct value copied out
+					// of a tainted view is shallow (its slices still alias).
+					if _, isPtr := pass.TypesInfo.TypeOf(rhs).Underlying().(*types.Pointer); isPtr {
+						taint[obj] = taintPtr
+					} else {
+						taint[obj] = taintShallow
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if v, ok := n.Value.(*ast.Ident); ok {
+				if lvl := rootedInTaint(n.X); lvl != 0 {
+					if obj := pass.TypesInfo.Defs[v]; obj != nil {
+						taint[obj] = taintShallow
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: flag writes.
+	flagLHS := func(lhs ast.Expr) {
+		lvl := rootedInTaint(lhs)
+		if lvl == 0 {
+			return
+		}
+		if lvl == taintPtr {
+			// Only *paths through* the pointer are writes into the view;
+			// reassigning the pointer variable itself is harmless.
+			if _, isIdent := lhs.(*ast.Ident); isIdent {
+				return
+			}
+			pass.Reportf(lhs.Pos(),
+				"write through published view pointer (%s); views are immutable after Store",
+				analysis.ExprString(lhs))
+			return
+		}
+		// Shallow: flag writes reaching through an index (shared backing
+		// array) or an explicit deref, not scalar fields of the copy.
+		if pathThroughIndex(lhs) {
+			pass.Reportf(lhs.Pos(),
+				"write into slice shared with a published view (%s); the copy shares its backing array",
+				analysis.ExprString(lhs))
+		}
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				flagLHS(lhs)
+			}
+		case *ast.IncDecStmt:
+			flagLHS(n.X)
+		}
+		return true
+	})
+}
+
+// pathThroughIndex reports whether the access path of lhs (above its
+// root identifier) passes through an index expression or dereference.
+func pathThroughIndex(e ast.Expr) bool {
+	for {
+		switch t := e.(type) {
+		case *ast.IndexExpr:
+			return true
+		case *ast.StarExpr:
+			return true
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		default:
+			return false
+		}
+	}
+}
+
+// carriesView reports whether t — typically the *T a Load returned —
+// is, points at, or has a field of type core.View or core.Neighbourhood
+// (embedded views like the runtime's publishedView count).
+func carriesView(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if viewTypeName(t) != "" {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if viewTypeName(ft) != "" {
+			return true
+		}
+		if sl, ok := ft.Underlying().(*types.Slice); ok && viewTypeName(sl.Elem()) != "" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package viewimmut_test
+
+import (
+	"testing"
+
+	"feww/internal/analysis/analysistest"
+	"feww/internal/analysis/viewimmut"
+)
+
+func TestViewImmut(t *testing.T) {
+	analysistest.Run(t, viewimmut.Analyzer, "viewtest")
+}

@@ -18,16 +18,16 @@ import (
 //	}
 //	if err := sc.Err(); err != nil { ... }
 type Scanner struct {
+	current  Update
+	err      error
 	or       *offsetReader
 	n, m     int64
 	total    uint64 // updates declared in the current frame's header
 	read     uint64 // updates read from the current frame
 	declared uint64 // updates declared across all frames seen so far
-	frames   bool   // accept concatenated frames after the first
 	frame    int    // index of the current frame (0-based)
-	current  Update
-	err      error
-	eofCheck bool // trailing-data probe already done
+	frames   bool   // accept concatenated frames after the first
+	eofCheck bool   // trailing-data probe already done
 }
 
 // NewScanner validates the header of a stream file and positions the
