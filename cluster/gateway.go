@@ -60,11 +60,19 @@ type Config struct {
 // safe for concurrent use.
 type Gateway struct {
 	cfg    Config
-	kind   string // members' engine kind: "insert-only", "turnstile" or "star"
+	kind   string // members' engine kind: "insert-only", "turnstile", "star" or "window"
 	n      int64  // total item universe: sum of group ranges
 	m      int64  // witness universe (turnstile/star members; 0 otherwise)
 	target int64  // the members' witness target, identical on every member
 	rungs  int    // star guess-ladder length (0 for the flat kinds)
+
+	// window geometry (window members only; 0 otherwise).  Every member
+	// must agree on both: each node slides its own window over the share
+	// of the stream routed to it, so under range-balanced traffic the
+	// cluster serves one coherent global window of groups x window
+	// updates — which only holds when the member windows are identical.
+	window        int64
+	windowBuckets int64
 
 	groups []*group
 	mux    *http.ServeMux
@@ -138,9 +146,11 @@ func New(cfg Config) (*Gateway, error) {
 			}
 			if j == 0 && k == 0 {
 				g.kind, g.m, g.target, g.rungs = h.Engine, h.M, h.WitnessTarget, h.Rungs
-			} else if h.Engine != g.kind || h.M != g.m || h.WitnessTarget != g.target || h.Rungs != g.rungs {
-				return nil, fmt.Errorf("cluster: member %d (%s) is incoherent: engine %s m %d target %d rungs %d, cluster has engine %s m %d target %d rungs %d",
-					idx, url, h.Engine, h.M, h.WitnessTarget, h.Rungs, g.kind, g.m, g.target, g.rungs)
+				g.window, g.windowBuckets = h.Window, h.WindowBuckets
+			} else if h.Engine != g.kind || h.M != g.m || h.WitnessTarget != g.target || h.Rungs != g.rungs ||
+				h.Window != g.window || h.WindowBuckets != g.windowBuckets {
+				return nil, fmt.Errorf("cluster: member %d (%s) is incoherent: engine %s m %d target %d rungs %d window %d/%d, cluster has engine %s m %d target %d rungs %d window %d/%d",
+					idx, url, h.Engine, h.M, h.WitnessTarget, h.Rungs, h.Window, h.WindowBuckets, g.kind, g.m, g.target, g.rungs, g.window, g.windowBuckets)
 			}
 			if k == 0 {
 				groupN = h.N
@@ -663,6 +673,12 @@ func (g *Gateway) checkUpdate(i int, u feww.Update) error {
 		if u.B >= g.m {
 			return fmt.Errorf("%w: update %d: neighbour %d not in [0, %d)", feww.ErrOutOfUniverse, i, u.B, g.m)
 		}
+	case "window":
+		// A sliding window forgets by aging out, never by explicit
+		// removal; deletions need the turnstile ladder.
+		if u.Op != feww.Insert {
+			return fmt.Errorf("update %d: %v: window cluster cannot apply deletions (run the members in turnstile mode)", i, u)
+		}
 	default:
 		if u.Op != feww.Insert {
 			return fmt.Errorf("update %d: %v: insert-only cluster cannot apply deletions (run the members in turnstile mode)", i, u)
@@ -909,16 +925,24 @@ type MemberHealth struct {
 // a dead follower degrades redundancy (visible per member below) without
 // taking the cluster out of service.
 type HealthzResponse struct {
-	Service       string         `json:"service"`
-	Engine        string         `json:"engine"`
-	Serving       bool           `json:"serving"`
-	N             int64          `json:"n"`
-	M             int64          `json:"m,omitempty"`
-	WitnessTarget int64          `json:"witness_target"`
-	Shards        int            `json:"shards"`
-	Elements      int64          `json:"elements"`
-	Groups        int            `json:"groups"`
-	Replicas      int            `json:"replicas"`
+	Service       string `json:"service"`
+	Engine        string `json:"engine"`
+	Serving       bool   `json:"serving"`
+	N             int64  `json:"n"`
+	M             int64  `json:"m,omitempty"`
+	WitnessTarget int64  `json:"witness_target"`
+	Shards        int    `json:"shards"`
+	Elements      int64  `json:"elements"`
+	Groups        int    `json:"groups"`
+	Replicas      int    `json:"replicas"`
+	// Window and WindowBuckets (window clusters only) report the *global*
+	// window the cluster serves: each member slides its own window over
+	// its range's share of the stream, so under range-balanced traffic
+	// the cluster covers groups x member-window updates.  The field names
+	// match the node payload, so a client reads a gateway exactly as it
+	// reads one node.
+	Window        int64          `json:"window,omitempty"`
+	WindowBuckets int64          `json:"window_buckets,omitempty"`
 	Members       []MemberHealth `json:"members"`
 	Spares        []MemberHealth `json:"spares,omitempty"`
 }
@@ -933,6 +957,10 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		WitnessTarget: g.target,
 		Groups:        len(g.groups),
 		Replicas:      g.cfg.Replicas,
+	}
+	if g.window > 0 {
+		out.Window = g.window * int64(len(g.groups))
+		out.WindowBuckets = g.windowBuckets
 	}
 	// Spares join the same concurrent probe fan-out as the group members:
 	// one dead spare then costs the response a single member timeout in
@@ -1036,6 +1064,9 @@ func (g *Gateway) verifyMember(h server.HealthResponse, rng Range) error {
 	}
 	if h.Rungs != g.rungs {
 		return fmt.Errorf("star ladder has %d rungs, cluster has %d", h.Rungs, g.rungs)
+	}
+	if h.Window != g.window || h.WindowBuckets != g.windowBuckets {
+		return fmt.Errorf("window geometry %d/%d, cluster has %d/%d", h.Window, h.WindowBuckets, g.window, g.windowBuckets)
 	}
 	return nil
 }

@@ -11,13 +11,17 @@
 //	fewwd -algo turnstile -n 100000 -m 400000 -d 500 -scale 0.05 -addr :8080
 //	fewwd -algo star -n 100000 -eps 0.5 -alpha 2 -addr :8080
 //	fewwd -algo star -n 25000 -m 100000 -addr :8081   (cluster member: 25k-vertex range of a 100k-vertex graph)
+//	fewwd -algo window -n 100000 -d 200 -window 1000000 -buckets 8 -addr :8080
 //
-// All three engine kinds are façades over the same sharded runtime, so
+// All four engine kinds are façades over the same sharded runtime, so
 // the endpoint surface, consistency contract (?fresh=1), checkpointing
 // and cluster behaviour are identical; -algo picks the algorithm.  The
 // star engine consumes directed half-edges (cmd/fewwgen -kind star
 // writes the double cover) and answers with the best star: a vertex plus
-// a rung-annotated set of its genuine neighbours.
+// a rung-annotated set of its genuine neighbours.  The window engine
+// answers over the last -window accepted updates only (aging out whole
+// -buckets sub-windows at a time), so its /stats additionally report the
+// served window span.
 //
 // With -restore the engine kind, universe, seed and shard layout all come
 // from the snapshot file; the engine flags are ignored.  On SIGINT/SIGTERM
@@ -46,7 +50,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
-		algo       = flag.String("algo", "", "engine kind: insert (default) | turnstile | star")
+		algo       = flag.String("algo", "", "engine kind: insert (default) | turnstile | star | window")
 		turnstile  = flag.Bool("turnstile", false, "deprecated alias for -algo turnstile")
 		n          = flag.Int64("n", 1_000_000, "item universe size |A| (star: vertices this node owns as star centers)")
 		m          = flag.Int64("m", 0, "witness universe size |B| (turnstile: default 4n; star: total graph vertices, default n)")
@@ -61,6 +65,8 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "path POST /checkpoint and the shutdown hook write the snapshot to")
 		restore    = flag.String("restore", "", "restore the engine from this snapshot file instead of starting empty")
 		maxBody    = flag.Int64("maxbody", 0, "max /ingest body bytes (0 = 1 GiB)")
+		window     = flag.Int64("window", 0, "window: sliding window length in accepted updates (required for -algo window)")
+		buckets    = flag.Int64("buckets", 0, "window: sub-window bucket count (0 = 8; more buckets = finer expiry, more space)")
 	)
 	flag.Parse()
 
@@ -76,7 +82,7 @@ func main() {
 		log.Fatalf("fewwd: -turnstile conflicts with -algo %s (drop the deprecated -turnstile flag)", kind)
 	}
 
-	backend, err := buildBackend(*restore, kind, *n, *m, *d, *alpha, *eps, *seed, *scale, *shards, *batch, *queue)
+	backend, err := buildBackend(*restore, kind, *n, *m, *d, *alpha, *eps, *seed, *scale, *shards, *batch, *queue, *window, *buckets)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -124,7 +130,7 @@ func main() {
 
 // buildBackend restores from a snapshot file or constructs a fresh engine
 // of the requested kind.
-func buildBackend(restore, kind string, n, m, d int64, alpha int, eps float64, seed uint64, scale float64, shards, batch, queue int) (server.Backend, error) {
+func buildBackend(restore, kind string, n, m, d int64, alpha int, eps float64, seed uint64, scale float64, shards, batch, queue int, window, buckets int64) (server.Backend, error) {
 	if restore != "" {
 		f, err := os.Open(restore)
 		if err != nil {
@@ -161,6 +167,16 @@ func buildBackend(restore, kind string, n, m, d int64, alpha int, eps float64, s
 			return nil, fmt.Errorf("fewwd: %w", err)
 		}
 		return server.NewStarBackend(eng), nil
+	case "window":
+		eng, err := feww.NewWindowEngine(feww.WindowEngineConfig{
+			Config: feww.Config{N: n, D: d, Alpha: alpha, Seed: seed, ScaleFactor: scale},
+			Window: window, Buckets: buckets,
+			Shards: shards, BatchSize: batch, QueueDepth: queue,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fewwd: %w (-algo window needs -window; see -buckets for the expiry granularity)", err)
+		}
+		return server.NewWindowBackend(eng), nil
 	case "insert":
 		eng, err := feww.NewEngine(feww.EngineConfig{
 			Config: feww.Config{N: n, D: d, Alpha: alpha, Seed: seed, ScaleFactor: scale},
@@ -171,6 +187,6 @@ func buildBackend(restore, kind string, n, m, d int64, alpha int, eps float64, s
 		}
 		return server.NewInsertOnlyBackend(eng), nil
 	default:
-		return nil, fmt.Errorf("fewwd: unknown -algo %q (want insert, turnstile or star)", kind)
+		return nil, fmt.Errorf("fewwd: unknown -algo %q (want insert, turnstile, star or window)", kind)
 	}
 }

@@ -14,12 +14,22 @@
 //	fewwgen -kind social -n 5000 -out friends.feww
 //	fewwgen -kind star -n 2000 -d 300 -out stars.feww       (fewwd -algo star)
 //	fewwgen -kind starchurn -n 2000 -d 300 -out starts.feww (turnstile ladder)
+//	fewwgen -kind windowzipf -n 5000 -edges 100000 -phases 4 -out rotate.feww  (fewwd -algo window)
+//	fewwgen -kind windowburst -n 1000 -d 50 -window 2000 -buckets 8 -heavy 5 -out bursts.feww
 //
 // The star kinds generate a general n-vertex graph with a planted
 // maximum-degree star, written as the directed double cover (both
 // orientations of every undirected edge), which is what the star tier
 // consumes; starchurn adds insert-then-delete noise, making a turnstile
 // stream for the TurnstileStarDetector.  The stream declares |A| = |B| = n.
+//
+// The window kinds target fewwd -algo window.  windowzipf is a zipfian
+// item stream whose heavy head rotates every phase, so a sliding window
+// tracks the current phase while a whole-stream engine stays stuck on
+// the early ones; windowburst places -heavy bursts of -d occurrences so
+// each straddles a bucket boundary of the declared -window/-buckets
+// geometry, the adversarial case for whole-bucket expiry.  Occurrence t
+// is written as edge (item, t), so |B| is the stream length.
 package main
 
 import (
@@ -33,7 +43,7 @@ import (
 
 func main() {
 	var (
-		kind     = flag.String("kind", "planted", "workload: planted | dos | zipf | dblog | churn | social | star | starchurn")
+		kind     = flag.String("kind", "planted", "workload: planted | dos | zipf | dblog | churn | social | star | starchurn | windowzipf | windowburst")
 		n        = flag.Int64("n", 10000, "item universe size |A| (vertices for social)")
 		m        = flag.Int64("m", 0, "witness universe size |B| (default 4n)")
 		d        = flag.Int64("d", 500, "heavy degree / frequency threshold")
@@ -43,6 +53,9 @@ func main() {
 		maxNoise = flag.Int64("maxnoise", 0, "cap on any noise vertex's degree (default d/3)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		out      = flag.String("out", "", "output file (default stdout)")
+		phases   = flag.Int("phases", 4, "windowzipf: heavy-head rotations over the stream")
+		window   = flag.Int64("window", 0, "windowburst: the consumer's window length (required)")
+		buckets  = flag.Int64("buckets", 8, "windowburst: the consumer's bucket count")
 	)
 	flag.Parse()
 
@@ -66,10 +79,15 @@ func main() {
 	if *maxNoise == 0 {
 		*maxNoise = *d / 3
 	}
-	inst, err := generate(*kind, *n, *m, *d, *heavy, *edges, *skew, *maxNoise, *seed)
+	inst, err := generate(*kind, *n, *m, *d, *heavy, *edges, *skew, *maxNoise, *seed, *phases, *window, *buckets)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fewwgen: %v\n", err)
 		os.Exit(1)
+	}
+	if *kind == "windowzipf" || *kind == "windowburst" {
+		// Witnesses are arrival positions, so the witness universe is the
+		// stream length.
+		*m = int64(len(inst.Updates))
 	}
 
 	w := os.Stdout
@@ -94,7 +112,7 @@ func main() {
 	}
 }
 
-func generate(kind string, n, m, d int64, heavy, edges int, skew float64, maxNoise int64, seed uint64) (*workload.Planted, error) {
+func generate(kind string, n, m, d int64, heavy, edges int, skew float64, maxNoise int64, seed uint64, phases int, window, buckets int64) (*workload.Planted, error) {
 	switch kind {
 	case "planted":
 		return workload.NewPlanted(workload.PlantedConfig{
@@ -135,6 +153,15 @@ func generate(kind string, n, m, d int64, heavy, edges int, skew float64, maxNoi
 		return workload.NewStarGraph(workload.StarGraphConfig{
 			Vertices: n, Degree: d, NoiseEdges: edges, MaxNoise: maxNoise,
 			Churn: edges / 2, Seed: seed,
+		})
+	case "windowzipf":
+		return workload.NewWindowZipf(workload.WindowZipfConfig{
+			N: n, Total: edges, Phases: phases, Skew: skew, Seed: seed,
+		})
+	case "windowburst":
+		return workload.NewWindowBurst(workload.WindowBurstConfig{
+			N: n, Window: window, Buckets: buckets,
+			Bursts: heavy, BurstLen: d, Seed: seed,
 		})
 	default:
 		return nil, fmt.Errorf("unknown kind %q", kind)

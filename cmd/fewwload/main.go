@@ -12,6 +12,7 @@
 //	fewwload -scenario churn -n 500 -m 2000 -d 50 -edges 2000     (fewwd -turnstile)
 //	fewwload -scenario planted -checkpoint-every 20 -verify
 //	fewwload -scenario star -n 2000 -d 300 -edges 4000      (fewwd -algo star)
+//	fewwload -scenario window -d 40 -edges 200000           (fewwd -algo window)
 //	fewwload -queryclients 8              # poll /best concurrently during replay
 //	fewwload -queryclients 8 -fresh       # same, on the ?fresh=1 barrier path
 //	fewwload -gateway -addr http://127.0.0.1:9000   # drive a fewwgate cluster
@@ -23,7 +24,11 @@
 // maximum-degree star streamed as directed half-edges; requires
 // fewwd -algo star — or a fewwgate over star members, where the
 // half-edges range-route by center and the merged answer is verified
-// against the planted graph exactly like a single node).
+// against the planted graph exactly like a single node), window (a
+// rotating-heavy zipfian item stream shaped around the target's probed
+// window geometry; requires fewwd -algo window, and verifies the served
+// answers against an exact sliding-window recount — including, with
+// alpha=1 and aligned geometry, exact set equality).
 //
 // With -gateway the target is a fewwgate cluster instead of a single
 // node: the replay is unchanged (the gateway mirrors the fewwd endpoint
@@ -54,7 +59,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", "http://127.0.0.1:8080", "fewwd base URL")
-		scenario  = flag.String("scenario", "zipf", "workload: zipf | planted | dos | churn | star")
+		scenario  = flag.String("scenario", "zipf", "workload: zipf | planted | dos | churn | star | window")
 		n         = flag.Int64("n", 100000, "item universe size |A|")
 		m         = flag.Int64("m", 0, "witness universe size |B| (default 4n; zipf uses the stream length)")
 		d         = flag.Int64("d", 2000, "heavy degree / frequency threshold")
@@ -68,20 +73,18 @@ func main() {
 		qClients  = flag.Int("queryclients", 0, "concurrent /best pollers running during the replay (0 = none)")
 		qFresh    = flag.Bool("fresh", false, "pollers use /best?fresh=1 (barrier consistency) instead of the published path")
 		gateway   = flag.Bool("gateway", false, "the target is a fewwgate cluster: check cluster readiness and verify against the merged results")
+		ranges    = flag.Int("ranges", 0, "window: compose the stream as this many round-robin ranges (0 = the target's own range count; set it to feed a single node the byte-identical stream a gateway with that many ranges receives)")
 	)
 	flag.Parse()
 
-	inst, streamN, streamM, err := generate(*scenario, *n, *m, *d, *heavy, *edges, *skew, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	st := stream.Summarize(inst.Updates)
-	fmt.Printf("workload: %s, %d updates (%d inserts, %d deletes), %d heavy, max degree %d\n",
-		*scenario, st.Updates, st.Inserts, st.Deletes, len(inst.HeavyA), st.MaxDegreeA)
-
+	// The target is probed before the workload is generated: the window
+	// scenario shapes its stream around the engine's window geometry (and,
+	// against a gateway, its range partition), which only the target knows.
 	cl := &server.Client{Base: *addr}
+	var hz cluster.HealthzResponse
 	if *gateway {
-		hz, err := gatewayHealth(*addr)
+		var err error
+		hz, err = gatewayHealth(*addr)
 		if err != nil {
 			log.Fatalf("fewwload: cannot reach fewwgate at %s: %v", *addr, err)
 		}
@@ -97,6 +100,24 @@ func main() {
 	} else if _, err := cl.Stats(); err != nil {
 		log.Fatalf("fewwload: cannot reach fewwd at %s: %v", *addr, err)
 	}
+
+	var (
+		inst             *workload.Planted
+		streamN, streamM int64
+		geom             *windowGeometry
+		err              error
+	)
+	if *scenario == "window" {
+		inst, streamN, streamM, geom, err = generateWindow(cl, hz, *gateway, *d, *edges, *skew, *seed, *ranges)
+	} else {
+		inst, streamN, streamM, err = generate(*scenario, *n, *m, *d, *heavy, *edges, *skew, *seed)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := stream.Summarize(inst.Updates)
+	fmt.Printf("workload: %s, %d updates (%d inserts, %d deletes), %d heavy, max degree %d\n",
+		*scenario, st.Updates, st.Inserts, st.Deletes, len(inst.HeavyA), st.MaxDegreeA)
 
 	// Optional concurrent query load: k pollers hammering /best while the
 	// replay runs, measuring what the serving path sustains under ingest.
@@ -173,6 +194,12 @@ func main() {
 
 	// The final answer is fetched on the barrier path: the ground-truth
 	// verification below must see every replayed update reflected.
+	if geom != nil {
+		if err := verifyWindow(cl, inst, *geom, *d, sent, *verify); err != nil {
+			log.Fatalf("fewwload: %v", err)
+		}
+		return
+	}
 	best, err := cl.BestFresh()
 	if err != nil {
 		log.Fatal(err)
@@ -205,6 +232,143 @@ func gatewayHealth(base string) (cluster.HealthzResponse, error) {
 	defer resp.Body.Close()
 	// 503 still carries the full per-member breakdown; decode either way.
 	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// windowGeometry is the window scenario's record of the target's
+// configuration, read from its health probe: the (global) window length
+// and bucket count, the witness target, and the cluster's range count
+// (1 against a single node).
+type windowGeometry struct {
+	window, buckets, target int64
+	ranges                  int
+}
+
+// generateWindow builds the window scenario around the probed target: a
+// rotating-heavy zipfian stream whose head moves roughly once per window.
+// Against a gateway the stream is composed of one item sequence per
+// range, interleaved strictly round-robin, so each member sees every
+// R-th update and the member windows of W/R compose into the global
+// window the gateway reports.
+func generateWindow(cl *server.Client, hz cluster.HealthzResponse, gateway bool, d int64, edges int, skew float64, seed uint64, rangesOverride int) (*workload.Planted, int64, int64, *windowGeometry, error) {
+	geom := &windowGeometry{ranges: 1}
+	var n int64
+	if gateway {
+		if rangesOverride > 0 {
+			return nil, 0, 0, nil, fmt.Errorf("-ranges is for feeding a single node a cluster-shaped stream; a gateway's range count comes from its /healthz")
+		}
+		if hz.Engine != "window" {
+			return nil, 0, 0, nil, fmt.Errorf("-scenario window needs a window cluster, target serves %q", hz.Engine)
+		}
+		n, geom.ranges = hz.N, hz.Groups
+		geom.window, geom.buckets, geom.target = hz.Window, hz.WindowBuckets, hz.WitnessTarget
+	} else {
+		h, err := cl.Health()
+		if err != nil {
+			return nil, 0, 0, nil, err
+		}
+		if h.Engine != "window" {
+			return nil, 0, 0, nil, fmt.Errorf("-scenario window needs fewwd -algo window, target serves %q", h.Engine)
+		}
+		n = h.N
+		geom.window, geom.buckets, geom.target = h.Window, h.WindowBuckets, h.WitnessTarget
+	}
+	if geom.window < 1 || geom.buckets < 1 {
+		return nil, 0, 0, nil, fmt.Errorf("target reports window geometry %d/%d", geom.window, geom.buckets)
+	}
+	r := int64(geom.ranges)
+	if rangesOverride > 0 {
+		// Compose the stream exactly as a gateway with this many ranges
+		// would receive it, so a single full-universe node can be driven
+		// with the byte-identical input and its answers byte-compared
+		// against the cluster's.
+		r = int64(rangesOverride)
+	}
+	if n%r != 0 {
+		return nil, 0, 0, nil, fmt.Errorf("universe %d does not split evenly over %d ranges", n, r)
+	}
+	perPart := int64(edges) / r
+	phases := max(2, int(perPart*r/geom.window))
+	parts := make([][]int64, r)
+	for i := int64(0); i < r; i++ {
+		items, err := workload.WindowZipfItems(workload.WindowZipfConfig{
+			N: n / r, Total: int(perPart), Phases: phases, Skew: skew, Seed: seed + uint64(i),
+		})
+		if err != nil {
+			return nil, 0, 0, nil, err
+		}
+		parts[i] = items
+	}
+	inst, err := workload.ComposeWindowStream(n/r, parts)
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	fmt.Printf("window: length %d over %d buckets, %d ranges, witness target %d, %d rotation phases\n",
+		geom.window, geom.buckets, r, geom.target, phases)
+	return inst, n, int64(len(inst.Updates)), geom, nil
+}
+
+// verifyWindow checks the served window answers against a sliding-window
+// recount of the replayed stream.  Soundness holds unconditionally: every
+// served witness must be a genuine in-window arrival position of its
+// item, and every neighbourhood full-target.  When the target equals d
+// (alpha = 1, the deterministic sample-everything regime) — and, against
+// a cluster, when the geometry divides evenly enough for member windows
+// to align with the global one — the served item set must *equal* the
+// recount's >= d set exactly.
+func verifyWindow(cl *server.Client, inst *workload.Planted, geom windowGeometry, d, sent int64, verify bool) error {
+	width := (geom.window + geom.buckets - 1) / geom.buckets
+	start := int64(0)
+	if sent > geom.window {
+		start = (sent - geom.window + width - 1) / width * width
+	}
+	nbs, err := cl.ResultsFresh()
+	if err != nil {
+		return err
+	}
+	recount := workload.WindowRecount(inst.Updates, start)
+	var heavy []int64
+	for a, c := range recount {
+		if c >= d {
+			heavy = append(heavy, a)
+		}
+	}
+	fmt.Printf("result: window [%d, %d) of %d updates, %d items served, recount holds %d items >= %d\n",
+		start, sent, sent, len(nbs), len(heavy), d)
+	if !verify {
+		return nil
+	}
+	served := make(map[int64]bool, len(nbs))
+	for _, nb := range nbs {
+		if int64(nb.Size) != geom.target {
+			return fmt.Errorf("served item %d with %d witnesses, target is %d", nb.Vertex, nb.Size, geom.target)
+		}
+		if err := inst.Verify(nb.Vertex, nb.Witnesses); err != nil {
+			return err
+		}
+		for _, b := range nb.Witnesses {
+			if b < start || b >= sent {
+				return fmt.Errorf("served witness %d of item %d outside the window [%d, %d): stale state survived expiry", b, nb.Vertex, start, sent)
+			}
+		}
+		served[nb.Vertex] = true
+	}
+	exact := geom.target == d && (geom.ranges == 1 || geom.window%(int64(geom.ranges)*geom.buckets) == 0)
+	if !exact {
+		fmt.Println("verified: every served witness is a genuine in-window occurrence (exactness needs alpha=1 and aligned cluster geometry)")
+		return nil
+	}
+	for _, a := range heavy {
+		if !served[a] {
+			return fmt.Errorf("item %d has %d in-window occurrences (>= %d) but was not served", a, recount[a], d)
+		}
+	}
+	for a := range served {
+		if recount[a] < d {
+			return fmt.Errorf("served item %d has only %d in-window occurrences (< %d)", a, recount[a], d)
+		}
+	}
+	fmt.Printf("verified: served set matches the sliding-window recount exactly (%d items), all witnesses in-window\n", len(heavy))
+	return nil
 }
 
 // generate builds the requested scenario and returns it with the

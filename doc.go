@@ -35,8 +35,9 @@
 // (approximately) maximum degree together with its neighbourhood — via a
 // (1+eps) guess ladder (Lemma 3.3, Corollaries 3.4 and 5.5).
 //
-// Engine, TurnstileEngine and StarEngine are three thin façades over one
-// generic sharded runtime (runtime.go): the item universe is partitioned
+// Engine, TurnstileEngine, StarEngine and WindowEngine are four thin
+// façades over one generic sharded runtime (runtime.go): the item
+// universe is partitioned
 // across P independent per-shard algorithm instances, each fed batches
 // (ProcessEdges / ProcessUpdates / ProcessHalfEdges) by its own
 // goroutine, so ingest scales with cores while each shard retains the
@@ -59,6 +60,16 @@
 // the winning-rung merge order is associative, so a cluster of star
 // members answers exactly like one full-universe StarEngine.
 //
+// WindowEngine is the sliding-window tier: frequent elements with
+// witnesses over the last Window updates.  Each shard hosts a ladder of
+// suffix InsertOnly instances started at bucket boundaries of the
+// global stream (every accepted update is stamped with its arrival
+// position engine-wide), queries serve the oldest instance still inside
+// the window, and whole instances expire in O(1) as the stream
+// advances — witnesses are never older than Window updates, and with
+// Alpha = 1 the served set is exactly the items with >= D in-window
+// occurrences.
+//
 // # Checkpointing
 //
 // Every layer snapshots and restores exactly.  InsertOnly and (via the
@@ -67,18 +78,19 @@
 // instance continues the very same random stream, and the snapshot bytes
 // are precisely the "message" of the paper's communication protocols
 // (see examples/partitioned).  Every engine's Snapshot / Restore pair
-// (RestoreEngine, RestoreTurnstileEngine, RestoreStarEngine) composes the
-// per-shard snapshots into one FEWWENG1 container — written by the shared
+// (RestoreEngine, RestoreTurnstileEngine, RestoreStarEngine,
+// RestoreWindowEngine) composes the per-shard snapshots into one
+// FEWWENG1 container — written by the shared
 // runtime, quiescing the queues first so nothing in flight is lost; see
 // docs/ARCHITECTURE.md for the byte-level formats.
 //
 // # The service
 //
 // The feww/server package and cmd/fewwd expose any engine kind over HTTP
-// (fewwd -algo insert|turnstile|star) — binary stream ingest, live
-// witnessed-neighbourhood queries, stats and checkpoint/restore — and
-// cmd/fewwload replays workload scenarios against it (including
-// -scenario star with ground-truth verification).  One tier up, the
+// (fewwd -algo insert|turnstile|star|window) — binary stream ingest,
+// live witnessed-neighbourhood queries, stats and checkpoint/restore —
+// and cmd/fewwload replays workload scenarios against it (including
+// -scenario star and -scenario window with ground-truth verification).  One tier up, the
 // feww/cluster package and cmd/fewwgate serve several fewwd nodes as one
 // logical engine: contiguous ranges of the universe, scatter-gather
 // queries with the engine's own merge rules (including the star tier's

@@ -1,0 +1,51 @@
+// Window-engine idioms for the epoch checker: a shard whose published
+// view ages against a clock it does not own (the engine's accepted
+// count, advanced by every shard's traffic).  The barrier republication
+// must rebuild the view against the current clock — re-storing the old
+// view "because nothing local changed" republishes memory readers hold
+// AND freezes the liveness horizon, so idle shards would never age out.
+package epochtest
+
+import "sync/atomic"
+
+type windowView struct {
+	epoch   uint64
+	horizon int64 // oldest live position when the view was built
+	served  []int64
+}
+
+type windowShard struct {
+	clock *atomic.Int64 // engine-owned; advances with other shards' traffic
+	view  atomic.Pointer[windowView]
+}
+
+// republishIdle is the clean barrier republication: even with no local
+// traffic the view is rebuilt fresh, so its horizon tracks the clock.
+func (w *windowShard) republishIdle() {
+	old := w.view.Load()
+	w.view.Store(&windowView{
+		epoch:   old.epoch + 1,
+		horizon: w.clock.Load(),
+		served:  append([]int64(nil), old.served...),
+	})
+}
+
+// reuseIdle re-stores the loaded view when nothing local changed:
+// shared memory, frozen horizon.
+func (w *windowShard) reuseIdle() {
+	old := w.view.Load()
+	w.view.Store(old) // want "freshly built"
+}
+
+// ageInPlace advances the horizon through the loaded view instead of
+// republishing — a torn read for anyone holding the pointer.
+func (w *windowShard) ageInPlace() {
+	v := w.view.Load()
+	v.horizon = w.clock.Load() // want "read-only"
+}
+
+// bumpEpochInPlace increments the epoch of a published view.
+func (w *windowShard) bumpEpochInPlace() {
+	v := w.view.Load()
+	v.epoch++ // want "read-only"
+}

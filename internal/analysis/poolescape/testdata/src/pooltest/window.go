@@ -1,0 +1,55 @@
+// Window-engine idioms for the pool checker: the edge-to-update
+// conversion buffers of the window ingest path (recycled as *[]T so the
+// slice header is not re-boxed per batch) and per-bucket scratch
+// buffers whose ownership ends when the bucket rotates.
+package pooltest
+
+import "sync"
+
+type winUpdate struct {
+	a, pos int64
+}
+
+var winBufPool = sync.Pool{New: func() any {
+	return new([]winUpdate)
+}}
+
+// convertBatch is the clean ProcessEdges idiom: get, fill, hand the
+// contents onward by copy, reset and Put — no use after the Put.
+func convertBatch(items []int64, feed func([]winUpdate)) {
+	buf := winBufPool.Get().(*[]winUpdate)
+	ups := (*buf)[:0]
+	for i, a := range items {
+		ups = append(ups, winUpdate{a: a, pos: int64(i)})
+	}
+	feed(ups)
+	*buf = ups[:0]
+	winBufPool.Put(buf)
+}
+
+// rotateKeepsScratch reuses a bucket's scratch buffer after its
+// ownership ended with the rotation Put.
+func rotateKeepsScratch() int {
+	scratch := winBufPool.Get().(*[]winUpdate)
+	winBufPool.Put(scratch)
+	return cap(*scratch) // want "used after Put"
+}
+
+// doubleRotate puts the same bucket buffer back twice — two rotations
+// racing for one scratch buffer.
+func doubleRotate() {
+	scratch := winBufPool.Get().(*[]winUpdate)
+	winBufPool.Put(scratch)
+	winBufPool.Put(scratch) // want "double Put"
+}
+
+// rotateRebound is the clean rotation: the next bucket re-Gets, opening
+// a new ownership window for the same variable.
+func rotateRebound() int {
+	scratch := winBufPool.Get().(*[]winUpdate)
+	winBufPool.Put(scratch)
+	scratch = winBufPool.Get().(*[]winUpdate)
+	n := cap(*scratch)
+	winBufPool.Put(scratch)
+	return n
+}

@@ -1,0 +1,62 @@
+// Window-engine idioms for the view checker: serving from the oldest
+// live suffix instance of a bucket ladder.  Bucket expiry retires whole
+// instances and their reservoirs get recycled, so a served view must own
+// every witness list it carries — and aging must go through a fresh
+// publication, never through a view some reader already loaded.
+package viewtest
+
+import (
+	"sync/atomic"
+
+	"feww/internal/core"
+)
+
+type instance struct {
+	start int64 // bucket boundary the instance opened at
+	items []cand
+}
+
+type windowShard struct {
+	ladder []instance // oldest first; expiry drops the head
+	pub    atomic.Pointer[windowPub]
+}
+
+type windowPub struct {
+	view    core.View
+	horizon int64
+}
+
+// serveOldest aliases the serving instance's reservoir into the view;
+// the next expiry recycles that buffer under the reader.
+func serveOldest(w *windowShard) core.Neighbourhood {
+	c := &w.ladder[0].items[0]
+	return core.Neighbourhood{A: c.a, Witnesses: c.witnesses} // want "aliases live memory"
+}
+
+// serveOldestCopy is the clean serve: the witness list is copied out, so
+// recycling the instance cannot rewrite a published answer.
+func serveOldestCopy(w *windowShard) core.Neighbourhood {
+	c := &w.ladder[0].items[0]
+	ws := make([]int64, len(c.witnesses))
+	copy(ws, c.witnesses)
+	return core.Neighbourhood{A: c.a, Witnesses: ws}
+}
+
+// expireThroughView ages a bucket out by zeroing witnesses through the
+// published pointer instead of publishing a rebuilt view.
+func expireThroughView(w *windowShard) {
+	v := w.pub.Load()
+	v.view.Best.Witnesses[0] = 0 // want "write through published view pointer"
+}
+
+// advanceHorizon republishes cleanly after expiry: a fresh pub built
+// from deep copies, loaded values read but never written.
+func advanceHorizon(w *windowShard, horizon int64) *windowPub {
+	old := w.pub.Load()
+	ws := make([]int64, len(old.view.Best.Witnesses))
+	copy(ws, old.view.Best.Witnesses)
+	next := &windowPub{horizon: horizon}
+	next.view.Best = core.Neighbourhood{A: old.view.Best.A, Witnesses: ws}
+	next.view.BestOK = old.view.BestOK
+	return next
+}

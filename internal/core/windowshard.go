@@ -1,0 +1,447 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"feww/internal/stream"
+	"feww/internal/xrand"
+)
+
+// WindowShard is one shard's slice of a sliding-window FEwW instance: the
+// insertion-only algorithm (Algorithm 2) answering "which of my items is
+// frequent with witnesses over the last Window updates of the stream",
+// instead of "frequent ever".
+//
+// # Construction: a ladder of suffix instances
+//
+// The stream of accepted updates is cut into buckets of
+// width = ceil(Window/Buckets) positions.  At every bucket boundary
+// k*width a fresh InsertOnly instance is (lazily) started; every update
+// then feeds all retained instances, so instance k holds exactly the
+// shard's updates with global position >= k*width — the suffix of the
+// stream starting at that boundary.  Queries serve the oldest instance
+// whose start still lies inside the window (k*width >= S - Window, with S
+// the global accepted count): its state covers only in-window updates, so
+// every reported witness arrived within the last Window updates — a
+// witness can never be stale.  Once an instance's start falls out of the
+// window it can never return (S only grows), and the whole instance —
+// reservoirs, witness sets, degree table — is dropped in one step: expiry
+// costs O(1) amortised per update and never scans state.
+//
+// # The space/recency trade-off against Algorithm 1/2
+//
+// The paper's Algorithm 2 stores one run ladder over the whole stream:
+// O(n log n + n^(1/alpha) * d * log^2 n) bits (Theorem 3.2).  The window
+// variant multiplies that by the number of live suffix instances — at
+// most Buckets+1 — because each in-window update is held by every
+// instance whose suffix contains it.  What the multiplier buys is
+// recency: the served instance starts at most Window updates ago and at
+// least Window-width+1 updates ago, so
+//
+//   - any item with >= D occurrences among the last Window-width+1
+//     updates is reported w.h.p. (the served suffix contains all of
+//     them, and Theorem 3.2 applies to it verbatim);
+//   - no reported witness is older than Window updates.
+//
+// Larger Buckets sharpens the window (width shrinks) and costs
+// proportionally more space; Buckets == 1 degenerates to restarting the
+// algorithm every Window updates.  The one-sided slack of a single
+// bucket width is the classic sub-window construction's price for O(1)
+// expiry — shrinking it to zero would mean evicting individual updates
+// from reservoirs, which Deg-Res-Sampling cannot do.
+//
+// # Positions and the shard clock
+//
+// Update positions are global: the engine stamps every accepted element
+// with its 0-based position in the total stream before routing it, and
+// hands the shard a clock reading the global accepted count.  Bucket
+// boundaries therefore align across all shards of an engine (and across
+// cluster members fed aligned sub-streams), which is what makes
+// per-shard answers mergeable and cluster answers reproducible.  The
+// clock is read at query/view time only; mutation (instance creation and
+// expiry) happens exclusively in Apply, keyed by the positions actually
+// observed, so queries never modify state.
+type WindowShard struct {
+	cfg      WindowShardConfig
+	width    int64
+	d2       int64
+	clock    func() int64     // global accepted count, monotone
+	insts    []windowInstance // retained suffix instances, ascending k
+	nextK    int64            // next bucket label to create
+	consumed int64            // updates consumed by this shard, ever
+	scratch  []stream.Edge    // Apply conversion buffer, not part of state
+}
+
+// windowInstance is one suffix instance: the InsertOnly run started at
+// bucket boundary k*width.
+type windowInstance struct {
+	k   int64
+	run *InsertOnly
+}
+
+// WindowUpdate is one element of a windowed stream: the inserted edge
+// plus its 0-based position in the global accepted stream.  The position
+// is assigned by the engine under its producer lock, so it is unique,
+// dense and arrival-ordered across all shards.
+type WindowUpdate struct {
+	stream.Edge
+	Pos int64
+}
+
+// WindowShardConfig parameterises one shard of a sharded sliding-window
+// engine.
+type WindowShardConfig struct {
+	// N is the shard's item sub-universe size.
+	N int64
+	// D is the frequency threshold: an item with >= D in-window
+	// occurrences is reported with ceil(D/Alpha) witnesses.
+	D int64
+	// Alpha is the approximation factor (>= 1), as in InsertOnlyConfig.
+	Alpha int
+	// Window is the sliding window length W in global stream updates.
+	Window int64
+	// Buckets is the number of sub-windows B (1 <= B <= Window): expiry
+	// granularity is width = ceil(W/B) and live space is multiplied by at
+	// most B+1.
+	Buckets int64
+	// Seed derives the per-instance seeds; distinct shards get distinct
+	// seeds from their engine.
+	Seed uint64
+	// ScaleFactor scales every instance's reservoir (see InsertOnlyConfig).
+	ScaleFactor float64
+}
+
+func (cfg *WindowShardConfig) validate() error {
+	if cfg.N < 1 {
+		return fmt.Errorf("core: WindowShard config: N = %d, want >= 1", cfg.N)
+	}
+	if cfg.D < 1 {
+		return fmt.Errorf("core: WindowShard config: D = %d, want >= 1", cfg.D)
+	}
+	if cfg.Alpha < 1 {
+		return fmt.Errorf("core: WindowShard config: Alpha = %d, want >= 1", cfg.Alpha)
+	}
+	if cfg.Window < 1 {
+		return fmt.Errorf("core: WindowShard config: Window = %d, want >= 1", cfg.Window)
+	}
+	if cfg.Buckets < 1 || cfg.Buckets > cfg.Window {
+		return fmt.Errorf("core: WindowShard config: Buckets = %d, want 1 <= Buckets <= Window = %d",
+			cfg.Buckets, cfg.Window)
+	}
+	if cfg.ScaleFactor < 0 {
+		return fmt.Errorf("core: WindowShard config: ScaleFactor = %f, want >= 0", cfg.ScaleFactor)
+	}
+	return nil
+}
+
+// WindowBucketWidth returns the sub-window width ceil(window/buckets) —
+// the expiry granularity shared by every shard of an engine.
+func WindowBucketWidth(window, buckets int64) int64 {
+	return (window + buckets - 1) / buckets
+}
+
+// WindowStart returns the global position the served window begins at
+// after accepted updates: 0 while the stream is shorter than the window,
+// then the smallest bucket boundary still inside it.  The served span is
+// [WindowStart, accepted); its length is in (window-width, window] once
+// the stream is long enough.  Engines surface this on /stats.
+func WindowStart(accepted, window, buckets int64) int64 {
+	if accepted <= window {
+		return 0
+	}
+	width := WindowBucketWidth(window, buckets)
+	k := (accepted - window + width - 1) / width
+	return k * width
+}
+
+// instanceSeed derives the suffix instance k's seed from the shard seed,
+// independent of when the instance is (lazily) created, so restore can
+// re-derive and cross-check it.
+func (cfg *WindowShardConfig) instanceSeed(k int64) uint64 {
+	return xrand.New(cfg.Seed + 0x9e3779b97f4a7c15*uint64(k+1)).Uint64()
+}
+
+// instanceConfig derives suffix instance k's InsertOnly configuration;
+// restore verifies instance snapshots against exactly this derivation.
+func (cfg *WindowShardConfig) instanceConfig(k int64) InsertOnlyConfig {
+	return InsertOnlyConfig{
+		N:           cfg.N,
+		D:           cfg.D,
+		Alpha:       cfg.Alpha,
+		Seed:        cfg.instanceSeed(k),
+		ScaleFactor: cfg.ScaleFactor,
+	}
+}
+
+// NewWindowShard builds an empty shard.  clock must return the global
+// number of accepted updates (across all shards of the engine); it is
+// read at query and view time to decide which suffix instances are still
+// inside the window.
+func NewWindowShard(cfg WindowShardConfig, clock func() int64) (*WindowShard, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("core: WindowShard: nil clock")
+	}
+	return &WindowShard{
+		cfg:   cfg,
+		width: WindowBucketWidth(cfg.Window, cfg.Buckets),
+		d2:    witnessTarget(cfg.D, cfg.Alpha),
+		clock: clock,
+	}, nil
+}
+
+// Config returns the configuration the shard was built (or restored) with.
+func (ws *WindowShard) Config() WindowShardConfig { return ws.cfg }
+
+// minLive returns the smallest bucket label whose suffix instance is
+// still inside the window after `accepted` global updates.
+func (ws *WindowShard) minLive(accepted int64) int64 {
+	return WindowStart(accepted, ws.cfg.Window, ws.cfg.Buckets) / ws.width
+}
+
+// Apply consumes one batch of position-stamped updates in stream order.
+// Positions within a batch are strictly ascending (the engine stamps them
+// under one lock); the batch is split into segments sharing a bucket so
+// instance creation and expiry happen at most once per bucket crossed.
+func (ws *WindowShard) Apply(batch []WindowUpdate) {
+	if len(batch) == 0 {
+		return
+	}
+	ws.consumed += int64(len(batch))
+	start := 0
+	bucket := batch[0].Pos / ws.width
+	for i := 1; i <= len(batch); i++ {
+		if i < len(batch) && batch[i].Pos/ws.width == bucket {
+			continue
+		}
+		ws.applySegment(batch[start:i], bucket)
+		if i < len(batch) {
+			start, bucket = i, batch[i].Pos/ws.width
+		}
+	}
+}
+
+// applySegment feeds one same-bucket run of updates.  Order matters:
+// expired instances are dropped and the bucket's instance is created
+// before feeding, so no update ever reaches an instance whose suffix
+// does not contain it.
+func (ws *WindowShard) applySegment(seg []WindowUpdate, bucket int64) {
+	// Expire: any instance whose start precedes the window of the first
+	// position's stream prefix is dead for every later query too (the
+	// clock only grows), so dropping it whole here is safe and final.
+	min := ws.minLive(seg[0].Pos + 1)
+	cut := 0
+	for cut < len(ws.insts) && ws.insts[cut].k < min {
+		cut++
+	}
+	if cut > 0 {
+		n := copy(ws.insts, ws.insts[cut:])
+		for i := n; i < len(ws.insts); i++ {
+			ws.insts[i] = windowInstance{} // release the dropped instance
+		}
+		ws.insts = ws.insts[:n]
+	}
+	// Create: every label up to this bucket that could still serve a
+	// query.  Labels below min would be expired before ever being served;
+	// skipping them keeps a long-idle shard's catch-up O(Buckets), not
+	// O(gap/width).  A skipped label stays skipped — nextK is monotone —
+	// which is exactly the lazy-creation invariant restore relies on.
+	from := ws.nextK
+	if from < min {
+		from = min
+	}
+	for k := from; k <= bucket; k++ {
+		run, err := NewInsertOnly(ws.cfg.instanceConfig(k))
+		if err != nil {
+			// The per-instance config differs from the validated shard
+			// config only in its derived seed; it cannot fail.
+			panic(fmt.Sprintf("core: WindowShard instance %d: %v", k, err))
+		}
+		ws.insts = append(ws.insts, windowInstance{k: k, run: run})
+	}
+	if bucket+1 > ws.nextK {
+		ws.nextK = bucket + 1
+	}
+	// Feed every retained instance the segment: each retained instance's
+	// start is <= bucket*width <= every position in the segment.
+	edges := ws.scratch[:0]
+	for _, u := range seg {
+		edges = append(edges, u.Edge)
+	}
+	ws.scratch = edges
+	for _, inst := range ws.insts {
+		inst.run.ProcessEdges(edges)
+	}
+}
+
+// served returns the suffix instance queries answer from — the oldest
+// retained instance still inside the window — or nil when the shard holds
+// nothing in-window (no traffic yet, or everything aged out).
+func (ws *WindowShard) served() *InsertOnly {
+	min := ws.minLive(ws.clock())
+	for i := range ws.insts {
+		if ws.insts[i].k >= min {
+			return ws.insts[i].run
+		}
+	}
+	return nil
+}
+
+// QueryBest is the Best half of the barrier read: the largest (possibly
+// below-target) in-window neighbourhood; see (*InsertOnly).QueryBest.
+func (ws *WindowShard) QueryBest() View {
+	if run := ws.served(); run != nil {
+		return run.QueryBest()
+	}
+	return View{Rung: -1}
+}
+
+// QueryResults is the Results half of the barrier read: every item with a
+// full ceil(D/Alpha)-witness in-window neighbourhood, sorted by item id.
+func (ws *WindowShard) QueryResults() View {
+	if run := ws.served(); run != nil {
+		return run.QueryResults()
+	}
+	return View{Rung: -1}
+}
+
+// View builds the shard's immutable published query surface from the
+// served suffix instance, with size accounting over the whole retained
+// ladder (what the shard actually holds, not just what it serves).
+func (ws *WindowShard) View() View {
+	var v View
+	if run := ws.served(); run != nil {
+		v = run.View()
+	} else {
+		v = View{Rung: -1}
+	}
+	v.SpaceWords = ws.SpaceWords()
+	v.SnapshotBytes = ws.SnapshotSize()
+	v.Elements = ws.consumed
+	return v
+}
+
+// WitnessTarget returns ceil(D/Alpha), identical on every shard.
+func (ws *WindowShard) WitnessTarget() int64 { return ws.d2 }
+
+// EdgesProcessed returns the number of updates the shard has consumed
+// over its lifetime (not just in-window).
+func (ws *WindowShard) EdgesProcessed() int64 { return ws.consumed }
+
+// Instances returns the retained suffix-instance count, for diagnostics.
+func (ws *WindowShard) Instances() int { return len(ws.insts) }
+
+// SpaceWords reports the live state summed over every retained instance
+// — the B+1 multiplier of the godoc trade-off, measured.
+func (ws *WindowShard) SpaceWords() int {
+	words := 4 // cfg bookkeeping: width, nextK, consumed, instance count
+	for _, inst := range ws.insts {
+		words += inst.run.SpaceWords()
+	}
+	return words
+}
+
+// Snapshot writes the shard's complete window state: the consumed
+// counter, then every *live* suffix instance (label, length-prefixed
+// InsertOnly snapshot) in ascending label order.  Retained-but-expired
+// instances are filtered out — they can never be served again, and
+// filtering makes a snapshot taken before and after their lazy pruning
+// byte-identical.  Liveness is judged by the engine's clock under the
+// snapshot barrier, where it is exact.
+func (ws *WindowShard) Snapshot(w io.Writer) error {
+	min := ws.minLive(ws.clock())
+	enc := &encoder{w: w}
+	enc.i64(ws.consumed)
+	live := 0
+	for _, inst := range ws.insts {
+		if inst.k >= min {
+			live++
+		}
+	}
+	enc.i64(int64(live))
+	for _, inst := range ws.insts {
+		if inst.k < min {
+			continue
+		}
+		enc.i64(inst.k)
+		enc.i64(int64(inst.run.SnapshotSize()))
+		if enc.err == nil {
+			enc.err = inst.run.Snapshot(w)
+		}
+	}
+	return enc.err
+}
+
+// SnapshotSize returns the exact byte length Snapshot would write, under
+// the same liveness filter.
+func (ws *WindowShard) SnapshotSize() int {
+	min := ws.minLive(ws.clock())
+	size := 16 // consumed + live count
+	for _, inst := range ws.insts {
+		if inst.k >= min {
+			size += 16 + inst.run.SnapshotSize()
+		}
+	}
+	return size
+}
+
+// RestoreWindowShard reads a snapshot written by Snapshot and returns a
+// shard that continues exactly where the snapshotted one stopped.  cfg
+// must be the configuration the restoring container derived for this
+// shard; every instance snapshot is cross-checked against the
+// label-derived configuration, so a snapshot from a different window
+// geometry, universe slice or seed fails as ErrBadSnapshot.  nextK is
+// re-derived from the newest restored instance: a live instance set is
+// never newer than the shard's newest-created label, and when the set is
+// empty the creation lower bound is dominated by the window anyway.
+func RestoreWindowShard(r io.Reader, cfg WindowShardConfig, clock func() int64) (*WindowShard, error) {
+	ws, err := NewWindowShard(cfg, clock)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	dec := &decoder{r: r}
+	ws.consumed = dec.i64()
+	ninsts := dec.i64()
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	if ws.consumed < 0 || ninsts < 0 || ninsts > cfg.Buckets+1 {
+		return nil, fmt.Errorf("%w: window shard consumed %d with %d instances (Buckets = %d)",
+			ErrBadSnapshot, ws.consumed, ninsts, cfg.Buckets)
+	}
+	prev := int64(-1)
+	for i := int64(0); i < ninsts; i++ {
+		k := dec.i64()
+		size := dec.i64()
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if k <= prev {
+			return nil, fmt.Errorf("%w: instance label %d not ascending from %d", ErrBadSnapshot, k, prev)
+		}
+		if size < 0 {
+			return nil, fmt.Errorf("%w: instance %d snapshot length %d", ErrBadSnapshot, k, size)
+		}
+		lr := io.LimitReader(r, size)
+		run, err := RestoreInsertOnly(lr)
+		if err != nil {
+			return nil, fmt.Errorf("window instance %d: %w", k, err)
+		}
+		if left, _ := io.Copy(io.Discard, lr); left != 0 {
+			return nil, fmt.Errorf("%w: instance %d snapshot has %d trailing bytes", ErrBadSnapshot, k, left)
+		}
+		if got, want := run.Config(), cfg.instanceConfig(k); got != want {
+			return nil, fmt.Errorf("%w: instance %d config %+v does not match window derivation %+v",
+				ErrBadSnapshot, k, got, want)
+		}
+		ws.insts = append(ws.insts, windowInstance{k: k, run: run})
+		prev = k
+	}
+	if len(ws.insts) > 0 {
+		ws.nextK = ws.insts[len(ws.insts)-1].k + 1
+	}
+	return ws, nil
+}

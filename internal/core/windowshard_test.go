@@ -1,0 +1,230 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"feww/internal/stream"
+)
+
+// windowFeeder drives a WindowShard the way the engine does: it stamps
+// global positions, advances the shared clock, and feeds batches.
+type windowFeeder struct {
+	ws  *WindowShard
+	pos int64
+}
+
+func newWindowFeeder(t *testing.T, cfg WindowShardConfig) *windowFeeder {
+	t.Helper()
+	f := &windowFeeder{}
+	ws, err := NewWindowShard(cfg, func() int64 { return f.pos })
+	if err != nil {
+		t.Fatalf("NewWindowShard: %v", err)
+	}
+	f.ws = ws
+	return f
+}
+
+// feed stamps and applies edges as one batch, each advancing the clock.
+func (f *windowFeeder) feed(edges ...stream.Edge) {
+	batch := make([]WindowUpdate, len(edges))
+	for i, e := range edges {
+		batch[i] = WindowUpdate{Edge: e, Pos: f.pos + int64(i)}
+	}
+	f.pos += int64(len(edges))
+	f.ws.Apply(batch)
+}
+
+// occurrences builds one edge per call position: item a witnessed by the
+// global timestamp, the classical frequent-elements rendering.
+func (f *windowFeeder) occur(items ...int64) {
+	edges := make([]stream.Edge, len(items))
+	for i, a := range items {
+		edges[i] = stream.Edge{A: a, B: f.pos + int64(i)}
+	}
+	f.feed(edges...)
+}
+
+func resultIDs(v View) []int64 {
+	ids := make([]int64, 0, len(v.Results))
+	for _, nb := range v.Results {
+		ids = append(ids, nb.A)
+	}
+	return ids
+}
+
+func TestWindowBucketMath(t *testing.T) {
+	cases := []struct {
+		accepted, window, buckets, start int64
+	}{
+		{0, 12, 3, 0},
+		{12, 12, 3, 0},
+		{13, 12, 3, 4}, // ceil(1/4)*4
+		{16, 12, 3, 4}, // ceil(4/4)*4
+		{17, 12, 3, 8}, // ceil(5/4)*4
+		{100, 10, 10, 90},
+		{100, 10, 1, 90},
+		{7, 100, 4, 0},
+	}
+	for _, c := range cases {
+		if got := WindowStart(c.accepted, c.window, c.buckets); got != c.start {
+			t.Errorf("WindowStart(%d, %d, %d) = %d, want %d", c.accepted, c.window, c.buckets, got, c.start)
+		}
+	}
+	if got := WindowBucketWidth(12, 3); got != 4 {
+		t.Errorf("WindowBucketWidth(12, 3) = %d, want 4", got)
+	}
+	if got := WindowBucketWidth(10, 3); got != 4 {
+		t.Errorf("WindowBucketWidth(10, 3) = %d, want 4", got)
+	}
+}
+
+// TestWindowShardRotatesOut plants a heavy item, lets it age out of the
+// window, and checks the reported set tracks the transition: reported
+// while its occurrences are in-window, gone once the served suffix no
+// longer holds D of them.  Alpha = 1 keeps every run deterministic
+// (sample-everything), so the assertions are exact, not w.h.p.
+func TestWindowShardRotatesOut(t *testing.T) {
+	f := newWindowFeeder(t, WindowShardConfig{
+		N: 16, D: 3, Alpha: 1, Window: 12, Buckets: 3, Seed: 7,
+	})
+
+	// Positions 0..5: item 1 occurs 3 times among noise.
+	f.occur(1, 2, 1, 3, 1, 4)
+	if got := resultIDs(f.ws.QueryResults()); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("in-window heavy item: results = %v, want [1]", got)
+	}
+	if v := f.ws.QueryBest(); !v.BestOK || v.Best.A != 1 {
+		t.Fatalf("QueryBest = %+v, want item 1", v)
+	}
+
+	// Push the stream to position 18.  The served suffix starts at bucket
+	// boundary 8 (WindowStart(18, 12, 3)), which holds positions 8..17:
+	// items 7 and 8 occur 3 times there, items 5 and 6 only twice, and
+	// item 1 has aged out entirely.
+	f.occur(5, 6, 7, 8, 5, 6, 7, 8, 5, 6, 7, 8)
+	if got := resultIDs(f.ws.QueryResults()); len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("after rotation: results = %v, want [7 8] (item 1 aged out)", got)
+	}
+
+	// Every witness of every result must be in-window: witnesses are the
+	// global positions the occurrences arrived at.
+	start := WindowStart(f.pos, 12, 3)
+	for _, nb := range f.ws.QueryResults().Results {
+		for _, b := range nb.Witnesses {
+			if b < start || b >= f.pos {
+				t.Fatalf("witness %d of item %d outside served window [%d, %d)", b, nb.A, start, f.pos)
+			}
+		}
+	}
+}
+
+// TestWindowShardEmptyAfterSilence checks whole-state expiry: once every
+// occurrence of a shard's items has aged out, the shard serves nothing —
+// and a later burst starts clean.
+func TestWindowShardEmptyAfterSilence(t *testing.T) {
+	f := newWindowFeeder(t, WindowShardConfig{
+		N: 8, D: 2, Alpha: 1, Window: 8, Buckets: 4, Seed: 3,
+	})
+	f.occur(1, 1, 1)
+	if got := resultIDs(f.ws.QueryResults()); len(got) != 1 {
+		t.Fatalf("results = %v, want [1]", got)
+	}
+
+	// The clock advances without this shard seeing traffic (other shards'
+	// elements): everything ages out even though Apply never ran.
+	f.pos += 20
+	if v := f.ws.QueryResults(); len(v.Results) != 0 {
+		t.Fatalf("after silence: results = %v, want none", resultIDs(v))
+	}
+	if v := f.ws.QueryBest(); v.BestOK {
+		t.Fatalf("after silence: QueryBest = %+v, want none", v)
+	}
+
+	// A burst after the long gap must not replay history or create an
+	// instance per skipped bucket.
+	f.occur(2, 2, 2)
+	if got := resultIDs(f.ws.QueryResults()); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("after burst: results = %v, want [2]", got)
+	}
+	if n := f.ws.Instances(); n > int(f.ws.Config().Buckets)+1 {
+		t.Fatalf("retained %d instances, want <= Buckets+1 = %d", n, f.ws.Config().Buckets+1)
+	}
+}
+
+// TestWindowShardSnapshotRoundTrip snapshots mid-window, restores, feeds
+// both shards the identical suffix, and requires byte-identical snapshots
+// and identical answers — the continuation contract the engine container
+// builds on.
+func TestWindowShardSnapshotRoundTrip(t *testing.T) {
+	cfg := WindowShardConfig{N: 32, D: 3, Alpha: 2, Window: 20, Buckets: 5, Seed: 99}
+	f := newWindowFeeder(t, cfg)
+	f.occur(1, 2, 1, 3, 1, 4, 5, 1, 2, 6, 7, 2, 2)
+
+	var snap bytes.Buffer
+	if err := f.ws.Snapshot(&snap); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if got, want := snap.Len(), f.ws.SnapshotSize(); got != want {
+		t.Fatalf("snapshot length %d, SnapshotSize %d", got, want)
+	}
+
+	g := &windowFeeder{pos: f.pos}
+	restored, err := RestoreWindowShard(bytes.NewReader(snap.Bytes()), cfg, func() int64 { return g.pos })
+	if err != nil {
+		t.Fatalf("RestoreWindowShard: %v", err)
+	}
+	g.ws = restored
+
+	suffix := []int64{8, 9, 1, 8, 9, 8, 9, 8, 3, 3, 3, 9}
+	f.occur(suffix...)
+	g.occur(suffix...)
+
+	var a, b bytes.Buffer
+	if err := f.ws.Snapshot(&a); err != nil {
+		t.Fatalf("original re-snapshot: %v", err)
+	}
+	if err := g.ws.Snapshot(&b); err != nil {
+		t.Fatalf("restored re-snapshot: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("snapshots diverge after identical suffix: %d vs %d bytes", a.Len(), b.Len())
+	}
+	ra, rb := resultIDs(f.ws.QueryResults()), resultIDs(g.ws.QueryResults())
+	if len(ra) != len(rb) {
+		t.Fatalf("results diverge: %v vs %v", ra, rb)
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("results diverge: %v vs %v", ra, rb)
+		}
+	}
+}
+
+// TestWindowShardRestoreRejects checks the restore cross-checks: wrong
+// geometry and corrupt labels must fail as ErrBadSnapshot, not corrupt
+// the instance ladder silently.
+func TestWindowShardRestoreRejects(t *testing.T) {
+	cfg := WindowShardConfig{N: 8, D: 2, Alpha: 1, Window: 8, Buckets: 4, Seed: 5}
+	f := newWindowFeeder(t, cfg)
+	f.occur(1, 2, 1, 2, 3, 1) // three live suffix instances at clock 6
+	var snap bytes.Buffer
+	if err := f.ws.Snapshot(&snap); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	clock := func() int64 { return 6 }
+	bad := cfg
+	bad.Seed = 6
+	if _, err := RestoreWindowShard(bytes.NewReader(snap.Bytes()), bad, clock); err == nil {
+		t.Fatal("restore with wrong seed succeeded")
+	}
+	bad = cfg
+	bad.Buckets = 1 // ninsts = 3 exceeds the Buckets+1 liveness bound
+	if _, err := RestoreWindowShard(bytes.NewReader(snap.Bytes()), bad, clock); err == nil {
+		t.Fatal("restore with wrong bucket count succeeded")
+	}
+	if _, err := RestoreWindowShard(bytes.NewReader(snap.Bytes()[:snap.Len()-3]), cfg, clock); err == nil {
+		t.Fatal("restore from truncated snapshot succeeded")
+	}
+}

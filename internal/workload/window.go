@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"fmt"
+
+	"feww/internal/stream"
+	"feww/internal/xrand"
+)
+
+// The sliding-window generators.  A whole-stream frequent-elements
+// instance has one static heavy head; a windowed one must *move* the
+// head, or a window engine and a whole-stream engine would be
+// indistinguishable.  Both generators here produce item sequences;
+// ComposeWindowStream renders a sequence (or a round-robin interleave of
+// several, for range-partitioned clusters) into the paper's graph view —
+// occurrence t becomes edge (item, t) — so served witnesses are arrival
+// positions, checkable against the stream itself.
+
+// WindowZipfConfig describes a rotating-heavy zipfian item stream: Zipf
+// ranks over the universe, with the rank-to-item mapping reshuffled every
+// phase so the heavy head moves.  A whole-stream engine keeps reporting
+// the early phases' heavy items long after traffic moved on; a sliding
+// window tracks the current phase — the recency contrast the windowed
+// experiment measures.
+type WindowZipfConfig struct {
+	N      int64   // item universe [0, N)
+	Total  int     // stream length
+	Phases int     // rank-reshuffle count (0 = 1: a static zipf stream)
+	Skew   float64 // Zipf exponent (> 1; 0 = 1.2)
+	Seed   uint64
+}
+
+// WindowZipfItems generates the rotating-heavy item sequence.
+func WindowZipfItems(cfg WindowZipfConfig) ([]int64, error) {
+	if cfg.N < 1 || cfg.Total < 0 {
+		return nil, fmt.Errorf("workload: window zipf: N=%d Total=%d", cfg.N, cfg.Total)
+	}
+	phases := cfg.Phases
+	if phases <= 0 {
+		phases = 1
+	}
+	skew := cfg.Skew
+	if skew == 0 {
+		skew = 1.2
+	}
+	rng := xrand.New(cfg.Seed)
+	zipf := xrand.NewZipf(rng, skew, int(cfg.N))
+	items := make([]int64, cfg.Total)
+	perm := rng.Perm(int(cfg.N))
+	phaseLen := (cfg.Total + phases - 1) / phases
+	if phaseLen == 0 {
+		phaseLen = 1
+	}
+	for t := range items {
+		if t > 0 && t%phaseLen == 0 {
+			perm = rng.Perm(int(cfg.N))
+		}
+		items[t] = int64(perm[zipf.Next()])
+	}
+	return items, nil
+}
+
+// WindowBurstConfig describes the adversarial input for whole-bucket
+// expiry: each heavy item's occurrences arrive as one dense burst placed
+// to *straddle* a bucket boundary of the consumer's window geometry —
+// half the burst lands in a sub-window about to age out, half in the
+// next.  An implementation that mishandles the boundary either drops a
+// still-in-window burst early or keeps reporting one that fully expired.
+type WindowBurstConfig struct {
+	N        int64 // item universe [0, N); burst items are drawn from it
+	Window   int64 // the consumer's window length (>= 1)
+	Buckets  int64 // the consumer's bucket count (1 <= Buckets <= Window)
+	Bursts   int   // number of bursts (>= 1)
+	BurstLen int64 // occurrences per burst (the heavy promise; >= 2)
+	Seed     uint64
+}
+
+// WindowBurstItems generates the burst sequence and returns it with the
+// burst items in arrival order.  Between bursts, uniform background noise
+// pads the stream to the next bucket boundary minus half a burst, so
+// every burst crosses a boundary; consecutive bursts get distinct items.
+func WindowBurstItems(cfg WindowBurstConfig) (items, burstItems []int64, err error) {
+	if cfg.N < 2 || cfg.Window < 1 || cfg.Buckets < 1 || cfg.Buckets > cfg.Window {
+		return nil, nil, fmt.Errorf("workload: window burst: bad universe/geometry %+v", cfg)
+	}
+	if cfg.Bursts < 1 || cfg.BurstLen < 2 {
+		return nil, nil, fmt.Errorf("workload: window burst: Bursts=%d BurstLen=%d", cfg.Bursts, cfg.BurstLen)
+	}
+	width := (cfg.Window + cfg.Buckets - 1) / cfg.Buckets
+	rng := xrand.New(cfg.Seed)
+	prev := int64(-1)
+	for b := 0; b < cfg.Bursts; b++ {
+		item := rng.Int64n(cfg.N)
+		for item == prev {
+			item = rng.Int64n(cfg.N)
+		}
+		prev = item
+		// Pad with noise so the burst's midpoint lands on a bucket
+		// boundary strictly ahead of the current position.
+		pos := int64(len(items))
+		boundary := ((pos+cfg.BurstLen/2)/width + 1) * width
+		for int64(len(items)) < boundary-cfg.BurstLen/2 {
+			noise := rng.Int64n(cfg.N)
+			if noise == item {
+				continue
+			}
+			items = append(items, noise)
+		}
+		for i := int64(0); i < cfg.BurstLen; i++ {
+			items = append(items, item)
+		}
+		burstItems = append(burstItems, item)
+	}
+	return items, burstItems, nil
+}
+
+// ComposeWindowStream renders item sequences into one positional stream
+// with ground truth.  With one part, the stream is simply occurrence t of
+// part 0 becoming edge (item, t).  With R > 1 parts — the range-
+// partitioned cluster form — part r's items must lie in [0, rangeWidth)
+// and are offset to the contiguous range [r*rangeWidth, (r+1)*rangeWidth);
+// the parts are interleaved strictly round-robin, so global position p
+// carries part p%R's next item.  Under that discipline a gateway routing
+// by range delivers every R-th update to each member, which is what makes
+// member-local windows of length W/R compose into one global window of
+// length W (see cluster.Gateway).  Parts must have equal length.
+//
+// The returned Truth holds every (item, position) pair, so Verify checks
+// that served witnesses are genuine arrival positions of the item.
+func ComposeWindowStream(rangeWidth int64, parts [][]int64) (*Planted, error) {
+	if len(parts) == 0 || rangeWidth < 1 {
+		return nil, fmt.Errorf("workload: compose window stream: %d parts, range width %d", len(parts), rangeWidth)
+	}
+	for r, part := range parts {
+		if len(part) != len(parts[0]) {
+			return nil, fmt.Errorf("workload: compose window stream: part %d has %d items, part 0 has %d — round-robin interleave needs equal lengths", r, len(part), len(parts[0]))
+		}
+	}
+	total := len(parts) * len(parts[0])
+	p := &Planted{
+		Updates: make([]stream.Update, 0, total),
+		Truth:   make(map[stream.Edge]bool, total),
+	}
+	for t := 0; t < total; t++ {
+		r := t % len(parts)
+		a := parts[r][t/len(parts)]
+		if a < 0 || a >= rangeWidth {
+			return nil, fmt.Errorf("workload: compose window stream: part %d item %d not in [0, %d)", r, a, rangeWidth)
+		}
+		e := stream.Edge{A: int64(r)*rangeWidth + a, B: int64(t)}
+		p.Updates = append(p.Updates, stream.Update{Edge: e, Op: stream.Insert})
+		p.Truth[e] = true
+	}
+	return p, nil
+}
+
+// WindowRecount is the ground truth a sliding-window engine is judged
+// against: the exact frequency of every item among the updates at
+// positions [start, len(updates)).  The caller derives start from the
+// engine's geometry — 0 while the stream is shorter than the window, the
+// bucket-aligned window start otherwise (see core.WindowStart).
+func WindowRecount(updates []stream.Update, start int64) map[int64]int64 {
+	counts := make(map[int64]int64)
+	for t := start; t < int64(len(updates)); t++ {
+		counts[updates[t].A]++
+	}
+	return counts
+}
+
+// NewWindowZipf renders a single-range rotating-heavy zipfian stream
+// (fewwgen's windowzipf kind).
+func NewWindowZipf(cfg WindowZipfConfig) (*Planted, error) {
+	items, err := WindowZipfItems(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ComposeWindowStream(cfg.N, [][]int64{items})
+}
+
+// NewWindowBurst renders a single-range boundary-straddling burst stream
+// (fewwgen's windowburst kind); the burst items ride in HeavyA.
+func NewWindowBurst(cfg WindowBurstConfig) (*Planted, error) {
+	items, burstItems, err := WindowBurstItems(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, err := ComposeWindowStream(cfg.N, [][]int64{items})
+	if err != nil {
+		return nil, err
+	}
+	p.HeavyA = burstItems
+	return p, nil
+}

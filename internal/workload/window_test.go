@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"feww/internal/stream"
+)
+
+// TestWindowZipfTopKFrequencies is the statistical check on the zipfian
+// generator: with one phase, the empirical frequencies of the k most
+// frequent items must match the theoretical Zipf(s) rank probabilities
+// p(r) = (r+1)^-s / H_{N,s} within tolerance.  The seed is fixed, so the
+// test is deterministic; the tolerance (10% relative) sits far above the
+// sampling noise at this stream length and far below the ~13% gap
+// between adjacent rank probabilities.
+func TestWindowZipfTopKFrequencies(t *testing.T) {
+	const (
+		n     = 500
+		total = 200000
+		skew  = 1.2
+		topK  = 10
+	)
+	items, err := WindowZipfItems(WindowZipfConfig{N: n, Total: total, Phases: 1, Skew: skew, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int64]int64)
+	for _, a := range items {
+		counts[a]++
+	}
+	freqs := make([]int64, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	// Selection sort of the top K; the map is small.
+	for i := 0; i < topK; i++ {
+		for j := i + 1; j < len(freqs); j++ {
+			if freqs[j] > freqs[i] {
+				freqs[i], freqs[j] = freqs[j], freqs[i]
+			}
+		}
+	}
+	var h float64
+	for i := 1; i <= n; i++ {
+		h += math.Pow(float64(i), -skew)
+	}
+	for r := 0; r < topK; r++ {
+		want := float64(total) * math.Pow(float64(r+1), -skew) / h
+		got := float64(freqs[r])
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("rank %d: observed frequency %.0f, Zipf(%.1f) predicts %.0f (relative error %.1f%%)",
+				r, got, skew, want, 100*rel)
+		}
+	}
+}
+
+// TestWindowZipfRotatesHeavyHead pins the generator's reason to exist:
+// with two phases, the most frequent item of the first half differs from
+// the most frequent item of the second half.
+func TestWindowZipfRotatesHeavyHead(t *testing.T) {
+	items, err := WindowZipfItems(WindowZipfConfig{N: 200, Total: 40000, Phases: 2, Skew: 1.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := func(part []int64) int64 {
+		counts := make(map[int64]int64)
+		var best int64
+		var bestC int64 = -1
+		for _, a := range part {
+			counts[a]++
+			if counts[a] > bestC {
+				best, bestC = a, counts[a]
+			}
+		}
+		return best
+	}
+	first, second := top(items[:len(items)/2]), top(items[len(items)/2:])
+	if first == second {
+		t.Fatalf("heavy head did not rotate: item %d tops both phases", first)
+	}
+}
+
+// TestWindowZipfDeterministic pins the generator byte-for-byte: same
+// config, same sequence — and the exact sequence for one config, so an
+// accidental change to the sampling order (which would silently shift
+// every recorded experiment) fails loudly.
+func TestWindowZipfDeterministic(t *testing.T) {
+	cfg := WindowZipfConfig{N: 32, Total: 12, Phases: 2, Skew: 1.2, Seed: 42}
+	a, err := WindowZipfItems(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := WindowZipfItems(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config produced different sequences:\n%v\n%v", a, b)
+	}
+	want := []int64{22, 20, 28, 23, 30, 8, 9, 18, 19, 9, 11, 16}
+	if !reflect.DeepEqual(a, want) {
+		t.Fatalf("pinned sequence changed:\ngot  %v\nwant %v", a, want)
+	}
+}
+
+// TestWindowBurstStraddlesBoundaries checks the adversarial placement:
+// every burst is a run of at least BurstLen occurrences of its item
+// crossing a bucket boundary of the declared window geometry.
+func TestWindowBurstStraddlesBoundaries(t *testing.T) {
+	cfg := WindowBurstConfig{N: 100, Window: 60, Buckets: 6, Bursts: 5, BurstLen: 8, Seed: 11}
+	items, burstItems, err := WindowBurstItems(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(burstItems) != cfg.Bursts {
+		t.Fatalf("%d burst items, want %d", len(burstItems), cfg.Bursts)
+	}
+	width := (cfg.Window + cfg.Buckets - 1) / cfg.Buckets
+	for _, item := range burstItems {
+		found := false
+		for s := 0; s < len(items); {
+			if items[s] != item {
+				s++
+				continue
+			}
+			e := s
+			for e < len(items) && items[e] == item {
+				e++
+			}
+			// An interior boundary: some multiple of width strictly inside
+			// the run, so part of the burst ages out before the rest.
+			if int64(e-s) >= cfg.BurstLen {
+				first := (int64(s)/width + 1) * width
+				if first < int64(e) {
+					found = true
+				}
+			}
+			s = e
+		}
+		if !found {
+			t.Errorf("burst item %d has no >= %d-run crossing a width-%d boundary", item, cfg.BurstLen, width)
+		}
+	}
+}
+
+// TestComposeWindowStream checks the round-robin contract: position p
+// carries part p%R's next item offset into range p%R, the witness IS the
+// position, and unequal or out-of-range parts are rejected.
+func TestComposeWindowStream(t *testing.T) {
+	parts := [][]int64{{0, 1, 2}, {3, 0, 1}, {2, 2, 0}}
+	p, err := ComposeWindowStream(4, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Updates) != 9 {
+		t.Fatalf("%d updates, want 9", len(p.Updates))
+	}
+	for t0, u := range p.Updates {
+		r := t0 % 3
+		want := int64(r)*4 + parts[r][t0/3]
+		if u.A != want || u.B != int64(t0) || u.Op != stream.Insert {
+			t.Fatalf("position %d: update %+v, want insert (%d, %d)", t0, u, want, t0)
+		}
+		if !p.Truth[stream.Edge{A: u.A, B: u.B}] {
+			t.Fatalf("position %d: edge (%d, %d) missing from truth", t0, u.A, u.B)
+		}
+	}
+	if _, err := ComposeWindowStream(4, [][]int64{{0, 1}, {2}}); err == nil {
+		t.Fatal("unequal part lengths accepted")
+	}
+	if _, err := ComposeWindowStream(2, [][]int64{{0, 2}}); err == nil {
+		t.Fatal("out-of-range item accepted")
+	}
+	counts := WindowRecount(p.Updates, 6)
+	if got := int64(len(counts)); got > 3 {
+		t.Fatalf("recount over 3 positions counted %d items", got)
+	}
+	var sum int64
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 3 {
+		t.Fatalf("recount total %d, want 3", sum)
+	}
+}

@@ -1,5 +1,6 @@
 // The generic sharded runtime.  Engine (insertion-only), TurnstileEngine
-// (insertion-deletion) and StarEngine (star detection) are thin façades
+// (insertion-deletion), StarEngine (star detection) and WindowEngine
+// (sliding-window) are thin façades
 // over the one implementation in this file: the per-item residue
 // partition, the fanout/queue/batch machinery (shard.go), the published
 // core.View epochs with their fresh-barrier rendezvous, Drain/Close/
@@ -51,7 +52,7 @@ type shardAlgo[E any] interface {
 	WitnessTarget() int64
 }
 
-// The three algorithm adapters.  Each lifts an internal/core type onto
+// The four algorithm adapters.  Each lifts an internal/core type onto
 // shardAlgo by naming its batched mutation path; every other method
 // promotes from the embedded type.
 type insertOnlyAlgo struct{ *core.InsertOnly }
@@ -65,6 +66,10 @@ func (a turnstileAlgo) Apply(batch []Update) { a.ApplyUpdates(batch) }
 type starAlgo struct{ *core.StarShard }
 
 func (a starAlgo) Apply(batch []Edge) { a.ProcessEdges(batch) }
+
+type windowAlgo struct{ *core.WindowShard }
+
+func (a windowAlgo) Apply(batch []core.WindowUpdate) { a.WindowShard.Apply(batch) }
 
 // rtShard is one partition: the residue class it owns, the stride P, the
 // algorithm instance, and the shard's latest published result epoch.

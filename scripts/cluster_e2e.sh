@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# End-to-end cluster exercise (also the CI cluster-e2e job), in three
+# End-to-end cluster exercise (also the CI cluster-e2e job), in four
 # sections selectable by the first argument:
 #
 #   base  — 3 fewwd range members + fewwgate: planted workload through
@@ -11,6 +11,13 @@
 #           both (ground-truth verified), and the cluster's fresh /best
 #           and /results byte-identical to the single node's (the
 #           alpha=1 deterministic regime).
+#   window — 3 fewwd -algo window range members (member windows of W/3
+#           composing into one global window under round-robin routing)
+#           behind a gateway plus one full-universe window node, the
+#           identical rotating-heavy stream into both (verified against
+#           a sliding-window recount), fresh /results byte-identical;
+#           then checkpoint, SIGKILL a member, restore, slide the window
+#           past the restore point, and assert byte-identity again.
 #   chaos — a replicated gateway (-replicas 2, one spare) streaming a
 #           large planted workload while published reads hammer it:
 #           SIGKILL the follower mid-ingest (reconciler adopts the
@@ -19,7 +26,7 @@
 #           post-recovery fresh results must be byte-identical to a
 #           single full-universe engine fed the identical stream.
 #
-# Usage: scripts/cluster_e2e.sh [base|star|chaos|all]   (default: all)
+# Usage: scripts/cluster_e2e.sh [base|star|window|chaos|all]   (default: all)
 #
 # Set E2E_ARTIFACTS to a directory to keep the node/gateway logs and the
 # reconciler decision log (reconciler.json) after the run — CI uploads
@@ -28,9 +35,9 @@ set -euo pipefail
 
 section="${1:-all}"
 case "$section" in
-base | star | chaos | all) ;;
+base | star | window | chaos | all) ;;
 *)
-    echo "usage: $0 [base|star|chaos|all]" >&2
+    echo "usage: $0 [base|star|window|chaos|all]" >&2
     exit 2
     ;;
 esac
@@ -135,6 +142,63 @@ run_star() {
     done
 
     echo "PASS star: star tier matched a single engine byte-for-byte"
+}
+
+run_window() {
+    echo "== window tier: 3 fewwd -algo window members + gateway vs one full-universe window node"
+    WGATE=http://127.0.0.1:9434
+    WSINGLE=http://127.0.0.1:9430
+    WD=12 WW=240 WB=4 WE=12000
+    # Member windows of 80 compose into the global window of 240 under the
+    # gateway's strict round-robin range routing: 240 = 3 * 80, and 240 is
+    # divisible by 3 ranges * 4 buckets, so member bucket boundaries land
+    # on the same global positions as the single node's.  Seeds and shard
+    # counts again deliberately differ: with alpha=1 the served window
+    # depends only on the update sequence.
+    "$bins/fewwd" -algo window -addr 127.0.0.1:9430 -n $N -d $WD -alpha 1 -window $WW -buckets $WB -seed 41 -shards 2 >"$workdir/w-single.log" 2>&1 &
+    "$bins/fewwd" -algo window -addr 127.0.0.1:9431 -n 300 -d $WD -alpha 1 -window 80 -buckets $WB -seed 42 -shards 1 -checkpoint "$workdir/w0.ckpt" >"$workdir/w0.log" 2>&1 &
+    "$bins/fewwd" -algo window -addr 127.0.0.1:9432 -n 300 -d $WD -alpha 1 -window 80 -buckets $WB -seed 43 -shards 2 -checkpoint "$workdir/w1.ckpt" >"$workdir/w1.log" 2>&1 &
+    "$bins/fewwd" -algo window -addr 127.0.0.1:9433 -n 300 -d $WD -alpha 1 -window 80 -buckets $WB -seed 44 -shards 3 -checkpoint "$workdir/w2.ckpt" >"$workdir/w2.log" 2>&1 &
+    wvictim=$!
+    "$bins/fewwgate" -addr 127.0.0.1:9434 \
+        -members http://127.0.0.1:9431,http://127.0.0.1:9432,http://127.0.0.1:9433 \
+        -wait 30s >"$workdir/wgate.log" 2>&1 &
+    wait_http "$WSINGLE/healthz" 200
+    wait_http "$WGATE/healthz" 200
+
+    echo "== replaying the same rotating-heavy stream into both (sliding-window recount verify)"
+    # -ranges 3 composes the single node's stream exactly as the gateway
+    # receives it (same seed, same round-robin interleave of three range
+    # parts), which is what makes the byte-comparison below meaningful.
+    "$bins/fewwload" -gateway -addr "$WGATE" -scenario window -d $WD -edges $WE -reqsize 2000 -seed 4 -verify
+    "$bins/fewwload" -addr "$WSINGLE" -scenario window -d $WD -edges $WE -reqsize 2000 -seed 4 -ranges 3 -verify
+
+    echo "== asserting the window cluster answers byte-identically to the single node"
+    curl -fsS "$WSINGLE/results?fresh=1" >"$workdir/win-single.json"
+    curl -fsS "$WGATE/results?fresh=1" >"$workdir/win-cluster.json"
+    diff "$workdir/win-single.json" "$workdir/win-cluster.json"
+
+    echo "== checkpointing mid-window, SIGKILL member 2, restoring from its checkpoint"
+    curl -fsS -X POST "$WGATE/checkpoint" >/dev/null
+    kill -9 "$wvictim"
+    wait_http "$WGATE/healthz" 503
+    "$bins/fewwd" -addr 127.0.0.1:9433 -restore "$workdir/w2.ckpt" \
+        -checkpoint "$workdir/w2.ckpt" >"$workdir/w2-restored.log" 2>&1 &
+    wait_http "$WGATE/healthz" 200
+
+    echo "== sliding the window past the restore point on both targets"
+    # A second stream (different seed) continues both engines; the ground
+    # truth of this replay alone no longer covers the engines' history, so
+    # only byte-identity is asserted here.
+    "$bins/fewwload" -gateway -addr "$WGATE" -scenario window -d $WD -edges $WE -reqsize 2000 -seed 5 -verify=false
+    "$bins/fewwload" -addr "$WSINGLE" -scenario window -d $WD -edges $WE -reqsize 2000 -seed 5 -ranges 3 -verify=false
+
+    echo "== asserting byte-identity held through checkpoint, kill and restore"
+    curl -fsS "$WSINGLE/results?fresh=1" >"$workdir/win-single2.json"
+    curl -fsS "$WGATE/results?fresh=1" >"$workdir/win-cluster2.json"
+    diff "$workdir/win-single2.json" "$workdir/win-cluster2.json"
+
+    echo "PASS window: window tier matched a single engine byte-for-byte, through a member kill and restore"
 }
 
 # Chaos-section helpers.  All poll the replicated gateway at $CGATE.
@@ -264,6 +328,7 @@ run_chaos() {
 
 if [ "$section" = base ] || [ "$section" = all ]; then run_base; fi
 if [ "$section" = star ] || [ "$section" = all ]; then run_star; fi
+if [ "$section" = window ] || [ "$section" = all ]; then run_window; fi
 if [ "$section" = chaos ] || [ "$section" = all ]; then run_chaos; fi
 
 echo "PASS: cluster e2e ($section) complete"

@@ -10,7 +10,8 @@ import (
 )
 
 // Backend is the engine surface fewwd serves: the insertion-only Engine,
-// the TurnstileEngine, or the StarEngine behind one adapter interface.
+// the TurnstileEngine, the StarEngine, or the sliding-window WindowEngine
+// behind one adapter interface.
 // All engines are façades over the same generic sharded runtime and are
 // internally safe for concurrent use, so Backend methods may be called
 // from any number of request handlers at once.
@@ -22,8 +23,9 @@ import (
 // takes the strict barrier and reflects every update accepted before
 // the call.
 type Backend interface {
-	// Kind is "insert-only", "turnstile" or "star", reported by /stats
-	// and /healthz (where the cluster gateway verifies it per member).
+	// Kind is "insert-only", "turnstile", "star" or "window", reported by
+	// /stats and /healthz (where the cluster gateway verifies it per
+	// member).
 	Kind() string
 	// Ingest applies a batch of updates in order.  The engine validates
 	// every update against its universe before feeding anything, so a
@@ -140,6 +142,11 @@ func NewTurnstileBackend(e *feww.TurnstileEngine) Backend {
 // NewStarBackend wraps a sharded star-detection engine.
 func NewStarBackend(e *feww.StarEngine) Backend {
 	return &starBackend{commonBackend{e}, e}
+}
+
+// NewWindowBackend wraps a sharded sliding-window engine.
+func NewWindowBackend(e *feww.WindowEngine) Backend {
+	return &windowBackend{commonBackend{e}, e}
 }
 
 type insertBackend struct {
@@ -284,6 +291,57 @@ func (b *starBackend) Universe() (int64, int64) { return b.e.Config().N, b.e.Con
 // must agree on it for their rung indices to merge.
 func (b *starBackend) Rungs() int { return len(b.e.Guesses()) }
 
+type windowBackend struct {
+	commonBackend
+	e *feww.WindowEngine
+}
+
+func (b *windowBackend) Kind() string { return "window" }
+
+// Ingest feeds the window engine like the insert-only one: deletions are
+// rejected here (a sliding window forgets by aging out, not by explicit
+// removal), and the engine's own boundary check guards the universe.
+func (b *windowBackend) Ingest(ups []feww.Update) error {
+	edges, err := insertEdges(ups, "sliding-window engine")
+	if err != nil {
+		return err
+	}
+	err = b.e.ProcessEdges(*edges)
+	putEdgeBuf(edges)
+	return err
+}
+
+func (b *windowBackend) Best(fresh bool) BestAnswer {
+	var (
+		nb feww.Neighbourhood
+		ok bool
+	)
+	if fresh {
+		nb, ok = b.e.BestFresh()
+	} else {
+		nb, ok = b.e.Best()
+	}
+	return BestAnswer{Neighbourhood: nb, Found: ok, WitnessTarget: b.e.WitnessTarget(), Rung: -1}
+}
+
+func (b *windowBackend) Results(fresh bool) ResultsAnswer {
+	if fresh {
+		return ResultsAnswer{Neighbourhoods: b.e.ResultsFresh(), Rung: -1}
+	}
+	return ResultsAnswer{Neighbourhoods: b.e.Results(), Rung: -1}
+}
+
+func (b *windowBackend) Processed() int64         { return b.e.EdgesProcessed() }
+func (b *windowBackend) Universe() (int64, int64) { return b.e.Config().N, 0 }
+
+// Window, WindowBuckets and WindowSpan surface the window geometry and
+// position for the health probe and /stats (the windowProbe interface);
+// cluster members must agree on the geometry for member windows to
+// compose into one coherent global window.
+func (b *windowBackend) Window() int64              { return b.e.Window() }
+func (b *windowBackend) WindowBuckets() int64       { return b.e.Buckets() }
+func (b *windowBackend) WindowSpan() (int64, int64) { return b.e.WindowSpan() }
+
 // edgeBufPool recycles the []Edge conversion buffers of the insert-only
 // and star ingest paths (mirroring the *[]E batch recycling inside the
 // engine fanout), so a sustained ingest stream stops allocating a batch-
@@ -339,6 +397,12 @@ func RestoreBackend(r io.Reader) (Backend, error) {
 			return nil, err
 		}
 		return NewStarBackend(e), nil
+	case 3: // window kind byte
+		e, err := feww.RestoreWindowEngine(br)
+		if err != nil {
+			return nil, err
+		}
+		return NewWindowBackend(e), nil
 	default:
 		e, err := feww.RestoreEngine(br)
 		if err != nil {

@@ -251,6 +251,23 @@ type StatsResponse struct {
 	UptimeSeconds   float64  `json:"uptime_seconds"`
 	Checkpoints     int64    `json:"checkpoints"`
 	CheckpointBytes int64    `json:"checkpoint_bytes"`
+	// Window geometry and position, window backends only: the configured
+	// window and bucket count, and the currently served span of stream
+	// positions [window_start, window_end) — answers cover exactly the
+	// updates the engine accepted inside that span.
+	Window        int64 `json:"window,omitempty"`
+	WindowBuckets int64 `json:"window_buckets,omitempty"`
+	WindowStart   int64 `json:"window_start,omitempty"`
+	WindowEnd     int64 `json:"window_end,omitempty"`
+}
+
+// windowProbe is the optional surface a sliding-window backend exposes on
+// top of Backend: the configured geometry and the live span.  /stats and
+// /healthz report it when present, exactly as the star backend's Rungs.
+type windowProbe interface {
+	Window() int64
+	WindowBuckets() int64
+	WindowSpan() (start, end int64)
 }
 
 // CheckpointResponse is the /checkpoint payload.
@@ -369,7 +386,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		consistency = "fresh"
 	}
 	spaceWords, snapshotBytes := be.Usage(fresh)
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Engine:          be.Kind(),
 		Consistency:     consistency,
 		Shards:          be.Shards(),
@@ -382,7 +399,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		Checkpoints:     s.ckptCount.Load(),
 		CheckpointBytes: s.ckptBytes.Load(),
-	})
+	}
+	if wb, ok := be.(windowProbe); ok {
+		resp.Window, resp.WindowBuckets = wb.Window(), wb.WindowBuckets()
+		resp.WindowStart, resp.WindowEnd = wb.WindowSpan()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // HealthResponse is the /healthz payload: the readiness probe plus the
@@ -403,6 +425,12 @@ type HealthResponse struct {
 	// flat engines).  Cluster members must agree on it, or their rung
 	// indices would not be comparable in the gateway merge.
 	Rungs int `json:"rungs,omitempty"`
+	// Window and WindowBuckets are the sliding-window backend's geometry
+	// (absent for the other kinds).  Cluster members must agree on both,
+	// or their member-local windows would not compose into one coherent
+	// global window.
+	Window        int64 `json:"window,omitempty"`
+	WindowBuckets int64 `json:"window_buckets,omitempty"`
 }
 
 func (s *Server) healthResponse() HealthResponse {
@@ -420,6 +448,9 @@ func (s *Server) healthResponse() HealthResponse {
 	}
 	if sb, ok := be.(interface{ Rungs() int }); ok {
 		h.Rungs = sb.Rungs()
+	}
+	if wb, ok := be.(windowProbe); ok {
+		h.Window, h.WindowBuckets = wb.Window(), wb.WindowBuckets()
 	}
 	return h
 }

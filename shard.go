@@ -90,6 +90,19 @@ type fanout[E any] struct {
 	mu        sync.Mutex   // guards pending, closed, and shard state reads
 	count     atomic.Int64 // elements accepted so far
 	closed    bool
+
+	// stamp, when set, is called under mu for every accepted element with
+	// its 0-based global stream position (the count before the element),
+	// before routing — how the window engine attaches arrival positions
+	// without a second pass.  publishOnAck makes workers republish at
+	// every barrier even when they applied nothing since the last
+	// publication: an engine whose views depend on global stream progress
+	// (the window engine's clock advances with *other* shards' traffic)
+	// needs idle shards to refresh too, or Drain would leave their
+	// published views behind the fresh ones.  Both are set by a façade
+	// constructor before the fanout is shared, never mutated after.
+	stamp        func(el *E, pos int64)
+	publishOnAck bool
 }
 
 // newFanout builds the skeleton and starts one worker per apply function.
@@ -191,7 +204,7 @@ func (f *fanout[E]) run(i int) {
 			dirty = true
 		}
 		if m.ack != nil {
-			if dirty {
+			if dirty || f.publishOnAck {
 				publish()
 			}
 			close(m.ack)
@@ -200,7 +213,7 @@ func (f *fanout[E]) run(i int) {
 			publish()
 		}
 	}
-	if dirty {
+	if dirty || f.publishOnAck {
 		publish()
 	}
 }
@@ -216,7 +229,10 @@ func (f *fanout[E]) add(el E) error {
 	if f.closed {
 		return ErrClosed
 	}
-	f.count.Add(1)
+	pos := f.count.Add(1) - 1
+	if f.stamp != nil {
+		f.stamp(&el, pos)
+	}
 	i := int(f.item(el) % int64(len(f.chans)))
 	*f.pending[i] = append(*f.pending[i], el)
 	if len(*f.pending[i]) >= f.batchSize {
@@ -231,9 +247,26 @@ func (f *fanout[E]) addBatch(els []E) error {
 	if f.closed {
 		return ErrClosed
 	}
-	f.count.Add(int64(len(els)))
+	base := f.count.Add(int64(len(els))) - int64(len(els))
 	p := int64(len(f.chans))
-	for _, el := range els {
+	if f.stamp == nil {
+		// Kept as a separate loop: taking el's address for stamping (below)
+		// makes the element addressable and costs every iteration a stack
+		// spill, which is measurable at full ingest rate on the engines
+		// that never stamp.
+		for _, el := range els {
+			i := int(f.item(el) % p)
+			*f.pending[i] = append(*f.pending[i], el)
+			if len(*f.pending[i]) >= f.batchSize {
+				f.dispatch(i)
+			}
+		}
+		return nil
+	}
+	for j, el := range els {
+		// el is this iteration's copy: the caller's slice is never
+		// written to, it keeps ownership as documented.
+		f.stamp(&el, base+int64(j))
 		i := int(f.item(el) % p)
 		*f.pending[i] = append(*f.pending[i], el)
 		if len(*f.pending[i]) >= f.batchSize {

@@ -26,7 +26,7 @@ import (
 //
 //	magic   [8]byte "FEWWENG1"
 //	kind    byte    0 = insertion-only Engine, 1 = TurnstileEngine,
-//	                2 = StarEngine
+//	                2 = StarEngine, 3 = WindowEngine
 //	header  kind-specific configuration + element count (see below)
 //	shards  Shards times: byte length, then that shard's core snapshot
 var engineSnapMagic = [8]byte{'F', 'E', 'W', 'W', 'E', 'N', 'G', '1'}
@@ -35,6 +35,7 @@ const (
 	engineKindInsertOnly = 0
 	engineKindTurnstile  = 1
 	engineKindStar       = 2
+	engineKindWindow     = 3
 
 	// Container header sizes: magic + kind byte + the fixed uint64 fields
 	// each Snapshot writes before the per-shard payloads.  Usage and
@@ -42,6 +43,7 @@ const (
 	engineSnapHeaderBytes    = 8 + 1 + 9*8
 	turnstileSnapHeaderBytes = 8 + 1 + 11*8
 	starSnapHeaderBytes      = 8 + 1 + 10*8
+	windowSnapHeaderBytes    = 8 + 1 + 11*8
 )
 
 // Snapshot writes the engine's complete state to w: resolved
@@ -221,7 +223,9 @@ func readEngineSnapKind(br *bufio.Reader) (byte, error) {
 		return 0, fmt.Errorf("%w: bad engine magic %q", ErrBadSnapshot, head[:8])
 	}
 	kind := head[8]
-	if kind != engineKindInsertOnly && kind != engineKindTurnstile && kind != engineKindStar {
+	switch kind {
+	case engineKindInsertOnly, engineKindTurnstile, engineKindStar, engineKindWindow:
+	default:
 		return 0, fmt.Errorf("%w: unknown engine kind %d", ErrBadSnapshot, kind)
 	}
 	return kind, nil
