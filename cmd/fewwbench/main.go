@@ -33,18 +33,20 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("experiment", "", "comma-separated experiment ids (default: all)")
-		seed     = flag.Uint64("seed", 1, "random seed; a fixed seed reproduces a run exactly")
-		full     = flag.Bool("full", false, "full instance sizes (the docs/EXPERIMENTS.md setting; minutes instead of seconds)")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		showTime = flag.Bool("time", false, "print wall-clock time per experiment")
-		mode     = flag.String("mode", "", "benchmark mode: mixed (full-rate ingest + concurrent queries), scaling (shard-count ingest sweep), cluster (gateway streaming vs ?atomic=1)")
-		shards   = flag.Int("shards", 0, "run the sharded-ingest throughput benchmark with this many shards instead of the experiments (also the shard count for -mode mixed and the sweep ceiling for -mode scaling; 0 = GOMAXPROCS)")
-		edges    = flag.Int("edges", 4_000_000, "stream length for the -shards and -mode benchmarks")
-		clients  = flag.Int("clients", 8, "concurrent query clients for -mode mixed")
-		out      = flag.String("out", "BENCH_mixed.json", "machine-readable trajectory path; each -mode updates its own section")
-		baseline = flag.String("baseline", "", "committed BENCH_mixed.json to gate -mode mixed against: fail if published-path queries/s regresses more than 15%")
-		gateway  = flag.String("gateway", "", "external fewwgate base URL for -mode cluster (default: boot 3 in-process members)")
+		expFlag   = flag.String("experiment", "", "comma-separated experiment ids (default: all)")
+		seed      = flag.Uint64("seed", 1, "random seed; a fixed seed reproduces a run exactly")
+		full      = flag.Bool("full", false, "full instance sizes (the docs/EXPERIMENTS.md setting; minutes instead of seconds)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		showTime  = flag.Bool("time", false, "print wall-clock time per experiment")
+		mode      = flag.String("mode", "", "benchmark mode: mixed (full-rate ingest + concurrent queries), scaling (shard-count ingest sweep), cluster (gateway streaming vs ?atomic=1)")
+		shards    = flag.Int("shards", 0, "run the sharded-ingest throughput benchmark with this many shards instead of the experiments (also the shard count for -mode mixed and the sweep ceiling for -mode scaling; 0 = GOMAXPROCS)")
+		edges     = flag.Int("edges", 4_000_000, "stream length for the -shards and -mode benchmarks")
+		clients   = flag.Int("clients", 8, "concurrent query clients for -mode mixed")
+		producers = flag.Int("producers", 1, "concurrent producer goroutines per engine for -mode scaling")
+		scalegate = flag.Bool("scalegate", false, "fail -mode scaling if 4-shard ingest falls below 1-shard ingest (skipped when the sweep or the host cannot reach 4-way parallelism)")
+		out       = flag.String("out", "BENCH_mixed.json", "machine-readable trajectory path; each -mode updates its own section")
+		baseline  = flag.String("baseline", "", "committed BENCH_mixed.json to gate -mode mixed against: fail if published-path queries/s regresses more than 15%")
+		gateway   = flag.String("gateway", "", "external fewwgate base URL for -mode cluster (default: boot 3 in-process members)")
 	)
 	flag.Parse()
 
@@ -56,7 +58,7 @@ func main() {
 		}
 		return
 	case "scaling":
-		if err := runScaling(*shards, *edges, *seed, *out); err != nil {
+		if err := runScaling(*shards, *producers, *edges, *seed, *out, *scalegate); err != nil {
 			fmt.Fprintf(os.Stderr, "fewwbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"feww"
@@ -30,6 +32,7 @@ import (
 // shardPoint is one -mode scaling measurement.
 type shardPoint struct {
 	Shards        int     `json:"shards"`
+	Producers     int     `json:"producers"`
 	IngestSeconds float64 `json:"ingest_seconds"`
 	IngestRate    float64 `json:"ingest_updates_per_sec"`
 }
@@ -82,8 +85,20 @@ func saveReport(rep mixedReport, path string) error {
 // runScaling measures sharded-engine ingest throughput across shard
 // counts (1, 2, 4, ... up to maxShards) on the same Zipf workload as
 // the mixed benchmark, and records the sweep in the out document's
-// multi_shard section.
-func runScaling(maxShards, edgeCount int, seed uint64, outPath string) error {
+// multi_shard section.  producers sets how many goroutines feed each
+// engine concurrently (<= 0 means one): the sweep then measures the
+// producers × shards surface a real deployment sees — a server's
+// handlers or a gateway's replica fan-out pushing into the same engine
+// at once — rather than a single serial caller.  Chunks are claimed
+// from a shared cursor, so the concurrent-producer stream is the same
+// multiset of edges in reservation order.
+//
+// With gate set, the run fails unless ingest at 4 shards beats ingest
+// at 1 shard — the CI backstop that keeps multi-shard scaling from
+// silently regressing back to a serial router.  The gate needs real
+// parallelism to be meaningful, so it is skipped (with a note) when
+// the sweep never reaches 4 shards or the host lacks 4 CPUs.
+func runScaling(maxShards, producers, edgeCount int, seed uint64, outPath string, gate bool) error {
 	const (
 		n     = int64(1) << 18
 		d     = 1000
@@ -92,6 +107,9 @@ func runScaling(maxShards, edgeCount int, seed uint64, outPath string) error {
 	)
 	if maxShards <= 0 {
 		maxShards = runtime.GOMAXPROCS(0)
+	}
+	if producers <= 0 {
+		producers = 1
 	}
 	counts := []int{1}
 	for s := 2; s < maxShards; s *= 2 {
@@ -107,11 +125,12 @@ func runScaling(maxShards, edgeCount int, seed uint64, outPath string) error {
 	for i := range edges {
 		edges[i] = feww.Edge{A: int64(zipf.Next()), B: int64(i)}
 	}
-	fmt.Printf("shard-scaling benchmark: %d Zipf(1.2) edges over n = %d, d = %d, alpha = %d\n\n",
-		edgeCount, n, d, alpha)
+	fmt.Printf("shard-scaling benchmark: %d Zipf(1.2) edges over n = %d, d = %d, alpha = %d; %d producer(s)\n\n",
+		edgeCount, n, d, alpha, producers)
 
 	var points []shardPoint
 	base := 0.0
+	rateAt := map[int]float64{}
 	for _, s := range counts {
 		eng, err := feww.NewEngine(feww.EngineConfig{
 			Config: feww.Config{N: n, D: d, Alpha: alpha, Seed: seed},
@@ -120,13 +139,34 @@ func runScaling(maxShards, edgeCount int, seed uint64, outPath string) error {
 		if err != nil {
 			return err
 		}
+		var (
+			cursor atomic.Int64
+			wg     sync.WaitGroup
+		)
+		errs := make(chan error, producers)
 		start := time.Now()
-		for off := 0; off < len(edges); off += chunk {
-			end := min(off+chunk, len(edges))
-			if err := eng.ProcessEdges(edges[off:end]); err != nil {
-				eng.Close()
-				return err
-			}
+		wg.Add(producers)
+		for p := 0; p < producers; p++ {
+			go func() {
+				defer wg.Done()
+				for {
+					off := int(cursor.Add(chunk)) - chunk
+					if off >= len(edges) {
+						return
+					}
+					end := min(off+chunk, len(edges))
+					if err := eng.ProcessEdges(edges[off:end]); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			eng.Close()
+			return err
 		}
 		if err := eng.Drain(); err != nil {
 			eng.Close()
@@ -138,8 +178,10 @@ func runScaling(maxShards, edgeCount int, seed uint64, outPath string) error {
 		if base == 0 {
 			base = rate
 		}
+		rateAt[s] = rate
 		points = append(points, shardPoint{
 			Shards:        s,
+			Producers:     producers,
 			IngestSeconds: elapsed.Seconds(),
 			IngestRate:    rate,
 		})
@@ -153,6 +195,21 @@ func runScaling(maxShards, edgeCount int, seed uint64, outPath string) error {
 		return err
 	}
 	fmt.Printf("\nwrote multi_shard section of %s\n", outPath)
+
+	if gate {
+		switch {
+		case rateAt[4] == 0:
+			fmt.Printf("scaling gate: skipped (sweep did not include 4 shards)\n")
+		case runtime.GOMAXPROCS(0) < 4:
+			fmt.Printf("scaling gate: skipped (GOMAXPROCS = %d < 4, no hardware parallelism to gate on)\n",
+				runtime.GOMAXPROCS(0))
+		case rateAt[4] < rateAt[1]:
+			return fmt.Errorf("fewwbench: scaling gate: 4-shard ingest %.0f updates/s below 1-shard %.0f updates/s (%.2fx)",
+				rateAt[4], rateAt[1], rateAt[4]/rateAt[1])
+		default:
+			fmt.Printf("scaling gate: ok (4-shard ingest %.2fx of 1-shard)\n", rateAt[4]/rateAt[1])
+		}
+	}
 	return nil
 }
 

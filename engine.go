@@ -5,17 +5,20 @@
 // stronger: every edge of an item lands in exactly one shard, so each shard
 // is an ordinary single-threaded instance over a slice of the universe, the
 // degree-d promise transfers verbatim, and merging shard outputs is a
-// concatenation (Results) plus a max-select (Best).  The hot path appends
-// edges to per-shard buffers and hands full batches to single-consumer
-// FIFO queues; a single producer-side mutex (one uncontended acquisition
-// per call, amortised to nothing on the batch path) makes the whole
-// front-end safe for concurrent producers and queriers, which is what a
-// network server on top of the engine needs.
+// concatenation (Results) plus a max-select (Best).  The hot path is a
+// two-phase reserve-then-enqueue pipeline: a producer claims a contiguous
+// position range with one atomic add, partitions its batch into per-shard
+// sub-batches outside any lock, then admits each sub-batch under a
+// per-shard sequence ordered by the reserved base — so concurrent
+// producers (a network server's handlers, a gateway's replica fan-out)
+// route in parallel and contend only on the brief per-shard appends,
+// while each shard still consumes its sub-stream in exact global-position
+// order.
 //
 // Queries are barrier-free by default: each shard worker publishes an
 // immutable result view (a core.View inside a publishedView epoch) through
 // an atomic pointer, so Best/Results/Result/SpaceWords/Usage merge the
-// latest published epochs without taking the producer lock or quiescing
+// latest published epochs without touching the ingest path or quiescing
 // any worker — a read-heavy workload neither stalls ingest nor serialises
 // with other queries.  The Fresh variants keep the strict barrier
 // semantics: they quiesce the shards and reflect every element fed before
@@ -118,8 +121,10 @@ func (cfg *EngineConfig) resolve() error {
 // SpaceWords, ...) at once — the use case being a network server whose
 // handlers ingest and answer queries concurrently.  Determinism holds
 // whenever the edges reach the engine in a fixed order, i.e. with a
-// single producer; concurrent producers get whatever interleaving they
-// win the internal lock in.
+// single producer; concurrent producers are interleaved in the order
+// their batches' atomic position reservations linearised — an order the
+// engine applies consistently across every shard, even though it is not
+// known in advance.
 //
 // Queries default to the published consistency: they merge the shards'
 // latest published result epochs without any locking, so they cost
@@ -301,11 +306,14 @@ func (e *Engine) WitnessTarget() int64 { return e.rt.witnessTarget() }
 // is needed: polling it mid-stream is free.
 func (e *Engine) EdgesProcessed() int64 { return e.rt.f.count.Load() }
 
-// QueueDepths samples the number of batches waiting in each shard queue.
-// A persistently full queue (== the configured QueueDepth) marks the
-// shard as the ingest bottleneck — typically an item-skew hot spot.  The
-// numbers are instantaneous: no barrier is taken, so they may be stale by
-// the time they are read.
+// QueueDepths samples the number of elements buffered for each shard:
+// both the batches handed to the shard queue and not yet applied, and
+// the elements still accumulating in the shard's producer-side fill
+// buffer — so light load reads as the handful of edges actually parked,
+// not zero.  A persistently large depth (approaching the configured
+// QueueDepth × BatchSize) marks the shard as the ingest bottleneck —
+// typically an item-skew hot spot.  The numbers are instantaneous: no
+// barrier is taken, so they may be stale by the time they are read.
 func (e *Engine) QueueDepths() []int { return e.rt.f.queueDepths() }
 
 // ViewEpochs reports each shard's published epoch number — 0 before the
@@ -494,8 +502,8 @@ func (e *TurnstileEngine) WitnessTarget() int64 { return e.rt.witnessTarget() }
 // counter is maintained on the producer side, so polling it is free.
 func (e *TurnstileEngine) UpdatesProcessed() int64 { return e.rt.f.count.Load() }
 
-// QueueDepths samples the number of batches waiting in each shard queue;
-// see (*Engine).QueueDepths.
+// QueueDepths samples the number of elements buffered per shard (queued
+// batches plus the fill buffer); see (*Engine).QueueDepths.
 func (e *TurnstileEngine) QueueDepths() []int { return e.rt.f.queueDepths() }
 
 // ViewEpochs reports each shard's published epoch number; see

@@ -1,0 +1,54 @@
+// The PR 10 lane idioms: the fanout's per-shard fill buffers moved from
+// one global mutex to a lock per lane, with the buffer hand-off factored
+// into a //fewwvet:requires method.  The canonical callers — admission,
+// flush and barrier all lock the lane around the take — must pass; a
+// telemetry path that reads the buffer without the lane lock is a
+// finding.
+package locktest
+
+import "sync"
+
+type lane struct {
+	mu      sync.Mutex
+	pending []int
+}
+
+// take mirrors the fanout's buffer hand-off: swap the fill buffer out
+// under the lane lock.
+//
+//fewwvet:requires mu
+func (ln *lane) take() []int {
+	batch := ln.pending
+	ln.pending = nil
+	return batch
+}
+
+// admit is the producer path: lock, wait-free here, take on overflow.
+func admit(ln *lane, el int) []int {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	ln.pending = append(ln.pending, el)
+	if len(ln.pending) >= 8 {
+		return ln.take()
+	}
+	return nil
+}
+
+// flushLanes is the barrier idiom: every lane locked around its own
+// take, releases interleaved with the hand-off.
+func flushLanes(lanes []*lane, dispatch func([]int)) {
+	for _, ln := range lanes {
+		ln.mu.Lock()
+		batch := ln.take()
+		ln.mu.Unlock()
+		if batch != nil {
+			dispatch(batch)
+		}
+	}
+}
+
+// peek reads the fill buffer without the lane lock: a racing producer
+// may be appending to it.
+func peek(ln *lane) []int {
+	return ln.take() // want "without ln.mu held"
+}

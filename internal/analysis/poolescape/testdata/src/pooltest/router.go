@@ -1,0 +1,72 @@
+// The PR 10 routing idioms: a pooled per-call partition scratch (the
+// reserve-then-enqueue producer path fills per-shard sub-batches in it,
+// admits them, and returns it) must pass unflagged, while parking the
+// scratch in package state or touching it after the put-wrapper are
+// findings like any other pooled buffer's.
+package pooltest
+
+import "sync"
+
+// routeScratch mirrors the fanout's per-call partition buffers: one
+// sub-batch slice per shard, recycled whole.
+type routeScratch struct {
+	subs [][]int
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &routeScratch{subs: make([][]int, 4)}
+}}
+
+var stickyScratch *routeScratch
+
+// getScratch is the get-wrapper: ownership passes to the caller.
+func getScratch() *routeScratch {
+	return scratchPool.Get().(*routeScratch)
+}
+
+// putScratch is the put-wrapper: reset every sub-batch (keeping its
+// capacity), then return the scratch whole.
+func putScratch(sc *routeScratch) {
+	for i := range sc.subs {
+		sc.subs[i] = sc.subs[i][:0]
+	}
+	scratchPool.Put(sc)
+}
+
+// route is the canonical producer path: get, partition, hand off, put.
+// Every use precedes the put, so nothing is flagged.
+func route(els []int, dispatch func(int, []int)) {
+	sc := getScratch()
+	for _, el := range els {
+		i := el % len(sc.subs)
+		sc.subs[i] = append(sc.subs[i], el)
+	}
+	for i, sub := range sc.subs {
+		if len(sub) > 0 {
+			dispatch(i, sub)
+		}
+	}
+	putScratch(sc)
+}
+
+// routeEscape parks the scratch in package state: the pool and the
+// package would own it at once.
+func routeEscape() {
+	stickyScratch = scratchPool.Get().(*routeScratch) // want "package-level"
+}
+
+// routeUseAfterPut reads a sub-batch after the wrapper returned the
+// scratch: the next producer may already be filling it.
+func routeUseAfterPut() int {
+	sc := getScratch()
+	sc.subs[0] = append(sc.subs[0], 7)
+	putScratch(sc)
+	return len(sc.subs) // want "used after Put"
+}
+
+// routeDoublePut returns the same scratch twice.
+func routeDoublePut() {
+	sc := getScratch()
+	putScratch(sc)
+	putScratch(sc) // want "double Put"
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package server
+
+// raceDetectorEnabled mirrors the -race build tag; see race_on_test.go.
+const raceDetectorEnabled = false

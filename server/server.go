@@ -235,9 +235,12 @@ type BestResponse struct {
 
 // StatsResponse is the /stats payload.  Consistency reports which path
 // served the numbers: "published" (barrier-free epoch reads, the default)
-// or "fresh" (?fresh=1, exact at a barrier).  ViewEpochs is each shard's
-// published epoch counter; an epoch that stops advancing under load means
-// that shard is saturated and publication is coalescing.
+// or "fresh" (?fresh=1, exact at a barrier).  QueueDepths counts the
+// elements buffered per shard — queued batches plus the producer-side
+// fill buffer — so a lightly loaded server reports the edges actually
+// parked instead of zero.  ViewEpochs is each shard's published epoch
+// counter; an epoch that stops advancing under load means that shard is
+// saturated and publication is coalescing.
 type StatsResponse struct {
 	Engine          string   `json:"engine"`
 	Consistency     string   `json:"consistency"`

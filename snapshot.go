@@ -129,7 +129,7 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 		}
 	}
 	eng := newEngineFromInners(cfg, inners)
-	eng.rt.f.count.Store(count)
+	eng.rt.f.restoreCount(count)
 	return eng, nil
 }
 
@@ -208,7 +208,7 @@ func RestoreTurnstileEngine(r io.Reader) (*TurnstileEngine, error) {
 		}
 	}
 	eng := newTurnstileFromInners(cfg, inners)
-	eng.rt.f.count.Store(count)
+	eng.rt.f.restoreCount(count)
 	return eng, nil
 }
 

@@ -356,8 +356,8 @@ func (e *StarEngine) WitnessTarget() int64 { return e.rt.witnessTarget() }
 // engine (two per undirected input edge).
 func (e *StarEngine) EdgesProcessed() int64 { return e.rt.f.count.Load() }
 
-// QueueDepths samples the number of batches waiting in each shard queue;
-// see (*Engine).QueueDepths.
+// QueueDepths samples the number of elements buffered per shard (queued
+// batches plus the fill buffer); see (*Engine).QueueDepths.
 func (e *StarEngine) QueueDepths() []int { return e.rt.f.queueDepths() }
 
 // ViewEpochs reports each shard's published epoch number; see
@@ -455,6 +455,6 @@ func RestoreStarEngine(r io.Reader) (*StarEngine, error) {
 		}
 	}
 	eng := newStarFromShards(cfg, guesses, shards)
-	eng.rt.f.count.Store(count)
+	eng.rt.f.restoreCount(count)
 	return eng, nil
 }

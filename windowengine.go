@@ -10,12 +10,12 @@
 //
 // Two runtime hooks make the window engine-wide rather than per-shard.
 // First, every accepted edge is stamped with its 0-based global arrival
-// position under the producer lock, before routing — so bucket
+// position — reserved atomically, stamped before routing — so bucket
 // boundaries align across shards and a shard's answers age against the
 // whole stream's progress, not just its own sub-stream's.  Second, the
 // engine owns the clock the shards age against (the accepted count,
-// advanced with each stamp), and shard workers republish on every
-// barrier even when idle: a shard whose items stopped arriving still
+// advanced by a CAS-max at each reservation), and shard workers
+// republish on every barrier even when idle: a shard whose items stopped arriving still
 // ages out as *other* shards' traffic advances the clock, and
 // Drain still leaves published and fresh answers coinciding.
 package feww
@@ -140,14 +140,25 @@ func (e *WindowEngine) start(shards []*core.WindowShard) {
 		func(u core.WindowUpdate) int64 { return u.A },
 		func(u *core.WindowUpdate, a int64) { u.A = a },
 		algos)
-	// Stamp runs under the producer lock: positions are dense, unique and
-	// arrival-ordered, and the clock equals the accepted count.  Stamping
-	// before routing means a batch handed to a worker happens-after the
-	// clock covering its last element, so a worker's view never treats an
-	// instance as live that its own batch already aged out.
+	// Positions are dense, unique and reservation-ordered, and the clock
+	// equals the accepted count.  The clock advances in the reserve hook —
+	// once per reservation, before any element of the range is stamped or
+	// routed — so a batch handed to a worker happens-after the clock
+	// covering its last element, and a worker's view never treats an
+	// instance as live that its own batch already aged out.  Reservations
+	// race lock-free, so the advance is a CAS-max: a producer whose range
+	// linearised earlier must never drag the clock backwards just because
+	// it reached the hook later.
+	e.rt.f.reserve = func(base, n int64) {
+		for {
+			cur := e.clock.Load()
+			if base+n <= cur || e.clock.CompareAndSwap(cur, base+n) {
+				return
+			}
+		}
+	}
 	e.rt.f.stamp = func(u *core.WindowUpdate, pos int64) {
 		u.Pos = pos
-		e.clock.Store(pos + 1)
 	}
 	// Idle shards must republish at barriers: their liveness horizon moves
 	// with the global clock even when no local traffic arrives.
@@ -278,8 +289,8 @@ func (e *WindowEngine) WitnessTarget() int64 { return e.rt.witnessTarget() }
 // engine's lifetime — the window's end position.
 func (e *WindowEngine) EdgesProcessed() int64 { return e.rt.f.count.Load() }
 
-// QueueDepths samples the number of batches waiting in each shard queue;
-// see (*Engine).QueueDepths.
+// QueueDepths samples the number of elements buffered per shard (queued
+// batches plus the fill buffer); see (*Engine).QueueDepths.
 func (e *WindowEngine) QueueDepths() []int { return e.rt.f.queueDepths() }
 
 // ViewEpochs reports each shard's published epoch number; see
@@ -388,6 +399,6 @@ func RestoreWindowEngine(r io.Reader) (*WindowEngine, error) {
 		}
 	}
 	eng.start(shards)
-	eng.rt.f.count.Store(count)
+	eng.rt.f.restoreCount(count)
 	return eng, nil
 }

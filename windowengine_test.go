@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"feww/internal/core"
 )
 
 // windowStream renders an item sequence the classical frequent-elements
@@ -388,5 +390,124 @@ func TestWindowPublishedQueriesNeverTornUnderIngest(t *testing.T) {
 	}
 	for _, nb := range results {
 		checkNb(nb, true)
+	}
+}
+
+// TestWindowEngineConcurrentProducersStamping pins what "determinism
+// across concurrent producers" means after the reserve-then-enqueue
+// rework: N goroutines feed the window engine at once, and the engine
+// must assign every accepted update a unique, dense arrival position —
+// {0, ..., total-1} with no hole and no duplicate — and then serve a set
+// that passes the exact sliding-window recount over those positions.
+// The interleaving is whatever the atomic reservations linearised into,
+// not known in advance; the contract is that the engine commits to ONE
+// such order consistently, so the recount built from the observed stamps
+// agrees exactly with what the engine serves.  Run under -race this also
+// exercises the lock-free stamp path.
+func TestWindowEngineConcurrentProducersStamping(t *testing.T) {
+	const (
+		producers = 4
+		perItems  = 8  // items owned per producer
+		rounds    = 32 // each producer feeds its items once per round
+		n         = producers * perItems
+		total     = producers * perItems * rounds
+	)
+	eng, err := NewWindowEngine(WindowEngineConfig{
+		Config: Config{N: n, D: 5, Alpha: 1, Seed: 23},
+		Window: 256, Buckets: 4,
+		Shards: 4, BatchSize: 16, QueueDepth: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Wrap the stamp hook before any producer starts: record which edge
+	// got which arrival position.  Stamping happens lock-free on the
+	// producer path, so the recording map needs its own lock.
+	var (
+		mu      sync.Mutex
+		posEdge = make(map[int64]Edge, total)
+		stamped = eng.rt.f.stamp
+	)
+	eng.rt.f.stamp = func(u *core.WindowUpdate, pos int64) {
+		stamped(u, pos)
+		mu.Lock()
+		if prev, dup := posEdge[pos]; dup {
+			t.Errorf("position %d stamped twice: %+v and A=%d B=%d", pos, prev, u.A, u.B)
+		}
+		posEdge[pos] = Edge{A: u.A, B: u.B}
+		mu.Unlock()
+	}
+
+	// Producer p owns items [p*perItems, (p+1)*perItems) and feeds each
+	// once per round with a globally unique witness, so the recount can
+	// match served witnesses back to recorded updates by value.
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				batch := make([]Edge, perItems)
+				for j := range batch {
+					a := int64(p*perItems + j)
+					batch[j] = Edge{A: a, B: int64(p*1_000_000 + r*perItems + j)}
+				}
+				if err := eng.ProcessEdges(batch); err != nil {
+					t.Errorf("producer %d round %d: %v", p, r, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Positions must be dense and unique: exactly {0, ..., total-1}.
+	if len(posEdge) != total {
+		t.Fatalf("recorded %d distinct positions, want %d", len(posEdge), total)
+	}
+	for pos := int64(0); pos < total; pos++ {
+		if _, ok := posEdge[pos]; !ok {
+			t.Fatalf("no update stamped with position %d: positions not dense", pos)
+		}
+	}
+
+	// Exact sliding-window recount over the recorded positions: with
+	// Alpha = 1 the engine must serve exactly the items with >= D
+	// occurrences in the served span, and every witness must be the B of
+	// an in-span update of that item.
+	start, end := eng.WindowSpan()
+	if end != total {
+		t.Fatalf("WindowSpan end = %d, want %d", end, total)
+	}
+	counts := make(map[int64]int64, n)
+	inSpan := make(map[Edge]bool, end-start)
+	for pos := start; pos < end; pos++ {
+		e := posEdge[pos]
+		counts[e.A]++
+		inSpan[e] = true
+	}
+	want := make(map[int64]bool)
+	for a, c := range counts {
+		if c >= 5 { // D
+			want[a] = true
+		}
+	}
+	served := eng.ResultsFresh()
+	got := make(map[int64]bool, len(served))
+	for _, nb := range served {
+		got[nb.A] = true
+		for _, b := range nb.Witnesses {
+			if !inSpan[Edge{A: nb.A, B: b}] {
+				t.Errorf("witness %d of item %d is not an in-span update of that item", b, nb.A)
+			}
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("served set %v does not match the exact recount %v over span [%d, %d)", got, want, start, end)
 	}
 }
